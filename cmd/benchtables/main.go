@@ -1,0 +1,50 @@
+// Command benchtables regenerates the paper's evaluation tables and
+// figures on the simulated cluster and prints them as aligned text tables.
+//
+// Usage:
+//
+//	benchtables [-run id[,id...]] [-quick] [-list]
+//
+// Without -run it executes every experiment in paper order. -quick uses the
+// unit-test dataset sizes (fast, coarser numbers); the default sizes are
+// the calibrated benchmark scale recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glasswing/internal/expt"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "use quick (unit-test) dataset sizes")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	sizes := expt.Default()
+	if *quick {
+		sizes = expt.Quick()
+	}
+	if *runIDs == "" {
+		expt.RunAll(os.Stdout, sizes)
+		return
+	}
+	for _, id := range strings.Split(*runIDs, ",") {
+		e := expt.Lookup(strings.TrimSpace(id))
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		e.Run(sizes).Print(os.Stdout)
+	}
+}

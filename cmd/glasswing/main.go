@@ -1,0 +1,219 @@
+// Command glasswing runs one of the paper's five MapReduce applications on
+// a simulated cluster (or, with -native, on the real host) and prints the
+// job's timing profile.
+//
+// Usage:
+//
+//	glasswing -app wc|pvc|ts|km|mm [-nodes N] [-gpu] [-fs hdfs|local]
+//	          [-size BYTES] [-slow FACTOR] [-buffering 1|2|3]
+//	          [-partitions P] [-partition-threads N] [-collector hash|pool]
+//	          [-verify]
+//
+// Every run processes real generated data; -verify checks the output
+// against an independent reference implementation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"glasswing"
+	"glasswing/internal/apps"
+	"glasswing/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("glasswing: ")
+	var (
+		appName   = flag.String("app", "wc", "application: wc, pvc, ts, km, mm")
+		nodes     = flag.Int("nodes", 4, "cluster nodes")
+		gpu       = flag.Bool("gpu", false, "run kernels on the GPU (device 1)")
+		fsKind    = flag.String("fs", "hdfs", "file system: hdfs or local")
+		size      = flag.Int("size", 2<<20, "approximate input size in bytes")
+		slow      = flag.Float64("slow", 1, "hardware slowdown factor (simulate larger data)")
+		buffering = flag.Int("buffering", 2, "pipeline buffering level (1-3)")
+		parts     = flag.Int("partitions", 8, "intermediate partitions per node (P)")
+		pthreads  = flag.Int("partition-threads", 8, "partitioner threads (N)")
+		collector = flag.String("collector", "hash", "map output collector: hash or pool")
+		combine   = flag.Bool("combiner", true, "run the combiner (hash collector only)")
+		verify    = flag.Bool("verify", false, "verify output against a reference implementation")
+		trace     = flag.Bool("trace", false, "print the pipeline activity timeline (Gantt)")
+		useNative = flag.Bool("native", false, "run on the native runtime (real host, wall-clock) instead of the simulated cluster")
+	)
+	flag.Parse()
+
+	cc := glasswing.ClusterConfig{
+		Nodes:     *nodes,
+		GPU:       *gpu,
+		SlowDown:  *slow,
+		BlockSize: int64(*size / 64),
+	}
+	if *fsKind == "local" {
+		cc.FS = glasswing.LocalFS
+	}
+	cluster := glasswing.NewCluster(cc)
+
+	cfg := glasswing.Config{
+		Buffering:         *buffering,
+		PartitionsPerNode: *parts,
+		PartitionThreads:  *pthreads,
+		Compress:          true,
+	}
+	cfg.Trace = *trace
+	if *collector == "pool" {
+		cfg.Collector = glasswing.BufferPool
+	} else {
+		cfg.Collector = glasswing.HashTable
+		cfg.UseCombiner = *combine
+	}
+	if *gpu {
+		cfg.Device = 1
+	}
+
+	var (
+		app      *glasswing.App
+		run      func() (*glasswing.Result, error)
+		validate func(*glasswing.Result) error
+	)
+	switch *appName {
+	case "wc":
+		data, want := apps.WCData(1, *size, *size/400)
+		cluster.LoadText("input", data)
+		app = glasswing.WordCountApp()
+		cfg.Input = []string{"input"}
+		run = func() (*glasswing.Result, error) { return cluster.Run(app, cfg) }
+		validate = func(r *glasswing.Result) error { return apps.VerifyCounts(r.Output(), want) }
+	case "pvc":
+		data, want := apps.PVCData(2, *size)
+		cluster.LoadText("input", data)
+		app = glasswing.PageviewCountApp()
+		cfg.Input = []string{"input"}
+		run = func() (*glasswing.Result, error) { return cluster.Run(app, cfg) }
+		validate = func(r *glasswing.Result) error { return apps.VerifyCounts(r.Output(), want) }
+	case "ts":
+		data := apps.TSData(3, *size/workload.TeraRecordSize)
+		cluster.LoadRecords("input", data, workload.TeraRecordSize)
+		app = glasswing.TeraSortApp()
+		cfg.Input = []string{"input"}
+		cfg.Collector = glasswing.BufferPool
+		cfg.UseCombiner = false
+		cfg.Partitioner = glasswing.TeraSortPartitioner(data, 64)
+		cfg.OutputReplication = 1
+		run = func() (*glasswing.Result, error) { return cluster.Run(app, cfg) }
+		validate = func(r *glasswing.Result) error { return apps.VerifyTeraSort(r.Output(), data) }
+	case "km":
+		points := *size / 16
+		data, spec := apps.KMData(4, points, 4, 64)
+		cluster.LoadRecords("input", data, int64(spec.Dim*4))
+		app = glasswing.KMeansApp(spec)
+		cfg.Input = []string{"input"}
+		run = func() (*glasswing.Result, error) {
+			return cluster.RunWithBroadcast(app, cfg, spec.CentersBytes())
+		}
+		validate = func(r *glasswing.Result) error { return apps.VerifyKMeans(r.Output(), data, spec) }
+	case "mm":
+		spec := glasswing.MatMulSpec{N: 256, Tile: 32}
+		input, a, b, err := apps.MMData(5, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster.LoadRecords("input", input, int64(spec.RecordSize()))
+		app = glasswing.MatMulApp(spec)
+		cfg.Input = []string{"input"}
+		cfg.Collector = glasswing.BufferPool
+		cfg.UseCombiner = false
+		run = func() (*glasswing.Result, error) { return cluster.Run(app, cfg) }
+		validate = func(r *glasswing.Result) error { return apps.VerifyMatMul(r.Output(), a, b, spec) }
+	default:
+		log.Fatalf("unknown app %q (wc, pvc, ts, km, mm)", *appName)
+	}
+
+	if *useNative {
+		runNativeJob(*appName, *size)
+		return
+	}
+
+	res, err := run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(glasswing.Summary(res))
+	st := res.MaxMapStage()
+	fmt.Printf("map pipeline busy: input=%.2fs stage=%.2fs kernel=%.2fs retrieve=%.2fs partition=%.2fs\n",
+		st.Input, st.Stage, st.Kernel, st.Retrieve, st.Partition)
+	rt := res.MaxReduceStage()
+	fmt.Printf("reduce pipeline busy: input=%.2fs kernel=%.2fs output=%.2fs\n",
+		rt.Input, rt.Kernel, rt.Partition)
+	if *verify {
+		if err := validate(res); err != nil {
+			log.Fatalf("output verification FAILED: %v", err)
+		}
+		fmt.Println("output verified against reference implementation")
+	}
+	if *trace && res.Trace != nil {
+		fmt.Println()
+		fmt.Print(res.Trace.String())
+	}
+}
+
+// runNativeJob executes the selected application on the native runtime.
+func runNativeJob(appName string, size int) {
+	var (
+		app    *glasswing.App
+		blocks [][]byte
+		cfg    glasswing.NativeConfig
+		check  func(*glasswing.NativeResult) error
+	)
+	cfg.Collector = glasswing.HashTable
+	switch appName {
+	case "wc":
+		data, want := apps.WCData(1, size, size/400)
+		blocks = glasswing.SplitText(data, 64<<10)
+		app = glasswing.WordCountApp()
+		cfg.UseCombiner = true
+		check = func(r *glasswing.NativeResult) error { return apps.VerifyCounts(r.Output(), want) }
+	case "pvc":
+		data, want := apps.PVCData(2, size)
+		blocks = glasswing.SplitText(data, 64<<10)
+		app = glasswing.PageviewCountApp()
+		cfg.UseCombiner = true
+		check = func(r *glasswing.NativeResult) error { return apps.VerifyCounts(r.Output(), want) }
+	case "ts":
+		data := apps.TSData(3, size/workload.TeraRecordSize)
+		blocks = glasswing.SplitRecords(data, 64<<10, workload.TeraRecordSize)
+		app = glasswing.TeraSortApp()
+		cfg.Collector = glasswing.BufferPool
+		cfg.Partitioner = glasswing.TeraSortPartitioner(data, 64)
+		check = func(r *glasswing.NativeResult) error { return apps.VerifyTeraSort(r.Output(), data) }
+	case "km":
+		data, spec := apps.KMData(4, size/16, 4, 64)
+		blocks = glasswing.SplitRecords(data, 64<<10, int64(spec.Dim*4))
+		app = glasswing.KMeansApp(spec)
+		cfg.UseCombiner = true
+		check = func(r *glasswing.NativeResult) error { return apps.VerifyKMeans(r.Output(), data, spec) }
+	case "mm":
+		spec := glasswing.MatMulSpec{N: 256, Tile: 32}
+		input, a, b, err := apps.MMData(5, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocks = glasswing.SplitRecords(input, 64<<10, int64(spec.RecordSize()))
+		app = glasswing.MatMulApp(spec)
+		cfg.Collector = glasswing.BufferPool
+		check = func(r *glasswing.NativeResult) error { return apps.VerifyMatMul(r.Output(), a, b, spec) }
+	default:
+		log.Fatalf("unknown app %q (wc, pvc, ts, km, mm)", appName)
+	}
+	res, err := glasswing.RunNative(app, blocks, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (native): total %v (map %v, merge %v, reduce %v), %d output pairs, %d spill files\n",
+		res.App, res.Total, res.MapElapsed, res.MergeDelay, res.ReduceElapsed, res.OutputPairs, res.SpillFiles)
+	if err := check(res); err != nil {
+		log.Fatalf("output verification FAILED: %v", err)
+	}
+	fmt.Println("output verified against reference implementation")
+}

@@ -1,0 +1,42 @@
+package glasswing_test
+
+import (
+	"fmt"
+
+	"glasswing"
+)
+
+// The complete lifecycle: build a simulated cluster, load data, run a job,
+// inspect the result. Virtual times are deterministic, so this example's
+// output is stable.
+func Example() {
+	cluster := glasswing.NewCluster(glasswing.ClusterConfig{Nodes: 2, BlockSize: 4 << 10})
+	cluster.LoadText("in", []byte("go gophers go\nrun gophers run\n"))
+	res, err := cluster.Run(glasswing.WordCountApp(), glasswing.Config{
+		Input:       []string{"in"},
+		Collector:   glasswing.HashTable,
+		UseCombiner: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.App, res.Nodes, res.OutputPairs)
+	// Output: WC 2 3
+}
+
+// The native runtime executes the same application on the real host.
+func ExampleRunNative() {
+	blocks := glasswing.SplitText([]byte("a b a\nb a b\n"), 1<<10)
+	res, err := glasswing.RunNative(glasswing.WordCountApp(), blocks, glasswing.NativeConfig{
+		Collector:   glasswing.HashTable,
+		UseCombiner: true,
+		Partitions:  1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.App, res.OutputPairs)
+	// Output: WC 2
+}

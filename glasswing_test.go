@@ -1,0 +1,156 @@
+package glasswing
+
+import (
+	"strings"
+	"testing"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/workload"
+)
+
+func TestQuickstartWordCount(t *testing.T) {
+	data, want := apps.WCData(1, 256<<10, 2000)
+	cluster := NewCluster(ClusterConfig{Nodes: 4, BlockSize: 32 << 10})
+	cluster.LoadText("input", data)
+	res, err := cluster.Run(WordCountApp(), Config{
+		Input:       []string{"input"},
+		Collector:   HashTable,
+		UseCombiner: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	s := Summary(res)
+	if !strings.Contains(s, "WC on 4 node(s)") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestClusterDefaults(t *testing.T) {
+	c := NewCluster(ClusterConfig{})
+	if len(c.HW.Nodes) != 1 {
+		t.Fatalf("default cluster size = %d", len(c.HW.Nodes))
+	}
+	if c.FS.Name() != "HDFS" {
+		t.Fatalf("default FS = %q", c.FS.Name())
+	}
+	c2 := NewCluster(ClusterConfig{FS: LocalFS, Nodes: 2, GPU: true})
+	if c2.FS.Name() != "localFS" {
+		t.Fatalf("FS = %q", c2.FS.Name())
+	}
+	if c2.HW.Nodes[0].Accelerator() == nil {
+		t.Fatal("GPU cluster has no accelerator")
+	}
+	c3 := NewCluster(ClusterConfig{Type2: true, GPU: true})
+	if got := c3.HW.Nodes[0].Accelerator().Profile.Name; !strings.Contains(got, "K20m") {
+		t.Fatalf("Type-2 GPU = %q, want K20m", got)
+	}
+}
+
+func TestTeraSortViaFacade(t *testing.T) {
+	data := workload.TeraGen(2, 4000)
+	cluster := NewCluster(ClusterConfig{Nodes: 4, BlockSize: 32 << 10})
+	cluster.LoadRecords("ts", data, workload.TeraRecordSize)
+	res, err := cluster.Run(TeraSortApp(), Config{
+		Input:             []string{"ts"},
+		Collector:         BufferPool,
+		Partitioner:       TeraSortPartitioner(data, 16),
+		OutputReplication: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyTeraSort(res.Output(), data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansGPUViaFacade(t *testing.T) {
+	data, spec := apps.KMData(3, 4096, 4, 16)
+	cluster := NewCluster(ClusterConfig{Nodes: 2, GPU: true, BlockSize: 8 << 10})
+	cluster.LoadRecords("km", data, int64(spec.Dim*4))
+	res, err := cluster.RunWithBroadcast(KMeansApp(spec), Config{
+		Input:       []string{"km"},
+		Device:      1,
+		Collector:   HashTable,
+		UseCombiner: true,
+	}, spec.CentersBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyKMeans(res.Output(), data, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessiveRunsAdvanceClock(t *testing.T) {
+	data, _ := apps.WCData(4, 64<<10, 500)
+	cluster := NewCluster(ClusterConfig{Nodes: 2, BlockSize: 16 << 10})
+	cluster.LoadText("in", data)
+	cfg := Config{Input: []string{"in"}, Collector: HashTable, UseCombiner: true, OutputPath: "o1"}
+	if _, err := cluster.Run(WordCountApp(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	t1 := cluster.Env.Now()
+	cfg.OutputPath = "o2"
+	if _, err := cluster.Run(WordCountApp(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Env.Now() <= t1 {
+		t.Fatal("second run did not advance the virtual clock")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2 << 10: "2.0 KiB",
+		3 << 20: "3.0 MiB",
+		5 << 30: "5.0 GiB",
+	}
+	for n, want := range cases {
+		if got := byteSize(n); got != want {
+			t.Errorf("byteSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestRunKMeansConverges(t *testing.T) {
+	data, spec := apps.KMData(9, 6000, 4, 8)
+	cluster := NewCluster(ClusterConfig{Nodes: 2, BlockSize: 8 << 10})
+	cluster.LoadRecords("points", data, int64(spec.Dim*4))
+	out, err := RunKMeans(cluster, "points", spec, Config{
+		Collector: HashTable, UseCombiner: true,
+	}, 1e-3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iterations < 2 {
+		t.Fatalf("converged suspiciously fast: %d iterations", out.Iterations)
+	}
+	if out.Iterations >= 25 && out.Moved > 1e-3 {
+		t.Fatalf("did not converge in 25 iterations (moved %g)", out.Moved)
+	}
+	if out.TotalTime <= out.Results[0].JobTime {
+		t.Fatal("total time should accumulate over iterations")
+	}
+	// Converged centers must reproduce themselves: one more iteration
+	// assigns the same points to the same centers.
+	final := KMeansSpec{Dim: spec.Dim, Centers: out.Spec.Centers}
+	ref := apps.KMRef(data, final)
+	if len(ref) == 0 {
+		t.Fatal("no assignments at convergence")
+	}
+	t.Logf("converged in %d iterations, total virtual time %.2fs", out.Iterations, out.TotalTime)
+}
+
+func TestRunKMeansBadInput(t *testing.T) {
+	_, spec := apps.KMData(9, 100, 4, 4)
+	cluster := NewCluster(ClusterConfig{Nodes: 1})
+	if _, err := RunKMeans(cluster, "missing", spec, Config{Collector: HashTable, UseCombiner: true}, 1e-3, 3); err == nil {
+		t.Fatal("missing input should fail")
+	}
+}

@@ -1,0 +1,3 @@
+module glasswing
+
+go 1.22

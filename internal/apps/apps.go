@@ -1,0 +1,85 @@
+// Package apps implements the five MapReduce applications of the paper's
+// evaluation (§IV): Pageview Count (PVC), WordCount (WC) and TeraSort (TS)
+// as the I/O-bound set, K-Means clustering (KM) and Matrix Multiply (MM) as
+// the compute-bound set. Each application provides the OpenCL-style kernels
+// (as a core.App shared by all three engines), a deterministic dataset
+// builder, and a verifier that checks engine output against an independent
+// reference implementation.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"glasswing/internal/kv"
+)
+
+// u32 encodes a little-endian uint32 (the count encoding all counting apps
+// share; SequenceFile-style binary rather than text, as the paper's Hadoop
+// ports use).
+func u32(n uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], n)
+	return b[:]
+}
+
+func decodeU32(b []byte) (uint32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("apps: bad u32 length %d", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// sumCounts is the shared count-summing reduce/combine kernel.
+func sumCounts(key []byte, values [][]byte, emit func(k, v []byte)) {
+	var total uint32
+	for _, v := range values {
+		n, err := decodeU32(v)
+		if err != nil {
+			panic(err)
+		}
+		total += n
+	}
+	emit(key, u32(total))
+}
+
+// parseLines splits a text block into one record per non-empty line.
+func parseLines(block []byte) []kv.Pair {
+	var recs []kv.Pair
+	start := 0
+	for i := 0; i <= len(block); i++ {
+		if i == len(block) || block[i] == '\n' {
+			if i > start {
+				recs = append(recs, kv.Pair{Value: block[start:i]})
+			}
+			start = i + 1
+		}
+	}
+	return recs
+}
+
+// parseFixed splits a block into fixed-size records.
+func parseFixed(size int) func(block []byte) []kv.Pair {
+	return func(block []byte) []kv.Pair {
+		n := len(block) / size
+		recs := make([]kv.Pair, 0, n)
+		for i := 0; i < n; i++ {
+			recs = append(recs, kv.Pair{Value: block[i*size : (i+1)*size]})
+		}
+		return recs
+	}
+}
+
+// CountsFromOutput folds (key, u32) output pairs into a map, summing
+// duplicates (partial counts from different partitions).
+func CountsFromOutput(pairs []kv.Pair) (map[string]uint64, error) {
+	out := make(map[string]uint64)
+	for _, pr := range pairs {
+		n, err := decodeU32(pr.Value)
+		if err != nil {
+			return nil, fmt.Errorf("key %q: %w", pr.Key, err)
+		}
+		out[string(pr.Key)] += uint64(n)
+	}
+	return out, nil
+}

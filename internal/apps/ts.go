@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"bytes"
+	"sort"
+
+	"glasswing/internal/core"
+	"glasswing/internal/kv"
+	"glasswing/internal/workload"
+)
+
+// TeraSort returns the TS application: sorting 100-byte records by their
+// 10-byte keys with total order across output partitions (§IV-A1). TS has
+// no reduce function — output is fully processed by the end of the
+// intermediate-data shuffle; the framework's per-partition merge produces
+// the sorted runs.
+func TeraSort() *core.App {
+	return &core.App{
+		Name:             "TS",
+		Parse:            parseFixed(workload.TeraRecordSize),
+		ParseCostPerByte: 0.4,
+		Map: func(rec kv.Pair, emit func(k, v []byte)) {
+			emit(rec.Value[:10], rec.Value[10:])
+		},
+		// The map kernel only slices the record and looks up the sampled
+		// range partition.
+		MapCost: core.CostModel{OpsPerRecord: 25, OpsPerByte: 0.5, OpsPerEmit: 40},
+		Reduce:  nil,
+	}
+}
+
+// TeraPartitioner builds a total-order range partitioner from a sample of
+// the input, the paper's "input data set is sampled in an attempt to
+// estimate the spread of keys" (§IV-A1). The returned function adapts to
+// any partition count by quantile: keys are ranked against the sorted
+// sample and mapped proportionally.
+func TeraPartitioner(data []byte, sampleEvery int) func(key []byte, n int) int {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	var sample [][]byte
+	for off := 0; off+workload.TeraRecordSize <= len(data); off += workload.TeraRecordSize * sampleEvery {
+		sample = append(sample, data[off:off+10])
+	}
+	sort.Slice(sample, func(i, j int) bool { return bytes.Compare(sample[i], sample[j]) < 0 })
+	return func(key []byte, n int) int {
+		if n <= 1 || len(sample) == 0 {
+			return 0
+		}
+		// rank = number of sample keys <= key.
+		rank := sort.Search(len(sample), func(i int) bool { return bytes.Compare(sample[i], key) > 0 })
+		p := rank * n / (len(sample) + 1)
+		if p >= n {
+			p = n - 1
+		}
+		return p
+	}
+}
+
+// TSData builds n TeraGen records.
+func TSData(seed int64, n int) []byte { return workload.TeraGen(seed, n) }
+
+// VerifyTeraSort checks that out contains exactly the input records in
+// globally sorted key order.
+func VerifyTeraSort(out []kv.Pair, input []byte) error {
+	n := len(input) / workload.TeraRecordSize
+	if len(out) != n {
+		return countMismatch("records", uint64(len(out)), uint64(n))
+	}
+	for i := 1; i < len(out); i++ {
+		if bytes.Compare(out[i-1].Key, out[i].Key) > 0 {
+			return countMismatch("order violation at record", uint64(i), uint64(i))
+		}
+	}
+	// Multiset equality via sorted reference.
+	ref := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		ref[i] = input[i*workload.TeraRecordSize : i*workload.TeraRecordSize+10]
+	}
+	sort.Slice(ref, func(i, j int) bool { return bytes.Compare(ref[i], ref[j]) < 0 })
+	for i, pr := range out {
+		if !bytes.Equal(pr.Key, ref[i]) {
+			return countMismatch("key mismatch at record", uint64(i), uint64(i))
+		}
+		if len(pr.Value) != workload.TeraRecordSize-10 {
+			return countMismatch("value size", uint64(len(pr.Value)), uint64(workload.TeraRecordSize-10))
+		}
+	}
+	return nil
+}

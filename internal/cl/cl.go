@@ -1,0 +1,194 @@
+// Package cl is the OpenCL-like middleware Glasswing programs against: it
+// exposes compute devices behind a uniform API — contexts, device buffers,
+// NDRange kernel launches with work-item semantics, and host<->device
+// transfers — exactly the role OpenCL plays in the paper.
+//
+// Because no OpenCL runtime or accelerator hardware is available, kernels
+// here are real Go functions executed over the real data, and the *time*
+// a launch takes is charged to the simulated device under a roofline model:
+//
+//	launch = LaunchOverhead
+//	       + max( (ops + atomics*AtomicFactor + threads*ThreadSpawn) / rate(threads),
+//	              bytes / MemBW )
+//
+// where rate(threads) = ThreadOps * min(threads, HWThreads). Kernels run on
+// the device's processor-sharing compute pool, so CPU kernels contend with
+// host threads (partitioners, mergers) while accelerator kernels are
+// dedicated — the asymmetry behind the paper's Table III and Fig 4.
+package cl
+
+import (
+	"fmt"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// Context binds to one compute device, tracking buffer allocations against
+// the device's memory budget (multiple buffering on a GPU is limited by
+// device memory, §III-D).
+type Context struct {
+	Device *hw.Device
+
+	allocated int64
+	// Profiling counters (virtual seconds / launches), in the spirit of
+	// clGetEventProfilingInfo.
+	KernelTime   float64
+	TransferTime float64
+	Launches     int
+}
+
+// NewContext returns a context on device.
+func NewContext(device *hw.Device) *Context {
+	if device == nil {
+		panic("cl: nil device")
+	}
+	return &Context{Device: device}
+}
+
+// Unified reports whether the device shares host memory (Stage and Retrieve
+// pipeline stages are disabled on unified devices).
+func (c *Context) Unified() bool { return c.Device.Profile.Unified }
+
+// Buffer is a device memory allocation.
+type Buffer struct {
+	Name string
+	Size int64
+	ctx  *Context
+	free bool
+}
+
+// Alloc reserves size bytes of device memory.
+func (c *Context) Alloc(name string, size int64) (*Buffer, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("cl: negative allocation %q", name)
+	}
+	if c.allocated+size > c.Device.MemBytes {
+		return nil, fmt.Errorf("cl: device %s out of memory: %d + %d > %d",
+			c.Device.Profile.Name, c.allocated, size, c.Device.MemBytes)
+	}
+	c.allocated += size
+	return &Buffer{Name: name, Size: size, ctx: c}, nil
+}
+
+// Allocated returns the bytes currently reserved.
+func (c *Context) Allocated() int64 { return c.allocated }
+
+// Free releases the buffer. Double frees panic.
+func (b *Buffer) Free() {
+	if b.free {
+		panic(fmt.Sprintf("cl: double free of buffer %q", b.Name))
+	}
+	b.free = true
+	b.ctx.allocated -= b.Size
+}
+
+// EnqueueWrite moves n bytes host->device, blocking p for the transfer.
+// No-op on unified devices.
+func (c *Context) EnqueueWrite(p *sim.Proc, n int64) {
+	t0 := p.Now()
+	c.Device.Transfer(p, n)
+	c.TransferTime += p.Now() - t0
+}
+
+// EnqueueRead moves n bytes device->host, blocking p for the transfer.
+// No-op on unified devices.
+func (c *Context) EnqueueRead(p *sim.Proc, n int64) {
+	t0 := p.Now()
+	c.Device.Transfer(p, n)
+	c.TransferTime += p.Now() - t0
+}
+
+// Stats is the work one kernel launch performs, accumulated by the engine
+// while it executes the kernel body over the real data.
+type Stats struct {
+	// Ops is plain arithmetic/logic work.
+	Ops float64
+	// AtomicOps is work serialized through atomic operations (hash-table
+	// probes, shared-pool bump allocations); multiplied by the device's
+	// AtomicFactor.
+	AtomicOps float64
+	// Bytes is device memory traffic (roofline memory-bound term).
+	Bytes float64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Ops += other.Ops
+	s.AtomicOps += other.AtomicOps
+	s.Bytes += other.Bytes
+}
+
+// LaunchTime returns the uncontended roofline time of a launch, without
+// executing anything. Useful for tests and for the GPMR model.
+func (c *Context) LaunchTime(threads int, st Stats) float64 {
+	prof := c.Device.Profile
+	if threads < 1 {
+		threads = 1
+	}
+	effThreads := threads
+	if effThreads > prof.HWThreads {
+		effThreads = prof.HWThreads
+	}
+	ops := st.Ops + st.AtomicOps*prof.AtomicFactor + float64(threads)*prof.ThreadSpawn
+	compute := ops / (prof.ThreadOps * float64(effThreads))
+	mem := st.Bytes / prof.MemBW
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return prof.LaunchOverhead + t
+}
+
+// Launch charges one kernel invocation of the given global work size to the
+// device and blocks p for its (possibly contended) duration. It returns the
+// elapsed virtual time. The caller has already executed the kernel body and
+// accumulated st.
+func (c *Context) Launch(p *sim.Proc, threads int, st Stats) float64 {
+	prof := c.Device.Profile
+	if threads < 1 {
+		threads = 1
+	}
+	effThreads := threads
+	if effThreads > prof.HWThreads {
+		effThreads = prof.HWThreads
+	}
+	t0 := p.Now()
+	p.Delay(prof.LaunchOverhead)
+	ops := st.Ops + st.AtomicOps*prof.AtomicFactor + float64(threads)*prof.ThreadSpawn
+	// Convert the memory-bound term into ops-equivalents at this thread
+	// count so a single processor-sharing charge covers the roofline max.
+	memOpsEquiv := st.Bytes / prof.MemBW * prof.ThreadOps * float64(effThreads)
+	amount := ops
+	if memOpsEquiv > amount {
+		amount = memOpsEquiv
+	}
+	c.Device.Compute.Use(p, amount, float64(effThreads))
+	elapsed := p.Now() - t0
+	c.KernelTime += elapsed
+	c.Launches++
+	return elapsed
+}
+
+// Range divides n work items among the given number of kernel threads the
+// way Glasswing's OpenCL middleware does ("these compute kernels divide the
+// available number of records between them", §III-A), invoking body with
+// each thread's half-open item range. Threads with no items are skipped.
+func Range(n, threads int, body func(tid, lo, hi int)) {
+	if threads < 1 {
+		threads = 1
+	}
+	per := n / threads
+	rem := n % threads
+	lo := 0
+	for tid := 0; tid < threads && lo < n; tid++ {
+		hi := lo + per
+		if tid < rem {
+			hi++
+		}
+		if hi > lo {
+			body(tid, lo, hi)
+		}
+		lo = hi
+	}
+}

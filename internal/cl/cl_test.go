@@ -1,0 +1,228 @@
+package cl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+func gpuCtx() (*sim.Env, *Context) {
+	env := sim.NewEnv()
+	n := hw.NewNode(env, 0, hw.Type1(true))
+	return env, NewContext(n.Accelerator())
+}
+
+func cpuCtx() (*sim.Env, *hw.Node, *Context) {
+	env := sim.NewEnv()
+	n := hw.NewNode(env, 0, hw.Type1(false))
+	return env, n, NewContext(n.CPUDevice())
+}
+
+func almost(t *testing.T, got, want, rel float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > rel*math.Max(math.Abs(want), 1e-12) {
+		t.Fatalf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestLaunchComputeBound(t *testing.T) {
+	env, ctx := gpuCtx()
+	prof := ctx.Device.Profile
+	ops := prof.Peak() // one second of full-device compute
+	var elapsed float64
+	env.Spawn("k", func(p *sim.Proc) {
+		elapsed = ctx.Launch(p, prof.HWThreads, Stats{Ops: ops})
+	})
+	env.Run()
+	spawn := float64(prof.HWThreads) * prof.ThreadSpawn / prof.Peak()
+	almost(t, elapsed, 1.0+prof.LaunchOverhead+spawn, 0.01, "compute-bound launch")
+}
+
+func TestLaunchMemoryBound(t *testing.T) {
+	env, ctx := gpuCtx()
+	prof := ctx.Device.Profile
+	var elapsed float64
+	env.Spawn("k", func(p *sim.Proc) {
+		// Tiny compute, 1 second of memory traffic.
+		elapsed = ctx.Launch(p, prof.HWThreads, Stats{Ops: 1000, Bytes: prof.MemBW})
+	})
+	env.Run()
+	almost(t, elapsed, 1.0+prof.LaunchOverhead, 0.01, "memory-bound launch")
+}
+
+func TestLaunchOverheadDominatesTinyKernels(t *testing.T) {
+	env, ctx := gpuCtx()
+	prof := ctx.Device.Profile
+	var total float64
+	env.Spawn("k", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			total += ctx.Launch(p, 1, Stats{Ops: 10})
+		}
+	})
+	env.Run()
+	if total < 100*prof.LaunchOverhead {
+		t.Fatalf("100 tiny launches took %g, want >= %g of pure overhead", total, 100*prof.LaunchOverhead)
+	}
+}
+
+func TestAtomicFactorInflatesCost(t *testing.T) {
+	_, ctx := gpuCtx()
+	prof := ctx.Device.Profile
+	plain := ctx.LaunchTime(prof.HWThreads, Stats{Ops: 1e9})
+	atomic := ctx.LaunchTime(prof.HWThreads, Stats{AtomicOps: 1e9})
+	wantRatio := prof.AtomicFactor
+	gotRatio := (atomic - prof.LaunchOverhead) / (plain - prof.LaunchOverhead)
+	// Thread-spawn cost shifts the ratio slightly.
+	if gotRatio < wantRatio*0.8 || gotRatio > wantRatio*1.2 {
+		t.Fatalf("atomic/plain ratio = %g, want ~%g", gotRatio, wantRatio)
+	}
+}
+
+func TestFewThreadsUnderusesDevice(t *testing.T) {
+	_, ctx := gpuCtx()
+	prof := ctx.Device.Profile
+	full := ctx.LaunchTime(prof.HWThreads, Stats{Ops: 1e10})
+	one := ctx.LaunchTime(1, Stats{Ops: 1e10})
+	if one < full*float64(prof.HWThreads)*0.9 {
+		t.Fatalf("single-thread launch (%g) should be ~%dx slower than full (%g)", one, prof.HWThreads, full)
+	}
+	// More threads than hardware gives no further speedup (beyond spawn cost).
+	over := ctx.LaunchTime(prof.HWThreads*4, Stats{Ops: 1e10})
+	if over < full {
+		t.Fatalf("oversubscribed launch (%g) faster than full (%g)", over, full)
+	}
+}
+
+func TestCPUKernelContendsWithHostWork(t *testing.T) {
+	// The same kernel, alone vs. with 16 host threads active: Table III's
+	// partitioning-contention effect.
+	run := func(hostThreads int) float64 {
+		env, node, ctx := cpuCtx()
+		prof := ctx.Device.Profile
+		var elapsed float64
+		env.Spawn("k", func(p *sim.Proc) {
+			elapsed = ctx.Launch(p, prof.HWThreads, Stats{Ops: prof.Peak()})
+		})
+		for i := 0; i < hostThreads; i++ {
+			env.Spawn("host", func(p *sim.Proc) { node.HostWork(p, prof.Peak()/16, 1) })
+		}
+		env.Run()
+		return elapsed
+	}
+	alone := run(0)
+	contended := run(16)
+	if contended < alone*1.5 {
+		t.Fatalf("CPU kernel with 16 host threads (%g) should be much slower than alone (%g)", contended, alone)
+	}
+}
+
+func TestGPUKernelIgnoresHostWork(t *testing.T) {
+	run := func(hostThreads int) float64 {
+		env := sim.NewEnv()
+		node := hw.NewNode(env, 0, hw.Type1(true))
+		ctx := NewContext(node.Accelerator())
+		prof := ctx.Device.Profile
+		var elapsed float64
+		env.Spawn("k", func(p *sim.Proc) {
+			elapsed = ctx.Launch(p, prof.HWThreads, Stats{Ops: prof.Peak()})
+		})
+		for i := 0; i < hostThreads; i++ {
+			env.Spawn("host", func(p *sim.Proc) { node.HostWork(p, 1e9, 1) })
+		}
+		env.Run()
+		return elapsed
+	}
+	almost(t, run(16), run(0), 0.01, "GPU kernel must be independent of host load")
+}
+
+func TestTransfersChargedOnlyForDiscrete(t *testing.T) {
+	env, ctx := gpuCtx()
+	var end float64
+	env.Spawn("x", func(p *sim.Proc) {
+		ctx.EnqueueWrite(p, int64(ctx.Device.Profile.PCIeBW/2)) // 0.5s
+		ctx.EnqueueRead(p, int64(ctx.Device.Profile.PCIeBW/2))  // 0.5s
+		end = p.Now()
+	})
+	env.Run()
+	almost(t, end, 1.0+2*ctx.Device.Profile.TransferOverhead, 0.01, "PCIe round trip")
+	if ctx.TransferTime <= 0.9 {
+		t.Fatalf("TransferTime = %g", ctx.TransferTime)
+	}
+
+	env2, _, cctx := cpuCtx()
+	env2.Spawn("x", func(p *sim.Proc) {
+		cctx.EnqueueWrite(p, 1<<30)
+		if p.Now() != 0 {
+			t.Error("unified write should be free")
+		}
+	})
+	env2.Run()
+}
+
+func TestAllocBudget(t *testing.T) {
+	_, ctx := gpuCtx()
+	mem := ctx.Device.MemBytes
+	b1, err := ctx.Alloc("half", mem/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Alloc("too-big", mem); err == nil {
+		t.Fatal("over-allocation should fail")
+	}
+	b2, err := ctx.Alloc("rest", mem-mem/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Free()
+	b2.Free()
+	if ctx.Allocated() != 0 {
+		t.Fatalf("Allocated = %d after frees", ctx.Allocated())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	b1.Free()
+}
+
+func TestRangeCoversAllItems(t *testing.T) {
+	f := func(nRaw, thRaw uint16) bool {
+		n := int(nRaw % 5000)
+		threads := int(thRaw%300) + 1
+		covered := make([]bool, n)
+		calls := 0
+		Range(n, threads, func(tid, lo, hi int) {
+			calls++
+			if tid < 0 || tid >= threads || lo >= hi {
+				t.Errorf("bad range call tid=%d lo=%d hi=%d", tid, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					return
+				}
+				covered[i] = true
+			}
+		})
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return calls <= threads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeBalance(t *testing.T) {
+	var sizes []int
+	Range(10, 3, func(tid, lo, hi int) { sizes = append(sizes, hi-lo) })
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v, want [4 3 3]", sizes)
+	}
+}

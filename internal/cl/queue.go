@@ -1,0 +1,105 @@
+package cl
+
+import (
+	"fmt"
+
+	"glasswing/internal/sim"
+)
+
+// Event is the handle returned by asynchronous enqueues, mirroring
+// cl_event: it fires when the operation completes and carries profiling
+// timestamps (CL_PROFILING_COMMAND_START/END).
+type Event struct {
+	Name  string
+	done  *sim.Signal
+	start float64
+	end   float64
+}
+
+// Wait blocks p until the event completes.
+func (e *Event) Wait(p *sim.Proc) { e.done.Wait(p) }
+
+// Completed reports whether the operation has finished.
+func (e *Event) Completed() bool { return e.done.Fired() }
+
+// Profile returns the operation's start and end virtual times. It panics if
+// the event has not completed (matching OpenCL, where profiling info is
+// only available after completion).
+func (e *Event) Profile() (start, end float64) {
+	if !e.done.Fired() {
+		panic(fmt.Sprintf("cl: Profile on incomplete event %q", e.Name))
+	}
+	return e.start, e.end
+}
+
+// Duration returns end-start of a completed event.
+func (e *Event) Duration() float64 {
+	s, en := e.Profile()
+	return en - s
+}
+
+// CommandQueue issues operations on a context's device asynchronously, in
+// order (an in-order OpenCL command queue): each enqueue returns
+// immediately with an Event; the queue's worker executes the operations
+// back to back. This is what lets the pipeline's Stage run ahead of Kernel
+// under double/triple buffering.
+type CommandQueue struct {
+	ctx  *Context
+	env  *sim.Env
+	ops  *sim.Queue[queuedOp]
+	idle *sim.Proc
+}
+
+type queuedOp struct {
+	ev  *Event
+	run func(p *sim.Proc)
+}
+
+// NewQueue creates an in-order command queue on the context.
+func (c *Context) NewQueue(env *sim.Env, name string) *CommandQueue {
+	q := &CommandQueue{ctx: c, env: env, ops: sim.NewQueue[queuedOp](env, 0)}
+	q.idle = env.Spawn(name, func(p *sim.Proc) {
+		for {
+			op, ok := q.ops.Get(p)
+			if !ok {
+				return
+			}
+			op.ev.start = p.Now()
+			op.run(p)
+			op.ev.end = p.Now()
+			op.ev.done.Fire(nil)
+		}
+	})
+	return q
+}
+
+// enqueue registers an operation and returns its event.
+func (q *CommandQueue) enqueue(name string, run func(p *sim.Proc)) *Event {
+	ev := &Event{Name: name, done: sim.NewSignal(q.env)}
+	q.ops.TryPut(queuedOp{ev: ev, run: run})
+	return ev
+}
+
+// EnqueueWriteAsync schedules a host->device transfer.
+func (q *CommandQueue) EnqueueWriteAsync(n int64) *Event {
+	return q.enqueue("write", func(p *sim.Proc) { q.ctx.EnqueueWrite(p, n) })
+}
+
+// EnqueueReadAsync schedules a device->host transfer.
+func (q *CommandQueue) EnqueueReadAsync(n int64) *Event {
+	return q.enqueue("read", func(p *sim.Proc) { q.ctx.EnqueueRead(p, n) })
+}
+
+// EnqueueKernelAsync schedules a kernel launch whose work is described by
+// st at the given global size. The kernel body must already have been
+// executed by the caller (package cl charges time; the engine computes).
+func (q *CommandQueue) EnqueueKernelAsync(threads int, st Stats) *Event {
+	return q.enqueue("kernel", func(p *sim.Proc) { q.ctx.Launch(p, threads, st) })
+}
+
+// Finish closes the queue and blocks p until every enqueued operation has
+// completed (clFinish + release).
+func (q *CommandQueue) Finish(p *sim.Proc) {
+	q.ops.Close()
+	q.idle.Done().Wait(p)
+}

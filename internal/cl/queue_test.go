@@ -1,0 +1,80 @@
+package cl
+
+import (
+	"math"
+	"testing"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+func TestCommandQueueInOrder(t *testing.T) {
+	env, ctx := gpuCtx()
+	q := ctx.NewQueue(env, "q")
+	prof := ctx.Device.Profile
+	var evs []*Event
+	env.Spawn("driver", func(p *sim.Proc) {
+		evs = append(evs, q.EnqueueWriteAsync(int64(prof.PCIeBW)))                       // 1s
+		evs = append(evs, q.EnqueueKernelAsync(prof.HWThreads, Stats{Ops: prof.Peak()})) // ~1s
+		evs = append(evs, q.EnqueueReadAsync(int64(prof.PCIeBW/2)))                      // 0.5s
+		q.Finish(p)
+	})
+	env.Run()
+	for i, ev := range evs {
+		if !ev.Completed() {
+			t.Fatalf("event %d incomplete after Finish", i)
+		}
+	}
+	// In-order: each op starts no earlier than the previous ends.
+	for i := 1; i < len(evs); i++ {
+		_, prevEnd := evs[i-1].Profile()
+		start, _ := evs[i].Profile()
+		if start < prevEnd-1e-12 {
+			t.Fatalf("op %d started at %g before op %d ended at %g", i, start, i-1, prevEnd)
+		}
+	}
+	if d := evs[0].Duration(); math.Abs(d-(1.0+ctx.Device.Profile.TransferOverhead)) > 0.01 {
+		t.Fatalf("write duration %g, want ~1s", d)
+	}
+}
+
+func TestCommandQueueOverlapsWithDriver(t *testing.T) {
+	// The driver enqueues and keeps working; the queue drains concurrently.
+	env := sim.NewEnv()
+	node := hw.NewNode(env, 0, hw.Type1(true))
+	ctx := NewContext(node.Accelerator())
+	q := ctx.NewQueue(env, "q")
+	prof := ctx.Device.Profile
+	var driverDone, xferDone float64
+	env.Spawn("driver", func(p *sim.Proc) {
+		ev := q.EnqueueWriteAsync(int64(prof.PCIeBW))  // 1s of PCIe
+		node.HostWork(p, node.CPUProfile.ThreadOps, 1) // 1s of host work, concurrent
+		driverDone = p.Now()
+		ev.Wait(p)
+		xferDone = p.Now()
+		q.Finish(p)
+	})
+	env.Run()
+	if driverDone < 0.99 {
+		t.Fatalf("driver host work took %g, want ~1s", driverDone)
+	}
+	// Transfer overlapped the host work: total well under 2s.
+	if xferDone > 1.5 {
+		t.Fatalf("transfer did not overlap: done at %g", xferDone)
+	}
+}
+
+func TestEventProfilePanicsBeforeCompletion(t *testing.T) {
+	env, ctx := gpuCtx()
+	q := ctx.NewQueue(env, "q")
+	ev := &Event{Name: "x", done: sim.NewSignal(env)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Profile before completion should panic")
+		}
+		// Drain the queue so the env is clean.
+		env.Spawn("fin", func(p *sim.Proc) { q.Finish(p) })
+		env.Run()
+	}()
+	ev.Profile()
+}

@@ -1,0 +1,59 @@
+package core
+
+import "math"
+
+// Host-side cost constants, in device ops (see package hw). These model the
+// C++ host code of Glasswing: decoding kernel output, partitioning, sorting,
+// serialization and merging. They are deliberately in one place so the
+// calibration against the paper's single-node numbers is auditable.
+const (
+	// costDecodeHashPair is the per-pair cost of decoding hash-table
+	// kernel output: values of one key lie contiguously, so decoding is a
+	// cheap batch walk (§IV-B1).
+	costDecodeHashPair = 40.0
+	// costDecodeSimplePair is the per-occurrence cost with the simple
+	// buffer-pool collector: "the partitioning stage has to decode each
+	// key/value occurrence individually" (§IV-B1), which is what makes
+	// partitioning the dominant stage in Table II config (iii).
+	costDecodeSimplePair = 220.0
+	// costDecodePerByte is the per-byte copy cost of either decode.
+	costDecodePerByte = 1.0
+	// costPartitionPerPair covers hashing a key and appending to its
+	// partition bucket.
+	costPartitionPerPair = 18.0
+	// costSortPerCmp scales the n*log2(n) comparison count of sorting a
+	// partition's pairs.
+	costSortPerCmp = 28.0
+	// costSerializePerByte frames pairs for disk/network.
+	costSerializePerByte = 1.2
+	// costCompressPerByte / costDecompressPerByte model DEFLATE
+	// (BestSpeed) over intermediate runs.
+	costCompressPerByte   = 9.0
+	costDecompressPerByte = 4.5
+	// costMergePerPair is the heap step of the multi-way merger.
+	costMergePerPair = 45.0
+	// costGroupPerValue folds sorted pairs into reduce groups.
+	costGroupPerValue = 8.0
+	// jobStartup is Glasswing's job-launch overhead in seconds: it is a
+	// single-tenant library, so this is small (no JVM, no daemons).
+	jobStartup = 0.08
+	// scratchStateBytes is the per-key state carried across reduce kernel
+	// launches for oversized value lists (§III-C).
+	scratchStateBytes = 64
+)
+
+// sortCost returns the host ops to sort n pairs.
+func sortCost(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * math.Log2(float64(n)) * costSortPerCmp
+}
+
+// mergeCost returns the host ops to k-way merge n pairs.
+func mergeCost(n, k int) float64 {
+	if n == 0 || k < 2 {
+		return float64(n) * 5 // straight copy
+	}
+	return float64(n) * math.Log2(float64(k)) * costMergePerPair
+}

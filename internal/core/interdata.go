@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/kv"
+	"glasswing/internal/sim"
+)
+
+// partStore is one local intermediate partition: an in-memory cache of
+// serialized runs plus the on-disk run files the continuous merger manages.
+type partStore struct {
+	global      int // global partition id
+	cached      []*kv.Run
+	cachedBytes int64
+	onDisk      []*kv.Run
+}
+
+func (ps *partStore) runs() []*kv.Run {
+	out := make([]*kv.Run, 0, len(ps.onDisk)+len(ps.cached))
+	out = append(out, ps.onDisk...)
+	out = append(out, ps.cached...)
+	return out
+}
+
+// interManager implements §III-B: per-node intermediate data management.
+// Each node caches incoming Partitions in memory, merges and flushes them
+// to disk when the aggregate cache exceeds a threshold, and continuously
+// multi-way merges on-disk runs so the file count stays bounded. Merger
+// threads run concurrently with the map pipeline, contending for the CPU;
+// the merge delay — merging time left after the map phase completes and
+// before reduction may start — is the paper's §III-B performance metric.
+type interManager struct {
+	node    *hw.Node
+	nodeIdx int
+	trace   *Trace
+	cfg     Config
+	parts   []*partStore
+
+	wake      []*sim.Queue[struct{}]
+	slots     *sim.Resource
+	inputDone *sim.Signal // all intermediate data has arrived at this node
+	done      *sim.Signal // mergers quiesced; fired with the merge delay
+
+	// mapDoneAt is when the map phase completed; the merge delay is
+	// measured from here (§III-B), so pull-mode fetches count toward it.
+	mapDoneAt  float64
+	mergeDelay float64
+}
+
+func newInterManager(env *sim.Env, node *hw.Node, cfg Config, firstGlobal int) *interManager {
+	m := &interManager{
+		node:      node,
+		cfg:       cfg,
+		inputDone: sim.NewSignal(env),
+		done:      sim.NewSignal(env),
+		slots:     sim.NewResource(env, cfg.MergeThreads),
+	}
+	for i := 0; i < cfg.PartitionsPerNode; i++ {
+		m.parts = append(m.parts, &partStore{global: firstGlobal + i})
+		m.wake = append(m.wake, sim.NewQueue[struct{}](env, 1))
+	}
+	return m
+}
+
+// add appends a run to local partition idx's cache. It runs in the sender's
+// process (partition stage or remote push), so the insert itself is free;
+// the run's serialization and transport were charged by the sender.
+func (m *interManager) add(idx int, run *kv.Run) {
+	if run.Records == 0 {
+		return
+	}
+	ps := m.parts[idx]
+	ps.cached = append(ps.cached, run)
+	ps.cachedBytes += run.StoredBytes()
+	if m.aggregateCache() > m.cfg.CacheThreshold {
+		for i := range m.parts {
+			if m.parts[i].cachedBytes > 0 {
+				m.wake[i].TryPut(struct{}{})
+			}
+		}
+	} else if len(ps.cached) > 2*m.cfg.MaxSpillFiles {
+		// Run-count pressure: the continuous merger compacts cached runs
+		// during the map phase so the reduce reader's final merge stays
+		// cheap (§III-B: files "continuously merged ... so the number of
+		// intermediate data files is limited to a configurable count").
+		m.wake[idx].TryPut(struct{}{})
+	}
+}
+
+func (m *interManager) aggregateCache() int64 {
+	var total int64
+	for _, ps := range m.parts {
+		total += ps.cachedBytes
+	}
+	return total
+}
+
+// start spawns the merger processes. The returned done signal fires when
+// every merger has quiesced after inputDone.
+func (m *interManager) start(env *sim.Env) {
+	var mergerSigs []*sim.Signal
+	for i := range m.parts {
+		i := i
+		proc := env.Spawn(fmt.Sprintf("%s/merger%d", m.node.Name, i), func(p *sim.Proc) {
+			m.mergerLoop(p, i)
+		})
+		mergerSigs = append(mergerSigs, proc.Done())
+	}
+	env.Spawn(m.node.Name+"/merge-join", func(p *sim.Proc) {
+		m.inputDone.Wait(p)
+		for i := range m.wake {
+			m.wake[i].Close()
+		}
+		sim.WaitAll(p, mergerSigs...)
+		m.mergeDelay = p.Now() - m.mapDoneAt
+		m.done.Fire(m.mergeDelay)
+	})
+}
+
+func (m *interManager) mergerLoop(p *sim.Proc, idx int) {
+	for {
+		_, ok := m.wake[idx].Get(p)
+		m.service(p, idx)
+		if !ok {
+			// Input is complete: compact the partition to its final state
+			// so the reduce reader's last merge has minimal fan-in —
+			// this is the work the merge delay measures (§III-B).
+			ps := m.parts[idx]
+			if len(ps.cached) > 1 {
+				m.compactCache(p, ps)
+			}
+			m.service(p, idx)
+			return
+		}
+	}
+}
+
+// service performs the merge/flush obligations of partition idx until it is
+// within policy.
+func (m *interManager) service(p *sim.Proc, idx int) {
+	ps := m.parts[idx]
+	for {
+		switch {
+		case ps.cachedBytes > 0 && m.aggregateCache() > m.cfg.CacheThreshold:
+			m.flush(p, ps)
+		case len(ps.cached) > 2*m.cfg.MaxSpillFiles:
+			m.compactCache(p, ps)
+		case len(ps.onDisk) > m.cfg.MaxSpillFiles:
+			m.compactDisk(p, ps)
+		default:
+			return
+		}
+	}
+}
+
+// flush merges the cached runs of ps into a single run and writes it to
+// disk, charging merge CPU (weight 1: one merger thread) and disk I/O.
+func (m *interManager) flush(p *sim.Proc, ps *partStore) {
+	t0 := p.Now()
+	defer func() { m.trace.add(m.nodeIdx, "merge", t0, p.Now()) }()
+	// Detach the cached runs before any blocking charge: the partition
+	// stage keeps adding runs while this merger waits for CPU and disk,
+	// and those must not be lost.
+	runs := ps.cached
+	if len(runs) == 0 {
+		return
+	}
+	ps.cached = nil
+	ps.cachedBytes = 0
+	m.slots.Acquire(p, 1)
+	defer m.slots.Release(1)
+	var pairsN int
+	var raw int64
+	for _, r := range runs {
+		pairsN += r.Records
+		raw += r.RawBytes
+	}
+	ops := mergeCost(pairsN, len(runs)) + costSerializePerByte*float64(raw)
+	if m.cfg.Compress {
+		ops += (costDecompressPerByte + costCompressPerByte) * float64(raw)
+	}
+	m.node.HostWork(p, ops, 1)
+	merged := kv.MergeRuns(runs, m.cfg.Compress)
+	m.node.Disk.Write(p, merged.StoredBytes())
+	ps.onDisk = append(ps.onDisk, merged)
+}
+
+// compactCache merges the cached runs of ps in memory (no disk I/O): the
+// cache is within the size threshold but holds too many small runs for the
+// reduce reader's final merge to be cheap.
+func (m *interManager) compactCache(p *sim.Proc, ps *partStore) {
+	t0 := p.Now()
+	defer func() { m.trace.add(m.nodeIdx, "merge", t0, p.Now()) }()
+	runs := ps.cached
+	if len(runs) < 2 {
+		return
+	}
+	ps.cached = nil
+	ps.cachedBytes = 0
+	m.slots.Acquire(p, 1)
+	defer m.slots.Release(1)
+	var pairsN int
+	var raw int64
+	for _, r := range runs {
+		pairsN += r.Records
+		raw += r.RawBytes
+	}
+	ops := mergeCost(pairsN, len(runs)) + costSerializePerByte*float64(raw)
+	if m.cfg.Compress {
+		ops += (costDecompressPerByte + costCompressPerByte) * float64(raw)
+	}
+	m.node.HostWork(p, ops, 1)
+	merged := kv.MergeRuns(runs, m.cfg.Compress)
+	ps.cached = append(ps.cached, merged)
+	ps.cachedBytes += merged.StoredBytes()
+}
+
+// compactDisk merges all on-disk runs of ps into one.
+func (m *interManager) compactDisk(p *sim.Proc, ps *partStore) {
+	t0 := p.Now()
+	defer func() { m.trace.add(m.nodeIdx, "merge", t0, p.Now()) }()
+	// Detach before blocking (see flush); concurrent flushes of this
+	// partition cannot run — one merger per partition — but stay safe.
+	runs := ps.onDisk
+	if len(runs) < 2 {
+		return
+	}
+	ps.onDisk = nil
+	m.slots.Acquire(p, 1)
+	defer m.slots.Release(1)
+	var pairsN int
+	var stored, raw int64
+	for _, r := range runs {
+		pairsN += r.Records
+		stored += r.StoredBytes()
+		raw += r.RawBytes
+	}
+	m.node.Disk.Read(p, stored)
+	ops := mergeCost(pairsN, len(runs)) + costSerializePerByte*float64(raw)
+	if m.cfg.Compress {
+		ops += (costDecompressPerByte + costCompressPerByte) * float64(raw)
+	}
+	m.node.HostWork(p, ops, 1)
+	merged := kv.MergeRuns(runs, m.cfg.Compress)
+	m.node.Disk.Write(p, merged.StoredBytes())
+	ps.onDisk = append(ps.onDisk, merged)
+}
+
+// stats for reporting.
+func (m *interManager) storedBytes() int64 {
+	var total int64
+	for _, ps := range m.parts {
+		for _, r := range ps.runs() {
+			total += r.StoredBytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"glasswing/internal/cl"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/kv"
+	"glasswing/internal/sim"
+)
+
+// Runtime binds Glasswing to a simulated cluster and file system. Like the
+// paper's deployment, the framework is a library: no daemons, a job
+// coordinator on a master that assigns splits with file affinity, and one
+// pipeline instantiation per slave node.
+type Runtime struct {
+	Cluster *hw.Cluster
+	FS      dfs.FS
+	// Prelude, if set, runs on the master before the map phase starts
+	// (KM uses it to broadcast the cluster centers, the Glasswing analog
+	// of Hadoop's DistributedCache).
+	Prelude func(p *sim.Proc, c *hw.Cluster)
+}
+
+// Result reports a finished job: the paper's headline metrics plus the
+// per-stage breakdowns behind Tables II/III and Figs 4/5.
+type Result struct {
+	App   string
+	Nodes int
+
+	// JobTime is total virtual execution time in seconds.
+	JobTime float64
+	// MapElapsed is the map-pipeline phase (max over nodes).
+	MapElapsed float64
+	// MergeDelay is the §III-B metric: merging time after the map phase
+	// completes and before reduction starts (max over nodes).
+	MergeDelay float64
+	// ReduceElapsed is the reduce-pipeline phase (max over nodes).
+	ReduceElapsed float64
+
+	// MapStages and ReduceStages are per-node busy-time breakdowns.
+	MapStages    []StageTimes
+	ReduceStages []StageTimes
+
+	// IntermediateBytes is the stored intermediate volume at reduce start.
+	IntermediateBytes int64
+	// OutputPairs counts final key/value pairs.
+	OutputPairs int
+	// TaskRetries counts map task attempts that failed and were
+	// re-executed (§III-E fault tolerance).
+	TaskRetries int
+	// Trace is the activity timeline (nil unless Config.Trace).
+	Trace *Trace
+
+	outputs map[int][]kv.Pair
+}
+
+// Output returns the job's final pairs in partition order (for TeraSort
+// this concatenation is totally ordered).
+func (r *Result) Output() []kv.Pair {
+	parts := make([]int, 0, len(r.outputs))
+	for g := range r.outputs {
+		parts = append(parts, g)
+	}
+	sort.Ints(parts)
+	var out []kv.Pair
+	for _, g := range parts {
+		out = append(out, r.outputs[g]...)
+	}
+	return out
+}
+
+// MaxMapStage returns the per-stage maxima across nodes — the numbers the
+// paper's breakdown tables report for a single-node run.
+func (r *Result) MaxMapStage() StageTimes { return maxStages(r.MapStages) }
+
+// MaxReduceStage is the reduce-pipeline analog of MaxMapStage.
+func (r *Result) MaxReduceStage() StageTimes { return maxStages(r.ReduceStages) }
+
+func maxStages(all []StageTimes) StageTimes {
+	var m StageTimes
+	for _, s := range all {
+		m.Input = max(m.Input, s.Input)
+		m.Stage = max(m.Stage, s.Stage)
+		m.Kernel = max(m.Kernel, s.Kernel)
+		m.Retrieve = max(m.Retrieve, s.Retrieve)
+		m.Partition = max(m.Partition, s.Partition)
+		m.Elapsed = max(m.Elapsed, s.Elapsed)
+	}
+	return m
+}
+
+// pullItem is intermediate data awaiting reducer-side fetch (PullShuffle
+// ablation).
+type pullItem struct {
+	src   int
+	local int
+	run   *kv.Run
+}
+
+// job is the in-flight state of one MapReduce execution.
+type job struct {
+	cluster  *hw.Cluster
+	fs       dfs.FS
+	app      *App
+	cfg      Config
+	ctxs     []*cl.Context
+	managers []*interManager
+	pending  map[int][]pullItem
+	outputs  map[int][]kv.Pair
+	retries  int
+	failErr  error
+	trace    *Trace
+	sched    *mapScheduler
+
+	// senders deliver intermediate Partitions asynchronously so the
+	// partitioning stage never blocks on the network: communication
+	// overlaps computation (§I, the pipeline's core claim).
+	senders []*sim.Queue[pushMsg]
+}
+
+// pushMsg is one Partition en route to its destination node.
+type pushMsg struct {
+	dest  int
+	local int
+	run   *kv.Run
+}
+
+// senderLoop drains one node's push queue over the fabric.
+func (j *job) senderLoop(p *sim.Proc, nodeIdx int) {
+	for {
+		m, ok := j.senders[nodeIdx].Get(p)
+		if !ok {
+			return
+		}
+		j.cluster.Transfer(p, j.cluster.Nodes[nodeIdx], j.cluster.Nodes[m.dest], m.run.StoredBytes())
+		j.managers[m.dest].add(m.local, m.run)
+	}
+}
+
+// Run executes app under cfg on the runtime's cluster and returns the
+// result. It drives the simulation to completion; the environment must not
+// already be running.
+func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if app.Map == nil || app.Parse == nil {
+		return nil, fmt.Errorf("core: app %q needs Parse and Map", app.Name)
+	}
+	if len(cfg.Input) == 0 {
+		return nil, fmt.Errorf("core: no input files")
+	}
+	env := rt.Cluster.Env
+	j := &job{
+		cluster: rt.Cluster,
+		fs:      rt.FS,
+		app:     app,
+		cfg:     cfg,
+		pending: make(map[int][]pullItem),
+		outputs: make(map[int][]kv.Pair),
+	}
+	if cfg.Trace {
+		j.trace = &Trace{}
+	}
+	for i, n := range rt.Cluster.Nodes {
+		dev := cfg.Device
+		if len(cfg.DevicePerNode) > 0 {
+			if len(cfg.DevicePerNode) != len(rt.Cluster.Nodes) {
+				return nil, fmt.Errorf("core: DevicePerNode has %d entries for %d nodes",
+					len(cfg.DevicePerNode), len(rt.Cluster.Nodes))
+			}
+			dev = cfg.DevicePerNode[i]
+		}
+		if dev < 0 || dev >= len(n.Devices) {
+			return nil, fmt.Errorf("core: node %d has no device %d", i, dev)
+		}
+		j.ctxs = append(j.ctxs, cl.NewContext(n.Devices[dev]))
+		mgr := newInterManager(env, n, cfg, i*cfg.PartitionsPerNode)
+		mgr.nodeIdx = i
+		mgr.trace = j.trace
+		j.managers = append(j.managers, mgr)
+	}
+	splits, err := j.assignSplits()
+	if err != nil {
+		return nil, err
+	}
+	if err := j.checkDeviceMemory(splits); err != nil {
+		return nil, err
+	}
+	j.sched = newMapScheduler(env, splits, cfg.StaticScheduling)
+
+	res := &Result{
+		App:          app.Name,
+		Nodes:        len(rt.Cluster.Nodes),
+		MapStages:    make([]StageTimes, len(rt.Cluster.Nodes)),
+		ReduceStages: make([]StageTimes, len(rt.Cluster.Nodes)),
+		outputs:      j.outputs,
+	}
+
+	env.Spawn("glasswing-master", func(p *sim.Proc) {
+		jobStart := p.Now()
+		p.Delay(jobStartup)
+		if rt.Prelude != nil {
+			rt.Prelude(p, rt.Cluster)
+		}
+		for _, m := range j.managers {
+			m.start(env)
+		}
+
+		// Map phase: one pipeline per node plus one async sender per
+		// node, all concurrent.
+		mapStart := p.Now()
+		var mapProcs, sendProcs []*sim.Proc
+		for i := range rt.Cluster.Nodes {
+			i := i
+			j.senders = append(j.senders, sim.NewQueue[pushMsg](env, 0))
+			sendProcs = append(sendProcs, env.Spawn(fmt.Sprintf("node%03d/sender", i), func(q *sim.Proc) {
+				j.senderLoop(q, i)
+			}))
+			pr := env.Spawn(fmt.Sprintf("node%03d/map", i), func(q *sim.Proc) {
+				res.MapStages[i] = j.runMapPipeline(q, i)
+			})
+			mapProcs = append(mapProcs, pr)
+		}
+		for _, pr := range mapProcs {
+			pr.Done().Wait(p)
+		}
+		res.MapElapsed = p.Now() - mapStart
+		for _, m := range j.managers {
+			m.mapDoneAt = p.Now()
+		}
+		// In-flight pushes drain during the merge phase (the merge phase
+		// "continues until it has received all data sent to it by map
+		// pipeline instantiations at other nodes", §III).
+		for _, q := range j.senders {
+			q.Close()
+		}
+		for _, pr := range sendProcs {
+			pr.Done().Wait(p)
+		}
+
+		// Pull-mode shuffle fetch (ablation): reducers fetch their
+		// partitions only now, where push mode delivered them during map.
+		if cfg.PullShuffle {
+			var fetchers []*sim.Proc
+			for dest, items := range j.pending {
+				dest, items := dest, items
+				pr := env.Spawn(fmt.Sprintf("node%03d/fetch", dest), func(q *sim.Proc) {
+					for _, it := range items {
+						j.cluster.Transfer(q, j.cluster.Nodes[it.src], j.cluster.Nodes[dest], it.run.StoredBytes())
+						j.managers[dest].add(it.local, it.run)
+					}
+				})
+				fetchers = append(fetchers, pr)
+			}
+			for _, pr := range fetchers {
+				pr.Done().Wait(p)
+			}
+		}
+
+		// Merge phase completion: all data has arrived everywhere.
+		for _, m := range j.managers {
+			m.inputDone.Fire(nil)
+		}
+		for _, m := range j.managers {
+			m.done.Wait(p)
+		}
+		for _, m := range j.managers {
+			res.MergeDelay = max(res.MergeDelay, m.mergeDelay)
+			res.IntermediateBytes += m.storedBytes()
+		}
+
+		// Reduce phase.
+		reduceStart := p.Now()
+		var redProcs []*sim.Proc
+		for i := range rt.Cluster.Nodes {
+			i := i
+			pr := env.Spawn(fmt.Sprintf("node%03d/reduce", i), func(q *sim.Proc) {
+				res.ReduceStages[i] = j.runReducePipeline(q, i)
+			})
+			redProcs = append(redProcs, pr)
+		}
+		for _, pr := range redProcs {
+			pr.Done().Wait(p)
+		}
+		res.ReduceElapsed = p.Now() - reduceStart
+		res.JobTime = p.Now() - jobStart
+	})
+	env.Run()
+
+	if j.failErr != nil {
+		return nil, j.failErr
+	}
+	for _, pairs := range j.outputs {
+		res.OutputPairs += len(pairs)
+	}
+	res.TaskRetries = j.retries
+	res.Trace = j.trace
+	return res, nil
+}
+
+// checkDeviceMemory verifies the configured buffering level fits the
+// device's memory: the pipeline needs Buffering input buffers and Buffering
+// output buffers per phase, and "double or triple buffering comes at the
+// cost of more buffers, which may be a limited resource for GPUs" (§III-D).
+// Output buffers are sized like input buffers (collector output is bounded
+// by a small multiple of the input chunk; one buffer-sized allocation per
+// level is the paper's granularity).
+func (j *job) checkDeviceMemory(splits [][]splitRef) error {
+	var maxBlock int64
+	for _, per := range splits {
+		for _, sp := range per {
+			if n := int64(len(sp.file.Blocks[sp.idx].Data)); n > maxBlock {
+				maxBlock = n
+			}
+		}
+	}
+	need := int64(j.cfg.Buffering) * 2 * maxBlock * 2 // in+out groups, 2x slack
+	for i, ctx := range j.ctxs {
+		if ctx.Unified() {
+			continue
+		}
+		if need > ctx.Device.MemBytes {
+			return fmt.Errorf("core: buffering level %d needs %d bytes of device memory on node %d's %s (%d available) — lower Buffering or the block size",
+				j.cfg.Buffering, need, i, ctx.Device.Profile.Name, ctx.Device.MemBytes)
+		}
+	}
+	return nil
+}
+
+// assignSplits distributes input blocks over nodes, preferring nodes that
+// hold a local replica (the coordinator "considers file affinity in its job
+// allocation", §IV-A), balancing counts among candidates.
+func (j *job) assignSplits() ([][]splitRef, error) {
+	n := len(j.cluster.Nodes)
+	per := make([][]splitRef, n)
+	counts := make([]float64, n)
+	// With BalanceByDevice, each node's assignment is weighted by its
+	// selected device's peak throughput, so in a heterogeneous cluster the
+	// accelerator nodes draw proportionally more splits (the Shirahata et
+	// al. setting, paper §II).
+	weight := make([]float64, n)
+	for i := range weight {
+		weight[i] = 1
+		if j.cfg.BalanceByDevice {
+			weight[i] = j.ctxs[i].Device.Profile.Peak()
+		}
+	}
+	for _, name := range j.cfg.Input {
+		f, err := j.fs.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		for idx := range f.Blocks {
+			best := -1
+			for _, loc := range f.Blocks[idx].Locations {
+				if loc.ID < 0 || loc.ID >= n {
+					continue
+				}
+				if best == -1 || counts[loc.ID]/weight[loc.ID] < counts[best]/weight[best] {
+					best = loc.ID
+				}
+			}
+			if best == -1 {
+				// No local replica anywhere (cannot happen with our file
+				// systems, but stay safe): round-robin.
+				best = idx % n
+			}
+			per[best] = append(per[best], splitRef{file: f, idx: idx})
+			counts[best]++
+		}
+	}
+	return per, nil
+}

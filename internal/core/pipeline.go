@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"glasswing/internal/cl"
+	"glasswing/internal/dfs"
+	"glasswing/internal/kv"
+	"glasswing/internal/sim"
+)
+
+// splitRef identifies one input split (a DFS block).
+type splitRef struct {
+	file *dfs.File
+	idx  int
+}
+
+// taskAttempt is one scheduling of a split (attempt counts from 1).
+type taskAttempt struct {
+	sp      splitRef
+	attempt int
+}
+
+// mapChunk travels through the map pipeline's input group.
+type mapChunk struct {
+	task    taskAttempt
+	records []kv.Pair
+	bytes   int64
+}
+
+// outChunk travels through the output group.
+type outChunk struct {
+	pairs         []kv.Pair
+	volume        int64
+	decodePerPair float64
+}
+
+// StageTimes is the per-stage busy-time breakdown of one pipeline
+// instantiation, the instrumentation behind the paper's Tables II/III.
+type StageTimes struct {
+	Input     float64
+	Stage     float64
+	Kernel    float64
+	Retrieve  float64
+	Partition float64 // "Output" for the reduce pipeline
+	Elapsed   float64
+}
+
+// runMapPipeline executes one node's instantiation of the 5-stage map
+// pipeline (§III-A): Input reads and splits input files; Stage delivers the
+// split to the compute device; Kernel runs the OpenCL map threads; Retrieve
+// collects the produced pairs back to host memory; Partition sorts,
+// partitions, persists and pushes the intermediate data. With overlap the
+// five stages are independent processes coupled by queues and gated by the
+// buffer pools; otherwise every chunk passes through the stages
+// back-to-back (ablation).
+func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
+	env := p.Env()
+	node := j.cluster.Nodes[nodeIdx]
+	ctx := j.ctxs[nodeIdx]
+	cfg := j.cfg
+	var times StageTimes
+	start := p.Now()
+
+	inBufs := sim.NewResource(env, cfg.Buffering)
+	outBufs := sim.NewResource(env, cfg.Buffering)
+	stageQ := sim.NewQueue[mapChunk](env, 0)
+	kernelQ := sim.NewQueue[mapChunk](env, 0)
+	retrQ := sim.NewQueue[outChunk](env, 0)
+	partQ := sim.NewQueue[outChunk](env, 0)
+
+	// Task bookkeeping for re-execution (§III-E): the shared scheduler
+	// hands out splits (dynamically, with stealing, unless static); a
+	// split is resolved when a kernel execution succeeds or its attempts
+	// are exhausted.
+	resolve := func() { j.sched.resolve() }
+	retry := func(t taskAttempt) {
+		j.retries++
+		if t.attempt >= cfg.MaxTaskAttempts {
+			// Give up on the split: record the job failure and resolve
+			// the task so the pipelines drain instead of deadlocking.
+			if j.failErr == nil {
+				j.failErr = fmt.Errorf("core: split %d of %q failed %d attempts",
+					t.sp.idx, t.sp.file.FileName, t.attempt)
+			}
+			resolve()
+			return
+		}
+		j.sched.requeue(nodeIdx, taskAttempt{sp: t.sp, attempt: t.attempt + 1})
+	}
+
+	input := func(p *sim.Proc) {
+		for {
+			t, ok := j.sched.next(p, nodeIdx)
+			if !ok {
+				stageQ.Close()
+				return
+			}
+			inBufs.Acquire(p, 1)
+			t0 := p.Now()
+			block, err := j.fs.ReadBlock(p, node, t.sp.file, t.sp.idx)
+			if err != nil {
+				panic(err)
+			}
+			recs := j.app.Parse(block)
+			node.HostWork(p, j.app.ParseCostPerByte*float64(len(block)), 1)
+			times.Input += p.Now() - t0
+			j.trace.add(nodeIdx, "map/input", t0, p.Now())
+			stageQ.Put(p, mapChunk{task: t, records: recs, bytes: int64(len(block))})
+		}
+	}
+
+	stage := func(p *sim.Proc) {
+		for {
+			c, ok := stageQ.Get(p)
+			if !ok {
+				kernelQ.Close()
+				return
+			}
+			t0 := p.Now()
+			ctx.EnqueueWrite(p, c.bytes)
+			times.Stage += p.Now() - t0
+			j.trace.add(nodeIdx, "map/stage", t0, p.Now())
+			kernelQ.Put(p, c)
+		}
+	}
+
+	kernel := func(p *sim.Proc) {
+		coll := newCollector(j.app, cfg)
+		for {
+			c, ok := kernelQ.Get(p)
+			if !ok {
+				retrQ.Close()
+				return
+			}
+			outBufs.Acquire(p, 1)
+			t0 := p.Now()
+			oc := j.execMapKernel(p, ctx, coll, c)
+			times.Kernel += p.Now() - t0
+			j.trace.add(nodeIdx, "map/kernel", t0, p.Now())
+			inBufs.Release(1)
+			if cfg.FaultInjector != nil && cfg.FaultInjector(c.task.sp.file.FileName, c.task.sp.idx, c.task.attempt) {
+				// Task failure: discard the attempt's output (it never
+				// reached the durable partitioning stage) and reschedule
+				// the split. The wasted read/compute time stays charged.
+				outBufs.Release(1)
+				retry(c.task)
+				continue
+			}
+			resolve()
+			retrQ.Put(p, oc)
+		}
+	}
+
+	retrieve := func(p *sim.Proc) {
+		for {
+			oc, ok := retrQ.Get(p)
+			if !ok {
+				partQ.Close()
+				return
+			}
+			t0 := p.Now()
+			ctx.EnqueueRead(p, oc.volume)
+			times.Retrieve += p.Now() - t0
+			j.trace.add(nodeIdx, "map/retrieve", t0, p.Now())
+			partQ.Put(p, oc)
+		}
+	}
+
+	partition := func(p *sim.Proc) {
+		for {
+			oc, ok := partQ.Get(p)
+			if !ok {
+				return
+			}
+			t0 := p.Now()
+			j.partitionChunk(p, nodeIdx, oc)
+			times.Partition += p.Now() - t0
+			j.trace.add(nodeIdx, "map/partition", t0, p.Now())
+			outBufs.Release(1)
+		}
+	}
+
+	if cfg.NoOverlap {
+		// Ablation: the same work with the stages interlocked end-to-end.
+		for {
+			t, ok := j.sched.next(p, nodeIdx)
+			if !ok {
+				break
+			}
+			t0 := p.Now()
+			block, err := j.fs.ReadBlock(p, node, t.sp.file, t.sp.idx)
+			if err != nil {
+				panic(err)
+			}
+			recs := j.app.Parse(block)
+			node.HostWork(p, j.app.ParseCostPerByte*float64(len(block)), 1)
+			times.Input += p.Now() - t0
+			c := mapChunk{task: t, records: recs, bytes: int64(len(block))}
+
+			t0 = p.Now()
+			ctx.EnqueueWrite(p, c.bytes)
+			times.Stage += p.Now() - t0
+
+			coll := newCollector(j.app, cfg)
+			t0 = p.Now()
+			oc := j.execMapKernel(p, ctx, coll, c)
+			times.Kernel += p.Now() - t0
+			if cfg.FaultInjector != nil && cfg.FaultInjector(t.sp.file.FileName, t.sp.idx, t.attempt) {
+				retry(t)
+				continue
+			}
+			resolve()
+
+			t0 = p.Now()
+			ctx.EnqueueRead(p, oc.volume)
+			times.Retrieve += p.Now() - t0
+
+			t0 = p.Now()
+			j.partitionChunk(p, nodeIdx, oc)
+			times.Partition += p.Now() - t0
+		}
+		times.Elapsed = p.Now() - start
+		return times
+	}
+
+	procs := []*sim.Proc{
+		env.Spawn(node.Name+"/map-input", input),
+		env.Spawn(node.Name+"/map-stage", stage),
+		env.Spawn(node.Name+"/map-kernel", kernel),
+		env.Spawn(node.Name+"/map-retrieve", retrieve),
+		env.Spawn(node.Name+"/map-partition", partition),
+	}
+	for _, pr := range procs {
+		pr.Done().Wait(p)
+	}
+	times.Elapsed = p.Now() - start
+	return times
+}
+
+// execMapKernel runs the application's map function over one chunk with the
+// configured number of OpenCL threads, harvesting output through the
+// collector, then charges the launch to the device.
+func (j *job) execMapKernel(p *sim.Proc, ctx *cl.Context, coll collector, c mapChunk) outChunk {
+	cfg := j.cfg
+	threads := cfg.MapThreads
+	if threads <= 0 {
+		threads = ctx.Device.Profile.HWThreads
+	}
+	coll.reset()
+	emit := func(k, v []byte) { coll.emit(k, v) }
+	cl.Range(len(c.records), threads, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j.app.Map(c.records[i], emit)
+		}
+	})
+	st := coll.kernelStats()
+	st.Ops += j.app.MapCost.OpsPerRecord*float64(len(c.records)) +
+		j.app.MapCost.OpsPerByte*float64(c.bytes) +
+		j.app.MapCost.OpsPerEmit*float64(coll.emits())
+	st.Bytes += float64(c.bytes)
+	pairs, extra, decodePerPair := coll.finish()
+	st.Add(extra)
+	ctx.Launch(p, threads, st)
+	var vol int64
+	for _, pr := range pairs {
+		vol += pr.Size()
+	}
+	return outChunk{pairs: pairs, volume: vol, decodePerPair: decodePerPair}
+}
+
+// partitionChunk implements the pipeline's final stage for one chunk: N
+// partitioner threads decode the collector output, split it into the global
+// partitions, sort each, persist it locally for durability, and push each
+// partition to its destination node (§III-A).
+func (j *job) partitionChunk(p *sim.Proc, nodeIdx int, oc outChunk) {
+	cfg := j.cfg
+	node := j.cluster.Nodes[nodeIdx]
+	nParts := cfg.PartitionsPerNode * len(j.cluster.Nodes)
+	n := cfg.PartitionThreads
+
+	// Decode + bucket, charged at partitioner-thread parallelism.
+	ops := oc.decodePerPair*float64(len(oc.pairs)) +
+		costDecodePerByte*float64(oc.volume) +
+		costPartitionPerPair*float64(len(oc.pairs))
+	buckets := make(map[int][]kv.Pair)
+	for _, pr := range oc.pairs {
+		g := cfg.Partitioner(pr.Key, nParts)
+		buckets[g] = append(buckets[g], pr)
+	}
+	// Sort and serialize every non-empty bucket.
+	var runs []struct {
+		g   int
+		run *kv.Run
+	}
+	var stored int64
+	for g := 0; g < nParts; g++ {
+		bucket, ok := buckets[g]
+		if !ok {
+			continue
+		}
+		var buf kv.Buffer
+		for _, pr := range bucket {
+			buf.Add(pr)
+		}
+		buf.Sort()
+		ops += sortCost(buf.Len()) + costSerializePerByte*float64(buf.Bytes())
+		if cfg.Compress {
+			ops += costCompressPerByte * float64(buf.Bytes())
+		}
+		run := kv.NewRun(buf.Pairs, cfg.Compress)
+		runs = append(runs, struct {
+			g   int
+			run *kv.Run
+		}{g, run})
+		stored += run.StoredBytes()
+	}
+	node.HostWork(p, ops, n)
+
+	// Durability: the node's map output is persisted locally in addition
+	// to the copy that feeds intermediate-data processing (§III-E). The
+	// write is write-behind — the OS page cache absorbs it off the
+	// critical path, though it still occupies the disk.
+	p.Env().Spawn(node.Name+"/durability", func(q *sim.Proc) {
+		node.Disk.Write(q, stored)
+	})
+
+	// Hand each Partition to the async sender (or the local cache).
+	for _, r := range runs {
+		dest := r.g / cfg.PartitionsPerNode
+		local := r.g % cfg.PartitionsPerNode
+		if dest == nodeIdx {
+			j.managers[dest].add(local, r.run)
+			continue
+		}
+		if cfg.PullShuffle {
+			j.pending[dest] = append(j.pending[dest], pullItem{src: nodeIdx, local: local, run: r.run})
+			continue
+		}
+		j.senders[nodeIdx].Put(p, pushMsg{dest: dest, local: local, run: r.run})
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"glasswing/internal/cl"
+	"glasswing/internal/kv"
+	"glasswing/internal/sim"
+)
+
+// reduceChunk is a batch of ConcurrentKeys key groups heading to the device.
+type reduceChunk struct {
+	part   int // global partition id
+	groups []kv.Group
+	bytes  int64
+	last   bool // last chunk of the partition
+}
+
+// reduceOut is the output of one reduce kernel launch.
+type reduceOut struct {
+	part   int
+	pairs  []kv.Pair
+	volume int64
+	last   bool
+}
+
+// runReducePipeline executes one node's 5-stage reduce pipeline (§III-C):
+// the input reader performs one last multi-way merge over each partition's
+// runs and batches key groups; Stage/Kernel/Retrieve mirror the map
+// pipeline; the output stage writes final data to persistent storage.
+func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
+	env := p.Env()
+	node := j.cluster.Nodes[nodeIdx]
+	ctx := j.ctxs[nodeIdx]
+	cfg := j.cfg
+	mgr := j.managers[nodeIdx]
+	var times StageTimes
+	start := p.Now()
+
+	inBufs := sim.NewResource(env, cfg.Buffering)
+	outBufs := sim.NewResource(env, cfg.Buffering)
+	stageQ := sim.NewQueue[reduceChunk](env, 0)
+	kernelQ := sim.NewQueue[reduceChunk](env, 0)
+	retrQ := sim.NewQueue[reduceOut](env, 0)
+	outQ := sim.NewQueue[reduceOut](env, 0)
+
+	input := func(p *sim.Proc) {
+		for _, ps := range mgr.parts {
+			runs := ps.runs()
+			var stored, raw int64
+			var pairsN int
+			for _, r := range runs {
+				pairsN += r.Records
+				raw += r.RawBytes
+			}
+			for _, r := range ps.onDisk {
+				stored += r.StoredBytes()
+			}
+			t0 := p.Now()
+			node.Disk.Read(p, stored)
+			ops := mergeCost(pairsN, len(runs)) + costGroupPerValue*float64(pairsN)
+			if cfg.Compress {
+				ops += costDecompressPerByte * float64(raw)
+			}
+			node.HostWork(p, ops, 1)
+			iters := make([]kv.Iterator, len(runs))
+			for i, r := range runs {
+				iters[i] = r.Iter()
+			}
+			gi := kv.NewGroupIter(kv.Merge(iters...))
+			var batch []kv.Group
+			var batchBytes int64
+			flush := func(last bool) {
+				times.Input += p.Now() - t0
+				j.trace.add(nodeIdx, "reduce/input", t0, p.Now())
+				stageQ.Put(p, reduceChunk{part: ps.global, groups: batch, bytes: batchBytes, last: last})
+				batch, batchBytes = nil, 0
+				t0 = p.Now()
+			}
+			for {
+				g, ok := gi.Next()
+				if !ok {
+					break
+				}
+				batch = append(batch, g)
+				batchBytes += g.Bytes()
+				if len(batch) >= cfg.ConcurrentKeys {
+					inBufs.Acquire(p, 1)
+					flush(false)
+				}
+			}
+			// Always emit a final (possibly empty) chunk so the output
+			// stage writes every partition file, keeping TS partition
+			// numbering dense.
+			inBufs.Acquire(p, 1)
+			flush(true)
+		}
+		stageQ.Close()
+	}
+
+	stage := func(p *sim.Proc) {
+		for {
+			c, ok := stageQ.Get(p)
+			if !ok {
+				kernelQ.Close()
+				return
+			}
+			t0 := p.Now()
+			ctx.EnqueueWrite(p, c.bytes)
+			times.Stage += p.Now() - t0
+			kernelQ.Put(p, c)
+		}
+	}
+
+	kernel := func(p *sim.Proc) {
+		for {
+			c, ok := kernelQ.Get(p)
+			if !ok {
+				retrQ.Close()
+				return
+			}
+			outBufs.Acquire(p, 1)
+			t0 := p.Now()
+			ro := j.execReduceKernel(p, ctx, c)
+			times.Kernel += p.Now() - t0
+			j.trace.add(nodeIdx, "reduce/kernel", t0, p.Now())
+			inBufs.Release(1)
+			retrQ.Put(p, ro)
+		}
+	}
+
+	retrieve := func(p *sim.Proc) {
+		for {
+			ro, ok := retrQ.Get(p)
+			if !ok {
+				outQ.Close()
+				return
+			}
+			t0 := p.Now()
+			ctx.EnqueueRead(p, ro.volume)
+			times.Retrieve += p.Now() - t0
+			outQ.Put(p, ro)
+		}
+	}
+
+	output := func(p *sim.Proc) {
+		var partPairs []kv.Pair
+		for {
+			ro, ok := outQ.Get(p)
+			if !ok {
+				return
+			}
+			t0 := p.Now()
+			partPairs = append(partPairs, ro.pairs...)
+			if ro.last {
+				name := fmt.Sprintf("%s-%05d", cfg.OutputPath, ro.part)
+				blob := kv.Marshal(partPairs)
+				node.HostWork(p, costSerializePerByte*float64(len(blob)), 1)
+				if _, err := j.fs.Write(p, node, name, blob, cfg.OutputReplication); err != nil {
+					panic(err)
+				}
+				j.outputs[ro.part] = partPairs
+				partPairs = nil
+			}
+			times.Partition += p.Now() - t0
+			j.trace.add(nodeIdx, "reduce/output", t0, p.Now())
+			outBufs.Release(1)
+		}
+	}
+
+	procs := []*sim.Proc{
+		env.Spawn(node.Name+"/red-input", input),
+		env.Spawn(node.Name+"/red-stage", stage),
+		env.Spawn(node.Name+"/red-kernel", kernel),
+		env.Spawn(node.Name+"/red-retrieve", retrieve),
+		env.Spawn(node.Name+"/red-output", output),
+	}
+	for _, pr := range procs {
+		pr.Done().Wait(p)
+	}
+	times.Elapsed = p.Now() - start
+	return times
+}
+
+// execReduceKernel runs the application reduce function over a batch of key
+// groups. ConcurrentKeys keys are processed in the same launch, each kernel
+// thread handling KeysPerThread keys sequentially and each key optionally
+// spread over ThreadsPerKey threads; keys whose value lists exceed
+// MaxValuesPerLaunch pay extra launches with scratch-buffer state (§III-C).
+func (j *job) execReduceKernel(p *sim.Proc, ctx *cl.Context, c reduceChunk) reduceOut {
+	cfg := j.cfg
+	if j.app.Reduce == nil {
+		// No reduce function (TeraSort): intermediate data is final once
+		// merged; pass pairs through untouched at zero device cost.
+		var pairs []kv.Pair
+		var vol int64
+		for _, g := range c.groups {
+			for _, v := range g.Values {
+				pairs = append(pairs, kv.Pair{Key: g.Key, Value: v})
+				vol += int64(len(g.Key) + len(v))
+			}
+		}
+		return reduceOut{part: c.part, pairs: pairs, volume: vol, last: c.last}
+	}
+
+	if len(c.groups) == 0 {
+		return reduceOut{part: c.part, last: c.last}
+	}
+
+	var st cl.Stats
+	var pairs []kv.Pair
+	var vol int64
+	emit := func(k, v []byte) {
+		st.Ops += j.app.ReduceCost.OpsPerEmit
+		st.AtomicOps++
+		pr := kv.Pair{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)}
+		pairs = append(pairs, pr)
+		vol += pr.Size()
+		st.Bytes += float64(pr.Size())
+	}
+	extraLaunches := 0
+	for _, g := range c.groups {
+		st.Ops += j.app.ReduceCost.OpsPerRecord +
+			j.app.ReduceCost.OpsPerValue*float64(len(g.Values)) +
+			j.app.ReduceCost.OpsPerByte*float64(g.Bytes())
+		st.Bytes += float64(g.Bytes())
+		if len(g.Values) > cfg.MaxValuesPerLaunch {
+			extraLaunches += (len(g.Values)-1)/cfg.MaxValuesPerLaunch + 1 - 1
+		}
+		j.app.Reduce(g.Key, g.Values, emit)
+	}
+	threads := cfg.ReduceThreads
+	if threads <= 0 {
+		threads = (len(c.groups) + cfg.KeysPerThread - 1) / cfg.KeysPerThread * cfg.ThreadsPerKey
+	}
+	ctx.Launch(p, threads, st)
+	if extraLaunches > 0 {
+		// State carried across launches through per-key scratch buffers.
+		p.Delay(float64(extraLaunches) * ctx.Device.Profile.LaunchOverhead)
+		ctx.EnqueueWrite(p, int64(extraLaunches)*scratchStateBytes)
+		ctx.EnqueueRead(p, int64(extraLaunches)*scratchStateBytes)
+	}
+	return reduceOut{part: c.part, pairs: pairs, volume: vol, last: c.last}
+}

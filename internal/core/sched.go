@@ -1,0 +1,96 @@
+package core
+
+import "glasswing/internal/sim"
+
+// mapScheduler hands out input splits to the nodes' map pipelines the way
+// the paper's coordinator does: "Glasswing's job coordinator is like
+// Hadoop's: both use a dedicated master node; Glasswing's scheduler
+// considers file affinity in its job allocation" (§IV-A). Each split is
+// initially assigned to a node holding a local replica; a node that runs
+// dry steals from the most-loaded peer, so a slow node cannot strand work
+// (Config.StaticScheduling disables stealing for the straggler ablation).
+//
+// Failed attempts re-enter the scheduler, so re-executed tasks (§III-E) can
+// land on any node with capacity. The scheduler is driven entirely inside
+// the simulation's serialized world — no locking.
+type mapScheduler struct {
+	env       *sim.Env
+	static    bool
+	queues    [][]taskAttempt
+	remaining int
+	cond      *sim.Signal
+}
+
+func newMapScheduler(env *sim.Env, assigned [][]splitRef, static bool) *mapScheduler {
+	s := &mapScheduler{env: env, static: static, cond: sim.NewSignal(env)}
+	for _, splits := range assigned {
+		q := make([]taskAttempt, 0, len(splits))
+		for _, sp := range splits {
+			q = append(q, taskAttempt{sp: sp, attempt: 1})
+		}
+		s.queues = append(s.queues, q)
+		s.remaining += len(splits)
+	}
+	return s
+}
+
+// next blocks p until a split is available for node (its own queue first,
+// then stolen from the most-loaded peer) or all splits have been resolved
+// (ok=false).
+func (s *mapScheduler) next(p *sim.Proc, node int) (taskAttempt, bool) {
+	for {
+		if len(s.queues[node]) > 0 {
+			t := s.queues[node][0]
+			s.queues[node] = s.queues[node][1:]
+			return t, true
+		}
+		if !s.static {
+			victim, most := -1, 0
+			for i, q := range s.queues {
+				if i != node && len(q) > most {
+					victim, most = i, len(q)
+				}
+			}
+			if victim >= 0 {
+				// Steal from the tail: the head is the victim's most local
+				// work, the tail is what it would reach last.
+				q := s.queues[victim]
+				t := q[len(q)-1]
+				s.queues[victim] = q[:len(q)-1]
+				return t, true
+			}
+		}
+		if s.remaining == 0 {
+			return taskAttempt{}, false
+		}
+		// Work may still appear: a running attempt can fail and requeue.
+		s.wait(p)
+	}
+}
+
+// requeue returns a failed attempt to its node's queue (any node may steal
+// it from there).
+func (s *mapScheduler) requeue(node int, t taskAttempt) {
+	s.queues[node] = append(s.queues[node], t)
+	s.broadcast()
+}
+
+// resolve marks one split permanently finished (successful kernel run, or
+// given up after MaxTaskAttempts).
+func (s *mapScheduler) resolve() {
+	s.remaining--
+	if s.remaining <= 0 {
+		s.broadcast()
+	}
+}
+
+func (s *mapScheduler) wait(p *sim.Proc) {
+	c := s.cond
+	c.Wait(p)
+}
+
+func (s *mapScheduler) broadcast() {
+	c := s.cond
+	s.cond = sim.NewSignal(s.env)
+	c.Fire(nil)
+}

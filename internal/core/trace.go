@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Span is one traced interval of pipeline activity.
+type Span struct {
+	Node  int
+	Stage string // "map/input", "map/kernel", "reduce/output", ...
+	Start float64
+	End   float64
+}
+
+// Trace is a job's activity timeline, recorded when Config.Trace is set.
+// It shows the overlap the Glasswing pipeline achieves — which stages run
+// concurrently, where the pipeline stalls, how the merge phase interleaves
+// with the map phase.
+type Trace struct {
+	Spans []Span
+}
+
+func (t *Trace) add(node int, stage string, start, end float64) {
+	if t == nil || end <= start {
+		return
+	}
+	t.Spans = append(t.Spans, Span{Node: node, Stage: stage, Start: start, End: end})
+}
+
+// Window returns the earliest start and latest end across all spans.
+func (t *Trace) Window() (start, end float64) {
+	start, end = math.Inf(1), math.Inf(-1)
+	for _, s := range t.Spans {
+		start = math.Min(start, s.Start)
+		end = math.Max(end, s.End)
+	}
+	if len(t.Spans) == 0 {
+		return 0, 0
+	}
+	return start, end
+}
+
+// Busy returns the total busy time of one node's stage.
+func (t *Trace) Busy(node int, stage string) float64 {
+	var total float64
+	for _, s := range t.Spans {
+		if s.Node == node && s.Stage == stage {
+			total += s.End - s.Start
+		}
+	}
+	return total
+}
+
+// Render writes an ASCII Gantt chart, one row per (node, stage), width
+// columns across the job's time window. Concurrent activity shows as
+// overlapping filled regions on different rows.
+func (t *Trace) Render(w io.Writer, width int) {
+	if width < 20 {
+		width = 20
+	}
+	start, end := t.Window()
+	if end <= start {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	type key struct {
+		node  int
+		stage string
+	}
+	rows := map[key][]Span{}
+	var keys []key
+	for _, s := range t.Spans {
+		k := key{s.Node, s.Stage}
+		if _, ok := rows[k]; !ok {
+			keys = append(keys, k)
+		}
+		rows[k] = append(rows[k], s)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return stageOrder(keys[i].stage) < stageOrder(keys[j].stage)
+	})
+	scale := float64(width) / (end - start)
+	fmt.Fprintf(w, "timeline %.3fs .. %.3fs (%.3fs total), one column = %.4fs\n",
+		start, end, end-start, (end-start)/float64(width))
+	for _, k := range keys {
+		cells := make([]byte, width)
+		for i := range cells {
+			cells[i] = ' '
+		}
+		for _, s := range rows[k] {
+			lo := int((s.Start - start) * scale)
+			hi := int(math.Ceil((s.End - start) * scale))
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi && i < width; i++ {
+				cells[i] = '#'
+			}
+		}
+		fmt.Fprintf(w, "node%02d %-16s |%s|\n", k.node, k.stage, string(cells))
+	}
+}
+
+// stageOrder keeps pipeline rows in execution order.
+func stageOrder(stage string) string {
+	order := map[string]string{
+		"map/input":     "a0",
+		"map/stage":     "a1",
+		"map/kernel":    "a2",
+		"map/retrieve":  "a3",
+		"map/partition": "a4",
+		"merge":         "b0",
+		"reduce/input":  "c0",
+		"reduce/stage":  "c1",
+		"reduce/kernel": "c2",
+		"reduce/retr":   "c3",
+		"reduce/output": "c4",
+	}
+	if o, ok := order[stage]; ok {
+		return o
+	}
+	return "z" + stage
+}
+
+// String renders the trace at a default width.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	t.Render(&sb, 100)
+	return sb.String()
+}

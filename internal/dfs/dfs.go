@@ -1,0 +1,269 @@
+// Package dfs provides the file-system substrates the paper's evaluation
+// runs on: a simulated HDFS (namenode metadata, block placement with a
+// configurable replication factor, locality-aware reads, pipelined
+// replicated writes, and a libhdfs/JNI access-cost mode) and a plain
+// node-local file system (the layout GPMR's published experiments use, with
+// every input file fully replicated on every node).
+//
+// File *contents* are real bytes held in memory; only the I/O *timing* is
+// simulated, charged against the disk, NIC and CPU models in package hw.
+package dfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// FS is the interface MapReduce engines program against.
+type FS interface {
+	// Open resolves a file by name.
+	Open(name string) (*File, error)
+	// ReadBlock reads block idx of f from reader, charging I/O time to p.
+	ReadBlock(p *sim.Proc, reader *hw.Node, f *File, idx int) ([]byte, error)
+	// Write stores data under name from writer with the given replication
+	// factor (ignored by local file systems), charging I/O time to p.
+	Write(p *sim.Proc, writer *hw.Node, name string, data []byte, replication int) (*File, error)
+	// LocalTo reports whether block idx of f has a replica on n.
+	LocalTo(f *File, idx int, n *hw.Node) bool
+	// Name identifies the file system in reports ("HDFS", "localFS").
+	Name() string
+}
+
+// File is an immutable stored file, split into blocks.
+type File struct {
+	FileName string
+	Size     int64
+	Blocks   []*Block
+}
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	Index     int
+	Data      []byte
+	Locations []*hw.Node
+}
+
+// JNICost models the libhdfs access path Glasswing uses (Hadoop's bundled
+// JNI bridge to the Java HDFS client): a fixed cost per call plus a per-byte
+// cost for the extra Java<->native copy. The paper names this the dominant
+// HDFS overhead (§IV-A2, MM discussion).
+type JNICost struct {
+	// PerCallSecs is the fixed Java/native switch cost per libhdfs call,
+	// charged as wall time (it does not scale with data or hardware).
+	PerCallSecs float64
+	// PerByteOps is the extra Java<->native copy, charged as CPU work.
+	PerByteOps float64
+}
+
+// DefaultJNI is calibrated so HDFS access turns GPU MM I/O-bound while the
+// local FS keeps it compute-bound, as in Fig 3(d).
+var DefaultJNI = JNICost{PerCallSecs: 60e-6, PerByteOps: 1.5}
+
+// DFS is the simulated HDFS.
+type DFS struct {
+	Cluster     *hw.Cluster
+	BlockSize   int64
+	Replication int
+	// JNI, when non-zero, charges libhdfs bridge costs on every access
+	// (set for Glasswing, which reaches HDFS through libhdfs; Hadoop's own
+	// Java client pays its costs inside the hadoop framework model).
+	JNI JNICost
+
+	files map[string]*File
+	rng   *rand.Rand
+}
+
+// New creates an HDFS over cluster with the given block size and default
+// replication factor (the paper uses 3).
+func New(cluster *hw.Cluster, blockSize int64, replication int) *DFS {
+	if blockSize <= 0 {
+		panic("dfs: block size must be positive")
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(cluster.Nodes) {
+		replication = len(cluster.Nodes)
+	}
+	return &DFS{
+		Cluster:     cluster,
+		BlockSize:   blockSize,
+		Replication: replication,
+		files:       make(map[string]*File),
+		rng:         rand.New(rand.NewSource(42)),
+	}
+}
+
+// Name implements FS.
+func (d *DFS) Name() string { return "HDFS" }
+
+// Open implements FS.
+func (d *DFS) Open(name string) (*File, error) {
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether a file is stored.
+func (d *DFS) Exists(name string) bool { _, ok := d.files[name]; return ok }
+
+// split chops data into BlockSize chunks.
+func (d *DFS) split(data []byte) [][]byte {
+	var chunks [][]byte
+	for off := int64(0); off < int64(len(data)); off += d.BlockSize {
+		end := off + d.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunks = append(chunks, data[off:end])
+	}
+	if len(chunks) == 0 {
+		chunks = [][]byte{nil}
+	}
+	return chunks
+}
+
+// placement picks replica nodes: the writer first (when given), then
+// distinct pseudo-random nodes, matching HDFS's placement policy closely
+// enough for locality statistics.
+func (d *DFS) placement(writer *hw.Node, repl int) []*hw.Node {
+	nodes := d.Cluster.Nodes
+	if repl > len(nodes) {
+		repl = len(nodes)
+	}
+	used := make(map[int]bool)
+	var out []*hw.Node
+	if writer != nil {
+		out = append(out, writer)
+		used[writer.ID] = true
+	}
+	for len(out) < repl {
+		n := nodes[d.rng.Intn(len(nodes))]
+		if !used[n.ID] {
+			used[n.ID] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Preload stores a file without charging any virtual time: experiment setup
+// (the datasets exist before the measured job starts; the paper purges the
+// page cache but not the files).
+func (d *DFS) Preload(name string, data []byte, replication int) *File {
+	if replication <= 0 {
+		replication = d.Replication
+	}
+	chunks := d.split(data)
+	f := &File{FileName: name, Size: int64(len(data))}
+	for i, c := range chunks {
+		// Spread first replicas round-robin so map work is spreadable.
+		first := d.Cluster.Nodes[i%len(d.Cluster.Nodes)]
+		locs := d.placement(first, replication)
+		f.Blocks = append(f.Blocks, &Block{Index: i, Data: c, Locations: locs})
+	}
+	d.files[name] = f
+	return f
+}
+
+// PreloadBlocks stores a file from pre-split blocks without charging
+// virtual time. Callers use it when splits must respect record boundaries
+// (text lines, fixed-size records), which is what Hadoop's input formats
+// arrange on real HDFS.
+func (d *DFS) PreloadBlocks(name string, blocks [][]byte, replication int) *File {
+	if replication <= 0 {
+		replication = d.Replication
+	}
+	f := &File{FileName: name}
+	for i, c := range blocks {
+		f.Size += int64(len(c))
+		first := d.Cluster.Nodes[i%len(d.Cluster.Nodes)]
+		locs := d.placement(first, replication)
+		f.Blocks = append(f.Blocks, &Block{Index: i, Data: c, Locations: locs})
+	}
+	if len(f.Blocks) == 0 {
+		f.Blocks = []*Block{{Index: 0, Locations: d.placement(d.Cluster.Nodes[0], replication)}}
+	}
+	d.files[name] = f
+	return f
+}
+
+// LocalTo implements FS.
+func (d *DFS) LocalTo(f *File, idx int, n *hw.Node) bool {
+	for _, loc := range f.Blocks[idx].Locations {
+		if loc == n {
+			return true
+		}
+	}
+	return false
+}
+
+// chargeJNI bills the libhdfs bridge cost for nbytes moved in one call.
+func (d *DFS) chargeJNI(p *sim.Proc, reader *hw.Node, nbytes int64) {
+	if d.JNI.PerCallSecs == 0 && d.JNI.PerByteOps == 0 {
+		return
+	}
+	p.Delay(d.JNI.PerCallSecs)
+	reader.HostWork(p, d.JNI.PerByteOps*float64(nbytes), 1)
+}
+
+// ReadBlock implements FS: a local replica costs one disk read; a remote
+// read costs the remote disk plus a network transfer.
+func (d *DFS) ReadBlock(p *sim.Proc, reader *hw.Node, f *File, idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(f.Blocks) {
+		return nil, fmt.Errorf("dfs: block %d out of range for %q (%d blocks)", idx, f.FileName, len(f.Blocks))
+	}
+	b := f.Blocks[idx]
+	n := int64(len(b.Data))
+	if d.LocalTo(f, idx, reader) {
+		reader.Disk.Read(p, n)
+	} else {
+		src := b.Locations[0]
+		src.Disk.Read(p, n)
+		d.Cluster.Transfer(p, src, reader, n)
+	}
+	d.chargeJNI(p, reader, n)
+	return b.Data, nil
+}
+
+// Write implements FS: the write is pipelined to all replicas concurrently,
+// so elapsed time is the slowest leg (local disk, or transfer+disk on the
+// replica nodes).
+func (d *DFS) Write(p *sim.Proc, writer *hw.Node, name string, data []byte, replication int) (*File, error) {
+	if replication <= 0 {
+		replication = d.Replication
+	}
+	chunks := d.split(data)
+	f := &File{FileName: name, Size: int64(len(data))}
+	env := d.Cluster.Env
+	for i, c := range chunks {
+		locs := d.placement(writer, replication)
+		f.Blocks = append(f.Blocks, &Block{Index: i, Data: c, Locations: locs})
+		n := int64(len(c))
+		d.chargeJNI(p, writer, n)
+		var sigs []*sim.Signal
+		for _, loc := range locs {
+			loc := loc
+			done := sim.NewSignal(env)
+			sigs = append(sigs, done)
+			env.Spawn(p.Name+"/dfs-write", func(q *sim.Proc) {
+				if loc != writer {
+					d.Cluster.Transfer(q, writer, loc, n)
+				}
+				loc.Disk.Write(q, n)
+				done.Fire(nil)
+			})
+		}
+		sim.WaitAll(p, sigs...)
+	}
+	d.files[name] = f
+	return f, nil
+}
+
+// TotalBlocks returns the number of blocks in a file.
+func TotalBlocks(f *File) int { return len(f.Blocks) }

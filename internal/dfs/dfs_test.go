@@ -1,0 +1,400 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+func testCluster(n int) (*sim.Env, *hw.Cluster) {
+	env := sim.NewEnv()
+	return env, hw.NewCluster(env, n, hw.Type1(false))
+}
+
+func TestPreloadSplitsIntoBlocks(t *testing.T) {
+	_, c := testCluster(4)
+	d := New(c, 1000, 3)
+	data := bytes.Repeat([]byte("x"), 2500)
+	f := d.Preload("in", data, 0)
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	if len(f.Blocks[0].Data) != 1000 || len(f.Blocks[2].Data) != 500 {
+		t.Fatalf("block sizes wrong: %d, %d", len(f.Blocks[0].Data), len(f.Blocks[2].Data))
+	}
+	for _, b := range f.Blocks {
+		if len(b.Locations) != 3 {
+			t.Fatalf("block %d has %d replicas, want 3", b.Index, len(b.Locations))
+		}
+		seen := map[int]bool{}
+		for _, n := range b.Locations {
+			if seen[n.ID] {
+				t.Fatalf("block %d replicated twice on node %d", b.Index, n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+	got, err := d.Open("in")
+	if err != nil || got != f {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := d.Open("missing"); err == nil {
+		t.Fatal("Open of missing file should error")
+	}
+}
+
+func TestReplicationCappedAtClusterSize(t *testing.T) {
+	_, c := testCluster(2)
+	d := New(c, 1<<20, 3)
+	f := d.Preload("in", []byte("abc"), 0)
+	if len(f.Blocks[0].Locations) != 2 {
+		t.Fatalf("replicas = %d, want 2 on a 2-node cluster", len(f.Blocks[0].Locations))
+	}
+}
+
+func TestLocalReadChargesDiskOnly(t *testing.T) {
+	env, c := testCluster(4)
+	d := New(c, 1<<30, len(c.Nodes)) // one block, replicated everywhere
+	data := bytes.Repeat([]byte("y"), 100<<20)
+	f := d.Preload("in", data, 0)
+	var end float64
+	var got []byte
+	env.Spawn("r", func(p *sim.Proc) {
+		b, err := d.ReadBlock(p, c.Nodes[0], f, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		got = b
+		end = p.Now()
+	})
+	env.Run()
+	want := float64(100<<20)/hw.RAID2x1TB.BW + hw.RAID2x1TB.SeekTime
+	if end < want*0.99 || end > want*1.05 {
+		t.Fatalf("local read took %g, want ~%g", end, want)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read returned wrong bytes")
+	}
+}
+
+func TestRemoteReadSlowerThanLocal(t *testing.T) {
+	timeFor := func(repl int, readerID int) float64 {
+		env, c := testCluster(4)
+		d := New(c, 1<<30, repl)
+		data := bytes.Repeat([]byte("z"), 50<<20)
+		f := d.Preload("in", data, repl)
+		reader := c.Nodes[readerID]
+		// Pick a reader with or without a local replica.
+		if repl == len(c.Nodes) && !d.LocalTo(f, 0, reader) {
+			t.Fatal("expected local replica")
+		}
+		var end float64
+		env.Spawn("r", func(p *sim.Proc) {
+			if _, err := d.ReadBlock(p, reader, f, 0); err != nil {
+				t.Error(err)
+			}
+			end = p.Now()
+		})
+		env.Run()
+		return end
+	}
+	local := timeFor(4, 0)
+	// With replication 1, block 0 lives only on node 0; read from node 3.
+	env, c := testCluster(4)
+	d := New(c, 1<<30, 1)
+	f := d.Preload("in", bytes.Repeat([]byte("z"), 50<<20), 1)
+	var remoteEnd float64
+	reader := c.Nodes[3]
+	if d.LocalTo(f, 0, reader) {
+		t.Fatal("expected remote block")
+	}
+	env.Spawn("r", func(p *sim.Proc) {
+		if _, err := d.ReadBlock(p, reader, f, 0); err != nil {
+			t.Error(err)
+		}
+		remoteEnd = p.Now()
+	})
+	env.Run()
+	if remoteEnd <= local {
+		t.Fatalf("remote read (%g) should cost more than local (%g)", remoteEnd, local)
+	}
+}
+
+func TestJNICostCharged(t *testing.T) {
+	read := func(jni JNICost) float64 {
+		env, c := testCluster(1)
+		d := New(c, 1<<20, 1)
+		d.JNI = jni
+		f := d.Preload("in", bytes.Repeat([]byte("a"), 20<<20), 1)
+		var end float64
+		env.Spawn("r", func(p *sim.Proc) {
+			for i := range f.Blocks {
+				if _, err := d.ReadBlock(p, c.Nodes[0], f, i); err != nil {
+					t.Error(err)
+				}
+			}
+			end = p.Now()
+		})
+		env.Run()
+		return end
+	}
+	plain := read(JNICost{})
+	jni := read(DefaultJNI)
+	if jni <= plain {
+		t.Fatalf("JNI mode (%g) should cost more than plain (%g)", jni, plain)
+	}
+}
+
+func TestWritePipelinedReplication(t *testing.T) {
+	env, c := testCluster(4)
+	d := New(c, 1<<30, 3)
+	data := bytes.Repeat([]byte("w"), 20<<20)
+	var end1, end3 float64
+	env.Spawn("w3", func(p *sim.Proc) {
+		if _, err := d.Write(p, c.Nodes[0], "out3", data, 3); err != nil {
+			t.Error(err)
+		}
+		end3 = p.Now()
+	})
+	env.Run()
+	env2, c2 := testCluster(4)
+	d2 := New(c2, 1<<30, 3)
+	env2.Spawn("w1", func(p *sim.Proc) {
+		if _, err := d2.Write(p, c2.Nodes[0], "out1", data, 1); err != nil {
+			t.Error(err)
+		}
+		end1 = p.Now()
+	})
+	env2.Run()
+	if end3 <= end1 {
+		t.Fatalf("3-way replicated write (%g) should cost more than 1-way (%g)", end3, end1)
+	}
+	// But pipelining means 3x replication is far less than 3x the cost.
+	if end3 > 2.5*end1 {
+		t.Fatalf("replicated write not pipelined: %g vs %g", end3, end1)
+	}
+	f, err := d.Open("out3")
+	if err != nil || f.Size != int64(len(data)) {
+		t.Fatalf("written file wrong: %v %+v", err, f)
+	}
+}
+
+func TestLocalFSFullyReplicated(t *testing.T) {
+	env, c := testCluster(4)
+	l := NewLocal(c, 1000)
+	data := bytes.Repeat([]byte("q"), 3000)
+	f := l.Preload("in", data, 0)
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	for _, n := range c.Nodes {
+		if !l.LocalTo(f, 0, n) {
+			t.Fatalf("block should be local to node %d", n.ID)
+		}
+	}
+	var got []byte
+	env.Spawn("r", func(p *sim.Proc) {
+		b, err := l.ReadBlock(p, c.Nodes[3], f, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		got = b
+	})
+	env.Run()
+	if !bytes.Equal(got, data[1000:2000]) {
+		t.Fatal("wrong block contents")
+	}
+}
+
+func TestLocalFSWrite(t *testing.T) {
+	env, c := testCluster(2)
+	l := NewLocal(c, 1<<20)
+	env.Spawn("w", func(p *sim.Proc) {
+		if _, err := l.Write(p, c.Nodes[1], "out", []byte("hello"), 3); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	f, err := l.Open("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks[0].Locations) != 1 || f.Blocks[0].Locations[0] != c.Nodes[1] {
+		t.Fatal("local write must land on the writer only")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	_, c := testCluster(2)
+	d := New(c, 1<<20, 1)
+	f := d.Preload("empty", nil, 0)
+	if len(f.Blocks) != 1 || len(f.Blocks[0].Data) != 0 {
+		t.Fatalf("empty file should have one empty block, got %d", len(f.Blocks))
+	}
+}
+
+func TestQuickPreloadConservesBytes(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16, blockRaw uint16, repl uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeRaw) + 1
+		blockSize := int64(blockRaw%8000) + 64
+		data := make([]byte, size)
+		rng.Read(data)
+		_, c := testCluster(1 + int(repl%6))
+		d := New(c, blockSize, int(repl%4)+1)
+		f1 := d.Preload("f", data, 0)
+		var got []byte
+		for _, b := range f1.Blocks {
+			got = append(got, b.Data...)
+		}
+		if !bytes.Equal(got, data) {
+			return false
+		}
+		// Every block within the block size, every replica set non-empty.
+		for _, b := range f1.Blocks {
+			if int64(len(b.Data)) > blockSize || len(b.Locations) == 0 {
+				return false
+			}
+		}
+		return f1.Size == int64(size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadLocalityFraction(t *testing.T) {
+	// With replication 3 on 8 nodes and round-robin first replicas, a
+	// reader that owns a replica must exist for every block, and roughly
+	// 3/8 of blocks should be local to any fixed node.
+	_, c := testCluster(8)
+	d := New(c, 1000, 3)
+	data := bytes.Repeat([]byte("x"), 64000) // 64 blocks
+	f := d.Preload("in", data, 0)
+	local := 0
+	for i := range f.Blocks {
+		if d.LocalTo(f, i, c.Nodes[0]) {
+			local++
+		}
+	}
+	frac := float64(local) / float64(len(f.Blocks))
+	if frac < 0.15 || frac > 0.70 {
+		t.Fatalf("locality fraction %0.2f implausible for 3/8 replication", frac)
+	}
+}
+
+func TestWriteCreatesReadableFile(t *testing.T) {
+	env, c := testCluster(4)
+	d := New(c, 4<<10, 3)
+	data := bytes.Repeat([]byte("w"), 10<<10) // 3 blocks
+	var got []byte
+	env.Spawn("wr", func(p *sim.Proc) {
+		f, err := d.Write(p, c.Nodes[1], "out", data, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(f.Blocks) != 3 {
+			t.Errorf("blocks = %d", len(f.Blocks))
+		}
+		for i := range f.Blocks {
+			// The writer always holds a replica: reads from it are local.
+			if !d.LocalTo(f, i, c.Nodes[1]) {
+				t.Errorf("block %d not local to writer", i)
+			}
+			b, err := d.ReadBlock(p, c.Nodes[1], f, i)
+			if err != nil {
+				t.Error(err)
+			}
+			got = append(got, b...)
+		}
+	})
+	env.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("written data does not read back")
+	}
+	if !d.Exists("out") {
+		t.Fatal("Exists should see the written file")
+	}
+}
+
+func TestWriteRemoteReplicasChargeNetwork(t *testing.T) {
+	// A replicated write must take longer than replication-1 because of
+	// the remote legs, but writes are pipelined so not 3x.
+	write := func(repl int) float64 {
+		env, c := testCluster(4)
+		d := New(c, 1<<30, 3)
+		var end float64
+		env.Spawn("w", func(p *sim.Proc) {
+			if _, err := d.Write(p, c.Nodes[0], "o", bytes.Repeat([]byte("x"), 30<<20), repl); err != nil {
+				t.Error(err)
+			}
+			end = p.Now()
+		})
+		env.Run()
+		return end
+	}
+	if w3, w1 := write(3), write(1); w3 <= w1 || w3 > 2.5*w1 {
+		t.Fatalf("replicated write timing off: repl3=%g repl1=%g", w3, w1)
+	}
+}
+
+func TestReadBlockOutOfRange(t *testing.T) {
+	env, c := testCluster(1)
+	d := New(c, 1<<20, 1)
+	f := d.Preload("in", []byte("abc"), 0)
+	l := NewLocal(c, 1<<20)
+	lf := l.Preload("in", []byte("abc"), 0)
+	env.Spawn("r", func(p *sim.Proc) {
+		if _, err := d.ReadBlock(p, c.Nodes[0], f, 5); err == nil {
+			t.Error("HDFS out-of-range read should fail")
+		}
+		if _, err := l.ReadBlock(p, c.Nodes[0], lf, -1); err == nil {
+			t.Error("local out-of-range read should fail")
+		}
+	})
+	env.Run()
+}
+
+func TestFSNames(t *testing.T) {
+	_, c := testCluster(1)
+	if New(c, 1<<20, 1).Name() != "HDFS" {
+		t.Error("DFS name")
+	}
+	if NewLocal(c, 1<<20).Name() != "localFS" {
+		t.Error("localFS name")
+	}
+}
+
+func TestSplitHelpers(t *testing.T) {
+	text := []byte("aaa\nbb\ncccc\ndd\n")
+	blocks := SplitLines(text, 5)
+	var total int
+	for _, b := range blocks {
+		total += len(b)
+		if len(b) > 0 && b[len(b)-1] != '\n' && total != len(text) {
+			t.Fatalf("block %q does not end at a line boundary", b)
+		}
+	}
+	if total != len(text) {
+		t.Fatalf("SplitLines lost bytes: %d != %d", total, len(text))
+	}
+	fixed := SplitFixed(bytes.Repeat([]byte("x"), 100), 32, 8)
+	total = 0
+	for _, b := range fixed {
+		if len(b)%8 != 0 && total+len(b) != 100 {
+			t.Fatalf("block of %d not a record multiple", len(b))
+		}
+		total += len(b)
+	}
+	if total != 100 {
+		t.Fatal("SplitFixed lost bytes")
+	}
+	if len(SplitLines(nil, 10)) != 1 || len(SplitFixed(nil, 10, 2)) != 1 {
+		t.Fatal("empty inputs should yield one empty block")
+	}
+}

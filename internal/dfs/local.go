@@ -1,0 +1,155 @@
+package dfs
+
+import (
+	"fmt"
+
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// LocalFS models the data layout GPMR's published experiments use and the
+// paper adopts for the GPMR comparison (§IV-A): every input file is fully
+// replicated on the local file system of every node, so every read is a
+// local disk read. Writes land only on the writer's disk.
+type LocalFS struct {
+	Cluster   *hw.Cluster
+	BlockSize int64
+	files     map[string]*File
+}
+
+// NewLocal creates a local file system with the given logical block size
+// (blocks only control split granularity; all blocks are everywhere).
+func NewLocal(cluster *hw.Cluster, blockSize int64) *LocalFS {
+	if blockSize <= 0 {
+		panic("dfs: block size must be positive")
+	}
+	return &LocalFS{Cluster: cluster, BlockSize: blockSize, files: make(map[string]*File)}
+}
+
+// Name implements FS.
+func (l *LocalFS) Name() string { return "localFS" }
+
+// Open implements FS.
+func (l *LocalFS) Open(name string) (*File, error) {
+	f, ok := l.files[name]
+	if !ok {
+		return nil, fmt.Errorf("localfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+func (l *LocalFS) split(data []byte) [][]byte {
+	var chunks [][]byte
+	for off := int64(0); off < int64(len(data)); off += l.BlockSize {
+		end := off + l.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunks = append(chunks, data[off:end])
+	}
+	if len(chunks) == 0 {
+		chunks = [][]byte{nil}
+	}
+	return chunks
+}
+
+// Preload stores a file on every node without charging virtual time.
+func (l *LocalFS) Preload(name string, data []byte, _ int) *File {
+	f := &File{FileName: name, Size: int64(len(data))}
+	for i, c := range l.split(data) {
+		f.Blocks = append(f.Blocks, &Block{Index: i, Data: c, Locations: l.Cluster.Nodes})
+	}
+	l.files[name] = f
+	return f
+}
+
+// PreloadBlocks stores a file from pre-split blocks on every node without
+// charging virtual time.
+func (l *LocalFS) PreloadBlocks(name string, blocks [][]byte, _ int) *File {
+	f := &File{FileName: name}
+	for i, c := range blocks {
+		f.Size += int64(len(c))
+		f.Blocks = append(f.Blocks, &Block{Index: i, Data: c, Locations: l.Cluster.Nodes})
+	}
+	if len(f.Blocks) == 0 {
+		f.Blocks = []*Block{{Index: 0, Locations: l.Cluster.Nodes}}
+	}
+	l.files[name] = f
+	return f
+}
+
+// LocalTo implements FS: always true — full replication.
+func (l *LocalFS) LocalTo(*File, int, *hw.Node) bool { return true }
+
+// ReadBlock implements FS: a plain local disk read, no JNI, no network.
+func (l *LocalFS) ReadBlock(p *sim.Proc, reader *hw.Node, f *File, idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(f.Blocks) {
+		return nil, fmt.Errorf("localfs: block %d out of range for %q", idx, f.FileName)
+	}
+	b := f.Blocks[idx]
+	reader.Disk.Read(p, int64(len(b.Data)))
+	return b.Data, nil
+}
+
+// Write implements FS: one local disk write; replication is ignored.
+func (l *LocalFS) Write(p *sim.Proc, writer *hw.Node, name string, data []byte, _ int) (*File, error) {
+	f := &File{FileName: name, Size: int64(len(data))}
+	for i, c := range l.split(data) {
+		f.Blocks = append(f.Blocks, &Block{Index: i, Data: c, Locations: []*hw.Node{writer}})
+		writer.Disk.Write(p, int64(len(c)))
+	}
+	l.files[name] = f
+	return f, nil
+}
+
+// Preloader is implemented by file systems that can install datasets with
+// no virtual-time cost (experiment setup).
+type Preloader interface {
+	FS
+	Preload(name string, data []byte, replication int) *File
+	PreloadBlocks(name string, blocks [][]byte, replication int) *File
+}
+
+// SplitLines chops data into blocks of roughly blockSize bytes, cutting only
+// at newline boundaries so no text record straddles a split.
+func SplitLines(data []byte, blockSize int64) [][]byte {
+	var blocks [][]byte
+	for int64(len(data)) > blockSize {
+		cut := blockSize
+		for cut < int64(len(data)) && data[cut-1] != '\n' {
+			cut++
+		}
+		blocks = append(blocks, data[:cut])
+		data = data[cut:]
+	}
+	if len(data) > 0 || len(blocks) == 0 {
+		blocks = append(blocks, data)
+	}
+	return blocks
+}
+
+// SplitFixed chops data into blocks of the largest multiple of recordSize
+// not exceeding blockSize, so fixed-size records never straddle a split.
+func SplitFixed(data []byte, blockSize, recordSize int64) [][]byte {
+	if recordSize <= 0 {
+		panic("dfs: record size must be positive")
+	}
+	per := blockSize / recordSize * recordSize
+	if per == 0 {
+		per = recordSize
+	}
+	var blocks [][]byte
+	for int64(len(data)) > per {
+		blocks = append(blocks, data[:per])
+		data = data[per:]
+	}
+	if len(data) > 0 || len(blocks) == 0 {
+		blocks = append(blocks, data)
+	}
+	return blocks
+}
+
+var (
+	_ Preloader = (*DFS)(nil)
+	_ Preloader = (*LocalFS)(nil)
+)

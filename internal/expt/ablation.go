@@ -1,0 +1,188 @@
+package expt
+
+import (
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+	"glasswing/internal/workload"
+)
+
+// The ablations isolate the design choices DESIGN.md calls out: pipeline
+// overlap (the paper's central claim), buffering depth (§III-D), push vs
+// pull intermediate-data delivery (§IV-A1), and intermediate compression
+// (§III-B). None of these has a direct figure in the paper; they quantify
+// the prose.
+
+// AblationOverlap compares the Glasswing pipeline with stage overlap
+// enabled vs fully serialized stages, for WC (I/O + compute mix) and KM
+// (compute-bound), one node.
+func AblationOverlap(s Sizes) *Table {
+	t := &Table{
+		ID: "abl-olap", Paper: "§I / §IV-A claim",
+		Title:   "Pipeline overlap ablation (1 node, local FS)",
+		Columns: []string{"app", "overlapped(s)", "sequential(s)", "sequential/overlapped"},
+	}
+	blocks, blockSize, want := wcBreakdownData(s)
+	run := func(noOverlap bool) *core.Result {
+		cfg := core.Config{Collector: core.HashTable, UseCombiner: true, NoOverlap: noOverlap, Compress: true}
+		res := breakdownRun(apps.WordCount(), blocks, blockSize, cfg, false, nil)
+		mustVerify(apps.VerifyCounts(res.Output(), want), "ablation WC")
+		return res
+	}
+	over := run(false)
+	seq := run(true)
+	t.AddRow("WC", over.MapElapsed, seq.MapElapsed, seq.MapElapsed/over.MapElapsed)
+
+	data, spec := apps.KMData(51, s.KMPoints/2, s.KMDim, s.KMCenters)
+	spec.ModelCenters = s.KMModelCenters
+	app := apps.KMeans(spec)
+	bs := blockSizeFor(len(data), 32)
+	kblocks := dfs.SplitFixed(data, bs, int64(spec.Dim*4))
+	runKM := func(noOverlap bool) *core.Result {
+		cfg := core.Config{Collector: core.HashTable, UseCombiner: true, NoOverlap: noOverlap, Device: 1}
+		return breakdownRun(app, kblocks, bs, cfg, true, nil)
+	}
+	overKM := runKM(false)
+	seqKM := runKM(true)
+	t.AddRow("KM-gpu", overKM.MapElapsed, seqKM.MapElapsed, seqKM.MapElapsed/overKM.MapElapsed)
+	t.Note("overlap hides the cheaper of I/O and compute; the gain is the paper's core architectural claim")
+	return t
+}
+
+// AblationBuffering sweeps the pipeline buffering level (§III-D).
+func AblationBuffering(s Sizes) *Table {
+	t := &Table{
+		ID: "abl-buf", Paper: "§III-D",
+		Title:   "Buffering level sweep (1 node)",
+		Columns: []string{"app", "single(s)", "double(s)", "triple(s)"},
+	}
+	blocks, blockSize, _ := wcBreakdownData(s)
+	var wcTimes []any
+	wcTimes = append(wcTimes, "WC")
+	for b := 1; b <= 3; b++ {
+		cfg := core.Config{Collector: core.HashTable, UseCombiner: true, Buffering: b, Compress: true}
+		res := breakdownRun(apps.WordCount(), blocks, blockSize, cfg, false, nil)
+		wcTimes = append(wcTimes, res.MapElapsed)
+	}
+	t.AddRow(wcTimes...)
+
+	data, spec := apps.KMData(52, s.KMPoints/2, s.KMDim, s.KMCenters)
+	spec.ModelCenters = s.KMModelCenters
+	app := apps.KMeans(spec)
+	bs := blockSizeFor(len(data), 32)
+	kblocks := dfs.SplitFixed(data, bs, int64(spec.Dim*4))
+	var kmTimes []any
+	kmTimes = append(kmTimes, "KM-gpu")
+	for b := 1; b <= 3; b++ {
+		cfg := core.Config{Collector: core.HashTable, UseCombiner: true, Buffering: b, Device: 1}
+		res := breakdownRun(app, kblocks, bs, cfg, true, nil)
+		kmTimes = append(kmTimes, res.MapElapsed)
+	}
+	t.AddRow(kmTimes...)
+	t.Note("double/triple buffering relaxes the intra-group interlock at the cost of more buffers (§III-D)")
+	return t
+}
+
+// AblationPushPull compares Glasswing's push shuffle against a Hadoop-style
+// reducer pull on a multi-node run.
+func AblationPushPull(s Sizes) *Table {
+	data, want := apps.WCData(53, s.WCBytes, s.Vocab)
+	blockSize := blockSizeFor(len(data), 96)
+	blocks := dfs.SplitLines(data, blockSize)
+	t := &Table{
+		ID: "abl-push", Paper: "§IV-A1 claim",
+		Title:   "Push vs pull intermediate-data delivery (8 nodes, HDFS)",
+		Columns: []string{"mode", "job(s)", "merge-delay(s)"},
+	}
+	run := func(pull bool) *core.Result {
+		_, cl := newCluster(8, false, s.Slow)
+		d := newHDFS(cl, blockSize, true)
+		d.PreloadBlocks("in", blocks, 0)
+		res := glasswing(cl, d, apps.WordCount(), core.Config{
+			Input: []string{"in"}, Collector: core.HashTable, UseCombiner: true,
+			PullShuffle: pull, Compress: true,
+			CacheThreshold: int64(len(data)) / 16,
+		}, nil)
+		mustVerify(apps.VerifyCounts(res.Output(), want), "push/pull WC")
+		return res
+	}
+	push := run(false)
+	pull := run(true)
+	t.AddRow("push (Glasswing)", push.JobTime, push.MergeDelay)
+	t.AddRow("pull (Hadoop-style)", pull.JobTime, pull.MergeDelay)
+	t.Note("pushing lets receipt and merging overlap the map phase; pulling pays the latency after it (§IV-A1)")
+	return t
+}
+
+// AblationCompression toggles intermediate-data compression (§III-B).
+func AblationCompression(s Sizes) *Table {
+	data, want := apps.WCData(54, s.WCBytes, s.Vocab)
+	blockSize := blockSizeFor(len(data), 96)
+	blocks := dfs.SplitLines(data, blockSize)
+	t := &Table{
+		ID: "abl-comp", Paper: "§III-B",
+		Title:   "Intermediate compression (4 nodes, HDFS)",
+		Columns: []string{"mode", "job(s)", "intermediate-bytes"},
+	}
+	run := func(compress bool) *core.Result {
+		_, cl := newCluster(4, false, s.Slow)
+		d := newHDFS(cl, blockSize, true)
+		d.PreloadBlocks("in", blocks, 0)
+		res := glasswing(cl, d, apps.WordCount(), core.Config{
+			Input: []string{"in"}, Collector: core.HashTable, UseCombiner: false,
+			Compress:       compress,
+			CacheThreshold: int64(len(data)) / 8,
+		}, nil)
+		mustVerify(apps.VerifyCounts(res.Output(), want), "compression WC")
+		return res
+	}
+	on := run(true)
+	off := run(false)
+	t.AddRow("compressed", on.JobTime, int(on.IntermediateBytes))
+	t.AddRow("raw", off.JobTime, int(off.IntermediateBytes))
+	t.Note("serialized+compressed partitions trade CPU for disk/network volume (§III-B)")
+	return t
+}
+
+// AblationNetwork swaps the cluster fabric between plain Gigabit Ethernet
+// and IP-over-InfiniBand (both present on DAS-4; the paper runs everything
+// over IPoIB). TeraSort shuffles its entire dataset across the fabric, so
+// it exposes the difference where the counting workloads (combiners,
+// compression) hide it.
+func AblationNetwork(s Sizes) *Table {
+	data := apps.TSData(55, s.TSRecords)
+	blockSize := blockSizeFor(len(data), 96)
+	blocks := dfs.SplitFixed(data, blockSize, workload.TeraRecordSize)
+	part := apps.TeraPartitioner(data, 64)
+	t := &Table{
+		ID: "abl-net", Paper: "§IV setup",
+		Title:   "Fabric sensitivity: GbE vs IPoIB (8 nodes, TeraSort)",
+		Columns: []string{"fabric", "job(s)", "map(s)", "merge-delay(s)"},
+	}
+	run := func(nic hw.NICProfile, label string) {
+		env := sim.NewEnv()
+		spec := hw.Type1(false)
+		spec.NIC = nic
+		cluster := hw.NewCluster(env, 8, spec.Slowed(s.Slow))
+		d := dfs.New(cluster, blockSize, 3)
+		d.JNI = dfs.DefaultJNI
+		d.PreloadBlocks("in", blocks, 0)
+		res := glasswing(cluster, d, apps.TeraSort(), core.Config{
+			Input: []string{"in"}, Collector: core.BufferPool,
+			Partitioner:       part,
+			OutputReplication: 1,
+			// Raw intermediate data: the whole dataset crosses the
+			// fabric, which is the point of this ablation.
+			Compress:       false,
+			CacheThreshold: int64(len(data)) / 16,
+		}, nil)
+		mustVerify(apps.VerifyTeraSort(res.Output(), data), "fabric TS")
+		t.AddRow(label, res.JobTime, res.MapElapsed, res.MergeDelay)
+	}
+	run(hw.IPoIB, "IPoIB (paper setup)")
+	run(hw.GigE, "GbE")
+	t.Note("TeraSort moves ~7/8 of every byte across the fabric; GbE stretches the shuffle the map phase must hide")
+	return t
+}

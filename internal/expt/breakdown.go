@@ -1,0 +1,257 @@
+package expt
+
+import (
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// Pipeline-breakdown experiments run on ONE node without HDFS, with
+// deliberately small datasets, as the paper does (§IV-B): "The pipeline
+// analysis was performed on one Type-1 node without HDFS. Smaller data sets
+// were used to emphasize the performance differences."
+//
+// A mild hardware slowdown keeps the numbers in readable seconds without
+// perturbing the stage relationships the tables demonstrate.
+const breakdownSlow = 100
+
+// breakdownRun executes WC (or another app) on one node + local FS and
+// returns the result.
+func breakdownRun(app *core.App, blocks [][]byte, blockSize int64, cfg core.Config, gpu bool, prelude func(*sim.Proc, *hw.Cluster)) *core.Result {
+	_, cluster := newCluster(1, gpu, breakdownSlow)
+	l := dfs.NewLocal(cluster, blockSize)
+	l.PreloadBlocks("in", blocks, 0)
+	cfg.Input = []string{"in"}
+	return glasswing(cluster, l, app, cfg, prelude)
+}
+
+// wcBreakdownData builds the small WC dataset used by Table II and Fig 4.
+func wcBreakdownData(s Sizes) ([][]byte, int64, map[string]uint64) {
+	bytes := s.WCBytes / 2
+	data, want := apps.WCData(21, bytes, bytes/400)
+	blockSize := blockSizeFor(len(data), 32)
+	return dfs.SplitLines(data, blockSize), blockSize, want
+}
+
+// tableIIConfigs are the paper's four Table II columns.
+func tableIIConfigs(cacheThreshold int64) []struct {
+	Name string
+	Cfg  core.Config
+} {
+	base := core.Config{CacheThreshold: cacheThreshold, Compress: true}
+	hashComb := base
+	hashComb.Collector, hashComb.UseCombiner = core.HashTable, true
+	hashOnly := base
+	hashOnly.Collector = core.HashTable
+	simple := base
+	simple.Collector = core.BufferPool
+	single := hashComb
+	single.Buffering = 1
+	return []struct {
+		Name string
+		Cfg  core.Config
+	}{
+		{"hash+combiner", hashComb},
+		{"hash-table", hashOnly},
+		{"simple-collection", simple},
+		{"hash+comb-single-buf", single},
+	}
+}
+
+// TableII regenerates Table II: the WC map-pipeline time breakdown under
+// the three output-collection configurations (double buffering) plus the
+// hash+combiner configuration under single buffering.
+func TableII(s Sizes) *Table {
+	blocks, blockSize, want := wcBreakdownData(s)
+	var total int64
+	for _, b := range blocks {
+		total += int64(len(b))
+	}
+	t := &Table{
+		ID: "tab2", Paper: "Table II",
+		Title:   "WC map pipeline time breakdown (seconds), 1 node, local FS",
+		Columns: []string{"metric", "hash+comb(dbl)", "hash(dbl)", "simple(dbl)", "hash+comb(single)"},
+	}
+	configs := tableIIConfigs(total / 8)
+	var results []*core.Result
+	for _, c := range configs {
+		res := breakdownRun(apps.WordCount(), blocks, blockSize, c.Cfg, false, nil)
+		mustVerify(apps.VerifyCounts(res.Output(), want), "TableII/"+c.Name)
+		results = append(results, res)
+	}
+	row := func(metric string, get func(*core.Result) float64) {
+		cells := []any{metric}
+		for _, r := range results {
+			cells = append(cells, get(r))
+		}
+		t.AddRow(cells...)
+	}
+	row("Input", func(r *core.Result) float64 { return r.MaxMapStage().Input })
+	row("Kernel", func(r *core.Result) float64 { return r.MaxMapStage().Kernel })
+	row("Partitioning", func(r *core.Result) float64 { return r.MaxMapStage().Partition })
+	row("Map elapsed", func(r *core.Result) float64 { return r.MapElapsed })
+	row("Merge delay", func(r *core.Result) float64 { return r.MergeDelay })
+	row("Reduce time", func(r *core.Result) float64 { return r.ReduceElapsed })
+	t.Note("paper: simple collection lowers kernel time but partitioning decodes every occurrence and dominates")
+	t.Note("paper: single buffering serializes the input group: map elapsed ~ Input + Kernel")
+	return t
+}
+
+// TableIII regenerates Table III: the KM map-pipeline breakdown under the
+// same three configurations, on (a) the CPU and (b) the GTX480.
+func TableIII(s Sizes) *Table {
+	data, spec := apps.KMData(22, s.KMPoints/2, s.KMDim, s.KMCenters)
+	spec.ModelCenters = s.KMModelCenters
+	app := apps.KMeans(spec)
+	blockSize := blockSizeFor(len(data), 32)
+	blocks := dfs.SplitFixed(data, blockSize, int64(spec.Dim*4))
+
+	t := &Table{
+		ID: "tab3", Paper: "Table III",
+		Title:   "KM map pipeline time breakdown (seconds), 1 node, local FS",
+		Columns: []string{"metric", "cpu:hash+comb", "cpu:hash", "cpu:simple", "gpu:hash+comb", "gpu:hash", "gpu:simple"},
+	}
+	configs := tableIIConfigs(int64(len(data)) / 8)[:3]
+	var results []*core.Result
+	for _, gpu := range []bool{false, true} {
+		for _, c := range configs {
+			cfg := c.Cfg
+			if gpu {
+				cfg.Device = 1
+			}
+			res := breakdownRun(app, blocks, blockSize, cfg, gpu, nil)
+			mustVerify(apps.VerifyKMeans(res.Output(), data, spec), "TableIII")
+			results = append(results, res)
+		}
+	}
+	row := func(metric string, get func(*core.Result) float64) {
+		cells := []any{metric}
+		for _, r := range results {
+			cells = append(cells, get(r))
+		}
+		t.AddRow(cells...)
+	}
+	row("Input", func(r *core.Result) float64 { return r.MaxMapStage().Input })
+	row("Stage", func(r *core.Result) float64 { return r.MaxMapStage().Stage })
+	row("Kernel", func(r *core.Result) float64 { return r.MaxMapStage().Kernel })
+	row("Retrieve", func(r *core.Result) float64 { return r.MaxMapStage().Retrieve })
+	row("Partitioning", func(r *core.Result) float64 { return r.MaxMapStage().Partition })
+	row("Map elapsed", func(r *core.Result) float64 { return r.MapElapsed })
+	row("Merge delay", func(r *core.Result) float64 { return r.MergeDelay })
+	row("Reduce time", func(r *core.Result) float64 { return r.ReduceElapsed })
+	t.Note("paper: GPU kernel+elapsed beat the CPU; partitioning drops on the GPU because kernel threads no longer contend for host cores")
+	return t
+}
+
+// Fig4a regenerates Figure 4(a): WC Kernel and Partitioning stage times as
+// a function of the number of partitioner threads N.
+func Fig4a(s Sizes) *Table {
+	blocks, blockSize, _ := wcBreakdownData(s)
+	var total int64
+	for _, b := range blocks {
+		total += int64(len(b))
+	}
+	t := &Table{
+		ID: "fig4a", Paper: "Figure 4(a)",
+		Title:   "WC map pipeline stages vs partitioner threads N",
+		Columns: []string{"N", "partitioning(s)", "kernel(s)", "map-elapsed(s)"},
+	}
+	var part1, partMax float64
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := core.Config{
+			Collector:         core.HashTable,
+			PartitionThreads:  n,
+			CacheThreshold:    total / 8,
+			PartitionsPerNode: 8,
+			Compress:          true,
+		}
+		res := breakdownRun(apps.WordCount(), blocks, blockSize, cfg, false, nil)
+		st := res.MaxMapStage()
+		if n == 1 {
+			part1 = st.Partition
+		}
+		partMax = st.Partition
+		t.AddRow(n, st.Partition, st.Kernel, res.MapElapsed)
+	}
+	t.Note("partitioning parallelizes: %0.1fx from N=1 to N=32 (paper: drops below kernel from N=2)", part1/partMax)
+	return t
+}
+
+// Fig4b regenerates Figure 4(b): merge delay as a function of N for
+// several partition counts P.
+func Fig4b(s Sizes) *Table {
+	blocks, blockSize, _ := wcBreakdownData(s)
+	var total int64
+	for _, b := range blocks {
+		total += int64(len(b))
+	}
+	t := &Table{
+		ID: "fig4b", Paper: "Figure 4(b)",
+		Title:   "WC merge delay (s) vs partitioner threads N, per partition count P",
+		Columns: []string{"N", "P=1", "P=2", "P=4", "P=8"},
+	}
+	ps := []int{1, 2, 4, 8}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		cells := []any{n}
+		for _, p := range ps {
+			cfg := core.Config{
+				Collector:         core.HashTable,
+				PartitionThreads:  n,
+				PartitionsPerNode: p,
+				MergeThreads:      p,
+				CacheThreshold:    total / 16,
+				Compress:          true,
+			}
+			res := breakdownRun(apps.WordCount(), blocks, blockSize, cfg, false, nil)
+			cells = append(cells, res.MergeDelay)
+		}
+		t.AddRow(cells...)
+	}
+	t.Note("paper: increasing P sharply decreases merge delay; increasing N increases it (mergers starved during map)")
+	return t
+}
+
+// Fig5 regenerates Figure 5: the WC reduce-pipeline breakdown for a
+// varying number of concurrently processed keys, with a large unique-key
+// space, plus the keys-per-thread amortization. Full-speed hardware: the
+// effect under study is kernel-launch overhead.
+func Fig5(s Sizes) *Table {
+	bytes := s.WCBytes / 2
+	// A large vocabulary gives the sparse key space the paper stresses
+	// ("millions of unique keys"); here proportionally scaled down.
+	data, want := apps.WCData(23, bytes, bytes/8)
+	blockSize := blockSizeFor(len(data), 32)
+	blocks := dfs.SplitLines(data, blockSize)
+
+	t := &Table{
+		ID: "fig5", Paper: "Figure 5",
+		Title:   "WC reduce pipeline vs concurrent keys (keys/thread = 1)",
+		Columns: []string{"concurrent-keys", "keys/thread", "reduce-input(s)", "reduce-kernel(s)", "reduce-elapsed(s)", "unique-keys"},
+	}
+	run := func(ck, kpt int) *core.Result {
+		cfg := core.Config{
+			Collector:      core.HashTable,
+			UseCombiner:    true,
+			ConcurrentKeys: ck,
+			KeysPerThread:  kpt,
+			Compress:       true,
+		}
+		res := breakdownRun(apps.WordCount(), blocks, blockSize, cfg, false, nil)
+		mustVerify(apps.VerifyCounts(res.Output(), want), "Fig5")
+		return res
+	}
+	for _, ck := range []int{1, 16, 256, 4096, 65536} {
+		res := run(ck, 1)
+		st := res.MaxReduceStage()
+		t.AddRow(ck, 1, st.Input, st.Kernel, res.ReduceElapsed, len(want))
+	}
+	for _, kpt := range []int{4, 16} {
+		res := run(4096, kpt)
+		st := res.MaxReduceStage()
+		t.AddRow(4096, kpt, st.Input, st.Kernel, res.ReduceElapsed, len(want))
+	}
+	t.Note("one key per launch pays a kernel invocation per key; concurrency amortizes launch overhead, keys/thread amortizes thread spawn")
+	return t
+}

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"strings"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+)
+
+// Fig1 regenerates Figure 1 — the paper's diagram of the 5-stage map and
+// reduce pipelines — not as a static drawing but as the measured activity
+// timeline of a real traced run: every stage of both pipelines plus the
+// concurrent merge phase, with the overlap visible.
+func Fig1(s Sizes) *Table {
+	blocks, blockSize, want := wcBreakdownData(s)
+	var total int64
+	for _, b := range blocks {
+		total += int64(len(b))
+	}
+	res := breakdownRun(apps.WordCount(), blocks, blockSize, core.Config{
+		Device:         1, // GPU, so the Stage and Retrieve stages are alive
+		Collector:      core.HashTable,
+		UseCombiner:    true,
+		Compress:       true,
+		CacheThreshold: total / 8,
+		Trace:          true,
+	}, true, nil)
+	mustVerify(apps.VerifyCounts(res.Output(), want), "Fig1 WC")
+
+	t := &Table{
+		ID: "fig1", Paper: "Figure 1",
+		Title:   "The 5-stage map and reduce pipelines, as actually executed (WC, 1 node, GPU)",
+		Columns: []string{"timeline"},
+	}
+	var sb strings.Builder
+	res.Trace.Render(&sb, 96)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		t.AddRow(line)
+	}
+	t.Note("each '#' column is pipeline activity; rows overlap where the paper's Figure 1 draws concurrent stages")
+	return t
+}
+
+// TableI regenerates Table I — the paper's comparison between Glasswing and
+// related projects — annotated with what this repository implements.
+func TableI(Sizes) *Table {
+	t := &Table{
+		ID: "tab1", Paper: "Table I",
+		Title:   "Comparison between Glasswing and related projects",
+		Columns: []string{"system", "out-of-core", "compute-device", "cluster", "in-this-repo"},
+	}
+	t.AddRow("Phoenix", "no", "CPU-only", "no", "-")
+	t.AddRow("Tiled-MapReduce", "no", "NUMA CPU", "no", "-")
+	t.AddRow("Mars", "no", "GPU-only", "no", "-")
+	t.AddRow("Ji et al.", "no", "GPU-only", "no", "-")
+	t.AddRow("MapCG", "no", "CPU/GPU", "no", "-")
+	t.AddRow("Chen et al.", "no", "GPU-only", "no", "-")
+	t.AddRow("GPMR", "no", "GPU-only", "yes", "internal/gpmr (baseline)")
+	t.AddRow("Chen et al. (Fusion)", "no", "AMD Fusion", "no", "-")
+	t.AddRow("Merge", "no", "any", "no", "-")
+	t.AddRow("HadoopCL", "yes", "APARAPI", "yes", "internal/hadoopcl (extension)")
+	t.AddRow("Hadoop", "yes", "CPU-only", "yes", "internal/hadoop (baseline)")
+	t.AddRow("Glasswing", "yes", "OpenCL", "yes", "internal/core + internal/native")
+	t.Note("rows follow the paper's Table I; the last column maps the comparable systems built here")
+	return t
+}

@@ -1,0 +1,127 @@
+package expt
+
+import (
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hadoop"
+	"glasswing/internal/workload"
+)
+
+// fig2Nodes is the cluster-size sweep of the horizontal-scalability plots.
+var fig2Nodes = []int{1, 2, 4, 8, 16}
+
+// tsNodes skips the small clusters: the paper could not run TS below 4
+// nodes for lack of disk space; we keep 2 as the smallest.
+var tsNodes = []int{2, 4, 8, 16}
+
+// Fig2PVC regenerates Figure 2(a): Pageview Count execution time and
+// speedup, Hadoop vs Glasswing CPU, on HDFS.
+func Fig2PVC(s Sizes) *Table {
+	data, want := apps.PVCData(11, s.PVCBytes)
+	blockSize := blockSizeFor(len(data), 96)
+	blocks := dfs.SplitLines(data, blockSize)
+	app := apps.PageviewCount()
+	return ioBoundFigure(s, "fig2a", "Figure 2(a)", "PVC: pageview count over sparse web logs",
+		fig2Nodes, blocks, blockSize, app,
+		func(cfg *core.Config) {},
+		func(cfg *hadoop.Config) {},
+		func(out *core.Result) { mustVerify(apps.VerifyCounts(out.Output(), want), "PVC") },
+	)
+}
+
+// Fig2WC regenerates Figure 2(b): WordCount.
+func Fig2WC(s Sizes) *Table {
+	data, want := apps.WCData(12, s.WCBytes, s.Vocab)
+	blockSize := blockSizeFor(len(data), 96)
+	blocks := dfs.SplitLines(data, blockSize)
+	app := apps.WordCount()
+	return ioBoundFigure(s, "fig2b", "Figure 2(b)", "WC: word count over wiki text",
+		fig2Nodes, blocks, blockSize, app,
+		func(cfg *core.Config) {},
+		func(cfg *hadoop.Config) {},
+		func(out *core.Result) { mustVerify(apps.VerifyCounts(out.Output(), want), "WC") },
+	)
+}
+
+// Fig2TS regenerates Figure 2(c): TeraSort with total-order output and
+// output replication 1.
+func Fig2TS(s Sizes) *Table {
+	data := apps.TSData(13, s.TSRecords)
+	blockSize := blockSizeFor(len(data), 96)
+	blocks := dfs.SplitFixed(data, blockSize, workload.TeraRecordSize)
+	app := apps.TeraSort()
+	part := apps.TeraPartitioner(data, 64)
+	return ioBoundFigure(s, "fig2c", "Figure 2(c)", "TS: TeraSort, totally ordered output",
+		tsNodes, blocks, blockSize, app,
+		func(cfg *core.Config) {
+			cfg.Collector = core.BufferPool
+			cfg.UseCombiner = false
+			cfg.Partitioner = part
+			cfg.OutputReplication = 1
+		},
+		func(cfg *hadoop.Config) {
+			cfg.UseCombiner = false
+			cfg.Partitioner = part
+			cfg.OutputReplication = 1
+		},
+		func(out *core.Result) { mustVerify(apps.VerifyTeraSort(out.Output(), data), "TS") },
+	)
+}
+
+// ioBoundFigure runs one I/O-bound app over the node sweep on both
+// frameworks and assembles the execution-time + speedup table.
+func ioBoundFigure(s Sizes, id, paper, title string, nodesSweep []int,
+	blocks [][]byte, blockSize int64, app *core.App,
+	tuneG func(*core.Config), tuneH func(*hadoop.Config),
+	verify func(*core.Result)) *Table {
+
+	t := &Table{
+		ID: id, Paper: paper, Title: title,
+		Columns: []string{"nodes", "hadoop(s)", "glasswing(s)", "hadoop-speedup", "glasswing-speedup", "gw/hadoop"},
+	}
+	var hTimes, gTimes []float64
+	var totalBytes int
+	for _, b := range blocks {
+		totalBytes += len(b)
+	}
+	for _, n := range nodesSweep {
+		// Hadoop on its own cluster instance.
+		envH, clH := newCluster(n, false, s.Slow)
+		dH := newHDFS(clH, blockSize, false)
+		dH.PreloadBlocks("in", blocks, 0)
+		hcfg := hadoop.Config{Input: []string{"in"}, UseCombiner: app.Combine != nil}
+		tuneH(&hcfg)
+		hres := hadoopRun(clH, dH, app, hcfg, nil)
+		hTimes = append(hTimes, hres.JobTime)
+		_ = envH
+
+		// Glasswing instrumented to use HDFS via libhdfs (JNI), like the
+		// paper's comparison setup.
+		envG, clG := newCluster(n, false, s.Slow)
+		dG := newHDFS(clG, blockSize, true)
+		dG.PreloadBlocks("in", blocks, 0)
+		gcfg := core.Config{
+			Input:          []string{"in"},
+			Collector:      core.HashTable,
+			UseCombiner:    app.Combine != nil,
+			Compress:       true,
+			CacheThreshold: int64(totalBytes) / int64(2*n),
+		}
+		tuneG(&gcfg)
+		gres := glasswing(clG, dG, app, gcfg, nil)
+		gTimes = append(gTimes, gres.JobTime)
+		if n == nodesSweep[0] {
+			verify(gres)
+		}
+		_ = envG
+	}
+	hSp, gSp := speedup(hTimes), speedup(gTimes)
+	for i, n := range nodesSweep {
+		t.AddRow(n, hTimes[i], gTimes[i], hSp[i], gSp[i], gTimes[i]/hTimes[i])
+	}
+	last := len(nodesSweep) - 1
+	t.Note("single-node advantage: Glasswing %.2fx faster than Hadoop", hTimes[0]/gTimes[0])
+	t.Note("%d-node advantage: %.2fx", nodesSweep[last], hTimes[last]/gTimes[last])
+	return t
+}

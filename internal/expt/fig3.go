@@ -1,0 +1,248 @@
+package expt
+
+import (
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/gpmr"
+	"glasswing/internal/hadoop"
+)
+
+// kmBlocks builds the aligned KM input blocks.
+func kmBlocks(data []byte, dim int, blockSize int64) [][]byte {
+	return dfs.SplitFixed(data, blockSize, int64(dim*4))
+}
+
+// Fig3KMCPU regenerates Figure 3(a): K-Means on the CPU (HDFS), Hadoop vs
+// Glasswing.
+func Fig3KMCPU(s Sizes) *Table {
+	data, spec, app := kmSetup(s, s.KMCenters)
+	blockSize := blockSizeFor(len(data), 256)
+	blocks := kmBlocks(data, spec.Dim, blockSize)
+
+	t := &Table{
+		ID: "fig3a", Paper: "Figure 3(a)",
+		Title:   "KM (many centers) on CPU via HDFS",
+		Columns: []string{"nodes", "hadoop(s)", "glasswing(s)", "hadoop-speedup", "glasswing-speedup"},
+	}
+	var hT, gT []float64
+	for _, n := range fig2Nodes {
+		_, clH := newCluster(n, false, s.SlowCompute)
+		dH := newHDFS(clH, blockSize, false)
+		dH.PreloadBlocks("km", blocks, 0)
+		hres := hadoopRun(clH, dH, app, hadoop.Config{Input: []string{"km"}, UseCombiner: true}, spec.Prelude())
+		hT = append(hT, hres.JobTime)
+
+		_, clG := newCluster(n, false, s.SlowCompute)
+		dG := newHDFS(clG, blockSize, true)
+		dG.PreloadBlocks("km", blocks, 0)
+		gres := glasswing(clG, dG, app, core.Config{
+			Input: []string{"km"}, Collector: core.HashTable, UseCombiner: true,
+		}, spec.Prelude())
+		gT = append(gT, gres.JobTime)
+		if n == 1 {
+			mustVerify(apps.VerifyKMeans(gres.Output(), data, spec), "KM glasswing")
+			mustVerify(apps.VerifyKMeans(hres.Output(), data, spec), "KM hadoop")
+		}
+	}
+	hSp, gSp := speedup(hT), speedup(gT)
+	for i, n := range fig2Nodes {
+		t.AddRow(n, hT[i], gT[i], hSp[i], gSp[i])
+	}
+	t.Note("single-node advantage: Glasswing CPU %.2fx over Hadoop", hT[0]/gT[0])
+	return t
+}
+
+// Fig3MMCPU regenerates Figure 3(b): Matrix Multiply on the CPU (HDFS).
+func Fig3MMCPU(s Sizes) *Table {
+	spec := apps.MMSpec{N: s.MMN, Tile: s.MMTile, ModelTile: s.MMModelTile}
+	input, a, b, err := apps.MMData(42, spec)
+	if err != nil {
+		panic(err)
+	}
+	app := apps.MatMul(spec)
+	blockSize := blockSizeFor(len(input), 256)
+	blocks := dfs.SplitFixed(input, blockSize, int64(spec.RecordSize()))
+
+	t := &Table{
+		ID: "fig3b", Paper: "Figure 3(b)",
+		Title:   "MM on CPU via HDFS",
+		Columns: []string{"nodes", "hadoop(s)", "glasswing(s)", "hadoop-speedup", "glasswing-speedup"},
+	}
+	var hT, gT []float64
+	for _, n := range fig2Nodes {
+		_, clH := newCluster(n, false, s.SlowCompute)
+		dH := newHDFS(clH, blockSize, false)
+		dH.PreloadBlocks("mm", blocks, 0)
+		hres := hadoopRun(clH, dH, app, hadoop.Config{Input: []string{"mm"}}, nil)
+		hT = append(hT, hres.JobTime)
+
+		_, clG := newCluster(n, false, s.SlowCompute)
+		dG := newHDFS(clG, blockSize, true)
+		dG.PreloadBlocks("mm", blocks, 0)
+		gres := glasswing(clG, dG, app, core.Config{
+			Input: []string{"mm"}, Collector: core.BufferPool,
+		}, nil)
+		gT = append(gT, gres.JobTime)
+		if n == 1 {
+			mustVerify(apps.VerifyMatMul(gres.Output(), a, b, spec), "MM glasswing")
+			mustVerify(apps.VerifyMatMul(hres.Output(), a, b, spec), "MM hadoop")
+		}
+	}
+	hSp, gSp := speedup(hT), speedup(gT)
+	for i, n := range fig2Nodes {
+		t.AddRow(n, hT[i], gT[i], hSp[i], gSp[i])
+	}
+	t.Note("single-node advantage: Glasswing CPU %.2fx over Hadoop", hT[0]/gT[0])
+	return t
+}
+
+// Fig3KMGPU regenerates Figure 3(c): KM with many centers on the GPU —
+// Hadoop (HDFS) and Glasswing CPU (HDFS) for reference, GPMR (local FS,
+// code adapted for many centers) and Glasswing GPU on both HDFS and the
+// local FS.
+func Fig3KMGPU(s Sizes) *Table {
+	data, spec, app := kmSetup(s, s.KMCenters)
+	blockSize := blockSizeFor(len(data), 256)
+	blocks := kmBlocks(data, spec.Dim, blockSize)
+
+	t := &Table{
+		ID: "fig3c", Paper: "Figure 3(c)",
+		Title: "KM (many centers) on GPU",
+		Columns: []string{"nodes", "hadoop(s)", "gw-cpu(s)", "gpmr(s)",
+			"gw-gpu-hdfs(s)", "gw-gpu-local(s)"},
+	}
+	var h1, g1 float64
+	for _, n := range fig2Nodes {
+		_, clH := newCluster(n, false, s.SlowCompute)
+		dH := newHDFS(clH, blockSize, false)
+		dH.PreloadBlocks("km", blocks, 0)
+		hres := hadoopRun(clH, dH, app, hadoop.Config{Input: []string{"km"}, UseCombiner: true}, spec.Prelude())
+
+		_, clC := newCluster(n, false, s.SlowCompute)
+		dC := newHDFS(clC, blockSize, true)
+		dC.PreloadBlocks("km", blocks, 0)
+		cres := glasswing(clC, dC, app, core.Config{
+			Input: []string{"km"}, Collector: core.HashTable, UseCombiner: true,
+		}, spec.Prelude())
+
+		_, clP := newCluster(n, true, s.SlowCompute)
+		lP := dfs.NewLocal(clP, blockSize)
+		lP.PreloadBlocks("km", blocks, 0)
+		pres := gpmrRun(clP, lP, app, gpmr.Config{Input: []string{"km"}, PartialReduce: true})
+
+		_, clG := newCluster(n, true, s.SlowCompute)
+		dG := newHDFS(clG, blockSize, true)
+		dG.PreloadBlocks("km", blocks, 0)
+		gres := glasswing(clG, dG, app, core.Config{
+			Input: []string{"km"}, Device: 1, Collector: core.HashTable, UseCombiner: true,
+		}, spec.Prelude())
+
+		_, clL := newCluster(n, true, s.SlowCompute)
+		lL := dfs.NewLocal(clL, blockSize)
+		lL.PreloadBlocks("km", blocks, 0)
+		lres := glasswing(clL, lL, app, core.Config{
+			Input: []string{"km"}, Device: 1, Collector: core.HashTable, UseCombiner: true,
+		}, spec.Prelude())
+
+		if n == 1 {
+			h1, g1 = hres.JobTime, gres.JobTime
+			mustVerify(apps.VerifyKMeans(gres.Output(), data, spec), "KM gw-gpu")
+			mustVerify(apps.VerifyKMeans(pres.Output(), data, spec), "KM gpmr")
+		}
+		t.AddRow(n, hres.JobTime, cres.JobTime, pres.JobTime, gres.JobTime, lres.JobTime)
+	}
+	t.Note("single-node GPU gain over Hadoop: %.1fx (paper: ~20x)", h1/g1)
+	return t
+}
+
+// Fig3MMGPU regenerates Figure 3(d): MM on the GPU. GPMR's MM generates
+// input on the fly (its I/O line is compute-only); Glasswing GPU runs on
+// HDFS and local FS, exposing the libhdfs/JNI gap.
+func Fig3MMGPU(s Sizes) *Table {
+	spec := apps.MMSpec{N: s.MMN, Tile: s.MMTile, ModelTile: s.MMModelTile}
+	input, a, b, err := apps.MMData(43, spec)
+	if err != nil {
+		panic(err)
+	}
+	app := apps.MatMul(spec)
+	blockSize := blockSizeFor(len(input), 256)
+	blocks := dfs.SplitFixed(input, blockSize, int64(spec.RecordSize()))
+
+	t := &Table{
+		ID: "fig3d", Paper: "Figure 3(d)",
+		Title:   "MM on GPU",
+		Columns: []string{"nodes", "hadoop(s)", "gw-cpu(s)", "gpmr(s)", "gw-gpu-hdfs(s)", "gw-gpu-local(s)"},
+	}
+	for _, n := range fig2Nodes {
+		_, clH := newCluster(n, false, s.SlowCompute)
+		dH := newHDFS(clH, blockSize, false)
+		dH.PreloadBlocks("mm", blocks, 0)
+		hres := hadoopRun(clH, dH, app, hadoop.Config{Input: []string{"mm"}}, nil)
+
+		_, clC := newCluster(n, false, s.SlowCompute)
+		dC := newHDFS(clC, blockSize, true)
+		dC.PreloadBlocks("mm", blocks, 0)
+		cres := glasswing(clC, dC, app, core.Config{Input: []string{"mm"}, Collector: core.BufferPool}, nil)
+
+		_, clP := newCluster(n, true, s.SlowCompute)
+		lP := dfs.NewLocal(clP, blockSize)
+		lP.PreloadBlocks("mm", blocks, 0)
+		pres := gpmrRun(clP, lP, app, gpmr.Config{Input: []string{"mm"}, GenerateInput: true, KernelInefficiency: 5})
+
+		_, clG := newCluster(n, true, s.SlowCompute)
+		dG := newHDFS(clG, blockSize, true)
+		dG.PreloadBlocks("mm", blocks, 0)
+		gres := glasswing(clG, dG, app, core.Config{
+			Input: []string{"mm"}, Device: 1, Collector: core.BufferPool,
+		}, nil)
+
+		_, clL := newCluster(n, true, s.SlowCompute)
+		lL := dfs.NewLocal(clL, blockSize)
+		lL.PreloadBlocks("mm", blocks, 0)
+		lres := glasswing(clL, lL, app, core.Config{
+			Input: []string{"mm"}, Device: 1, Collector: core.BufferPool,
+		}, nil)
+
+		if n == 1 {
+			mustVerify(apps.VerifyMatMul(gres.Output(), a, b, spec), "MM gw-gpu")
+		}
+		t.AddRow(n, hres.JobTime, cres.JobTime, pres.JobTime, gres.JobTime, lres.JobTime)
+	}
+	t.Note("HDFS vs local FS on the GPU exposes the libhdfs/JNI overhead (paper §IV-A2)")
+	return t
+}
+
+// Fig3KMSmall regenerates Figure 3(e): KM with few centers (unmodified
+// GPMR configuration) on the local FS. The workload is I/O dominant;
+// GPMR's total is IO+compute where Glasswing's is ~max(IO, compute).
+func Fig3KMSmall(s Sizes) *Table {
+	data, spec, app := kmSetup(s, s.KMSmall)
+	blockSize := blockSizeFor(len(data), 256)
+	blocks := kmBlocks(data, spec.Dim, blockSize)
+
+	t := &Table{
+		ID: "fig3e", Paper: "Figure 3(e)",
+		Title:   "KM (few centers) on GPU, local FS",
+		Columns: []string{"nodes", "gpmr-compute(s)", "gpmr-total(s)", "glasswing(s)", "gpmr/gw"},
+	}
+	for _, n := range fig2Nodes {
+		_, clP := newCluster(n, true, s.Slow)
+		lP := dfs.NewLocal(clP, blockSize)
+		lP.PreloadBlocks("km", blocks, 0)
+		pres := gpmrRun(clP, lP, app, gpmr.Config{Input: []string{"km"}, PartialReduce: true})
+
+		_, clG := newCluster(n, true, s.Slow)
+		lG := dfs.NewLocal(clG, blockSize)
+		lG.PreloadBlocks("km", blocks, 0)
+		gres := glasswing(clG, lG, app, core.Config{
+			Input: []string{"km"}, Device: 1, Collector: core.HashTable, UseCombiner: true,
+		}, spec.Prelude())
+		if n == 1 {
+			mustVerify(apps.VerifyKMeans(gres.Output(), data, spec), "KM-small glasswing")
+		}
+		t.AddRow(n, pres.Compute, pres.JobTime, gres.JobTime, pres.JobTime/gres.JobTime)
+	}
+	t.Note("paper: GPMR total ~1.5x Glasswing for all cluster sizes")
+	return t
+}

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// ExtHeterogeneous explores the setting the paper cites Shirahata et al.
+// for (§II): a cluster where only some nodes carry GPUs. Compute-bound KM
+// on 8 nodes, 4 of them with a GTX480:
+//
+//   - all-CPU: every node computes on its CPU (the homogeneous floor);
+//   - mixed, even split: GPU nodes use their GPU, splits divided evenly —
+//     the GPU nodes finish early and idle while CPU nodes straggle;
+//   - mixed, capacity-weighted: the coordinator assigns splits in
+//     proportion to device peak throughput (Config.BalanceByDevice).
+func ExtHeterogeneous(s Sizes) *Table {
+	data, spec, app := kmSetup(s, s.KMCenters)
+	blockSize := blockSizeFor(len(data), 256)
+	blocks := kmBlocks(data, spec.Dim, blockSize)
+
+	const nodes = 8
+	devices := make([]int, nodes)
+	for i := 0; i < nodes/2; i++ {
+		devices[i] = 1 // first half carries GPUs
+	}
+
+	run := func(perNode []int, balance, static bool) *core.Result {
+		env := sim.NewEnv()
+		cluster := hw.NewCluster(env, nodes, hw.Type1(true).Slowed(s.SlowCompute))
+		l := dfs.NewLocal(cluster, blockSize)
+		l.PreloadBlocks("km", blocks, 0)
+		res := glasswing(cluster, l, app, core.Config{
+			Input:            []string{"km"},
+			DevicePerNode:    perNode,
+			BalanceByDevice:  balance,
+			StaticScheduling: static,
+			Collector:        core.HashTable,
+			UseCombiner:      true,
+		}, spec.Prelude())
+		mustVerify(apps.VerifyKMeans(res.Output(), data, spec), "hetero KM")
+		return res
+	}
+
+	t := &Table{
+		ID: "ext-hetero", Paper: "extension (paper §II, Shirahata et al.)",
+		Title:   "Heterogeneous cluster: 8 nodes, 4 with a GTX480 (KM)",
+		Columns: []string{"configuration", "job(s)", "map(s)"},
+	}
+	allCPU := run(make([]int, nodes), false, false)
+	staticEven := run(devices, false, true)
+	staticWeighted := run(devices, true, true)
+	dynamic := run(devices, false, false)
+	t.AddRow("all-CPU (homogeneous)", allCPU.JobTime, allCPU.MapElapsed)
+	t.AddRow("mixed, static even split", staticEven.JobTime, staticEven.MapElapsed)
+	t.AddRow("mixed, static capacity-weighted", staticWeighted.JobTime, staticWeighted.MapElapsed)
+	t.AddRow("mixed, dynamic (stealing)", dynamic.JobTime, dynamic.MapElapsed)
+	t.Note("a static even split leaves GPU nodes idle while CPU nodes straggle; capacity-weighted assignment or the default dynamic stealing recovers the mixed cluster's capacity")
+	return t
+}

@@ -1,0 +1,61 @@
+package expt
+
+import "io"
+
+// Experiment binds an experiment id to the function regenerating it.
+type Experiment struct {
+	ID    string
+	Paper string
+	Run   func(Sizes) *Table
+}
+
+// All lists every experiment in the order the paper presents them.
+var All = []Experiment{
+	{"fig1", "Figure 1", Fig1},
+	{"tab1", "Table I", TableI},
+	{"fig2a", "Figure 2(a)", Fig2PVC},
+	{"fig2b", "Figure 2(b)", Fig2WC},
+	{"fig2c", "Figure 2(c)", Fig2TS},
+	{"fig3a", "Figure 3(a)", Fig3KMCPU},
+	{"fig3b", "Figure 3(b)", Fig3MMCPU},
+	{"fig3c", "Figure 3(c)", Fig3KMGPU},
+	{"fig3d", "Figure 3(d)", Fig3MMGPU},
+	{"fig3e", "Figure 3(e)", Fig3KMSmall},
+	{"tab2", "Table II", TableII},
+	{"tab3", "Table III", TableIII},
+	{"fig4a", "Figure 4(a)", Fig4a},
+	{"fig4b", "Figure 4(b)", Fig4b},
+	{"fig5", "Figure 5", Fig5},
+	{"vert", "Section IV-C", Vertical},
+	{"vert-k20m", "Section IV-A2 (Type-2)", VerticalK20mScaling},
+	{"abl-olap", "ablation: overlap", AblationOverlap},
+	{"abl-buf", "ablation: buffering", AblationBuffering},
+	{"abl-push", "ablation: push vs pull", AblationPushPull},
+	{"abl-comp", "ablation: compression", AblationCompression},
+	{"abl-net", "ablation: GbE vs IPoIB fabric", AblationNetwork},
+	{"ext-hadoopcl", "extension: HadoopCL comparison", ExtHadoopCL},
+	{"ext-hetero", "extension: heterogeneous cluster scheduling", ExtHeterogeneous},
+	{"ext-straggler", "extension: straggler + speculative execution", ExtStraggler},
+}
+
+// Lookup finds an experiment by id, or nil.
+func Lookup(id string) *Experiment {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment at the given sizes, printing each table
+// to w as it completes.
+func RunAll(w io.Writer, s Sizes) []*Table {
+	var tables []*Table
+	for _, e := range All {
+		t := e.Run(s)
+		t.Print(w)
+		tables = append(tables, t)
+	}
+	return tables
+}

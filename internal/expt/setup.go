@@ -1,0 +1,176 @@
+package expt
+
+import (
+	"fmt"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/gpmr"
+	"glasswing/internal/hadoop"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// Sizes parameterizes every experiment's dataset and the hardware slowdown
+// used by the horizontal-scalability runs. Default reflects the ratios of
+// the paper's datasets; Quick shrinks everything for fast unit tests.
+type Sizes struct {
+	// Slow is the hardware time-dilation factor for the I/O-bound cluster
+	// experiments (see hw.NodeSpec.Slowed): real bytes * Slow ~ the
+	// paper's volumes.
+	Slow float64
+	// SlowCompute is the gentler dilation for the compute-bound
+	// experiments, whose virtual dominance comes from the kernel cost
+	// models (KMModelCenters / MMModelTile) rather than from I/O volume —
+	// this keeps constant-size structures (cluster centers, output tiles)
+	// from being over-dilated.
+	SlowCompute float64
+
+	WCBytes   int // paper: 70 GB of Wikipedia dump
+	Vocab     int
+	PVCBytes  int // paper: 36 GB of WikiBench traces
+	TSRecords int // paper: 1 TB of TeraGen records
+
+	KMPoints  int // paper: 2^30-ish points
+	KMDim     int // paper: 4 dimensions
+	KMCenters int // centers actually computed
+	// KMModelCenters is the charged center count (paper: 1024+ so that
+	// I/O is negligible against computation, §IV-A2).
+	KMModelCenters int
+	KMSmall        int // paper: 16 centers (unmodified GPMR, I/O dominant)
+
+	MMN    int // paper: tens-of-thousands-wide square matrices
+	MMTile int
+	// MMModelTile is the charged tile size (picked so MM is compute-bound
+	// on the CPU but I/O-bound on the GPU with HDFS, as in §IV-A2).
+	MMModelTile int
+}
+
+// Default returns the benchmark-scale sizes (a few MB real, paper-scale
+// virtual).
+func Default() Sizes {
+	return Sizes{
+		Slow:           2500,
+		SlowCompute:    300,
+		WCBytes:        6 << 20,
+		Vocab:          15000,
+		PVCBytes:       5 << 20,
+		TSRecords:      80000, // 8 MB
+		KMPoints:       1 << 17,
+		KMDim:          4,
+		KMCenters:      256,
+		KMModelCenters: 4096,
+		KMSmall:        16,
+		MMN:            512,
+		MMTile:         64,
+		MMModelTile:    192,
+	}
+}
+
+// Quick returns unit-test-scale sizes.
+func Quick() Sizes {
+	return Sizes{
+		Slow:           1500,
+		SlowCompute:    150,
+		WCBytes:        512 << 10,
+		Vocab:          4000,
+		PVCBytes:       384 << 10,
+		TSRecords:      8000,
+		KMPoints:       1 << 14,
+		KMDim:          4,
+		KMCenters:      64,
+		KMModelCenters: 2048,
+		KMSmall:        16,
+		MMN:            128,
+		MMTile:         32,
+		MMModelTile:    96,
+	}
+}
+
+// newCluster builds a cluster of Type-1 nodes, optionally slowed.
+func newCluster(nodes int, gpu bool, slow float64) (*sim.Env, *hw.Cluster) {
+	env := sim.NewEnv()
+	spec := hw.Type1(gpu)
+	if slow > 1 {
+		spec = spec.Slowed(slow)
+	}
+	return env, hw.NewCluster(env, nodes, spec)
+}
+
+// newHDFS attaches a DFS with replication 3 (capped by cluster size); jni
+// selects the libhdfs access-cost mode (used by Glasswing runs, not by
+// Hadoop, which pays Java costs inside its own model).
+func newHDFS(cluster *hw.Cluster, blockSize int64, jni bool) *dfs.DFS {
+	d := dfs.New(cluster, blockSize, 3)
+	if jni {
+		d.JNI = dfs.DefaultJNI
+	}
+	return d
+}
+
+// blockSizeFor splits total bytes into ~chunks blocks, keeping blocks at
+// least 16 KiB.
+func blockSizeFor(total, chunks int) int64 {
+	bs := int64(total / chunks)
+	if bs < 4<<10 {
+		bs = 4 << 10
+	}
+	return bs
+}
+
+// glasswing runs app on cluster+fs and panics on error (experiment wiring
+// bugs should be loud).
+func glasswing(cluster *hw.Cluster, fs dfs.FS, app *core.App, cfg core.Config, prelude func(*sim.Proc, *hw.Cluster)) *core.Result {
+	res, err := core.Run(&core.Runtime{Cluster: cluster, FS: fs, Prelude: prelude}, app, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("expt: glasswing %s: %v", app.Name, err))
+	}
+	return res
+}
+
+func hadoopRun(cluster *hw.Cluster, fs dfs.FS, app *core.App, cfg hadoop.Config, prelude func(*sim.Proc, *hw.Cluster)) *hadoop.Result {
+	res, err := hadoop.Run(&hadoop.Runtime{Cluster: cluster, FS: fs, Prelude: prelude}, app, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("expt: hadoop %s: %v", app.Name, err))
+	}
+	return res
+}
+
+func gpmrRun(cluster *hw.Cluster, fs dfs.FS, app *core.App, cfg gpmr.Config) *gpmr.Result {
+	res, err := gpmr.Run(&gpmr.Runtime{Cluster: cluster, FS: fs}, app, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("expt: gpmr %s: %v", app.Name, err))
+	}
+	return res
+}
+
+// mustVerify aborts the experiment if an output check fails — regenerated
+// numbers from wrong answers would be worthless.
+func mustVerify(err error, what string) {
+	if err != nil {
+		panic(fmt.Sprintf("expt: %s output verification failed: %v", what, err))
+	}
+}
+
+// speedup computes t1/tn series against the 1-node (first) entry.
+func speedup(times []float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 {
+			out[i] = times[0] / t
+		}
+	}
+	return out
+}
+
+// kmSetup builds the KM dataset and app for the given center count. The
+// many-centers variant charges the paper's model center count; the
+// small-centers variant (Fig 3e) charges exactly what it computes.
+func kmSetup(s Sizes, centers int) ([]byte, apps.KMeansSpec, *core.App) {
+	data, spec := apps.KMData(41, s.KMPoints, s.KMDim, centers)
+	if centers == s.KMCenters {
+		spec.ModelCenters = s.KMModelCenters
+	}
+	return data, spec, apps.KMeans(spec)
+}

@@ -1,0 +1,125 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// section (§IV) on the simulated cluster. Each experiment returns a Table
+// whose rows/series correspond to what the paper plots; DESIGN.md carries
+// the experiment index, EXPERIMENTS.md the recorded paper-vs-measured
+// comparison.
+//
+// Two scaling regimes are used, both documented in DESIGN.md:
+//
+//   - Horizontal-scalability experiments (Fig 2, Fig 3) run MB-scale real
+//     datasets on hardware slowed by hw.NodeSpec.Slowed so the virtual
+//     timeline matches the paper's GB/TB-scale jobs.
+//   - Pipeline-breakdown experiments (Tables II/III, Figs 4/5) run at full
+//     hardware speed on deliberately small datasets, exactly as the paper
+//     does ("smaller data sets were used to emphasize the performance
+//     differences", §IV-B).
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated figure or table: a titled grid of cells plus
+// free-form notes (observations the paper's prose makes about the data).
+type Table struct {
+	ID      string // experiment id, e.g. "fig2a"
+	Paper   string // what the paper calls it, e.g. "Figure 2(a)"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends an observation line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		switch {
+		case v == 0:
+			return "0"
+		case v < 0.01:
+			return fmt.Sprintf("%.4f", v)
+		case v < 10:
+			return fmt.Sprintf("%.2f", v)
+		case v < 100:
+			return fmt.Sprintf("%.1f", v)
+		default:
+			return fmt.Sprintf("%.0f", v)
+		}
+	case string:
+		return v
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s  %s — %s ==\n", t.ID, t.Paper, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Cell looks a value up by column name in row i (testing convenience).
+func (t *Table) Cell(row int, column string) string {
+	for i, c := range t.Columns {
+		if c == column {
+			return t.Rows[row][i]
+		}
+	}
+	panic(fmt.Sprintf("expt: no column %q in %s", column, t.ID))
+}

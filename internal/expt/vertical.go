@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// Vertical regenerates the paper's vertical-scalability evaluation
+// (§IV headline 3): the same Glasswing KM and MM applications, unchanged,
+// across the full device zoo — multi-core CPU, three GPU generations and
+// the Xeon Phi — exercising the OpenCL abstraction's device portability.
+func Vertical(s Sizes) *Table {
+	type rig struct {
+		name   string
+		host   hw.NodeSpec
+		device int // index into node.Devices
+	}
+	rigs := []rig{
+		{"CPU (dual Xeon E5620)", hw.Type1(false), 0},
+		{"GTX480 (Type-1 host)", hw.Type1(true), 1},
+		{"GTX680 (Type-2 host)", withAccel(hw.Type2(false), hw.GTX680), 1},
+		{"K20m (Type-2 host)", hw.Type2(true), 1},
+		{"XeonPhi (Type-2 host)", withAccel(hw.Type2(false), hw.XeonPhi), 1},
+	}
+
+	kmData, kmSpec := apps.KMData(31, s.KMPoints/2, s.KMDim, s.KMCenters)
+	kmSpec.ModelCenters = s.KMModelCenters
+	kmApp := apps.KMeans(kmSpec)
+	kmBS := blockSizeFor(len(kmData), 64)
+	kmBlk := dfs.SplitFixed(kmData, kmBS, int64(kmSpec.Dim*4))
+
+	mmSpec := apps.MMSpec{N: s.MMN / 2, Tile: s.MMTile / 2, ModelTile: s.MMModelTile}
+	mmIn, mmA, mmB, err := apps.MMData(32, mmSpec)
+	if err != nil {
+		panic(err)
+	}
+	mmApp := apps.MatMul(mmSpec)
+	mmBS := blockSizeFor(len(mmIn), 64)
+	mmBlk := dfs.SplitFixed(mmIn, mmBS, int64(mmSpec.RecordSize()))
+
+	t := &Table{
+		ID: "vert", Paper: "§IV-C",
+		Title:   "Vertical scalability: one node, same kernels, different devices",
+		Columns: []string{"device", "KM(s)", "KM-speedup-vs-CPU", "MM(s)", "MM-speedup-vs-CPU"},
+	}
+	var kmCPU, mmCPU float64
+	for i, r := range rigs {
+		env := sim.NewEnv()
+		cluster := hw.NewCluster(env, 1, r.host.Slowed(s.SlowCompute))
+		l := dfs.NewLocal(cluster, kmBS)
+		l.PreloadBlocks("km", kmBlk, 0)
+		kmRes := glasswing(cluster, l, kmApp, core.Config{
+			Input: []string{"km"}, Device: r.device,
+			Collector: core.HashTable, UseCombiner: true,
+		}, kmSpec.Prelude())
+		mustVerify(apps.VerifyKMeans(kmRes.Output(), kmData, kmSpec), "vertical KM "+r.name)
+
+		env2 := sim.NewEnv()
+		cluster2 := hw.NewCluster(env2, 1, r.host.Slowed(s.SlowCompute))
+		l2 := dfs.NewLocal(cluster2, mmBS)
+		l2.PreloadBlocks("mm", mmBlk, 0)
+		mmRes := glasswing(cluster2, l2, mmApp, core.Config{
+			Input: []string{"mm"}, Device: r.device, Collector: core.BufferPool,
+		}, nil)
+		if i == 0 {
+			kmCPU, mmCPU = kmRes.JobTime, mmRes.JobTime
+			mustVerify(apps.VerifyMatMul(mmRes.Output(), mmA, mmB, mmSpec), "vertical MM")
+		}
+		t.AddRow(r.name, kmRes.JobTime, kmCPU/kmRes.JobTime, mmRes.JobTime, mmCPU/mmRes.JobTime)
+	}
+	t.Note("same application code and API on every device (paper §I, §III)")
+	return t
+}
+
+// VerticalK20mScaling regenerates the paper's K20m consistency check: KM on
+// up to 8 Type-2 nodes ("we ran Glasswing KM and MM on up to N Type-2 nodes
+// equipped with a K20m and obtained consistent scaling results").
+func VerticalK20mScaling(s Sizes) *Table {
+	data, spec := apps.KMData(33, s.KMPoints, s.KMDim, s.KMCenters)
+	spec.ModelCenters = s.KMModelCenters
+	app := apps.KMeans(spec)
+	blockSize := blockSizeFor(len(data), 128)
+	blocks := dfs.SplitFixed(data, blockSize, int64(spec.Dim*4))
+
+	t := &Table{
+		ID: "vert-k20m", Paper: "§IV-A2 (Type-2 consistency)",
+		Title:   "KM on K20m Type-2 nodes",
+		Columns: []string{"nodes", "time(s)", "speedup"},
+	}
+	var times []float64
+	nodesSweep := []int{1, 2, 4, 8}
+	for _, n := range nodesSweep {
+		env := sim.NewEnv()
+		cluster := hw.NewCluster(env, n, hw.Type2(true).Slowed(s.SlowCompute))
+		l := dfs.NewLocal(cluster, blockSize)
+		l.PreloadBlocks("km", blocks, 0)
+		res := glasswing(cluster, l, app, core.Config{
+			Input: []string{"km"}, Device: 1,
+			Collector: core.HashTable, UseCombiner: true,
+		}, spec.Prelude())
+		times = append(times, res.JobTime)
+	}
+	sp := speedup(times)
+	for i, n := range nodesSweep {
+		t.AddRow(n, times[i], sp[i])
+	}
+	return t
+}
+
+// withAccel attaches a different accelerator to a host spec.
+func withAccel(spec hw.NodeSpec, accel hw.DeviceProfile) hw.NodeSpec {
+	spec.Accels = []hw.DeviceProfile{accel}
+	return spec
+}

@@ -1,0 +1,27 @@
+package hadoop
+
+import "math"
+
+// Java-side data-plane costs (ops). Heavier than Glasswing's C++ host code
+// equivalents in internal/core/costs.go by roughly the javaComputeFactor.
+const (
+	costSortPerCmpJava = 60.0
+	costSerializeJava  = 2.5
+	costMergePerJava   = 95.0
+)
+
+// sortCostJava returns the ops to sort n pairs in the map task's buffer.
+func sortCostJava(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * math.Log2(float64(n)) * costSortPerCmpJava
+}
+
+// mergeCostJava returns the ops to k-way merge n pairs on the reducer.
+func mergeCostJava(n, k int) float64 {
+	if n == 0 || k < 2 {
+		return float64(n) * 10
+	}
+	return float64(n) * math.Log2(float64(k)) * costMergePerJava
+}

@@ -1,0 +1,86 @@
+package hadoopcl
+
+import (
+	"testing"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+func setup(nodes int, gpu bool) (*Runtime, []byte, apps.KMeansSpec) {
+	env := sim.NewEnv()
+	cluster := hw.NewCluster(env, nodes, hw.Type1(gpu))
+	d := dfs.New(cluster, 8<<10, min(3, nodes))
+	data, spec := apps.KMData(21, 8000, 4, 32)
+	d.PreloadBlocks("km", dfs.SplitFixed(data, 8<<10, int64(spec.Dim*4)), 0)
+	return &Runtime{Cluster: cluster, FS: d}, data, spec
+}
+
+func TestKMeansCorrectOnCPUAndGPU(t *testing.T) {
+	for _, device := range []int{0, 1} {
+		rt, data, spec := setup(2, true)
+		res, err := Run(rt, apps.KMeans(spec), Config{
+			Input: []string{"km"}, Device: device, UseCombiner: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := apps.VerifyKMeans(res.Output(), data, spec); err != nil {
+			t.Fatalf("device %d: %v", device, err)
+		}
+		if res.KernelTime <= 0 {
+			t.Fatalf("device %d: no kernel time recorded", device)
+		}
+	}
+}
+
+func TestGPUBeatsCPUKernel(t *testing.T) {
+	run := func(device int) float64 {
+		rt, _, spec := setup(1, true)
+		spec.ModelCenters = 4096
+		res, err := Run(rt, apps.KMeans(spec), Config{
+			Input: []string{"km"}, Device: device, UseCombiner: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.KernelTime
+	}
+	cpu := run(0)
+	gpu := run(1)
+	if gpu >= cpu {
+		t.Fatalf("GPU kernel time (%g) should beat CPU (%g)", gpu, cpu)
+	}
+}
+
+func TestWordCountCorrect(t *testing.T) {
+	env := sim.NewEnv()
+	cluster := hw.NewCluster(env, 2, hw.Type1(true))
+	d := dfs.New(cluster, 16<<10, 2)
+	data, want := apps.WCData(22, 128<<10, 1500)
+	d.PreloadBlocks("wc", dfs.SplitLines(data, 16<<10), 0)
+	rt := &Runtime{Cluster: cluster, FS: d}
+	res, err := Run(rt, apps.WordCount(), Config{Input: []string{"wc"}, Device: 1, UseCombiner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rt, _, _ := setup(1, false)
+	if _, err := Run(rt, &core.App{Name: "x"}, Config{Input: []string{"km"}}); err == nil {
+		t.Error("app without kernels should fail")
+	}
+	if _, err := Run(rt, apps.WordCount(), Config{}); err == nil {
+		t.Error("missing input should fail")
+	}
+	if _, err := Run(rt, apps.WordCount(), Config{Input: []string{"km"}, Device: 7}); err == nil {
+		t.Error("bad device should fail")
+	}
+}

@@ -1,0 +1,75 @@
+package hw
+
+import "glasswing/internal/sim"
+
+// Cluster is a set of nodes joined by a non-blocking fabric (the paper's
+// DAS-4 uses QDR InfiniBand with full bisection bandwidth, so the only
+// contention points are the per-node NICs).
+type Cluster struct {
+	Env   *sim.Env
+	Nodes []*Node
+}
+
+// NewCluster builds n identical nodes from spec.
+func NewCluster(env *sim.Env, n int, spec NodeSpec) *Cluster {
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return NewClusterWithSpecs(env, specs)
+}
+
+// NewClusterWithSpecs builds one node per spec — a heterogeneous cluster
+// (mixed node generations, or a straggler: one node with an extra Slowed
+// factor).
+func NewClusterWithSpecs(env *sim.Env, specs []NodeSpec) *Cluster {
+	c := &Cluster{Env: env}
+	for i, spec := range specs {
+		c.Nodes = append(c.Nodes, NewNode(env, i, spec))
+	}
+	return c
+}
+
+// Transfer moves bytes from src to dst, blocking p until the data has
+// arrived. The sender's up pipe and the receiver's down pipe are both
+// charged; to avoid store-and-forward double counting, the transfer is
+// split into windows so the two pipes overlap, converging to the bottleneck
+// pipe's rate for bulk transfers. Protocol processing is charged to both
+// hosts' CPU pools. Local transfers (src == dst) cost one memcpy.
+func (c *Cluster) Transfer(p *sim.Proc, src, dst *Node, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	if src == dst {
+		// In-process hand-off: charge a memcpy at host memory bandwidth.
+		src.CPU.Use(p, float64(bytes)*0.1, 1)
+		return
+	}
+	prof := src.NIC.Profile
+	p.Delay(prof.Latency)
+	cpuOps := prof.CPUPerByte * float64(bytes)
+	src.CPU.Use(p, cpuOps/2, 1)
+	// The sender's up pipe and the receiver's down pipe are occupied
+	// concurrently (cut-through, non-blocking core); the transfer finishes
+	// when the slower of the two shares delivers the last byte. A helper
+	// process drives the sender side so both pipes are held at once, which
+	// makes incast at a reducer cost what it should.
+	upDone := sim.NewSignal(c.Env)
+	c.Env.Spawn(p.Name+"/xfer-up", func(q *sim.Proc) {
+		src.NIC.Up.Use(q, float64(bytes), 1)
+		upDone.Fire(nil)
+	})
+	dst.NIC.Down.Use(p, float64(bytes), 1)
+	upDone.Wait(p)
+	dst.CPU.Use(p, cpuOps/2, 1)
+}
+
+// Broadcast sends bytes from src to every other node (used by KM to ship
+// the cluster centers, mirroring Hadoop's DistributedCache).
+func (c *Cluster) Broadcast(p *sim.Proc, src *Node, bytes int64) {
+	for _, n := range c.Nodes {
+		if n != src {
+			c.Transfer(p, src, n, bytes)
+		}
+	}
+}

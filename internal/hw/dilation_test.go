@@ -1,0 +1,75 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"glasswing/internal/sim"
+)
+
+// TestQuickTimeDilationEquivalence is the property DESIGN.md's scaling
+// substitution rests on: processing S bytes on hardware slowed by m takes
+// exactly m times as long as at full speed — equivalently, the same time as
+// S*m bytes at full speed — for disk, CPU and network alike (fixed
+// latencies excluded, which is why the property is checked on bulk work).
+func TestQuickTimeDilationEquivalence(t *testing.T) {
+	run := func(m float64, bytes int64, ops float64) float64 {
+		env := sim.NewEnv()
+		spec := Type1(false)
+		if m > 1 {
+			spec = spec.Slowed(m)
+		}
+		c := NewCluster(env, 2, spec)
+		var end float64
+		env.Spawn("work", func(p *sim.Proc) {
+			c.Nodes[0].Disk.Read(p, bytes)
+			c.Nodes[0].HostWork(p, ops, 4)
+			c.Transfer(p, c.Nodes[0], c.Nodes[1], bytes)
+			end = p.Now()
+		})
+		env.Run()
+		return end
+	}
+	f := func(mRaw, bRaw uint16) bool {
+		m := 2 + float64(mRaw%500)
+		bytes := int64(bRaw)*1000 + 32<<20
+		ops := float64(bytes) * 3
+		slow := run(m, bytes, ops)
+		fast := run(1, bytes, ops)
+		// Bulk terms scale exactly by m; fixed latencies (seek, NIC
+		// latency) do not, so allow a small tolerance.
+		ratio := slow / fast
+		return ratio > m*0.9 && ratio < m*1.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowedPreservesFixedLatencies(t *testing.T) {
+	s := Type1(true).Slowed(100)
+	if s.Disk.SeekTime != RAID2x1TB.SeekTime {
+		t.Error("seek time must not dilate")
+	}
+	if s.NIC.Latency != IPoIB.Latency {
+		t.Error("NIC latency must not dilate")
+	}
+	if s.Accels[0].LaunchOverhead != GTX480.LaunchOverhead {
+		t.Error("kernel launch overhead must not dilate")
+	}
+	if s.CPU.ThreadOps*100 != XeonE5620.ThreadOps {
+		t.Error("CPU rate must dilate by exactly m")
+	}
+	if s.Accels[0].PCIeBW*100 != GTX480.PCIeBW {
+		t.Error("PCIe bandwidth must dilate by exactly m")
+	}
+}
+
+func TestSlowedInvalidFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive factor")
+		}
+	}()
+	Type1(false).Slowed(0)
+}

@@ -1,0 +1,217 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"glasswing/internal/sim"
+)
+
+func almost(t *testing.T, got, want, rel float64, msg string) {
+	t.Helper()
+	tol := rel * math.Max(math.Abs(want), 1e-12)
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (rel tol %g)", msg, got, want, rel)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, d := range []DeviceProfile{XeonE5620, XeonE5, GTX480, GTX680, K20m, XeonPhi} {
+		if d.HWThreads <= 0 || d.ThreadOps <= 0 || d.MemBW <= 0 {
+			t.Errorf("%s: non-positive core parameters: %+v", d.Name, d)
+		}
+		if !d.Unified && d.PCIeBW <= 0 {
+			t.Errorf("%s: discrete device without PCIe bandwidth", d.Name)
+		}
+		if d.Peak() <= 0 {
+			t.Errorf("%s: zero peak", d.Name)
+		}
+	}
+	// The paper's single-node GPU/CPU gap for compute-bound work is about
+	// an order of magnitude (KM: 20x over Hadoop, ~2x of which is
+	// Glasswing-CPU vs Hadoop). Check the profiles put GTX480/CPU in a
+	// 5x..20x band.
+	ratio := GTX480.Peak() / XeonE5620.Peak()
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("GTX480/XeonE5620 peak ratio %g outside [5,20]", ratio)
+	}
+	// Successive GPU generations must be ordered.
+	if !(K20m.Peak() > GTX480.Peak()) {
+		t.Error("K20m should outrun GTX480")
+	}
+}
+
+func TestDiskSequentialBandwidth(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNode(env, 0, Type1(false))
+	var end float64
+	env.Spawn("r", func(p *sim.Proc) {
+		n.Disk.Read(p, 200e6) // 200 MB at 200 MB/s + one seek
+		end = p.Now()
+	})
+	env.Run()
+	almost(t, end, 1.0+RAID2x1TB.SeekTime, 0.01, "sequential read time")
+}
+
+func TestDiskContentionShares(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNode(env, 0, Type1(false))
+	var ends []float64
+	for i := 0; i < 2; i++ {
+		env.Spawn("r", func(p *sim.Proc) {
+			n.Disk.Read(p, 100e6)
+			ends = append(ends, p.Now())
+		})
+	}
+	env.Run()
+	// Two concurrent 100MB reads on a 200MB/s disk: ~1s each (plus seeks).
+	for _, e := range ends {
+		almost(t, e, 1.0+2*RAID2x1TB.SeekTime, 0.05, "contended read")
+	}
+}
+
+func TestCPUDeviceSharesWithHostWork(t *testing.T) {
+	// A 16-thread kernel and 16 single-thread host workers on a 16-thread
+	// CPU: total weight 32 on capacity 16 -> everything takes 2x as long
+	// as uncontended.
+	env := sim.NewEnv()
+	n := NewNode(env, 0, Type1(false))
+	ops := XeonE5620.ThreadOps // 1 second of single-thread work
+	var kernelEnd float64
+	env.Spawn("kernel", func(p *sim.Proc) {
+		n.CPU.Use(p, 16*ops, 16)
+		kernelEnd = p.Now()
+	})
+	for i := 0; i < 16; i++ {
+		env.Spawn("host", func(p *sim.Proc) { n.HostWork(p, ops, 1) })
+	}
+	env.Run()
+	almost(t, kernelEnd, 2.0, 0.01, "kernel under 2x oversubscription")
+}
+
+func TestAcceleratorIsDedicated(t *testing.T) {
+	// Host work must not slow a GPU kernel down.
+	env := sim.NewEnv()
+	n := NewNode(env, 0, Type1(true))
+	gpu := n.Accelerator()
+	if gpu == nil || gpu.Profile.Name != GTX480.Name {
+		t.Fatalf("Type1(true) should carry a GTX480, got %+v", gpu)
+	}
+	ops := gpu.Profile.Peak() // 1 second of full-device work
+	var end float64
+	env.Spawn("kernel", func(p *sim.Proc) {
+		gpu.Compute.Use(p, ops, float64(gpu.Profile.HWThreads))
+		end = p.Now()
+	})
+	for i := 0; i < 32; i++ {
+		env.Spawn("host", func(p *sim.Proc) { n.HostWork(p, 1e9, 1) })
+	}
+	env.Run()
+	almost(t, end, 1.0, 0.01, "GPU kernel with busy host")
+}
+
+func TestPCIeTransfer(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNode(env, 0, Type1(true))
+	gpu := n.Accelerator()
+	var end float64
+	env.Spawn("x", func(p *sim.Proc) {
+		gpu.Transfer(p, int64(GTX480.PCIeBW)) // 1 second of PCIe
+		end = p.Now()
+	})
+	env.Run()
+	almost(t, end, 1.0+GTX480.TransferOverhead, 0.01, "PCIe transfer")
+
+	// Unified device transfers are free.
+	env2 := sim.NewEnv()
+	n2 := NewNode(env2, 0, Type1(false))
+	env2.Spawn("x", func(p *sim.Proc) {
+		n2.CPUDevice().Transfer(p, 1<<30)
+		if p.Now() != 0 {
+			t.Errorf("unified transfer advanced time to %g", p.Now())
+		}
+	})
+	env2.Run()
+}
+
+func TestClusterTransferBandwidthAndLatency(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewCluster(env, 2, Type1(false))
+	bytes := int64(IPoIB.BW) // 1 second at line rate
+	var end float64
+	env.Spawn("t", func(p *sim.Proc) {
+		c.Transfer(p, c.Nodes[0], c.Nodes[1], bytes)
+		end = p.Now()
+	})
+	env.Run()
+	if end < 1.0 || end > 1.15 {
+		t.Fatalf("2-node transfer of 1s payload took %g, want ~1s (+latency+cpu)", end)
+	}
+}
+
+func TestClusterIncastContention(t *testing.T) {
+	// 4 senders to one receiver: the receiver's down pipe is the
+	// bottleneck; each transfer takes ~4x the uncontended time.
+	env := sim.NewEnv()
+	c := NewCluster(env, 5, Type1(false))
+	bytes := int64(IPoIB.BW / 4) // 0.25s uncontended
+	var ends []float64
+	for i := 1; i <= 4; i++ {
+		src := c.Nodes[i]
+		env.Spawn("t", func(p *sim.Proc) {
+			c.Transfer(p, src, c.Nodes[0], bytes)
+			ends = append(ends, p.Now())
+		})
+	}
+	env.Run()
+	for _, e := range ends {
+		if e < 0.95 || e > 1.2 {
+			t.Fatalf("incast transfer finished at %g, want ~1s", e)
+		}
+	}
+}
+
+func TestLocalTransferCheap(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewCluster(env, 1, Type1(false))
+	var end float64
+	env.Spawn("t", func(p *sim.Proc) {
+		c.Transfer(p, c.Nodes[0], c.Nodes[0], 100<<20)
+		end = p.Now()
+	})
+	env.Run()
+	if end > 0.05 {
+		t.Fatalf("local hand-off of 100MB took %g, want << network time", end)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	env := sim.NewEnv()
+	c := NewCluster(env, 4, Type1(false))
+	var end float64
+	env.Spawn("b", func(p *sim.Proc) {
+		c.Broadcast(p, c.Nodes[0], 1<<20)
+		end = p.Now()
+	})
+	env.Run()
+	if end <= 0 {
+		t.Fatal("broadcast cost nothing")
+	}
+}
+
+func TestNodeSpecDefaults(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNode(env, 3, NodeSpec{CPU: XeonE5620, Disk: RAID2x1TB, NIC: GigE})
+	if n.MemBytes != 24<<30 {
+		t.Errorf("default host mem = %d", n.MemBytes)
+	}
+	if n.Name != "node003" {
+		t.Errorf("name = %q", n.Name)
+	}
+	if n.Accelerator() != nil {
+		t.Error("unexpected accelerator")
+	}
+	if n.CPUDevice().Profile.Class != ClassCPU {
+		t.Error("device 0 must be the CPU")
+	}
+}

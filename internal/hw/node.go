@@ -1,0 +1,223 @@
+package hw
+
+import (
+	"fmt"
+
+	"glasswing/internal/sim"
+)
+
+// Node is one machine in the simulated cluster: a CPU pool that host threads
+// and CPU-device kernels contend for, a disk, a NIC, and zero or more
+// discrete accelerators.
+type Node struct {
+	ID   int
+	Name string
+
+	// CPU is the weighted processor-sharing pool of hardware threads. All
+	// host-side work (partitioning, merging, sorting, protocol processing,
+	// Hadoop tasks) and OpenCL kernels on the CPU device flow through it,
+	// which reproduces the contention effects in the paper's Table II/III
+	// and Fig 4.
+	CPU        *sim.Shared
+	CPUProfile DeviceProfile
+
+	Disk *Disk
+	NIC  *NIC
+
+	// Devices are the compute devices available to OpenCL, index 0 always
+	// being the CPU itself.
+	Devices []*Device
+
+	// MemBytes is host RAM, used by in-core frameworks (GPMR) to check
+	// dataset fit.
+	MemBytes int64
+
+	env *sim.Env
+}
+
+// Env returns the node's simulation environment.
+func (n *Node) Env() *sim.Env { return n.env }
+
+// Device is a compute device attached to a node: either the node's own CPU
+// (unified memory, compute shared with host threads) or a discrete
+// accelerator with its own compute pool and a PCIe link.
+type Device struct {
+	Profile DeviceProfile
+	Node    *Node
+
+	// Compute serves kernel ops. For the CPU device this aliases
+	// Node.CPU; for accelerators it is a dedicated pool.
+	Compute *sim.Shared
+	// PCIe is the host<->device transfer pipe (nil for unified devices).
+	PCIe *sim.Shared
+	// MemBytes is device memory (buffer budget for multiple buffering).
+	MemBytes int64
+}
+
+// Transfer moves n bytes across the device's PCIe link, blocking p for the
+// transfer duration. Transfers share the link bandwidth with each other
+// (stage vs. retrieve overlap under double/triple buffering). Unified
+// devices return immediately.
+func (d *Device) Transfer(p *sim.Proc, bytes int64) {
+	if d.Profile.Unified || bytes <= 0 {
+		return
+	}
+	if d.Profile.TransferOverhead > 0 {
+		p.Delay(d.Profile.TransferOverhead)
+	}
+	d.PCIe.Use(p, float64(bytes), 1)
+}
+
+// Disk is a node-local storage device: a bandwidth pipe shared by all
+// concurrent readers/writers, plus a fixed per-operation seek charged as
+// bandwidth-equivalent bytes so that contention still shares fairly.
+type Disk struct {
+	Profile DiskProfile
+	pipe    *sim.Shared
+}
+
+// NewDisk returns a disk following profile.
+func NewDisk(env *sim.Env, profile DiskProfile) *Disk {
+	return &Disk{Profile: profile, pipe: sim.NewShared(env, profile.BW, 1)}
+}
+
+func (d *Disk) access(p *sim.Proc, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	seekEquiv := d.Profile.SeekTime * d.Profile.BW
+	d.pipe.Use(p, float64(bytes)+seekEquiv, 1)
+}
+
+// Read charges a read of n bytes.
+func (d *Disk) Read(p *sim.Proc, bytes int64) { d.access(p, bytes) }
+
+// Write charges a write of n bytes.
+func (d *Disk) Write(p *sim.Proc, bytes int64) { d.access(p, bytes) }
+
+// NIC is a full-duplex network interface: independent up and down pipes.
+type NIC struct {
+	Profile NICProfile
+	Up      *sim.Shared
+	Down    *sim.Shared
+}
+
+// NewNIC returns a NIC following profile.
+func NewNIC(env *sim.Env, profile NICProfile) *NIC {
+	return &NIC{
+		Profile: profile,
+		Up:      sim.NewShared(env, profile.BW, 1),
+		Down:    sim.NewShared(env, profile.BW, 1),
+	}
+}
+
+// NodeSpec configures one node.
+type NodeSpec struct {
+	CPU  DeviceProfile
+	Disk DiskProfile
+	NIC  NICProfile
+	// Accels are discrete devices (GPUs, Xeon Phi) attached to the node.
+	Accels []DeviceProfile
+	// MemBytes is host RAM (default 24 GiB, the Type-1 spec).
+	MemBytes int64
+	// DeviceMemBytes is accelerator memory (default 1.5 GiB, GTX480).
+	DeviceMemBytes int64
+}
+
+// Type1 returns the spec of a DAS-4 Type-1 node (dual quad-core Xeon,
+// 24 GB RAM, 2x1TB RAID disk, IPoIB), optionally with a GTX480.
+func Type1(withGPU bool) NodeSpec {
+	s := NodeSpec{CPU: XeonE5620, Disk: RAID2x1TB, NIC: IPoIB, MemBytes: 24 << 30, DeviceMemBytes: 1536 << 20}
+	if withGPU {
+		s.Accels = []DeviceProfile{GTX480}
+	}
+	return s
+}
+
+// Type2 returns the spec of a DAS-4 Type-2 node (dual 6-core Xeon, 64 GB
+// RAM), optionally with a K20m.
+func Type2(withGPU bool) NodeSpec {
+	s := NodeSpec{CPU: XeonE5, Disk: SSDLocal, NIC: IPoIB, MemBytes: 64 << 30, DeviceMemBytes: 5 << 30}
+	if withGPU {
+		s.Accels = []DeviceProfile{K20m}
+	}
+	return s
+}
+
+// NewNode builds a node from spec.
+func NewNode(env *sim.Env, id int, spec NodeSpec) *Node {
+	if spec.MemBytes == 0 {
+		spec.MemBytes = 24 << 30
+	}
+	if spec.DeviceMemBytes == 0 {
+		spec.DeviceMemBytes = 1536 << 20
+	}
+	n := &Node{
+		ID:         id,
+		Name:       fmt.Sprintf("node%03d", id),
+		CPU:        sim.NewShared(env, spec.CPU.ThreadOps, float64(spec.CPU.HWThreads)),
+		CPUProfile: spec.CPU,
+		Disk:       NewDisk(env, spec.Disk),
+		NIC:        NewNIC(env, spec.NIC),
+		MemBytes:   spec.MemBytes,
+		env:        env,
+	}
+	cpuDev := &Device{Profile: spec.CPU, Node: n, Compute: n.CPU, MemBytes: spec.MemBytes}
+	n.Devices = append(n.Devices, cpuDev)
+	for _, ap := range spec.Accels {
+		n.Devices = append(n.Devices, &Device{
+			Profile:  ap,
+			Node:     n,
+			Compute:  sim.NewShared(env, ap.ThreadOps, float64(ap.HWThreads)),
+			PCIe:     sim.NewShared(env, ap.PCIeBW, 1),
+			MemBytes: spec.DeviceMemBytes,
+		})
+	}
+	return n
+}
+
+// CPUDevice returns the node's CPU as an OpenCL device.
+func (n *Node) CPUDevice() *Device { return n.Devices[0] }
+
+// Accelerator returns the first non-CPU device, or nil.
+func (n *Node) Accelerator() *Device {
+	if len(n.Devices) > 1 {
+		return n.Devices[1]
+	}
+	return nil
+}
+
+// HostWork charges w ops of host-side work using the given number of
+// software threads against the node's CPU pool.
+func (n *Node) HostWork(p *sim.Proc, ops float64, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	n.CPU.Use(p, ops, float64(threads))
+}
+
+// Slowed returns a copy of the spec with every bandwidth and compute rate
+// divided by m, leaving fixed latencies (seeks, kernel launch overhead,
+// network latency) untouched.
+//
+// This is the time-dilation device that lets MB-scale real datasets stand in
+// for the paper's GB/TB-scale ones: a dataset of S bytes on hardware slowed
+// by m produces the same virtual timeline as a dataset of S*m bytes on
+// full-speed hardware, up to per-operation fixed costs (which amortize at
+// real scale anyway). Experiments pick m so that realSize*m matches the
+// paper's dataset size; DESIGN.md documents the substitution.
+func (s NodeSpec) Slowed(m float64) NodeSpec {
+	if m <= 0 {
+		panic("hw: slowdown factor must be positive")
+	}
+	s.CPU = s.CPU.Slow(m)
+	s.Disk.BW /= m
+	s.NIC.BW /= m
+	s.NIC.CPUPerByte *= 1 // ops are on the slowed CPU already
+	accels := make([]DeviceProfile, len(s.Accels))
+	for i, a := range s.Accels {
+		accels[i] = a.Slow(m)
+	}
+	s.Accels = accels
+	return s
+}

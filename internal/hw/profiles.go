@@ -1,0 +1,209 @@
+// Package hw models the hardware of the DAS-4 cluster the paper evaluates
+// on: compute devices (multi-core CPUs, NVidia GPUs, Intel Xeon Phi), disks,
+// NICs and the cluster fabric. All models run on the deterministic
+// discrete-event kernel in package sim.
+//
+// Compute capability is expressed in abstract "ops": one op is roughly one
+// simple arithmetic operation on generic (not hand-vectorized) code. Kernel
+// cost models in the applications report their work in the same unit, and a
+// device executes ops at ThreadOps per hardware thread, subject to the
+// roofline memory-bandwidth bound. The constants below come from public spec
+// sheets derated to realistic sustained throughput; see DESIGN.md for the
+// calibration anchors.
+package hw
+
+// DeviceClass distinguishes host processors from discrete accelerators.
+type DeviceClass int
+
+const (
+	// ClassCPU is a host multi-core processor with unified memory.
+	ClassCPU DeviceClass = iota
+	// ClassGPU is a discrete GPU behind a PCIe link.
+	ClassGPU
+	// ClassAccelerator is a many-core accelerator card (Xeon Phi).
+	ClassAccelerator
+)
+
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassCPU:
+		return "CPU"
+	case ClassGPU:
+		return "GPU"
+	case ClassAccelerator:
+		return "ACC"
+	}
+	return "unknown"
+}
+
+// DeviceProfile describes the performance envelope of one compute device.
+type DeviceProfile struct {
+	Name  string
+	Class DeviceClass
+
+	// HWThreads is the number of hardware threads (CPU) or lanes (GPU/MIC)
+	// the device can run fully in parallel.
+	HWThreads int
+	// ThreadOps is the sustained ops/sec of a single hardware thread.
+	ThreadOps float64
+	// MemBW is the device memory bandwidth in bytes/sec; kernels are
+	// bounded by max(compute, traffic/MemBW) (roofline).
+	MemBW float64
+	// Unified reports whether the device shares host memory: the pipeline's
+	// Stage and Retrieve stages are disabled for unified devices (paper
+	// §III-A), and kernels contend with host threads for the CPU pool.
+	Unified bool
+	// PCIeBW is the host<->device transfer bandwidth in bytes/sec
+	// (meaningless when Unified).
+	PCIeBW float64
+	// LaunchOverhead is the fixed cost of one kernel invocation in seconds
+	// (driver + dispatch). It is what makes one-key-per-launch reduction
+	// catastrophic in Fig 5.
+	LaunchOverhead float64
+	// ThreadSpawn is the per-kernel-thread creation/scheduling cost in ops.
+	// Amortized by KeysPerThread in the reduce pipeline (paper §III-C).
+	ThreadSpawn float64
+	// AtomicFactor multiplies the cost of atomic operations (hash-table
+	// insertion probes). High key repetition on a GPU makes this matter
+	// (paper §IV-B1/B2).
+	AtomicFactor float64
+	// TransferOverhead is a fixed per-transfer cost in seconds, modeling
+	// driver coupling between memory transfers and kernel executions that
+	// the paper observes on the NVidia OpenCL stack (§IV-B2).
+	TransferOverhead float64
+}
+
+// Peak returns the device's aggregate compute throughput in ops/sec.
+func (d DeviceProfile) Peak() float64 { return float64(d.HWThreads) * d.ThreadOps }
+
+// Profiles for the hardware in the paper's evaluation (DAS-4 at VU
+// Amsterdam). Derations keep single-node framework ratios inside the bands
+// the paper reports.
+var (
+	// XeonE5620 models the Type-1 node CPU: dual quad-core Intel Xeon
+	// 2.4GHz with hyperthreading (16 hardware threads).
+	XeonE5620 = DeviceProfile{
+		Name:           "dual-Xeon-E5620",
+		Class:          ClassCPU,
+		HWThreads:      16,
+		ThreadOps:      1.5e9, // HT thread on generic scalar code
+		MemBW:          25e9,
+		Unified:        true,
+		LaunchOverhead: 20e-6,
+		ThreadSpawn:    2000,
+		AtomicFactor:   1.5,
+	}
+
+	// XeonE5 models the Type-2 node CPU: dual 6-core Xeon 2GHz.
+	XeonE5 = DeviceProfile{
+		Name:           "dual-Xeon-E5-2620",
+		Class:          ClassCPU,
+		HWThreads:      24,
+		ThreadOps:      1.4e9,
+		MemBW:          40e9,
+		Unified:        true,
+		LaunchOverhead: 20e-6,
+		ThreadSpawn:    2000,
+		AtomicFactor:   1.5,
+	}
+
+	// GTX480 is the Fermi GPU on 32 of the Type-1 nodes.
+	GTX480 = DeviceProfile{
+		Name:             "NVidia-GTX480",
+		Class:            ClassGPU,
+		HWThreads:        480,
+		ThreadOps:        0.7e9,
+		MemBW:            150e9,
+		PCIeBW:           5e9,
+		LaunchOverhead:   15e-6,
+		ThreadSpawn:      200,
+		AtomicFactor:     4,
+		TransferOverhead: 30e-6,
+	}
+
+	// GTX680 is the Kepler GPU on one additional Type-2 node.
+	GTX680 = DeviceProfile{
+		Name:             "NVidia-GTX680",
+		Class:            ClassGPU,
+		HWThreads:        1536,
+		ThreadOps:        0.35e9,
+		MemBW:            180e9,
+		PCIeBW:           6e9,
+		LaunchOverhead:   12e-6,
+		ThreadSpawn:      150,
+		AtomicFactor:     3,
+		TransferOverhead: 25e-6,
+	}
+
+	// K20m is the Kepler GPU on the Type-2 nodes.
+	K20m = DeviceProfile{
+		Name:             "NVidia-K20m",
+		Class:            ClassGPU,
+		HWThreads:        2496,
+		ThreadOps:        0.28e9,
+		MemBW:            200e9,
+		PCIeBW:           6e9,
+		LaunchOverhead:   12e-6,
+		ThreadSpawn:      150,
+		AtomicFactor:     3,
+		TransferOverhead: 25e-6,
+	}
+
+	// XeonPhi is the Intel Xeon Phi 5110P on two Type-2 nodes (used with
+	// Intel's OpenCL SDK 3.0, MIC support).
+	XeonPhi = DeviceProfile{
+		Name:             "Intel-XeonPhi-5110P",
+		Class:            ClassAccelerator,
+		HWThreads:        240,
+		ThreadOps:        1.0e9,
+		MemBW:            160e9,
+		PCIeBW:           6e9,
+		LaunchOverhead:   40e-6, // MIC offload dispatch is slower
+		ThreadSpawn:      800,
+		AtomicFactor:     2,
+		TransferOverhead: 60e-6,
+	}
+)
+
+// DiskProfile describes a node-local storage device.
+type DiskProfile struct {
+	Name string
+	// BW is sustained sequential bandwidth in bytes/sec.
+	BW float64
+	// SeekTime is the fixed per-operation positioning cost in seconds.
+	SeekTime float64
+}
+
+// RAID2x1TB models the Type-1 nodes' two 1TB disks in software RAID0.
+var RAID2x1TB = DiskProfile{Name: "2x1TB-RAID0", BW: 200e6, SeekTime: 6e-3}
+
+// SSDLocal models the Type-2 nodes' faster local storage.
+var SSDLocal = DiskProfile{Name: "local-ssd", BW: 450e6, SeekTime: 0.2e-3}
+
+// NICProfile describes a network interface.
+type NICProfile struct {
+	Name string
+	// BW is the per-direction bandwidth in bytes/sec (full duplex).
+	BW float64
+	// Latency is the one-way message latency in seconds.
+	Latency float64
+	// CPUPerByte is the host-CPU protocol-processing cost in ops/byte,
+	// charged on both sender and receiver.
+	CPUPerByte float64
+}
+
+// GigE is plain Gigabit Ethernet.
+var GigE = NICProfile{Name: "GbE", BW: 118e6, Latency: 80e-6, CPUPerByte: 0.5}
+
+// IPoIB is IP over QDR InfiniBand, the transport the paper uses for both
+// HDFS and the frameworks' data paths.
+var IPoIB = NICProfile{Name: "IPoIB-QDR", BW: 1.0e9, Latency: 25e-6, CPUPerByte: 0.15}
+
+// Slow returns a copy of the profile with every rate divided by m and all
+// fixed latencies unchanged. See NodeSpec.Slowed.
+func (d DeviceProfile) Slow(m float64) DeviceProfile {
+	d.ThreadOps /= m
+	d.MemBW /= m
+	d.PCIeBW /= m
+	return d
+}

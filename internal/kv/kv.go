@@ -1,0 +1,142 @@
+// Package kv provides the key/value machinery shared by all three MapReduce
+// engines in this repository: pair representation, a compact length-prefixed
+// wire/disk encoding with optional DEFLATE compression, in-memory sort
+// buffers, k-way merge of sorted runs, and key grouping for reduction.
+//
+// Keys are ordered by bytes.Compare, matching Hadoop's BytesWritable and the
+// paper's TeraSort semantics.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Pair is one key/value record.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Size returns the payload size in bytes (key + value).
+func (p Pair) Size() int64 { return int64(len(p.Key) + len(p.Value)) }
+
+// Compare orders pairs by key, then by value for determinism.
+func (p Pair) Compare(q Pair) int {
+	if c := bytes.Compare(p.Key, q.Key); c != 0 {
+		return c
+	}
+	return bytes.Compare(p.Value, q.Value)
+}
+
+// Hash returns a stable 32-bit FNV-1a hash of the key, used for
+// partitioning. Applications may override partitioning with their own
+// function (the paper's Configuration API allows overloading the hash).
+func Hash(key []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(key)
+	return h.Sum32()
+}
+
+// Partition maps a key to one of n partitions.
+func Partition(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Hash(key) % uint32(n))
+}
+
+// Buffer accumulates pairs in memory and tracks their payload volume.
+type Buffer struct {
+	Pairs []Pair
+	bytes int64
+}
+
+// Add appends a pair.
+func (b *Buffer) Add(p Pair) {
+	b.Pairs = append(b.Pairs, p)
+	b.bytes += p.Size()
+}
+
+// AddKV appends a key/value pair.
+func (b *Buffer) AddKV(key, value []byte) { b.Add(Pair{Key: key, Value: value}) }
+
+// Len returns the number of pairs.
+func (b *Buffer) Len() int { return len(b.Pairs) }
+
+// Bytes returns the accumulated payload volume.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Sort orders the pairs by key (then value) in place.
+func (b *Buffer) Sort() {
+	sort.Slice(b.Pairs, func(i, j int) bool { return b.Pairs[i].Compare(b.Pairs[j]) < 0 })
+}
+
+// Sorted reports whether the buffer is in key order.
+func (b *Buffer) Sorted() bool {
+	return sort.SliceIsSorted(b.Pairs, func(i, j int) bool { return b.Pairs[i].Compare(b.Pairs[j]) < 0 })
+}
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buffer) Reset() {
+	b.Pairs = b.Pairs[:0]
+	b.bytes = 0
+}
+
+// Marshal encodes pairs as varint-length-prefixed frames:
+// uvarint(count), then per pair uvarint(len(key)), uvarint(len(value)),
+// key bytes, value bytes.
+func Marshal(pairs []Pair) []byte {
+	var size int
+	for _, p := range pairs {
+		size += 2*binary.MaxVarintLen32 + len(p.Key) + len(p.Value)
+	}
+	buf := make([]byte, 0, size+binary.MaxVarintLen64)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(pairs)))
+	buf = append(buf, tmp[:n]...)
+	for _, p := range pairs {
+		n = binary.PutUvarint(tmp[:], uint64(len(p.Key)))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(len(p.Value)))
+		buf = append(buf, tmp[:n]...)
+		buf = append(buf, p.Key...)
+		buf = append(buf, p.Value...)
+	}
+	return buf
+}
+
+// Unmarshal decodes a blob produced by Marshal.
+func Unmarshal(blob []byte) ([]Pair, error) {
+	rd := bytes.NewReader(blob)
+	count, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("kv: reading pair count: %w", err)
+	}
+	pairs := make([]Pair, 0, count)
+	off := len(blob) - rd.Len()
+	for i := uint64(0); i < count; i++ {
+		kl, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("kv: pair %d key length: %w", i, err)
+		}
+		vl, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("kv: pair %d value length: %w", i, err)
+		}
+		off = len(blob) - rd.Len()
+		if off+int(kl)+int(vl) > len(blob) {
+			return nil, fmt.Errorf("kv: pair %d overruns blob (%d+%d+%d > %d)", i, off, kl, vl, len(blob))
+		}
+		key := blob[off : off+int(kl)]
+		val := blob[off+int(kl) : off+int(kl)+int(vl)]
+		pairs = append(pairs, Pair{Key: key, Value: val})
+		if _, err := rd.Seek(int64(kl+vl), 1); err != nil {
+			return nil, err
+		}
+	}
+	return pairs, nil
+}

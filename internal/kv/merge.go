@@ -1,0 +1,151 @@
+package kv
+
+import "container/heap"
+
+// Iterator yields pairs in key order. Implementations are not safe for
+// concurrent use; in the simulation each iterator is driven by one process.
+type Iterator interface {
+	// Next returns the next pair, or ok=false when exhausted.
+	Next() (Pair, bool)
+}
+
+// SliceIter iterates over an in-memory pair slice (which must already be
+// sorted if the iterator feeds a merge).
+type SliceIter struct {
+	pairs []Pair
+	i     int
+}
+
+// NewSliceIter returns an iterator over pairs.
+func NewSliceIter(pairs []Pair) *SliceIter { return &SliceIter{pairs: pairs} }
+
+// Next implements Iterator.
+func (s *SliceIter) Next() (Pair, bool) {
+	if s.i >= len(s.pairs) {
+		return Pair{}, false
+	}
+	p := s.pairs[s.i]
+	s.i++
+	return p, true
+}
+
+// mergeIter is a k-way merge over sorted inputs using a binary heap.
+type mergeIter struct {
+	h mergeHeap
+}
+
+type mergeEntry struct {
+	pair Pair
+	src  int
+	it   Iterator
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := h[i].pair.Compare(h[j].pair); c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src // stable across equal pairs
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Merge returns an iterator producing the union of the sorted inputs in key
+// order. This is the multi-way merge the paper's intermediate-data manager
+// runs continuously (§III-B) and the reduce input reader runs one last time
+// (§III-C).
+func Merge(iters ...Iterator) Iterator {
+	m := &mergeIter{}
+	for i, it := range iters {
+		if p, ok := it.Next(); ok {
+			m.h = append(m.h, mergeEntry{pair: p, src: i, it: it})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next implements Iterator.
+func (m *mergeIter) Next() (Pair, bool) {
+	if len(m.h) == 0 {
+		return Pair{}, false
+	}
+	top := m.h[0]
+	if p, ok := top.it.Next(); ok {
+		m.h[0] = mergeEntry{pair: p, src: top.src, it: top.it}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.pair, true
+}
+
+// Group is one reduce input: a key and all of its values.
+type Group struct {
+	Key    []byte
+	Values [][]byte
+}
+
+// Bytes returns the group payload volume.
+func (g Group) Bytes() int64 {
+	n := int64(len(g.Key))
+	for _, v := range g.Values {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// GroupIter folds a key-sorted pair iterator into per-key groups.
+type GroupIter struct {
+	it      Iterator
+	pending Pair
+	have    bool
+}
+
+// NewGroupIter wraps a sorted iterator.
+func NewGroupIter(it Iterator) *GroupIter { return &GroupIter{it: it} }
+
+// Next returns the next key group, or ok=false at the end of input.
+func (g *GroupIter) Next() (Group, bool) {
+	if !g.have {
+		p, ok := g.it.Next()
+		if !ok {
+			return Group{}, false
+		}
+		g.pending, g.have = p, true
+	}
+	grp := Group{Key: g.pending.Key, Values: [][]byte{g.pending.Value}}
+	g.have = false
+	for {
+		p, ok := g.it.Next()
+		if !ok {
+			return grp, true
+		}
+		if string(p.Key) != string(grp.Key) {
+			g.pending, g.have = p, true
+			return grp, true
+		}
+		grp.Values = append(grp.Values, p.Value)
+	}
+}
+
+// Drain collects all remaining pairs from it.
+func Drain(it Iterator) []Pair {
+	var out []Pair
+	for {
+		p, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}

@@ -1,0 +1,90 @@
+package kv
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Run is a sorted batch of pairs in serialized (and optionally compressed)
+// form — the unit in which Glasswing stores intermediate data in its
+// partition cache, on disk, and on the wire (the paper stores all
+// intermediate Partitions "in a serialized and compressed form", §III-B).
+type Run struct {
+	blob       []byte
+	Records    int
+	RawBytes   int64 // payload volume before encoding
+	Compressed bool
+}
+
+// NewRun serializes sorted pairs into a run. It panics if the pairs are not
+// sorted — runs exist to be merged.
+func NewRun(pairs []Pair, compress bool) *Run {
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Compare(pairs[i]) > 0 {
+			panic("kv: NewRun on unsorted pairs")
+		}
+	}
+	var raw int64
+	for _, p := range pairs {
+		raw += p.Size()
+	}
+	blob := Marshal(pairs)
+	if compress {
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			panic(fmt.Sprintf("kv: flate writer: %v", err))
+		}
+		if _, err := w.Write(blob); err != nil {
+			panic(fmt.Sprintf("kv: compressing run: %v", err))
+		}
+		if err := w.Close(); err != nil {
+			panic(fmt.Sprintf("kv: closing compressor: %v", err))
+		}
+		blob = buf.Bytes()
+	}
+	return &Run{blob: blob, Records: len(pairs), RawBytes: raw, Compressed: compress}
+}
+
+// StoredBytes returns the encoded size: what the run costs on disk and on
+// the network.
+func (r *Run) StoredBytes() int64 { return int64(len(r.blob)) }
+
+// Pairs decodes the run back into sorted pairs.
+func (r *Run) Pairs() ([]Pair, error) {
+	blob := r.blob
+	if r.Compressed {
+		rd := flate.NewReader(bytes.NewReader(blob))
+		dec, err := io.ReadAll(rd)
+		if err != nil {
+			return nil, fmt.Errorf("kv: decompressing run: %w", err)
+		}
+		if err := rd.Close(); err != nil {
+			return nil, err
+		}
+		blob = dec
+	}
+	return Unmarshal(blob)
+}
+
+// Iter returns an iterator over the run's pairs. Decoding errors panic: a
+// run that fails to decode is a corrupted simulation artifact, not a
+// recoverable condition.
+func (r *Run) Iter() Iterator {
+	pairs, err := r.Pairs()
+	if err != nil {
+		panic(err)
+	}
+	return NewSliceIter(pairs)
+}
+
+// MergeRuns merges several runs into one.
+func MergeRuns(runs []*Run, compress bool) *Run {
+	iters := make([]Iterator, len(runs))
+	for i, r := range runs {
+		iters[i] = r.Iter()
+	}
+	return NewRun(Drain(Merge(iters...)), compress)
+}

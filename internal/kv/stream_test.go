@@ -1,0 +1,180 @@
+package kv
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: nil, Value: []byte("empty key")},
+		{Key: []byte("c"), Value: nil},
+		{Key: bytes.Repeat([]byte("k"), 300), Value: bytes.Repeat([]byte("v"), 4000)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(pairs) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	for i, want := range pairs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestStreamTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Pair{Key: []byte("abcdef"), Value: []byte("ghijkl")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for cut := 1; cut < len(blob); cut++ {
+		r := NewReader(bytes.NewReader(blob[:cut]))
+		_, err := r.Read()
+		if err == nil {
+			t.Fatalf("truncation at %d undetected", cut)
+		}
+		if errors.Is(err, io.EOF) && cut > 1 {
+			t.Fatalf("truncation at %d reported as clean EOF", cut)
+		}
+	}
+}
+
+func TestStreamThroughFlateFile(t *testing.T) {
+	// The native runtime's spill path: stream pairs through DEFLATE into a
+	// real file and back.
+	rng := rand.New(rand.NewSource(5))
+	pairs := randomSorted(rng, 500)
+	path := filepath.Join(t.TempDir(), "spill.run")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := flate.NewWriter(f, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(fw)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	it := NewStreamIter(NewReader(flate.NewReader(rf)))
+	got := Drain(it)
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range got {
+		if got[i].Compare(pairs[i]) != 0 {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestStreamIterMergeCompat(t *testing.T) {
+	// Stream iterators feed the same k-way merge as slice iterators.
+	rng := rand.New(rand.NewSource(9))
+	a := randomSorted(rng, 80)
+	b := randomSorted(rng, 120)
+	encode := func(ps []Pair) io.Reader {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range ps {
+			if err := w.Write(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	merged := Drain(Merge(
+		NewStreamIter(NewReader(encode(a))),
+		NewStreamIter(NewReader(encode(b))),
+	))
+	if len(merged) != len(a)+len(b) {
+		t.Fatalf("merged %d, want %d", len(merged), len(a)+len(b))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Compare(merged[i]) > 0 {
+			t.Fatal("merge output unsorted")
+		}
+	}
+}
+
+func TestQuickStreamRoundTrip(t *testing.T) {
+	f := func(keys, vals [][]byte) bool {
+		n := min(len(keys), len(vals))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := 0; i < n; i++ {
+			if err := w.Write(Pair{Key: keys[i], Value: vals[i]}); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for i := 0; i < n; i++ {
+			p, err := r.Read()
+			if err != nil || !bytes.Equal(p.Key, keys[i]) || !bytes.Equal(p.Value, vals[i]) {
+				return false
+			}
+		}
+		_, err := r.Read()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package native executes Glasswing applications on the real host: the same
+// 5-stage pipeline structure and the same App/collector semantics as the
+// simulated engine in internal/core, but built from goroutines and channels,
+// processing data with genuine parallelism and measuring wall-clock time.
+//
+// internal/core exists to reproduce the paper's cluster/GPU evaluation on
+// simulated hardware; this package is the runtime a downstream user points
+// at real bytes. The "compute device" is the host CPU (the paper's CPU
+// driver with unified memory — Stage and Retrieve are no-ops), the "cluster"
+// is one process, and the intermediate-data manager spills to real temporary
+// files when the cache threshold is exceeded.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"glasswing/internal/core"
+	"glasswing/internal/kv"
+)
+
+// Config tunes the native pipeline. The names mirror the paper's
+// Configuration API where they apply to a single-host run.
+type Config struct {
+	// KernelWorkers is the map kernel worker pool size (0 = GOMAXPROCS),
+	// the analog of the OpenCL global size on the CPU device.
+	KernelWorkers int
+	// PartitionThreads is N: concurrent partitioner workers.
+	PartitionThreads int
+	// Partitions is P: intermediate partitions (reduce parallelism).
+	Partitions int
+	// Buffering bounds how many chunks may be in flight between stages
+	// (1-3, the paper's buffering levels; default 2).
+	Buffering int
+	// Collector picks the kernel output mechanism.
+	Collector core.CollectorKind
+	// UseCombiner aggregates each chunk's hash table with App.Combine.
+	UseCombiner bool
+	// Compress stores intermediate runs DEFLATE-compressed.
+	Compress bool
+	// CacheThreshold is the in-memory intermediate cache bound in bytes;
+	// above it, partitions spill to temporary files (0 = never spill).
+	CacheThreshold int64
+	// SpillDir receives spill files (default os.TempDir()).
+	SpillDir string
+	// Partitioner overrides hash partitioning.
+	Partitioner func(key []byte, n int) int
+}
+
+func (c Config) withDefaults() Config {
+	if c.KernelWorkers <= 0 {
+		c.KernelWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.PartitionThreads <= 0 {
+		c.PartitionThreads = max(1, runtime.GOMAXPROCS(0)/2)
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = max(1, runtime.GOMAXPROCS(0))
+	}
+	if c.Buffering <= 0 {
+		c.Buffering = 2
+	}
+	if c.Buffering > 3 {
+		c.Buffering = 3
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = kv.Partition
+	}
+	return c
+}
+
+// Result reports a native run with wall-clock phase times.
+type Result struct {
+	App           string
+	MapElapsed    time.Duration
+	MergeDelay    time.Duration
+	ReduceElapsed time.Duration
+	Total         time.Duration
+
+	// InputBytes and Pairs summarize the data volume.
+	InputBytes        int64
+	IntermediatePairs int
+	OutputPairs       int
+	SpillFiles        int
+
+	outputs [][]kv.Pair // per partition, key-sorted
+}
+
+// Output returns the final pairs in partition order; within a partition
+// keys are sorted, so a range partitioner yields totally ordered output.
+func (r *Result) Output() []kv.Pair {
+	var out []kv.Pair
+	for _, part := range r.outputs {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Run executes app over the input blocks and returns the result. Blocks
+// are the unit of map-chunk parallelism (split files on record boundaries;
+// package dfs's SplitLines/SplitFixed do this for text and fixed records).
+func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if app.Map == nil || app.Parse == nil {
+		return nil, fmt.Errorf("native: app %q needs Parse and Map", app.Name)
+	}
+	if cfg.UseCombiner && (app.Combine == nil || cfg.Collector != core.HashTable) {
+		return nil, fmt.Errorf("native: combiner requires App.Combine and the hash-table collector")
+	}
+	res := &Result{App: app.Name}
+	for _, b := range blocks {
+		res.InputBytes += int64(len(b))
+	}
+	start := time.Now()
+
+	store := newPartitionStore(cfg)
+	defer store.cleanup()
+
+	// ---- Map phase: chunk pipeline with bounded in-flight buffers. ----
+	type chunk struct{ block []byte }
+	chunkCh := make(chan chunk, cfg.Buffering)
+	partCh := make(chan []kv.Pair, cfg.Buffering)
+
+	var mapWG sync.WaitGroup
+	for w := 0; w < cfg.KernelWorkers; w++ {
+		mapWG.Add(1)
+		go func() {
+			defer mapWG.Done()
+			for c := range chunkCh {
+				recs := app.Parse(c.block)
+				pairs := execChunk(app, cfg, recs)
+				partCh <- pairs
+			}
+		}()
+	}
+
+	var partWG sync.WaitGroup
+	var interPairs int64
+	var interMu sync.Mutex
+	for w := 0; w < cfg.PartitionThreads; w++ {
+		partWG.Add(1)
+		go func() {
+			defer partWG.Done()
+			for pairs := range partCh {
+				buckets := make([][]kv.Pair, cfg.Partitions)
+				for _, pr := range pairs {
+					g := cfg.Partitioner(pr.Key, cfg.Partitions)
+					buckets[g] = append(buckets[g], pr)
+				}
+				for g, bucket := range buckets {
+					if len(bucket) == 0 {
+						continue
+					}
+					sort.Slice(bucket, func(i, j int) bool { return bucket[i].Compare(bucket[j]) < 0 })
+					if err := store.add(g, kv.NewRun(bucket, cfg.Compress)); err != nil {
+						store.fail(err)
+						return
+					}
+				}
+				interMu.Lock()
+				interPairs += int64(len(pairs))
+				interMu.Unlock()
+			}
+		}()
+	}
+
+	for _, b := range blocks {
+		chunkCh <- chunk{block: b}
+	}
+	close(chunkCh)
+	mapWG.Wait()
+	close(partCh)
+	partWG.Wait()
+	if err := store.err(); err != nil {
+		return nil, err
+	}
+	res.MapElapsed = time.Since(start)
+	res.IntermediatePairs = int(interPairs)
+
+	// ---- Merge phase: compact every partition for cheap reduce fan-in. ----
+	mergeStart := time.Now()
+	if err := store.compactAll(cfg.PartitionThreads); err != nil {
+		return nil, err
+	}
+	res.MergeDelay = time.Since(mergeStart)
+	res.SpillFiles = store.spillCount()
+
+	// ---- Reduce phase: partitions in parallel. ----
+	reduceStart := time.Now()
+	res.outputs = make([][]kv.Pair, cfg.Partitions)
+	var redWG sync.WaitGroup
+	redErr := make(chan error, cfg.Partitions)
+	sem := make(chan struct{}, cfg.KernelWorkers)
+	for g := 0; g < cfg.Partitions; g++ {
+		g := g
+		redWG.Add(1)
+		go func() {
+			defer redWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := reducePartition(app, store, g)
+			if err != nil {
+				redErr <- err
+				return
+			}
+			res.outputs[g] = out
+		}()
+	}
+	redWG.Wait()
+	select {
+	case err := <-redErr:
+		return nil, err
+	default:
+	}
+	res.ReduceElapsed = time.Since(reduceStart)
+	res.Total = time.Since(start)
+	for _, part := range res.outputs {
+		res.OutputPairs += len(part)
+	}
+	return res, nil
+}
+
+// execChunk runs the map kernel over one chunk through the configured
+// collector and returns the chunk's intermediate pairs.
+func execChunk(app *core.App, cfg Config, recs []kv.Pair) []kv.Pair {
+	if cfg.Collector == core.HashTable {
+		order := make([]string, 0, 64)
+		table := make(map[string][][]byte, 64)
+		for _, rec := range recs {
+			app.Map(rec, func(k, v []byte) {
+				key := string(k)
+				if _, ok := table[key]; !ok {
+					order = append(order, key)
+				}
+				table[key] = append(table[key], append([]byte(nil), v...))
+			})
+		}
+		out := make([]kv.Pair, 0, len(order))
+		for _, key := range order {
+			vals := table[key]
+			if cfg.UseCombiner {
+				app.Combine([]byte(key), vals, func(k, v []byte) {
+					out = append(out, kv.Pair{
+						Key:   append([]byte(nil), k...),
+						Value: append([]byte(nil), v...),
+					})
+				})
+				continue
+			}
+			kb := []byte(key)
+			for _, v := range vals {
+				out = append(out, kv.Pair{Key: kb, Value: v})
+			}
+		}
+		return out
+	}
+	var out []kv.Pair
+	for _, rec := range recs {
+		app.Map(rec, func(k, v []byte) {
+			out = append(out, kv.Pair{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+		})
+	}
+	return out
+}
+
+// reducePartition merges one partition's runs and applies the reduce kernel
+// (or passes merged pairs through for reduce-less apps like TeraSort).
+func reducePartition(app *core.App, store *partitionStore, g int) ([]kv.Pair, error) {
+	iters, err := store.iterators(g)
+	if err != nil {
+		return nil, err
+	}
+	merged := kv.Merge(iters...)
+	if app.Reduce == nil {
+		return kv.Drain(merged), nil
+	}
+	var out []kv.Pair
+	gi := kv.NewGroupIter(merged)
+	for {
+		grp, ok := gi.Next()
+		if !ok {
+			return out, nil
+		}
+		app.Reduce(grp.Key, grp.Values, func(k, v []byte) {
+			out = append(out, kv.Pair{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+		})
+	}
+}

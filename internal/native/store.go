@@ -1,0 +1,233 @@
+package native
+
+import (
+	"compress/flate"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"glasswing/internal/kv"
+)
+
+// partitionStore is the native intermediate-data manager: per-partition run
+// lists cached in memory, spilled to real temporary files when the
+// aggregate cache exceeds the configured threshold (§III-B scaled down to
+// one host). All methods are safe for concurrent use.
+type partitionStore struct {
+	cfg Config
+
+	mu          sync.Mutex
+	cached      [][]*kv.Run // per partition
+	cachedBytes int64
+	spills      [][]string // per partition: spill file paths
+	dir         string
+	nspill      int
+	firstErr    error
+}
+
+func newPartitionStore(cfg Config) *partitionStore {
+	return &partitionStore{
+		cfg:    cfg,
+		cached: make([][]*kv.Run, cfg.Partitions),
+		spills: make([][]string, cfg.Partitions),
+	}
+}
+
+func (s *partitionStore) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+}
+
+func (s *partitionStore) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+// add appends a run to partition g, spilling the partition's cache to disk
+// if the aggregate cache is over threshold.
+func (s *partitionStore) add(g int, run *kv.Run) error {
+	s.mu.Lock()
+	s.cached[g] = append(s.cached[g], run)
+	s.cachedBytes += run.StoredBytes()
+	var toSpill []*kv.Run
+	if s.cfg.CacheThreshold > 0 && s.cachedBytes > s.cfg.CacheThreshold {
+		// Spill the largest partition (this one is as good a heuristic
+		// as any under the lock; pick the biggest cache).
+		big, bigBytes := -1, int64(0)
+		for i, runs := range s.cached {
+			var b int64
+			for _, r := range runs {
+				b += r.StoredBytes()
+			}
+			if b > bigBytes {
+				big, bigBytes = i, b
+			}
+		}
+		if big >= 0 {
+			toSpill = s.cached[big]
+			s.cached[big] = nil
+			s.cachedBytes -= bigBytes
+			g = big
+		}
+	}
+	s.mu.Unlock()
+	if toSpill == nil {
+		return nil
+	}
+	return s.spill(g, toSpill)
+}
+
+// spill merges runs and streams them into one spill file for partition g,
+// DEFLATE-compressed when the job compresses intermediate data.
+func (s *partitionStore) spill(g int, runs []*kv.Run) error {
+	s.mu.Lock()
+	if s.dir == "" {
+		dir, err := os.MkdirTemp(s.cfg.SpillDir, "glasswing-spill-")
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("native: creating spill dir: %w", err)
+		}
+		s.dir = dir
+	}
+	s.nspill++
+	path := filepath.Join(s.dir, fmt.Sprintf("part%04d-%06d.run", g, s.nspill))
+	s.mu.Unlock()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("native: creating spill: %w", err)
+	}
+	var sink = struct {
+		write *kv.Writer
+		close func() error
+	}{}
+	if s.cfg.Compress {
+		fw, err := flate.NewWriter(f, flate.BestSpeed)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		sink.write = kv.NewWriter(fw)
+		sink.close = func() error {
+			if err := fw.Close(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	} else {
+		sink.write = kv.NewWriter(f)
+		sink.close = f.Close
+	}
+	iters := make([]kv.Iterator, len(runs))
+	for i, r := range runs {
+		iters[i] = r.Iter()
+	}
+	merged := kv.Merge(iters...)
+	for {
+		p, ok := merged.Next()
+		if !ok {
+			break
+		}
+		if err := sink.write.Write(p); err != nil {
+			sink.close()
+			return fmt.Errorf("native: writing spill: %w", err)
+		}
+	}
+	if err := sink.write.Flush(); err != nil {
+		sink.close()
+		return err
+	}
+	if err := sink.close(); err != nil {
+		return fmt.Errorf("native: closing spill: %w", err)
+	}
+	s.mu.Lock()
+	s.spills[g] = append(s.spills[g], path)
+	s.mu.Unlock()
+	return nil
+}
+
+// compactAll merges each partition's cached runs down to one, in parallel.
+func (s *partitionStore) compactAll(workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for g := range s.cached {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s.mu.Lock()
+			runs := s.cached[g]
+			s.mu.Unlock()
+			if len(runs) < 2 {
+				return
+			}
+			merged := kv.MergeRuns(runs, s.cfg.Compress)
+			s.mu.Lock()
+			s.cached[g] = []*kv.Run{merged}
+			s.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return s.err()
+}
+
+// iterators returns sorted iterators over all of partition g's data
+// (cached runs plus spill files read back from disk).
+func (s *partitionStore) iterators(g int) ([]kv.Iterator, error) {
+	s.mu.Lock()
+	runs := s.cached[g]
+	paths := s.spills[g]
+	s.mu.Unlock()
+	var iters []kv.Iterator
+	for _, r := range runs {
+		iters = append(iters, r.Iter())
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("native: reading spill %s: %w", path, err)
+		}
+		var src = func() *kv.Reader {
+			if s.cfg.Compress {
+				return kv.NewReader(flate.NewReader(f))
+			}
+			return kv.NewReader(f)
+		}()
+		it := kv.NewStreamIter(src)
+		// Spill files are modest; drain eagerly so the descriptor closes
+		// before the merge begins.
+		pairs := kv.Drain(it)
+		f.Close()
+		if err := it.Err(); err != nil {
+			return nil, fmt.Errorf("native: decoding spill %s: %w", path, err)
+		}
+		iters = append(iters, kv.NewSliceIter(pairs))
+	}
+	return iters, nil
+}
+
+func (s *partitionStore) spillCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nspill
+}
+
+// cleanup removes the spill directory.
+func (s *partitionStore) cleanup() {
+	s.mu.Lock()
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+}

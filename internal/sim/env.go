@@ -1,0 +1,216 @@
+// Package sim implements a deterministic, process-based discrete-event
+// simulation kernel in the style of SimPy.
+//
+// A simulation consists of an Environment holding a virtual clock and an
+// event queue, and a set of Processes. Each process is a goroutine, but the
+// kernel enforces strict alternation: at any instant exactly one goroutine —
+// either the scheduler or a single process — is running. Processes hand
+// control back to the scheduler whenever they wait (Delay, Signal.Wait,
+// Queue.Get, Resource.Acquire, Shared.Use, ...). This makes simulations fully
+// deterministic: given the same inputs, every run produces the same virtual
+// timeline, regardless of GOMAXPROCS.
+//
+// Events scheduled for the same virtual time fire in scheduling order
+// (a monotonically increasing sequence number breaks ties), which gives
+// queues and resources FIFO semantics.
+//
+// The package carries no domain knowledge; hardware models (CPU pools,
+// disks, NICs, PCIe links) are built on top of it in package hw.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Env is a simulation environment: a virtual clock plus a pending-event
+// queue. The zero value is not usable; create environments with NewEnv.
+type Env struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	yield  chan struct{} // a process signals "I parked or finished"
+	inRun  bool
+	nprocs int // live (spawned, not yet finished) processes
+}
+
+// NewEnv returns an empty environment with the clock at 0.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// event is a scheduled callback. Events may be canceled in place; canceled
+// events are skipped when popped.
+type event struct {
+	t        float64
+	seq      int64
+	fn       func()
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+func (e *Env) schedule(t float64, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %g < %g", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %g", t))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run in scheduler context at absolute virtual time t.
+// It may be called from driver, scheduler-callback, or process context.
+func (e *Env) At(t float64, fn func()) { e.schedule(t, fn) }
+
+// After schedules fn to run d seconds from now.
+func (e *Env) After(d float64, fn func()) { e.schedule(e.now+d, fn) }
+
+// Run executes events until the queue is empty, then returns the final
+// virtual time. If live processes remain parked when the queue drains, Run
+// panics: that is a deadlock in the simulated system.
+func (e *Env) Run() float64 {
+	return e.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with timestamps <= limit and returns the virtual
+// time of the last executed event (or limit if events remain beyond it).
+func (e *Env) RunUntil(limit float64) float64 {
+	if e.inRun {
+		panic("sim: Run called reentrantly")
+	}
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for len(e.events) > 0 {
+		if e.events[0].t > limit {
+			e.now = limit
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.nprocs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: event queue empty with %d live process(es) parked at t=%g", e.nprocs, e.now))
+	}
+	return e.now
+}
+
+// Proc is a simulation process: a goroutine that runs under the strict
+// alternation protocol. All waiting methods (Delay, park) must be called
+// from the process's own goroutine.
+type Proc struct {
+	env           *Env
+	resume        chan struct{}
+	Name          string
+	parked        bool
+	wakeScheduled bool
+	finished      bool
+	doneSig       *Signal
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Spawn creates a new process running fn. The process starts at the current
+// virtual time (after already-scheduled events at this time). Spawn may be
+// called from driver context before Run, or from any process or scheduler
+// callback during the run.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, resume: make(chan struct{}), Name: name}
+	p.doneSig = NewSignal(e)
+	e.nprocs++
+	go func() {
+		<-p.resume // wait for the start event
+		fn(p)
+		p.finished = true
+		e.nprocs--
+		p.doneSig.Fire(nil)
+		e.yield <- struct{}{}
+	}()
+	e.schedule(e.now, func() { e.wake(p) })
+	return p
+}
+
+// Done returns a signal fired when the process function returns. Other
+// processes can Wait on it to join.
+func (p *Proc) Done() *Signal { return p.doneSig }
+
+// Finished reports whether the process function has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// wake transfers control to p and blocks the scheduler until p parks again
+// or finishes. Must be called in scheduler context only.
+func (e *Env) wake(p *Proc) {
+	p.wakeScheduled = false
+	p.parked = false
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park suspends the calling process until some event wakes it. Must be
+// called from the process's own goroutine.
+func (p *Proc) park() {
+	p.parked = true
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// wakeLater schedules p to be resumed at the current virtual time. It is a
+// no-op if a wake-up is already pending. It may be called from any context;
+// the actual control transfer happens in scheduler context when the event
+// fires.
+func (e *Env) wakeLater(p *Proc) {
+	if p.wakeScheduled || p.finished {
+		return
+	}
+	p.wakeScheduled = true
+	e.schedule(e.now, func() {
+		if p.finished {
+			return
+		}
+		e.wake(p)
+	})
+}
+
+// Delay suspends the process for d virtual seconds. d <= 0 yields to other
+// events scheduled at the current time and resumes immediately after them.
+func (p *Proc) Delay(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.schedule(e.now+d, func() { e.wake(p) })
+	p.park()
+}
+
+// Now returns the current virtual time (convenience for p.Env().Now()).
+func (p *Proc) Now() float64 { return p.env.now }

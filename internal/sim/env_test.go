@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (±%g)", msg, got, want, tol)
+	}
+}
+
+func TestDelayAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var at float64
+	env.Spawn("p", func(p *Proc) {
+		p.Delay(2.5)
+		at = p.Now()
+	})
+	env.Run()
+	almost(t, at, 2.5, 1e-12, "delay end time")
+	almost(t, env.Now(), 2.5, 1e-12, "env end time")
+}
+
+func TestZeroAndNegativeDelay(t *testing.T) {
+	env := NewEnv()
+	order := []string{}
+	env.Spawn("a", func(p *Proc) {
+		p.Delay(0)
+		order = append(order, "a")
+	})
+	env.Spawn("b", func(p *Proc) {
+		p.Delay(-1)
+		order = append(order, "b")
+	})
+	env.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+	if env.Now() != 0 {
+		t.Fatalf("clock moved for zero delays: %g", env.Now())
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	// Events at the same timestamp fire in scheduling order.
+	env := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.At(1.0, func() { order = append(order, i) })
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	env := NewEnv()
+	var childTime float64
+	env.Spawn("parent", func(p *Proc) {
+		p.Delay(1)
+		child := env.Spawn("child", func(c *Proc) {
+			c.Delay(2)
+			childTime = c.Now()
+		})
+		child.Done().Wait(p)
+		if p.Now() != childTime {
+			t.Errorf("parent resumed at %g, child finished at %g", p.Now(), childTime)
+		}
+	})
+	env.Run()
+	almost(t, childTime, 3, 1e-12, "child end")
+}
+
+func TestRunUntil(t *testing.T) {
+	env := NewEnv()
+	fired := 0
+	env.At(1, func() { fired++ })
+	env.At(5, func() { fired++ })
+	env.RunUntil(2)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	almost(t, env.Now(), 2, 0, "clock at limit")
+	env.RunUntil(10)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	env := NewEnv()
+	sig := NewSignal(env)
+	env.Spawn("stuck", func(p *Proc) { sig.Wait(p) })
+	env.Run()
+}
+
+func TestPastEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	env := NewEnv()
+	env.At(5, func() {})
+	env.Run()
+	env.At(1, func() {})
+}
+
+func TestSignalBroadcastAndLateWait(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	var woke []string
+	for _, n := range []string{"a", "b", "c"} {
+		n := n
+		env.Spawn(n, func(p *Proc) {
+			v := sig.Wait(p)
+			if v != 42 {
+				t.Errorf("signal value = %v, want 42", v)
+			}
+			woke = append(woke, n)
+		})
+	}
+	env.Spawn("firer", func(p *Proc) {
+		p.Delay(3)
+		sig.Fire(42)
+		sig.Fire(99) // idempotent
+	})
+	env.Spawn("late", func(p *Proc) {
+		p.Delay(7)
+		if v := sig.Wait(p); v != 42 {
+			t.Errorf("late wait value = %v", v)
+		}
+		woke = append(woke, "late")
+	})
+	env.Run()
+	if len(woke) != 4 {
+		t.Fatalf("woke = %v", woke)
+	}
+	if woke[3] != "late" {
+		t.Fatalf("late waiter order wrong: %v", woke)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	// The same scenario must give the same trace on every run.
+	run := func() []float64 {
+		env := NewEnv()
+		var trace []float64
+		pool := NewShared(env, 10, 4)
+		for i := 0; i < 6; i++ {
+			w := float64(1 + i%3)
+			env.Spawn("w", func(p *Proc) {
+				p.Delay(0.1 * w)
+				pool.Use(p, 25, w)
+				trace = append(trace, p.Now())
+			})
+		}
+		env.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace differs at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuickDelaySum(t *testing.T) {
+	// Property: a chain of delays ends at the (clamped) sum of delays.
+	f := func(raw []int16) bool {
+		env := NewEnv()
+		var want float64
+		for _, r := range raw {
+			d := float64(r) / 100
+			if d > 0 {
+				want += d
+			}
+		}
+		env.Spawn("p", func(p *Proc) {
+			for _, r := range raw {
+				p.Delay(float64(r) / 100)
+			}
+		})
+		env.Run()
+		return math.Abs(env.Now()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

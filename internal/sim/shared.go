@@ -1,0 +1,175 @@
+package sim
+
+import "math"
+
+// Shared is a weighted processor-sharing resource: a capacity of identical
+// service units (CPU hardware threads, link bandwidth) divided among the
+// currently active flows in proportion to their weights.
+//
+// A flow of weight w receives service at rate
+//
+//	UnitRate * w * min(1, Capacity/totalWeight)
+//
+// so an uncontended flow of weight w progresses at w*UnitRate (but never
+// faster than Capacity*UnitRate), and under contention the capacity is split
+// proportionally. This models both
+//
+//   - a CPU pool: UnitRate = ops/sec of one hardware thread, Capacity = the
+//     number of hardware threads, weight = the number of software threads an
+//     activity runs; and
+//   - a shared pipe (NIC, PCIe link, disk): UnitRate = bytes/sec, Capacity=1,
+//     weight = 1 per transfer, which degenerates to egalitarian processor
+//     sharing.
+//
+// Completion times are recomputed whenever the active-flow set changes, in
+// the classic event-driven PS fashion.
+type Shared struct {
+	env      *Env
+	UnitRate float64
+	Capacity float64
+
+	flows   map[*psFlow]struct{}
+	totalW  float64
+	lastT   float64
+	pending *event
+}
+
+type psFlow struct {
+	remaining float64
+	weight    float64
+	proc      *Proc
+	done      bool
+}
+
+// NewShared returns a weighted processor-sharing resource.
+func NewShared(env *Env, unitRate, capacity float64) *Shared {
+	if unitRate <= 0 || capacity <= 0 {
+		panic("sim: NewShared rates must be positive")
+	}
+	return &Shared{env: env, UnitRate: unitRate, Capacity: capacity, flows: make(map[*psFlow]struct{})}
+}
+
+// rateOf returns the current service rate of flow f.
+func (s *Shared) rateOf(f *psFlow) float64 {
+	scale := 1.0
+	if s.totalW > s.Capacity {
+		scale = s.Capacity / s.totalW
+	}
+	return s.UnitRate * f.weight * scale
+}
+
+// advance applies elapsed service to all active flows.
+func (s *Shared) advance() {
+	dt := s.env.now - s.lastT
+	if dt > 0 {
+		for f := range s.flows {
+			f.remaining -= s.rateOf(f) * dt
+		}
+	}
+	s.lastT = s.env.now
+}
+
+// reschedule cancels the pending completion event and schedules a new one at
+// the earliest completion among active flows.
+func (s *Shared) reschedule() {
+	if s.pending != nil {
+		s.pending.canceled = true
+		s.pending = nil
+	}
+	if len(s.flows) == 0 {
+		return
+	}
+	tmin := math.Inf(1)
+	for f := range s.flows {
+		t := f.remaining / s.rateOf(f)
+		if t < tmin {
+			tmin = t
+		}
+	}
+	if tmin < 0 {
+		tmin = 0
+	}
+	s.pending = s.env.schedule(s.env.now+tmin, s.complete)
+}
+
+// complete fires finished flows and reschedules. Runs in scheduler context.
+func (s *Shared) complete() {
+	s.pending = nil
+	s.advance()
+	const eps = 1e-9
+	var finished []*psFlow
+	for f := range s.flows {
+		if f.remaining <= eps*math.Max(1, f.weight)*s.UnitRate {
+			finished = append(finished, f)
+		}
+	}
+	// Deterministic wake order: by process name, then pointer-insertion
+	// order is not stable for maps, so sort by a stable key. Flows are
+	// given increasing ids via remaining ties broken by proc name.
+	sortFlows(finished)
+	for _, f := range finished {
+		delete(s.flows, f)
+		s.totalW -= f.weight
+		f.done = true
+	}
+	s.reschedule()
+	for _, f := range finished {
+		s.env.wake(f.proc)
+	}
+}
+
+func sortFlows(fs []*psFlow) {
+	// Insertion sort by (proc name, weight); flow sets are small.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && flowLess(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func flowLess(a, b *psFlow) bool {
+	if a.proc.Name != b.proc.Name {
+		return a.proc.Name < b.proc.Name
+	}
+	return a.weight < b.weight
+}
+
+// Use consumes amount units of service with the given weight, blocking the
+// process until the service completes under processor sharing. Zero or
+// negative amounts return immediately.
+func (s *Shared) Use(p *Proc, amount, weight float64) {
+	if amount <= 0 {
+		return
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	f := &psFlow{remaining: amount, weight: weight, proc: p}
+	s.advance()
+	s.flows[f] = struct{}{}
+	s.totalW += weight
+	s.reschedule()
+	for !f.done {
+		p.park()
+	}
+}
+
+// TimeFor returns the uncontended service time for amount at weight: the
+// lower bound a flow would take on an otherwise idle resource.
+func (s *Shared) TimeFor(amount, weight float64) float64 {
+	if amount <= 0 {
+		return 0
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	rate := s.UnitRate * math.Min(weight, s.Capacity)
+	return amount / rate
+}
+
+// ActiveFlows returns the number of flows currently in service.
+func (s *Shared) ActiveFlows() int { return len(s.flows) }
+
+// Utilization returns total active weight divided by capacity (may exceed 1
+// when oversubscribed).
+func (s *Shared) Utilization() float64 { return s.totalW / s.Capacity }

@@ -1,0 +1,228 @@
+package sim
+
+// Signal is a one-shot broadcast event. Processes Wait on it; Fire wakes all
+// current and future waiters. A fired signal stays fired; Wait on a fired
+// signal returns immediately with the fired value.
+type Signal struct {
+	env     *Env
+	fired   bool
+	val     any
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the value passed to Fire, or nil if not fired.
+func (s *Signal) Value() any { return s.val }
+
+// Fire marks the signal fired and schedules all waiters to resume at the
+// current virtual time. Firing an already-fired signal is a no-op.
+func (s *Signal) Fire(val any) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.val = val
+	for _, p := range s.waiters {
+		s.env.wakeLater(p)
+	}
+	s.waiters = nil
+}
+
+// Wait suspends p until the signal fires and returns the fired value.
+func (s *Signal) Wait(p *Proc) any {
+	for !s.fired {
+		s.waiters = append(s.waiters, p)
+		p.park()
+	}
+	return s.val
+}
+
+// WaitAll joins all of the given signals.
+func WaitAll(p *Proc, sigs ...*Signal) {
+	for _, s := range sigs {
+		s.Wait(p)
+	}
+}
+
+// Queue is a FIFO channel between processes, with an optional capacity
+// bound. A capacity of 0 means unbounded. Close marks the end of the stream:
+// Get on a closed, drained queue returns ok=false.
+type Queue[T any] struct {
+	env     *Env
+	items   []T
+	cap     int
+	closed  bool
+	getters []*Proc
+	putters []*Proc
+}
+
+// NewQueue returns a queue with the given capacity bound (0 = unbounded).
+func NewQueue[T any](env *Env, capacity int) *Queue[T] {
+	return &Queue[T]{env: env, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends an item, blocking while the queue is at capacity.
+// Put on a closed queue panics.
+func (q *Queue[T]) Put(p *Proc, item T) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		q.putters = append(q.putters, p)
+		p.park()
+		q.putters = remove(q.putters, p)
+	}
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	q.items = append(q.items, item)
+	q.wakeGetters()
+}
+
+// TryPut appends an item without blocking; it reports false if the queue is
+// at capacity.
+func (q *Queue[T]) TryPut(item T) bool {
+	if q.closed {
+		panic("sim: Put on closed queue")
+	}
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, item)
+	q.wakeGetters()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. It returns ok=false when the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.getters = append(q.getters, p)
+		p.park()
+		q.getters = remove(q.getters, p)
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	q.wakePutters()
+	return item, true
+}
+
+// Close marks the queue as finished. Blocked getters drain remaining items
+// and then observe ok=false. Close is idempotent.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.wakeGetters()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+func (q *Queue[T]) wakeGetters() {
+	for _, g := range q.getters {
+		q.env.wakeLater(g)
+	}
+}
+
+func (q *Queue[T]) wakePutters() {
+	for _, w := range q.putters {
+		q.env.wakeLater(w)
+	}
+}
+
+func remove(ps []*Proc, p *Proc) []*Proc {
+	for i, q := range ps {
+		if q == p {
+			return append(ps[:i], ps[i+1:]...)
+		}
+	}
+	return ps
+}
+
+// Resource is a counting semaphore with FIFO waiters: a pool of n identical
+// units (buffers, task slots, ...). Acquire blocks until the requested units
+// are available.
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with capacity units available.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource capacity must be positive")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire takes n units, blocking until they are available. Requests are
+// served in FIFO order of first arrival.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.cap {
+		panic("sim: Acquire exceeds resource capacity")
+	}
+	for {
+		// FIFO: only the oldest waiter may claim freed capacity.
+		if r.inUse+n <= r.cap && (len(r.waiters) == 0 || r.waiters[0] == p) {
+			break
+		}
+		if !contains(r.waiters, p) {
+			r.waiters = append(r.waiters, p)
+		}
+		p.park()
+	}
+	r.waiters = remove(r.waiters, p)
+	r.inUse += n
+	// The next waiter may also fit in what remains.
+	if len(r.waiters) > 0 {
+		r.env.wakeLater(r.waiters[0])
+	}
+}
+
+// TryAcquire takes n units without blocking, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if r.inUse+n > r.cap || len(r.waiters) > 0 {
+		return false
+	}
+	r.inUse += n
+	return true
+}
+
+// Release returns n units to the pool and wakes the oldest waiter.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Release of units never acquired")
+	}
+	if len(r.waiters) > 0 {
+		r.env.wakeLater(r.waiters[0])
+	}
+}
+
+func contains(ps []*Proc, p *Proc) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

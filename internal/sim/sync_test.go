@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, 0)
+	var got []int
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Delay(1)
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d items, want 5", len(got))
+	}
+}
+
+func TestQueueCapacityBlocksProducer(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, 2)
+	var putDone, getStart float64
+	env.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Put(p, 3) // must block until the consumer takes one at t=10
+		putDone = p.Now()
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		p.Delay(10)
+		getStart = p.Now()
+		q.Get(p)
+		q.Get(p)
+		q.Get(p)
+	})
+	env.Run()
+	if putDone < getStart {
+		t.Fatalf("third Put finished at %g before consumer started at %g", putDone, getStart)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[string](env, 0)
+	var got []string
+	var sawClose bool
+	env.Spawn("c", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				sawClose = true
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	env.Spawn("p", func(p *Proc) {
+		q.Put(p, "a")
+		q.Put(p, "b")
+		q.Close()
+	})
+	env.Run()
+	if !sawClose || len(got) != 2 {
+		t.Fatalf("got=%v sawClose=%v", got, sawClose)
+	}
+}
+
+func TestQueueTryPut(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, 1)
+	env.Spawn("p", func(p *Proc) {
+		if !q.TryPut(1) {
+			t.Error("TryPut into empty bounded queue failed")
+		}
+		if q.TryPut(2) {
+			t.Error("TryPut into full queue succeeded")
+		}
+		q.Get(p)
+		if !q.TryPut(3) {
+			t.Error("TryPut after drain failed")
+		}
+	})
+	env.Run()
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 1)
+	var busy, maxBusy int
+	for i := 0; i < 4; i++ {
+		env.Spawn("w", func(p *Proc) {
+			r.Acquire(p, 1)
+			busy++
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+			p.Delay(1)
+			busy--
+			r.Release(1)
+		})
+	}
+	env.Run()
+	if maxBusy != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxBusy)
+	}
+	almost(t, env.Now(), 4, 1e-9, "serialized total time")
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 2)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Spawn("w", func(p *Proc) {
+			p.Delay(float64(i) * 0.001) // arrival order 0..4
+			r.Acquire(p, 2)             // full-capacity requests serialize
+			order = append(order, i)
+			p.Delay(1)
+			r.Release(2)
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v, want arrival order", order)
+		}
+	}
+}
+
+func TestResourcePartialAcquire(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 3)
+	var t2 float64
+	env.Spawn("big", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Delay(5)
+		r.Release(2)
+	})
+	env.Spawn("small", func(p *Proc) {
+		p.Delay(0.1)
+		r.Acquire(p, 1) // fits alongside big
+		t2 = p.Now()
+		r.Release(1)
+	})
+	env.Run()
+	almost(t, t2, 0.1, 1e-9, "small acquire should not wait")
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	env := NewEnv()
+	r := NewResource(env, 2)
+	env.Spawn("p", func(p *Proc) {
+		if !r.TryAcquire(2) {
+			t.Error("TryAcquire on idle resource failed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire over capacity succeeded")
+		}
+		r.Release(2)
+		if !r.TryAcquire(1) {
+			t.Error("TryAcquire after release failed")
+		}
+		r.Release(1)
+	})
+	env.Run()
+}
+
+func TestQuickQueuePreservesAllItems(t *testing.T) {
+	// Property: everything put is got, in order, for any capacity.
+	f := func(items []uint8, capRaw uint8) bool {
+		capacity := int(capRaw % 5) // 0..4
+		env := NewEnv()
+		q := NewQueue[uint8](env, capacity)
+		var got []uint8
+		env.Spawn("prod", func(p *Proc) {
+			for _, it := range items {
+				q.Put(p, it)
+			}
+			q.Close()
+		})
+		env.Spawn("cons", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		env.Run()
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package workload generates the synthetic datasets standing in for the
+// paper's inputs: Zipf-distributed wiki-like text (the English Wikipedia
+// dump used by WC), sparse web-server logs (the WikiBench traces used by
+// PVC), TeraGen records (TS), multi-dimensional float points (KM) and
+// square matrices (MM). All generators are deterministic given a seed; the
+// distributional properties the paper's effects depend on — heavy key
+// repetition for WC, a huge sparse key space for PVC, uniform 10-byte keys
+// for TS — are reproduced even though absolute volumes are scaled down.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WikiText generates roughly size bytes of text whose word frequencies
+// follow a Zipf distribution over vocab distinct words — "high repetition
+// of a smaller number of words beside a large number of sparse words"
+// (§IV-A1).
+func WikiText(seed int64, size int, vocab int) []byte {
+	if vocab < 2 {
+		vocab = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(vocab-1))
+	out := make([]byte, 0, size+64)
+	col := 0
+	for len(out) < size {
+		w := wordFor(zipf.Uint64())
+		out = append(out, w...)
+		col += len(w) + 1
+		if col > 70 {
+			out = append(out, '\n')
+			col = 0
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	out = append(out, '\n')
+	return out
+}
+
+// wordFor maps a rank to a pronounceable word, longer for rarer words.
+func wordFor(rank uint64) []byte {
+	const consonants = "bcdfghjklmnpqrstvwz"
+	const vowels = "aeiou"
+	var w []byte
+	r := rank + 1
+	for r > 0 {
+		w = append(w, consonants[r%uint64(len(consonants))])
+		w = append(w, vowels[(r/7)%uint64(len(vowels))])
+		r /= uint64(len(consonants)) * 3
+	}
+	return w
+}
+
+// WebLog generates roughly size bytes of web-server log lines in a compact
+// WikiBench-like format: "<counter> <url> <flag>\n". URLs are highly sparse:
+// duplicates are rare, the key space is massive (§IV-A1: PVC).
+func WebLog(seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	// A light Zipf head (a few hot pages) over an enormous tail of
+	// nearly-unique URLs.
+	out := make([]byte, 0, size+128)
+	n := 0
+	for len(out) < size {
+		var url string
+		if rng.Intn(100) < 5 {
+			url = fmt.Sprintf("en.wikipedia.org/wiki/Main_Page_%d", rng.Intn(20))
+		} else {
+			url = fmt.Sprintf("en.wikipedia.org/wiki/Article_%d_%d", rng.Intn(1<<20), n)
+		}
+		out = append(out, fmt.Sprintf("%d http://%s -\n", n, url)...)
+		n++
+	}
+	return out
+}
+
+// TeraRecordSize is the TeraSort record: a 10-byte key and a 90-byte value.
+const TeraRecordSize = 100
+
+// TeraGen generates n 100-byte records with uniformly random 10-byte keys,
+// the standard TeraSort input.
+func TeraGen(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n*TeraRecordSize)
+	for i := 0; i < n; i++ {
+		rec := out[i*TeraRecordSize : (i+1)*TeraRecordSize]
+		for j := 0; j < 10; j++ {
+			rec[j] = byte(' ' + rng.Intn(95))
+		}
+		for j := 10; j < TeraRecordSize; j++ {
+			rec[j] = byte('A' + (i+j)%26)
+		}
+	}
+	return out
+}
+
+// Points generates n points of dim float32 coordinates drawn around k
+// well-separated centers, returning the encoded points (little-endian
+// float32s, one point per dim*4 bytes) and the true centers used.
+func Points(seed int64, n, dim, k int) (data []byte, centers [][]float32) {
+	rng := rand.New(rand.NewSource(seed))
+	centers = make([][]float32, k)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for d := range centers[c] {
+			centers[c][d] = float32(rng.Float64()*200 - 100)
+		}
+	}
+	data = make([]byte, 0, n*dim*4)
+	var buf [4]byte
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(k)]
+		for d := 0; d < dim; d++ {
+			v := c[d] + float32(rng.NormFloat64())
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			data = append(data, buf[:]...)
+		}
+	}
+	return data, centers
+}
+
+// InitialCenters picks k starting centers deterministically from the
+// encoded point data (the first k points), as KM implementations commonly
+// seed.
+func InitialCenters(data []byte, dim, k int) [][]float32 {
+	centers := make([][]float32, k)
+	for c := 0; c < k; c++ {
+		centers[c] = make([]float32, dim)
+		for d := 0; d < dim; d++ {
+			off := (c*dim + d) * 4
+			centers[c][d] = math.Float32frombits(binary.LittleEndian.Uint32(data[off : off+4]))
+		}
+	}
+	return centers
+}
+
+// Matrix generates an n x n float32 matrix with small deterministic values
+// (kept small so tile products stay exact in float32).
+func Matrix(seed int64, n int) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([]float32, n*n)
+	for i := range m {
+		m[i] = float32(rng.Intn(8)) / 4
+	}
+	return m
+}
+
+// MatMulRef computes C = A x B for n x n row-major matrices (the reference
+// the MM experiments verify against).
+func MatMulRef(a, b []float32, n int) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a[i*n+k]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c[i*n+j] += av * b[k*n+j]
+			}
+		}
+	}
+	return c
+}

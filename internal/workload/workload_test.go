@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWikiTextDeterministicAndSized(t *testing.T) {
+	a := WikiText(1, 10000, 5000)
+	b := WikiText(1, 10000, 5000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("generator not deterministic")
+	}
+	if len(a) < 10000 || len(a) > 11000 {
+		t.Fatalf("size %d outside requested band", len(a))
+	}
+	if WikiText(2, 10000, 5000)[0] == 0 {
+		t.Fatal("degenerate output")
+	}
+}
+
+func TestWikiTextZipfSkew(t *testing.T) {
+	// The most frequent word must dominate: heavy repetition of few words
+	// plus a long sparse tail (the WC dataset property).
+	text := string(WikiText(7, 200000, 100000))
+	counts := map[string]int{}
+	for _, w := range strings.Fields(text) {
+		counts[w]++
+	}
+	maxC, singles := 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if c == 1 {
+			singles++
+		}
+	}
+	if maxC < 1000 {
+		t.Fatalf("top word count %d: no heavy head", maxC)
+	}
+	if singles < len(counts)/4 {
+		t.Fatalf("only %d/%d singleton words: no sparse tail", singles, len(counts))
+	}
+}
+
+func TestWebLogSparseURLs(t *testing.T) {
+	log := WebLog(3, 300000)
+	lines := strings.Split(strings.TrimSpace(string(log)), "\n")
+	urls := map[string]int{}
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) != 3 {
+			t.Fatalf("malformed log line %q", l)
+		}
+		urls[f[1]]++
+	}
+	// Duplicate URLs must be rare: distinct/total high.
+	ratio := float64(len(urls)) / float64(len(lines))
+	if ratio < 0.8 {
+		t.Fatalf("distinct/total URL ratio %.2f: not sparse enough", ratio)
+	}
+}
+
+func TestTeraGenRecords(t *testing.T) {
+	data := TeraGen(5, 1000)
+	if len(data) != 1000*TeraRecordSize {
+		t.Fatalf("size %d", len(data))
+	}
+	// Keys should be roughly uniformly distributed over the printable range;
+	// check first-byte spread.
+	buckets := map[byte]int{}
+	for i := 0; i < 1000; i++ {
+		buckets[data[i*TeraRecordSize]]++
+	}
+	if len(buckets) < 50 {
+		t.Fatalf("only %d distinct first key bytes", len(buckets))
+	}
+	if !bytes.Equal(TeraGen(5, 10), TeraGen(5, 10)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestPointsAroundCenters(t *testing.T) {
+	data, centers := Points(11, 2000, 4, 8)
+	if len(data) != 2000*4*4 {
+		t.Fatalf("size %d", len(data))
+	}
+	if len(centers) != 8 {
+		t.Fatalf("centers %d", len(centers))
+	}
+	init := InitialCenters(data, 4, 8)
+	if len(init) != 8 || len(init[0]) != 4 {
+		t.Fatalf("initial centers malformed")
+	}
+}
+
+func TestMatMulRefIdentity(t *testing.T) {
+	n := 8
+	id := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	m := Matrix(9, n)
+	got := MatMulRef(id, m, n)
+	for i := range m {
+		if got[i] != m[i] {
+			t.Fatalf("identity multiply broke at %d: %g != %g", i, got[i], m[i])
+		}
+	}
+}
+
+func TestQuickMatMulRefLinearity(t *testing.T) {
+	// (2A)B == 2(AB)
+	f := func(seed int64) bool {
+		n := 8
+		a := Matrix(seed, n)
+		b := Matrix(seed+100, n)
+		a2 := make([]float32, len(a))
+		for i := range a {
+			a2[i] = 2 * a[i]
+		}
+		ab := MatMulRef(a, b, n)
+		a2b := MatMulRef(a2, b, n)
+		for i := range ab {
+			if math.Abs(float64(a2b[i]-2*ab[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

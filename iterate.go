@@ -1,0 +1,97 @@
+package glasswing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// KMeansIterations drives K-Means to convergence: the paper's evaluation
+// runs a single iteration ("since this shows the performance well for all
+// frameworks", §IV-A2), but the algorithm is iterative — each MapReduce job
+// consumes the previous job's centers, shipped to all nodes like Hadoop's
+// DistributedCache. The virtual clock accumulates across jobs, so the
+// returned total time is the full clustering cost on the simulated cluster.
+type KMeansIterations struct {
+	// Spec holds the dimensionality and the final centers after Run.
+	Spec KMeansSpec
+	// Iterations actually executed.
+	Iterations int
+	// TotalTime is the summed virtual job time.
+	TotalTime float64
+	// Moved is the last iteration's maximum center displacement.
+	Moved float64
+	// Results holds the per-iteration job results.
+	Results []*Result
+}
+
+// RunKMeans executes K-Means iterations on the cluster until no center
+// moves more than eps or maxIter is reached. The dataset must already be
+// loaded under inputName (fixed records of Spec.Dim float32 coordinates).
+func RunKMeans(c *Cluster, inputName string, spec KMeansSpec, cfg Config, eps float64, maxIter int) (*KMeansIterations, error) {
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	out := &KMeansIterations{Spec: spec}
+	cfg.Input = []string{inputName}
+	for it := 0; it < maxIter; it++ {
+		iterCfg := cfg
+		iterCfg.OutputPath = fmt.Sprintf("%s-centers-%d", inputName, it)
+		res, err := c.RunWithBroadcast(KMeansApp(out.Spec), iterCfg, out.Spec.CentersBytes())
+		if err != nil {
+			return nil, fmt.Errorf("glasswing: k-means iteration %d: %w", it, err)
+		}
+		out.Results = append(out.Results, res)
+		out.TotalTime += res.JobTime
+		out.Iterations++
+
+		next, err := decodeCenters(res, out.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("glasswing: k-means iteration %d: %w", it, err)
+		}
+		out.Moved = maxDisplacement(out.Spec.Centers, next)
+		out.Spec.Centers = next
+		if out.Moved <= eps {
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// decodeCenters extracts the new centers from a KM job's output. Centers
+// that received no points keep their previous position.
+func decodeCenters(res *Result, spec KMeansSpec) ([][]float32, error) {
+	next := make([][]float32, len(spec.Centers))
+	for i, c := range spec.Centers {
+		next[i] = append([]float32(nil), c...)
+	}
+	for _, pr := range res.Output() {
+		if len(pr.Key) != 4 {
+			return nil, fmt.Errorf("bad center key length %d", len(pr.Key))
+		}
+		cid := int(binary.LittleEndian.Uint32(pr.Key))
+		if cid < 0 || cid >= len(next) {
+			return nil, fmt.Errorf("center id %d out of range", cid)
+		}
+		if len(pr.Value) != spec.Dim*8+8 {
+			return nil, fmt.Errorf("bad center value length %d", len(pr.Value))
+		}
+		for d := 0; d < spec.Dim; d++ {
+			next[cid][d] = float32(math.Float64frombits(binary.LittleEndian.Uint64(pr.Value[d*8:])))
+		}
+	}
+	return next, nil
+}
+
+func maxDisplacement(a, b [][]float32) float64 {
+	var worst float64
+	for i := range a {
+		var d2 float64
+		for d := range a[i] {
+			diff := float64(a[i][d] - b[i][d])
+			d2 += diff * diff
+		}
+		worst = math.Max(worst, math.Sqrt(d2))
+	}
+	return worst
+}

@@ -1,0 +1,36 @@
+package glasswing
+
+import (
+	"glasswing/internal/dfs"
+	"glasswing/internal/native"
+)
+
+// The native runtime: the same Glasswing pipeline and application API
+// executing on the real host with genuine goroutine parallelism, real spill
+// files and wall-clock timing. The simulated runtime (NewCluster + Run)
+// reproduces the paper's cluster/GPU evaluation; this one is for pointing
+// at actual data.
+
+// NativeConfig tunes the native pipeline (worker counts, partitions,
+// buffering, collector, spill threshold).
+type NativeConfig = native.Config
+
+// NativeResult reports a native run with wall-clock phase times.
+type NativeResult = native.Result
+
+// RunNative executes app over the input blocks on the real host.
+func RunNative(app *App, blocks [][]byte, cfg NativeConfig) (*NativeResult, error) {
+	return native.Run(app, blocks, cfg)
+}
+
+// SplitText chops data into ~blockSize chunks on line boundaries (the map
+// chunk unit for text inputs).
+func SplitText(data []byte, blockSize int64) [][]byte {
+	return dfs.SplitLines(data, blockSize)
+}
+
+// SplitRecords chops data into ~blockSize chunks on fixed record
+// boundaries (the map chunk unit for binary inputs).
+func SplitRecords(data []byte, blockSize, recordSize int64) [][]byte {
+	return dfs.SplitFixed(data, blockSize, recordSize)
+}
