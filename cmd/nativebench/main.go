@@ -1,0 +1,65 @@
+// Command nativebench measures the native runtime's pinned benchmark
+// scenarios (internal/nativebench) and writes BENCH_native.json — the
+// repo's tracked wall-clock trajectory. Run it after any change to the
+// native hot path and commit the refreshed file:
+//
+//	go run ./cmd/nativebench -out BENCH_native.json
+//
+// Fields per row: ns_per_op (wall time per full job), bytes_per_op /
+// allocs_per_op (heap traffic per job), pairs_per_sec (intermediate pairs
+// produced per wall second), mb_per_sec (input bytes per wall second).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"glasswing/internal/nativebench"
+)
+
+type report struct {
+	Generated  string               `json:"generated"`
+	GoVersion  string               `json:"go_version"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Scenarios  []nativebench.Result `json:"scenarios"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_native.json", "output file ('-' for stdout)")
+	only := flag.String("only", "", "run only the scenario with this name")
+	flag.Parse()
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range nativebench.Scenarios() {
+		if *only != "" && s.Name != *only {
+			continue
+		}
+		r := nativebench.Measure(s)
+		fmt.Fprintf(os.Stderr, "%-18s %12d ns/op %12d B/op %9d allocs/op %14.0f pairs/s %8.1f MB/s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.PairsPerSec, r.MBPerSec)
+		rep.Scenarios = append(rep.Scenarios, r)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nativebench:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "nativebench:", err)
+		os.Exit(1)
+	}
+}

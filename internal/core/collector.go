@@ -58,7 +58,14 @@ type hashCollector struct {
 
 func (h *hashCollector) reset() {
 	h.order = h.order[:0]
-	h.entries = make(map[string][][]byte)
+	// Clear the table in place rather than reallocating: the map's buckets
+	// (sized by the largest chunk seen) are reused by every later chunk —
+	// the same reset trick the native runtime's pooled chunk state uses.
+	if h.entries == nil {
+		h.entries = make(map[string][][]byte, 64)
+	} else {
+		clear(h.entries)
+	}
 	h.nemits = 0
 	h.stats = cl.Stats{}
 }

@@ -12,7 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 )
 
 // Pair is one key/value record.
@@ -49,6 +49,15 @@ func Partition(key []byte, n int) int {
 	return int(Hash(key) % uint32(n))
 }
 
+// SortPairs orders pairs by key (then value) in place. This is the shared
+// sort path for every engine's partition buffers: slices.SortFunc on the
+// method expression avoids the closure state and interface boxing of
+// sort.Slice.
+func SortPairs(pairs []Pair) { slices.SortFunc(pairs, Pair.Compare) }
+
+// PairsSorted reports whether pairs are in key-then-value order.
+func PairsSorted(pairs []Pair) bool { return slices.IsSortedFunc(pairs, Pair.Compare) }
+
 // Buffer accumulates pairs in memory and tracks their payload volume.
 type Buffer struct {
 	Pairs []Pair
@@ -71,14 +80,10 @@ func (b *Buffer) Len() int { return len(b.Pairs) }
 func (b *Buffer) Bytes() int64 { return b.bytes }
 
 // Sort orders the pairs by key (then value) in place.
-func (b *Buffer) Sort() {
-	sort.Slice(b.Pairs, func(i, j int) bool { return b.Pairs[i].Compare(b.Pairs[j]) < 0 })
-}
+func (b *Buffer) Sort() { SortPairs(b.Pairs) }
 
 // Sorted reports whether the buffer is in key order.
-func (b *Buffer) Sorted() bool {
-	return sort.SliceIsSorted(b.Pairs, func(i, j int) bool { return b.Pairs[i].Compare(b.Pairs[j]) < 0 })
-}
+func (b *Buffer) Sorted() bool { return PairsSorted(b.Pairs) }
 
 // Reset empties the buffer, retaining capacity.
 func (b *Buffer) Reset() {

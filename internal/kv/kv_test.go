@@ -305,3 +305,33 @@ func TestMergeRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestSortPairsShared(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("b"), Value: []byte("2")},
+		{Key: []byte("a"), Value: []byte("9")},
+		{Key: []byte("b"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("1")},
+	}
+	if PairsSorted(pairs) {
+		t.Fatal("unsorted input reported sorted")
+	}
+	SortPairs(pairs)
+	if !PairsSorted(pairs) {
+		t.Fatal("SortPairs left pairs unsorted")
+	}
+	want := "a1 a9 b1 b2"
+	var got string
+	for i, p := range pairs {
+		if i > 0 {
+			got += " "
+		}
+		got += string(p.Key) + string(p.Value)
+	}
+	if got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+	if !PairsSorted(nil) || !PairsSorted(pairs[:1]) {
+		t.Fatal("trivial slices are sorted")
+	}
+}

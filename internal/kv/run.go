@@ -21,10 +21,8 @@ type Run struct {
 // NewRun serializes sorted pairs into a run. It panics if the pairs are not
 // sorted — runs exist to be merged.
 func NewRun(pairs []Pair, compress bool) *Run {
-	for i := 1; i < len(pairs); i++ {
-		if pairs[i-1].Compare(pairs[i]) > 0 {
-			panic("kv: NewRun on unsorted pairs")
-		}
+	if !PairsSorted(pairs) {
+		panic("kv: NewRun on unsorted pairs")
 	}
 	var raw int64
 	for _, p := range pairs {

@@ -14,8 +14,8 @@ package native
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"glasswing/internal/core"
@@ -120,33 +120,49 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 	defer store.cleanup()
 
 	// ---- Map phase: chunk pipeline with bounded in-flight buffers. ----
-	type chunk struct{ block []byte }
-	chunkCh := make(chan chunk, cfg.Buffering)
-	partCh := make(chan []kv.Pair, cfg.Buffering)
+	// A chunk's pairs travel with their pooled arena state; the partition
+	// worker releases the state once the pairs are serialized into runs.
+	type chunkOut struct {
+		pairs []kv.Pair
+		state *chunkState
+	}
+	chunkCh := make(chan []byte, cfg.Buffering)
+	partCh := make(chan chunkOut, cfg.Buffering)
 
 	var mapWG sync.WaitGroup
 	for w := 0; w < cfg.KernelWorkers; w++ {
 		mapWG.Add(1)
 		go func() {
 			defer mapWG.Done()
-			for c := range chunkCh {
-				recs := app.Parse(c.block)
-				pairs := execChunk(app, cfg, recs)
-				partCh <- pairs
+			for block := range chunkCh {
+				recs := app.Parse(block)
+				pairs, state := execChunk(app, cfg, recs)
+				partCh <- chunkOut{pairs: pairs, state: state}
 			}
 		}()
 	}
 
 	var partWG sync.WaitGroup
-	var interPairs int64
-	var interMu sync.Mutex
+	var interPairs atomic.Int64
 	for w := 0; w < cfg.PartitionThreads; w++ {
 		partWG.Add(1)
 		go func() {
 			defer partWG.Done()
-			for pairs := range partCh {
-				buckets := make([][]kv.Pair, cfg.Partitions)
-				for _, pr := range pairs {
+			// Per-worker bucket buffers, reused across chunks (runs are
+			// serialized before the next chunk overwrites them).
+			buckets := make([][]kv.Pair, cfg.Partitions)
+			for co := range partCh {
+				// After a failure, keep draining partCh so map workers
+				// blocked on send can finish; otherwise the pipeline
+				// deadlocks and the error never surfaces.
+				if store.err() != nil {
+					co.state.release()
+					continue
+				}
+				for i := range buckets {
+					buckets[i] = buckets[i][:0]
+				}
+				for _, pr := range co.pairs {
 					g := cfg.Partitioner(pr.Key, cfg.Partitions)
 					buckets[g] = append(buckets[g], pr)
 				}
@@ -154,21 +170,20 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 					if len(bucket) == 0 {
 						continue
 					}
-					sort.Slice(bucket, func(i, j int) bool { return bucket[i].Compare(bucket[j]) < 0 })
+					kv.SortPairs(bucket)
 					if err := store.add(g, kv.NewRun(bucket, cfg.Compress)); err != nil {
 						store.fail(err)
-						return
+						break
 					}
 				}
-				interMu.Lock()
-				interPairs += int64(len(pairs))
-				interMu.Unlock()
+				interPairs.Add(int64(len(co.pairs)))
+				co.state.release()
 			}
 		}()
 	}
 
 	for _, b := range blocks {
-		chunkCh <- chunk{block: b}
+		chunkCh <- b
 	}
 	close(chunkCh)
 	mapWG.Wait()
@@ -178,7 +193,7 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.MapElapsed = time.Since(start)
-	res.IntermediatePairs = int(interPairs)
+	res.IntermediatePairs = int(interPairs.Load())
 
 	// ---- Merge phase: compact every partition for cheap reduce fan-in. ----
 	mergeStart := time.Now()
@@ -224,49 +239,37 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 }
 
 // execChunk runs the map kernel over one chunk through the configured
-// collector and returns the chunk's intermediate pairs.
-func execChunk(app *core.App, cfg Config, recs []kv.Pair) []kv.Pair {
+// collector and returns the chunk's intermediate pairs. The pairs live in
+// the returned pooled state's arena: the caller must release() the state
+// once the pairs are consumed, and not touch them after.
+func execChunk(app *core.App, cfg Config, recs []kv.Pair) ([]kv.Pair, *chunkState) {
+	st := getChunkState()
 	if cfg.Collector == core.HashTable {
-		order := make([]string, 0, 64)
-		table := make(map[string][][]byte, 64)
+		emit := st.hashEmit
 		for _, rec := range recs {
-			app.Map(rec, func(k, v []byte) {
-				key := string(k)
-				if _, ok := table[key]; !ok {
-					order = append(order, key)
+			app.Map(rec, emit)
+		}
+		if cfg.UseCombiner {
+			sink := st.poolEmit
+			for i := range st.entries {
+				e := &st.entries[i]
+				app.Combine(e.key, e.vals, sink)
+			}
+		} else {
+			for i := range st.entries {
+				e := &st.entries[i]
+				for _, v := range e.vals {
+					st.out = append(st.out, kv.Pair{Key: e.key, Value: v})
 				}
-				table[key] = append(table[key], append([]byte(nil), v...))
-			})
-		}
-		out := make([]kv.Pair, 0, len(order))
-		for _, key := range order {
-			vals := table[key]
-			if cfg.UseCombiner {
-				app.Combine([]byte(key), vals, func(k, v []byte) {
-					out = append(out, kv.Pair{
-						Key:   append([]byte(nil), k...),
-						Value: append([]byte(nil), v...),
-					})
-				})
-				continue
-			}
-			kb := []byte(key)
-			for _, v := range vals {
-				out = append(out, kv.Pair{Key: kb, Value: v})
 			}
 		}
-		return out
+		return st.out, st
 	}
-	var out []kv.Pair
+	emit := st.poolEmit
 	for _, rec := range recs {
-		app.Map(rec, func(k, v []byte) {
-			out = append(out, kv.Pair{
-				Key:   append([]byte(nil), k...),
-				Value: append([]byte(nil), v...),
-			})
-		})
+		app.Map(rec, emit)
 	}
-	return out
+	return st.out, st
 }
 
 // reducePartition merges one partition's runs and applies the reduce kernel

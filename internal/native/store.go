@@ -6,97 +6,130 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"glasswing/internal/kv"
 )
 
+// storeShard is one partition's slice of the store: its own lock, run list,
+// spill-file list, and a cached-byte tally readable without the lock (the
+// spill-victim scan reads P atomics instead of walking every run).
+type storeShard struct {
+	mu     sync.Mutex
+	runs   []*kv.Run
+	spills []string
+	bytes  atomic.Int64
+}
+
 // partitionStore is the native intermediate-data manager: per-partition run
 // lists cached in memory, spilled to real temporary files when the
 // aggregate cache exceeds the configured threshold (§III-B scaled down to
-// one host). All methods are safe for concurrent use.
+// one host). The store is sharded per partition — add serializes only
+// against writers of the same partition, never the whole store — and all
+// methods are safe for concurrent use.
 type partitionStore struct {
 	cfg Config
 
-	mu          sync.Mutex
-	cached      [][]*kv.Run // per partition
-	cachedBytes int64
-	spills      [][]string // per partition: spill file paths
-	dir         string
-	nspill      int
-	firstErr    error
+	shards      []storeShard
+	cachedBytes atomic.Int64 // aggregate across shards
+	nspill      atomic.Int64
+
+	dirMu sync.Mutex
+	dir   string
+
+	errMu    sync.Mutex
+	firstErr error
 }
 
 func newPartitionStore(cfg Config) *partitionStore {
 	return &partitionStore{
 		cfg:    cfg,
-		cached: make([][]*kv.Run, cfg.Partitions),
-		spills: make([][]string, cfg.Partitions),
+		shards: make([]storeShard, cfg.Partitions),
 	}
 }
 
 func (s *partitionStore) fail(err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
 	if s.firstErr == nil {
 		s.firstErr = err
 	}
 }
 
 func (s *partitionStore) err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
 	return s.firstErr
 }
 
-// add appends a run to partition g, spilling the partition's cache to disk
-// if the aggregate cache is over threshold.
+// add appends a run to partition g — O(1) under g's shard lock only — then
+// spills the fattest partition if the aggregate cache is over threshold.
 func (s *partitionStore) add(g int, run *kv.Run) error {
-	s.mu.Lock()
-	s.cached[g] = append(s.cached[g], run)
-	s.cachedBytes += run.StoredBytes()
-	var toSpill []*kv.Run
-	if s.cfg.CacheThreshold > 0 && s.cachedBytes > s.cfg.CacheThreshold {
-		// Spill the largest partition (this one is as good a heuristic
-		// as any under the lock; pick the biggest cache).
-		big, bigBytes := -1, int64(0)
-		for i, runs := range s.cached {
-			var b int64
-			for _, r := range runs {
-				b += r.StoredBytes()
-			}
-			if b > bigBytes {
-				big, bigBytes = i, b
-			}
-		}
-		if big >= 0 {
-			toSpill = s.cached[big]
-			s.cached[big] = nil
-			s.cachedBytes -= bigBytes
-			g = big
+	n := run.StoredBytes()
+	sh := &s.shards[g]
+	sh.mu.Lock()
+	sh.runs = append(sh.runs, run)
+	sh.bytes.Add(n)
+	sh.mu.Unlock()
+	if total := s.cachedBytes.Add(n); s.cfg.CacheThreshold > 0 && total > s.cfg.CacheThreshold {
+		return s.spillLargest()
+	}
+	return nil
+}
+
+// spillLargest picks the partition with the largest cached-byte tally (a
+// lock-free scan of the per-shard counters), detaches its runs, and streams
+// them into one spill file. Concurrent callers may race to the same victim;
+// the loser finds it empty and simply returns.
+func (s *partitionStore) spillLargest() error {
+	big, bigBytes := -1, int64(0)
+	for i := range s.shards {
+		if b := s.shards[i].bytes.Load(); b > bigBytes {
+			big, bigBytes = i, b
 		}
 	}
-	s.mu.Unlock()
-	if toSpill == nil {
+	if big < 0 {
 		return nil
 	}
-	return s.spill(g, toSpill)
+	sh := &s.shards[big]
+	sh.mu.Lock()
+	runs := sh.runs
+	sh.runs = nil
+	var taken int64
+	for _, r := range runs {
+		taken += r.StoredBytes()
+	}
+	sh.bytes.Add(-taken)
+	sh.mu.Unlock()
+	if len(runs) == 0 {
+		return nil
+	}
+	s.cachedBytes.Add(-taken)
+	return s.spill(big, runs)
+}
+
+// spillDir lazily creates the temporary spill directory.
+func (s *partitionStore) spillDir() (string, error) {
+	s.dirMu.Lock()
+	defer s.dirMu.Unlock()
+	if s.dir == "" {
+		dir, err := os.MkdirTemp(s.cfg.SpillDir, "glasswing-spill-")
+		if err != nil {
+			return "", fmt.Errorf("native: creating spill dir: %w", err)
+		}
+		s.dir = dir
+	}
+	return s.dir, nil
 }
 
 // spill merges runs and streams them into one spill file for partition g,
 // DEFLATE-compressed when the job compresses intermediate data.
 func (s *partitionStore) spill(g int, runs []*kv.Run) error {
-	s.mu.Lock()
-	if s.dir == "" {
-		dir, err := os.MkdirTemp(s.cfg.SpillDir, "glasswing-spill-")
-		if err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("native: creating spill dir: %w", err)
-		}
-		s.dir = dir
+	dir, err := s.spillDir()
+	if err != nil {
+		return err
 	}
-	s.nspill++
-	path := filepath.Join(s.dir, fmt.Sprintf("part%04d-%06d.run", g, s.nspill))
-	s.mu.Unlock()
+	path := filepath.Join(dir, fmt.Sprintf("part%04d-%06d.run", g, s.nspill.Add(1)))
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -145,9 +178,10 @@ func (s *partitionStore) spill(g int, runs []*kv.Run) error {
 	if err := sink.close(); err != nil {
 		return fmt.Errorf("native: closing spill: %w", err)
 	}
-	s.mu.Lock()
-	s.spills[g] = append(s.spills[g], path)
-	s.mu.Unlock()
+	sh := &s.shards[g]
+	sh.mu.Lock()
+	sh.spills = append(sh.spills, path)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -158,23 +192,31 @@ func (s *partitionStore) compactAll(workers int) error {
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for g := range s.cached {
+	for g := range s.shards {
 		g := g
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			s.mu.Lock()
-			runs := s.cached[g]
-			s.mu.Unlock()
+			sh := &s.shards[g]
+			sh.mu.Lock()
+			runs := sh.runs
+			sh.mu.Unlock()
 			if len(runs) < 2 {
 				return
 			}
 			merged := kv.MergeRuns(runs, s.cfg.Compress)
-			s.mu.Lock()
-			s.cached[g] = []*kv.Run{merged}
-			s.mu.Unlock()
+			var before int64
+			for _, r := range runs {
+				before += r.StoredBytes()
+			}
+			delta := merged.StoredBytes() - before
+			sh.mu.Lock()
+			sh.runs = []*kv.Run{merged}
+			sh.bytes.Add(delta)
+			sh.mu.Unlock()
+			s.cachedBytes.Add(delta)
 		}()
 	}
 	wg.Wait()
@@ -184,10 +226,11 @@ func (s *partitionStore) compactAll(workers int) error {
 // iterators returns sorted iterators over all of partition g's data
 // (cached runs plus spill files read back from disk).
 func (s *partitionStore) iterators(g int) ([]kv.Iterator, error) {
-	s.mu.Lock()
-	runs := s.cached[g]
-	paths := s.spills[g]
-	s.mu.Unlock()
+	sh := &s.shards[g]
+	sh.mu.Lock()
+	runs := sh.runs
+	paths := sh.spills
+	sh.mu.Unlock()
 	var iters []kv.Iterator
 	for _, r := range runs {
 		iters = append(iters, r.Iter())
@@ -217,16 +260,14 @@ func (s *partitionStore) iterators(g int) ([]kv.Iterator, error) {
 }
 
 func (s *partitionStore) spillCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.nspill
+	return int(s.nspill.Load())
 }
 
 // cleanup removes the spill directory.
 func (s *partitionStore) cleanup() {
-	s.mu.Lock()
+	s.dirMu.Lock()
 	dir := s.dir
-	s.mu.Unlock()
+	s.dirMu.Unlock()
 	if dir != "" {
 		os.RemoveAll(dir)
 	}

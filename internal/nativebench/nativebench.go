@@ -1,0 +1,163 @@
+// Package nativebench pins the wall-clock benchmark scenarios for the
+// native runtime. The same scenario table backs the repo's
+// `go test -bench Native` benchmarks (bench_native_test.go) and the
+// `cmd/nativebench` binary that writes BENCH_native.json, so the tracked
+// trajectory and the interactive numbers can never drift apart.
+//
+// Sizes and worker counts are pinned (not GOMAXPROCS-relative) so numbers
+// are comparable across machines and across PRs.
+package nativebench
+
+import (
+	"testing"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/dfs"
+	"glasswing/internal/native"
+	"glasswing/internal/workload"
+)
+
+// Scenario is one pinned native-runtime workload: an application, a
+// deterministic dataset, and a fixed Config.
+type Scenario struct {
+	Name string
+	// Build constructs the app, its input blocks, and the run config.
+	// Construction cost (dataset synthesis) is excluded from timing.
+	Build func() (*core.App, [][]byte, native.Config)
+}
+
+// pinned worker geometry, deliberately independent of GOMAXPROCS.
+func pinnedCfg() native.Config {
+	return native.Config{
+		KernelWorkers:    4,
+		PartitionThreads: 2,
+		Partitions:       8,
+		Buffering:        2,
+	}
+}
+
+// Scenarios returns the tracked scenario table. Names are stable
+// identifiers — BENCH_native.json rows key on them.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			// The allocation-critical path: every emit goes through the
+			// hash collector, no combiner, so value chains survive to the
+			// partitioner.
+			Name: "wc-hash",
+			Build: func() (*core.App, [][]byte, native.Config) {
+				data, _ := apps.WCData(11, 1<<20, 5000)
+				cfg := pinnedCfg()
+				cfg.Collector = core.HashTable
+				return apps.WordCount(), dfs.SplitLines(data, 64<<10), cfg
+			},
+		},
+		{
+			Name: "wc-hash-combine",
+			Build: func() (*core.App, [][]byte, native.Config) {
+				data, _ := apps.WCData(11, 1<<20, 5000)
+				cfg := pinnedCfg()
+				cfg.Collector = core.HashTable
+				cfg.UseCombiner = true
+				return apps.WordCount(), dfs.SplitLines(data, 64<<10), cfg
+			},
+		},
+		{
+			Name: "wc-pool",
+			Build: func() (*core.App, [][]byte, native.Config) {
+				data, _ := apps.WCData(11, 1<<20, 5000)
+				cfg := pinnedCfg()
+				cfg.Collector = core.BufferPool
+				return apps.WordCount(), dfs.SplitLines(data, 64<<10), cfg
+			},
+		},
+		{
+			// Spill-pressure variant: a small cache threshold forces the
+			// partition store through its spill/readback machinery.
+			Name: "wc-spill",
+			Build: func() (*core.App, [][]byte, native.Config) {
+				data, _ := apps.WCData(11, 1<<20, 5000)
+				cfg := pinnedCfg()
+				cfg.Collector = core.HashTable
+				cfg.UseCombiner = true
+				cfg.CacheThreshold = 128 << 10
+				return apps.WordCount(), dfs.SplitLines(data, 64<<10), cfg
+			},
+		},
+		{
+			Name: "terasort",
+			Build: func() (*core.App, [][]byte, native.Config) {
+				data := apps.TSData(12, 20000)
+				cfg := pinnedCfg()
+				cfg.Collector = core.BufferPool
+				cfg.Partitioner = apps.TeraPartitioner(data, 32)
+				return apps.TeraSort(), dfs.SplitFixed(data, 64<<10, workload.TeraRecordSize), cfg
+			},
+		},
+		{
+			Name: "kmeans",
+			Build: func() (*core.App, [][]byte, native.Config) {
+				data, spec := apps.KMData(13, 20000, 16, 4)
+				cfg := pinnedCfg()
+				cfg.Collector = core.HashTable
+				cfg.UseCombiner = true
+				return apps.KMeans(spec), dfs.SplitFixed(data, 16<<10, int64(spec.Dim*4)), cfg
+			},
+		},
+	}
+}
+
+// Bench runs one scenario under a testing.B, reporting allocations and a
+// pairs/s throughput metric (intermediate pairs produced per wall second).
+func Bench(b *testing.B, s Scenario) {
+	app, blocks, cfg := s.Build()
+	var in int64
+	for _, blk := range blocks {
+		in += int64(len(blk))
+	}
+	b.SetBytes(in)
+	b.ReportAllocs()
+	var pairs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := native.Run(app, blocks, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs += int64(res.IntermediatePairs)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(pairs)/sec, "pairs/s")
+	}
+}
+
+// Result is one measured scenario, the row schema of BENCH_native.json.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+}
+
+// Measure benchmarks one scenario via testing.Benchmark and folds the
+// outcome into a Result.
+func Measure(s Scenario) Result {
+	r := testing.Benchmark(func(b *testing.B) { Bench(b, s) })
+	res := Result{
+		Name:        s.Name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		PairsPerSec: r.Extra["pairs/s"],
+	}
+	if r.T > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return res
+}
