@@ -7,16 +7,21 @@
 //	glasswing -app wc|pvc|ts|km|mm [-nodes N] [-gpu] [-fs hdfs|local]
 //	          [-size BYTES] [-slow FACTOR] [-buffering 1|2|3]
 //	          [-partitions P] [-partition-threads N] [-collector hash|pool]
-//	          [-verify]
+//	          [-fault-seed S -map-fault P -reduce-fault P] [-kill NODE@T,...]
+//	          [-speculate FACTOR] [-max-attempts N] [-verify]
 //
 // Every run processes real generated data; -verify checks the output
-// against an independent reference implementation.
+// against an independent reference implementation. The fault flags exercise
+// the §III-E fault tolerance: seeded random attempt failures, scheduled
+// node deaths and speculative execution, all deterministic per seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"glasswing"
 	"glasswing/internal/apps"
@@ -41,6 +46,13 @@ func main() {
 		verify    = flag.Bool("verify", false, "verify output against a reference implementation")
 		trace     = flag.Bool("trace", false, "print the pipeline activity timeline (Gantt)")
 		useNative = flag.Bool("native", false, "run on the native runtime (real host, wall-clock) instead of the simulated cluster")
+
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		mapFault    = flag.Float64("map-fault", 0, "probability a map attempt fails (0 disables)")
+		reduceFault = flag.Float64("reduce-fault", 0, "probability a reduce attempt fails (0 disables)")
+		kill        = flag.String("kill", "", "node deaths as NODE@SECONDS[,NODE@SECONDS...], timed from map-phase start")
+		speculate   = flag.Float64("speculate", 0, "speculative execution slowdown threshold (0 disables)")
+		maxAttempts = flag.Int("max-attempts", 0, "max failed attempts per task before the job fails (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -70,6 +82,23 @@ func main() {
 	}
 	if *gpu {
 		cfg.Device = 1
+	}
+
+	haveFaults := *mapFault > 0 || *reduceFault > 0 || *kill != "" || *speculate > 0
+	if *mapFault > 0 || *reduceFault > 0 {
+		cfg.FaultInjector, cfg.ReduceFaultInjector = glasswing.SeededFaults(*faultSeed, *mapFault, *reduceFault)
+	}
+	if *kill != "" {
+		nf, err := parseKills(*kill)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.NodeFailures = nf
+	}
+	cfg.SpeculativeSlowdown = *speculate
+	cfg.MaxTaskAttempts = *maxAttempts
+	if *useNative && haveFaults {
+		log.Fatal("fault injection flags apply to the simulated cluster only, not -native")
 	}
 
 	var (
@@ -146,6 +175,11 @@ func main() {
 	rt := res.MaxReduceStage()
 	fmt.Printf("reduce pipeline busy: input=%.2fs kernel=%.2fs output=%.2fs\n",
 		rt.Input, rt.Kernel, rt.Partition)
+	if haveFaults || res.Stats != (glasswing.JobStats{}) {
+		fmt.Printf("fault tolerance: %d map retries, %d reduce retries, %d node(s) lost, %d map re-executions, %d speculative wins\n",
+			res.Stats.MapRetries, res.Stats.ReduceRetries, res.Stats.NodesLost,
+			res.Stats.MapRecoveries, res.Stats.SpeculativeWins)
+	}
 	if *verify {
 		if err := validate(res); err != nil {
 			log.Fatalf("output verification FAILED: %v", err)
@@ -156,6 +190,28 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Trace.String())
 	}
+}
+
+// parseKills parses the -kill flag: comma-separated NODE@SECONDS entries,
+// e.g. "2@0.5,3@1.2", timed from the start of the map phase.
+func parseKills(spec string) ([]glasswing.NodeFailure, error) {
+	var out []glasswing.NodeFailure
+	for _, part := range strings.Split(spec, ",") {
+		node, at, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -kill entry %q: want NODE@SECONDS", part)
+		}
+		n, err := strconv.Atoi(node)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kill node in %q: %v", part, err)
+		}
+		t, err := strconv.ParseFloat(at, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kill time in %q: %v", part, err)
+		}
+		out = append(out, glasswing.NodeFailure{Node: n, At: t})
+	}
+	return out, nil
 }
 
 // runNativeJob executes the selected application on the native runtime.

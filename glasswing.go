@@ -60,7 +60,23 @@ type (
 	StageTimes = core.StageTimes
 	// CollectorKind selects the map-output collection mechanism.
 	CollectorKind = core.CollectorKind
+	// JobStats breaks down a job's fault-tolerance activity (§III-E):
+	// injected map/reduce retries, nodes lost, map re-executions after a
+	// node death, and speculative-execution wins.
+	JobStats = core.JobStats
+	// NodeFailure schedules a whole-node death At seconds after the map
+	// phase begins (Config.NodeFailures).
+	NodeFailure = core.NodeFailure
 )
+
+// SeededFaults derives deterministic map and reduce fault injectors from a
+// seed: each (task, attempt) pair fails with probability pMap / pReduce,
+// decided by a pure hash, so one seed reproduces the exact same failure
+// schedule on every run. Plug the results into Config.FaultInjector and
+// Config.ReduceFaultInjector.
+func SeededFaults(seed int64, pMap, pReduce float64) (mapInj func(file string, split, attempt int) bool, reduceInj func(part, attempt int) bool) {
+	return core.SeededFaults(seed, pMap, pReduce)
+}
 
 // Collector mechanisms (§III-F of the paper).
 const (

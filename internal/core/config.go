@@ -179,9 +179,30 @@ type Config struct {
 	// computing the failed attempt stays charged, as it would in
 	// reality.
 	FaultInjector func(file string, split, attempt int) bool
-	// MaxTaskAttempts bounds retries per split (default 4, Hadoop's
-	// mapred.map.max.attempts); exceeding it fails the job.
+	// ReduceFaultInjector, if set, is consulted when a reduce task
+	// finishes processing its partition: returning true fails the attempt.
+	// The partial output is discarded and the partition requeues through
+	// the reduce-side scheduler, bounded by MaxTaskAttempts — the reduce
+	// half of §III-E's "like Hadoop's" fault tolerance.
+	ReduceFaultInjector func(part, attempt int) bool
+	// MaxTaskAttempts bounds injected failures per task — map split or
+	// reduce partition — (default 4, Hadoop's mapred.map.max.attempts);
+	// exceeding it fails the job.
 	MaxTaskAttempts int
+	// NodeFailures schedules whole-node deaths: at each entry's time
+	// (seconds after the map phase begins) the node stops mid-job, its local
+	// intermediate store becomes unreachable, completed map tasks whose
+	// output lived only there re-execute on surviving nodes, and the
+	// schedulers stop assigning it work. Failures that would fire after
+	// the map phase, target an already-dead node, or would kill the last
+	// live node are skipped. Incompatible with PullShuffle.
+	NodeFailures []NodeFailure
+	// SpeculativeSlowdown enables speculative execution: an attempt
+	// running longer than SpeculativeSlowdown x the median completed
+	// attempt time gets a backup copy on an idle node and the first
+	// finisher wins. 0 disables it (the paper runs Hadoop both ways and
+	// disables it on the stable DAS cluster, §IV-A).
+	SpeculativeSlowdown float64
 
 	// Trace records a per-stage activity timeline in Result.Trace,
 	// visualizing the pipeline overlap (Trace.Render draws a Gantt chart).

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"glasswing/internal/dfs"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// richCorpus is corpus with a wide vocabulary: the shared helper's six
+// words hash into only a handful of the global partitions, so a node can
+// die without ever having received intermediate data. Node-death tests
+// need every node's partitions populated to have something to lose.
+func richCorpus(lines int) ([]byte, map[string]int) {
+	var sb strings.Builder
+	want := map[string]int{}
+	for i := 0; i < lines; i++ {
+		for j := 0; j <= i%3; j++ {
+			w := "w" + strconv.Itoa((i*7+j*131)%256)
+			sb.WriteString(w)
+			sb.WriteByte(' ')
+			want[w]++
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), want
+}
+
+// --- reduce-task re-execution ---
+
+func TestReduceFaultRetry(t *testing.T) {
+	// Every partition's first reduce attempt fails; the job must retry
+	// each one and still produce exactly the right output.
+	run := func(inject bool) *Result {
+		rt, d := newRuntime(2, false, 2<<10)
+		data, want := corpus(600)
+		preloadText(d, "in", data)
+		cfg := Config{Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+			PartitionsPerNode: 2}
+		if inject {
+			cfg.ReduceFaultInjector = func(part, attempt int) bool { return attempt == 1 }
+		}
+		res, err := Run(rt, toyWordCount(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWordCounts(t, res, want)
+		return res
+	}
+	clean := run(false)
+	faulty := run(true)
+	if faulty.Stats.ReduceRetries != 4 {
+		t.Fatalf("ReduceRetries = %d, want 4 (one per partition)", faulty.Stats.ReduceRetries)
+	}
+	if clean.Stats.ReduceRetries != 0 {
+		t.Fatalf("clean run recorded %d reduce retries", clean.Stats.ReduceRetries)
+	}
+	if faulty.JobTime <= clean.JobTime {
+		t.Fatalf("reduce re-execution should cost time: faulty %g vs clean %g",
+			faulty.JobTime, clean.JobTime)
+	}
+}
+
+func TestReduceFaultRetryRunsElsewhere(t *testing.T) {
+	// A partition that keeps failing on its owner must eventually be
+	// stolen by another node (requeued reduce work is stealable) and
+	// succeed there.
+	rt, d := newRuntime(2, false, 2<<10)
+	data, want := corpus(400)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		PartitionsPerNode: 1, MaxTaskAttempts: 6,
+		// Partition 0 lives on node 0; fail it there twice so a retry can
+		// migrate. (The injector has no node argument, so fail the first
+		// two attempts regardless of placement.)
+		ReduceFaultInjector: func(part, attempt int) bool { return part == 0 && attempt <= 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.ReduceRetries != 2 {
+		t.Fatalf("ReduceRetries = %d, want 2", res.Stats.ReduceRetries)
+	}
+}
+
+func TestReduceFaultExhaustsAttempts(t *testing.T) {
+	rt, d := newRuntime(1, false, 2<<10)
+	data, _ := corpus(100)
+	preloadText(d, "in", data)
+	_, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		MaxTaskAttempts:     2,
+		ReduceFaultInjector: func(part, attempt int) bool { return part == 0 },
+	})
+	if err == nil {
+		t.Fatal("expected job failure after exhausting reduce attempts")
+	}
+}
+
+// --- node-level failure ---
+
+func TestNodeDeathReExecutesMapWork(t *testing.T) {
+	// Establish the fault-free map-phase length, then kill a node halfway
+	// through it. Completed map tasks whose output lived on the dead node
+	// must re-execute on survivors — visible as retry spans and
+	// MapRecoveries — and the final output must be exactly right.
+	baseline := func() *Result {
+		rt, d := newRuntime(4, false, 1<<10)
+		data, _ := richCorpus(1200)
+		preloadText(d, "in", data)
+		res, err := Run(rt, toyWordCount(), Config{
+			Input: []string{"in"}, Collector: HashTable, UseCombiner: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	rt, d := newRuntime(4, false, 1<<10)
+	data, want := richCorpus(1200)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		Trace:        true,
+		NodeFailures: []NodeFailure{{Node: 2, At: baseline.MapElapsed * 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.NodesLost != 1 {
+		t.Fatalf("NodesLost = %d, want 1", res.Stats.NodesLost)
+	}
+	if res.Stats.MapRecoveries == 0 {
+		t.Fatal("node death halfway through the map phase lost no completed map output — expected MapRecoveries > 0")
+	}
+	retrySpans := 0
+	for _, s := range res.Trace.Spans {
+		if s.Stage == "retry" {
+			if s.Node == 2 {
+				t.Fatalf("retry span on the dead node: %+v", s)
+			}
+			retrySpans++
+		}
+	}
+	if retrySpans == 0 {
+		t.Fatal("no retry spans in trace despite MapRecoveries > 0")
+	}
+	if res.JobTime <= baseline.JobTime {
+		t.Fatalf("losing a node should cost time: %g vs baseline %g", res.JobTime, baseline.JobTime)
+	}
+}
+
+func TestNodeDeathSparesLastLiveNode(t *testing.T) {
+	// A failure schedule that would kill the only (or last) live node is
+	// skipped; the job completes normally.
+	rt, d := newRuntime(1, false, 2<<10)
+	data, want := corpus(300)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		NodeFailures: []NodeFailure{{Node: 0, At: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.NodesLost != 0 {
+		t.Fatalf("NodesLost = %d, want 0 (last live node is spared)", res.Stats.NodesLost)
+	}
+}
+
+func TestNodeDeathAfterMapPhaseSkipped(t *testing.T) {
+	rt, d := newRuntime(2, false, 2<<10)
+	data, want := corpus(300)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		NodeFailures: []NodeFailure{{Node: 1, At: 1e9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.NodesLost != 0 {
+		t.Fatalf("NodesLost = %d, want 0 (failure scheduled after the map phase)", res.Stats.NodesLost)
+	}
+}
+
+func TestNodeDeathAtTimeZero(t *testing.T) {
+	// Death before the first split completes: nothing has been delivered,
+	// so there is nothing to recover, but the node's share must still be
+	// redistributed and the output stay correct.
+	rt, d := newRuntime(3, false, 2<<10)
+	data, want := richCorpus(600)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		NodeFailures: []NodeFailure{{Node: 0, At: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.NodesLost != 1 {
+		t.Fatalf("NodesLost = %d, want 1", res.Stats.NodesLost)
+	}
+}
+
+func TestTwoNodeDeaths(t *testing.T) {
+	baseline := func() *Result {
+		rt, d := newRuntime(4, false, 1<<10)
+		data, _ := richCorpus(1000)
+		preloadText(d, "in", data)
+		res, err := Run(rt, toyWordCount(), Config{
+			Input: []string{"in"}, Collector: HashTable, UseCombiner: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	rt, d := newRuntime(4, false, 1<<10)
+	data, want := richCorpus(1000)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		NodeFailures: []NodeFailure{
+			{Node: 1, At: baseline.MapElapsed * 0.3},
+			{Node: 3, At: baseline.MapElapsed * 0.7},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.NodesLost != 2 {
+		t.Fatalf("NodesLost = %d, want 2", res.Stats.NodesLost)
+	}
+}
+
+func TestNodeDeathWithMapFaults(t *testing.T) {
+	// Combined scenario: injected map faults plus a node death.
+	baseline := func() *Result {
+		rt, d := newRuntime(3, false, 1<<10)
+		data, _ := richCorpus(900)
+		preloadText(d, "in", data)
+		res, err := Run(rt, toyWordCount(), Config{
+			Input: []string{"in"}, Collector: HashTable, UseCombiner: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	rt, d := newRuntime(3, false, 1<<10)
+	data, want := richCorpus(900)
+	preloadText(d, "in", data)
+	res, err := Run(rt, toyWordCount(), Config{
+		Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+		MaxTaskAttempts: 8,
+		FaultInjector:   func(_ string, split, attempt int) bool { return split%3 == 0 && attempt == 1 },
+		NodeFailures:    []NodeFailure{{Node: 1, At: baseline.MapElapsed * 0.4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCounts(t, res, want)
+	if res.Stats.MapRetries == 0 || res.Stats.NodesLost != 1 {
+		t.Fatalf("stats = %+v, want MapRetries > 0 and NodesLost == 1", res.Stats)
+	}
+}
+
+func TestNodeFailureValidation(t *testing.T) {
+	rt, d := newRuntime(2, false, 2<<10)
+	data, _ := corpus(100)
+	preloadText(d, "in", data)
+	app := toyWordCount()
+	base := Config{Input: []string{"in"}, Collector: HashTable, UseCombiner: true}
+
+	cfg := base
+	cfg.NodeFailures = []NodeFailure{{Node: 7, At: 1}}
+	if _, err := Run(rt, app, cfg); err == nil {
+		t.Error("out-of-range NodeFailures node should fail")
+	}
+	cfg = base
+	cfg.NodeFailures = []NodeFailure{{Node: 0, At: -1}}
+	if _, err := Run(rt, app, cfg); err == nil {
+		t.Error("negative NodeFailures time should fail")
+	}
+	cfg = base
+	cfg.NodeFailures = []NodeFailure{{Node: 0, At: 1}}
+	cfg.PullShuffle = true
+	if _, err := Run(rt, app, cfg); err == nil {
+		t.Error("NodeFailures with PullShuffle should fail")
+	}
+	cfg = base
+	cfg.SpeculativeSlowdown = -2
+	if _, err := Run(rt, app, cfg); err == nil {
+		t.Error("negative SpeculativeSlowdown should fail")
+	}
+}
+
+// --- speculative execution ---
+
+// stragglerRuntime builds a cluster where the last node is slower by
+// factor. All nodes get SSDs: a map attempt on a spinning disk is
+// dominated by the fixed (deliberately undilated) 6ms seek, which would
+// mask the slowdown entirely at small block sizes.
+func stragglerRuntime(nodes int, factor float64, blockSize int64) (*Runtime, *dfs.DFS) {
+	env := sim.NewEnv()
+	specs := make([]hw.NodeSpec, nodes)
+	for i := range specs {
+		specs[i] = hw.Type1(false)
+		specs[i].Disk = hw.SSDLocal
+	}
+	specs[nodes-1] = specs[nodes-1].Slowed(factor)
+	cluster := hw.NewClusterWithSpecs(env, specs)
+	// Full replication: a speculative backup must not have to fetch its
+	// block from the straggler's slowed disk and NIC.
+	d := dfs.New(cluster, blockSize, nodes)
+	return &Runtime{Cluster: cluster, FS: d}, d
+}
+
+func TestSpeculativeExecutionRescuesStraggler(t *testing.T) {
+	// One node 8x slower. With dynamic stealing, the straggler's queue
+	// drains to the fast nodes, but whatever attempt it is actually
+	// running stretches the map phase tail. Speculation launches a backup
+	// on an idle fast node and the first finisher wins.
+	run := func(specFactor float64) *Result {
+		rt, d := stragglerRuntime(4, 32, 64<<10)
+		data, want := richCorpus(90000)
+		preloadText(d, "in", data)
+		res, err := Run(rt, toyWordCount(), Config{
+			Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+			Trace: true, SpeculativeSlowdown: specFactor,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWordCounts(t, res, want)
+		return res
+	}
+	plain := run(0)
+	spec := run(2)
+	if plain.Stats.SpeculativeWins != 0 {
+		t.Fatalf("speculation disabled but %d wins recorded", plain.Stats.SpeculativeWins)
+	}
+	if spec.Stats.SpeculativeWins == 0 {
+		t.Fatal("no speculative wins against a 32x straggler")
+	}
+	if spec.MapElapsed >= plain.MapElapsed {
+		t.Fatalf("speculation should shorten the map phase: %g vs %g",
+			spec.MapElapsed, plain.MapElapsed)
+	}
+	found := false
+	for _, s := range spec.Trace.Spans {
+		if s.Stage == "speculative" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no speculative spans in trace despite SpeculativeWins > 0")
+	}
+}
+
+func TestSpeculativeExecutionFaultFreeStable(t *testing.T) {
+	// On a homogeneous cluster with no faults, enabling speculation must
+	// not change the result or record wins (attempts all track the
+	// median; no straggler crosses the threshold).
+	run := func(specFactor float64) *Result {
+		rt, d := newRuntime(3, false, 2<<10)
+		data, want := corpus(600)
+		preloadText(d, "in", data)
+		res, err := Run(rt, toyWordCount(), Config{
+			Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+			SpeculativeSlowdown: specFactor,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWordCounts(t, res, want)
+		return res
+	}
+	plain := run(0)
+	spec := run(3)
+	if spec.Stats.SpeculativeWins != 0 {
+		t.Fatalf("homogeneous fault-free run recorded %d speculative wins", spec.Stats.SpeculativeWins)
+	}
+	if plain.OutputPairs != spec.OutputPairs {
+		t.Fatalf("speculation changed output: %d vs %d pairs", plain.OutputPairs, spec.OutputPairs)
+	}
+}
+
+// --- Trace.Window regression (satellite bugfix) ---
+
+func TestTraceWindowEmpty(t *testing.T) {
+	var empty Trace
+	if s, e := empty.Window(); s != 0 || e != 0 {
+		t.Fatalf("empty trace Window = (%g, %g), want (0, 0)", s, e)
+	}
+	var nilTrace *Trace
+	if s, e := nilTrace.Window(); s != 0 || e != 0 {
+		t.Fatalf("nil trace Window = (%g, %g), want (0, 0)", s, e)
+	}
+	tr := &Trace{}
+	tr.add(0, "map/input", 1.5, 2.5)
+	if s, e := tr.Window(); s != 1.5 || e != 2.5 {
+		t.Fatalf("Window = (%g, %g), want (1.5, 2.5)", s, e)
+	}
+}
+
+// --- SeededFaults determinism (satellite helper) ---
+
+func TestSeededFaultsDeterministic(t *testing.T) {
+	m1, r1 := SeededFaults(42, 0.3, 0.3)
+	m2, r2 := SeededFaults(42, 0.3, 0.3)
+	mapFired, reduceFired := 0, 0
+	for split := 0; split < 50; split++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			a, b := m1("in", split, attempt), m2("in", split, attempt)
+			if a != b {
+				t.Fatalf("map injector not deterministic at (%d,%d)", split, attempt)
+			}
+			if a {
+				mapFired++
+			}
+			c, e := r1(split, attempt), r2(split, attempt)
+			if c != e {
+				t.Fatalf("reduce injector not deterministic at (%d,%d)", split, attempt)
+			}
+			if c {
+				reduceFired++
+			}
+		}
+	}
+	if mapFired == 0 || reduceFired == 0 {
+		t.Fatalf("p=0.3 over 200 rolls fired map=%d reduce=%d times", mapFired, reduceFired)
+	}
+
+	// Different seeds must differ somewhere.
+	m3, _ := SeededFaults(43, 0.3, 0.3)
+	same := true
+	for split := 0; split < 50 && same; split++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			if m1("in", split, attempt) != m3("in", split, attempt) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+
+	// Zero probability never fires.
+	mz, rz := SeededFaults(7, 0, 0)
+	for split := 0; split < 20; split++ {
+		if mz("in", split, 1) || rz(split, 1) {
+			t.Fatal("p=0 injector fired")
+		}
+	}
+}
+
+// --- deterministic replay with faults ---
+
+func TestFaultScenarioDeterministic(t *testing.T) {
+	run := func() *Result {
+		rt, d := newRuntime(3, false, 1<<10)
+		data, _ := richCorpus(800)
+		preloadText(d, "in", data)
+		mi, ri := SeededFaults(11, 0.1, 0.2)
+		res, err := Run(rt, toyWordCount(), Config{
+			Input: []string{"in"}, Collector: HashTable, UseCombiner: true,
+			MaxTaskAttempts: 10, FaultInjector: mi, ReduceFaultInjector: ri,
+			NodeFailures: []NodeFailure{{Node: 2, At: 0.3}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.JobTime != b.JobTime || a.Stats != b.Stats || a.OutputPairs != b.OutputPairs {
+		t.Fatalf("fault scenario not deterministic:\n  a: t=%g %+v\n  b: t=%g %+v",
+			a.JobTime, a.Stats, b.JobTime, b.Stats)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "hash/fnv"
+
+// NodeFailure schedules the death of one simulated node At seconds after
+// the map phase begins (see Config.NodeFailures). Anchoring At to the map
+// phase rather than job start lets callers place deaths as fractions of a
+// baseline run's MapElapsed without knowing the job's startup overhead.
+type NodeFailure struct {
+	Node int
+	At   float64
+}
+
+// JobStats counts the fault-tolerance machinery's activity during a job
+// (§III-E). All counters are zero in a fault-free run.
+type JobStats struct {
+	// MapRetries counts map attempts that failed by fault injection and
+	// were re-executed (mirrored as Result.TaskRetries).
+	MapRetries int
+	// ReduceRetries counts reduce attempts failed by fault injection.
+	ReduceRetries int
+	// NodesLost counts node failures that were actually applied.
+	NodesLost int
+	// MapRecoveries counts completed map tasks re-executed because their
+	// delivered intermediate output died with a node.
+	MapRecoveries int
+	// SpeculativeWins counts tasks whose speculative backup finished
+	// before the original attempt.
+	SpeculativeWins int
+}
+
+// SeededFaults derives deterministic map and reduce fault injectors from a
+// seed: each (task, attempt) pair fails with probability pMap / pReduce,
+// decided by a pure hash so the same seed reproduces the exact failure
+// scenario across runs, platforms and test shards. Either probability may
+// be 0 to disable that side.
+func SeededFaults(seed int64, pMap, pReduce float64) (mapInj func(file string, split, attempt int) bool, reduceInj func(part, attempt int) bool) {
+	mapInj = func(file string, split, attempt int) bool {
+		h := fnv.New64a()
+		h.Write([]byte(file))
+		return faultRoll(seed, int64(h.Sum64())^0x6d61, int64(split), int64(attempt), pMap)
+	}
+	reduceInj = func(part, attempt int) bool {
+		return faultRoll(seed, 0x7265, int64(part), int64(attempt), pReduce)
+	}
+	return mapInj, reduceInj
+}
+
+// faultRoll maps (seed, domain, task, attempt) to [0,1) via splitmix64 and
+// compares against p. Purely functional: no state, no global RNG.
+func faultRoll(seed, domain, task, attempt int64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	x := uint64(seed)
+	for _, v := range [...]uint64{uint64(domain), uint64(task), uint64(attempt)} {
+		x += v + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return float64(x>>11)/float64(1<<53) < p
+}

@@ -15,6 +15,14 @@ type partStore struct {
 	cached      []*kv.Run
 	cachedBytes int64
 	onDisk      []*kv.Run
+	// seen records which map tasks already contributed a run, so the
+	// re-delivery of a task re-executed after a node death is dropped at
+	// surviving partitions instead of duplicating data.
+	seen map[taskID]bool
+}
+
+func newPartStore(global int) *partStore {
+	return &partStore{global: global, seen: make(map[taskID]bool)}
 }
 
 func (ps *partStore) runs() []*kv.Run {
@@ -22,6 +30,16 @@ func (ps *partStore) runs() []*kv.Run {
 	out = append(out, ps.onDisk...)
 	out = append(out, ps.cached...)
 	return out
+}
+
+// storedTotal is the partition's full stored volume (cache + disk) — what a
+// remote reduce attempt must move over the fabric.
+func (ps *partStore) storedTotal() int64 {
+	var total int64
+	for _, r := range ps.runs() {
+		total += r.StoredBytes()
+	}
+	return total
 }
 
 // interManager implements §III-B: per-node intermediate data management.
@@ -38,10 +56,14 @@ type interManager struct {
 	cfg     Config
 	parts   []*partStore
 
-	wake      []*sim.Queue[struct{}]
-	slots     *sim.Resource
-	inputDone *sim.Signal // all intermediate data has arrived at this node
-	done      *sim.Signal // mergers quiesced; fired with the merge delay
+	wake       []*sim.Queue[struct{}]
+	mergerSigs []*sim.Signal
+	slots      *sim.Resource
+	inputDone  *sim.Signal // all intermediate data has arrived at this node
+	done       *sim.Signal // mergers quiesced; fired with the merge delay
+	// dead marks the node as failed: its stores are lost and further
+	// deliveries are dropped (§III-E node-level failure).
+	dead bool
 
 	// mapDoneAt is when the map phase completed; the merge delay is
 	// measured from here (§III-B), so pull-mode fetches count toward it.
@@ -58,20 +80,26 @@ func newInterManager(env *sim.Env, node *hw.Node, cfg Config, firstGlobal int) *
 		slots:     sim.NewResource(env, cfg.MergeThreads),
 	}
 	for i := 0; i < cfg.PartitionsPerNode; i++ {
-		m.parts = append(m.parts, &partStore{global: firstGlobal + i})
+		m.parts = append(m.parts, newPartStore(firstGlobal+i))
 		m.wake = append(m.wake, sim.NewQueue[struct{}](env, 1))
 	}
 	return m
 }
 
-// add appends a run to local partition idx's cache. It runs in the sender's
-// process (partition stage or remote push), so the insert itself is free;
-// the run's serialization and transport were charged by the sender.
-func (m *interManager) add(idx int, run *kv.Run) {
-	if run.Records == 0 {
+// addRun appends task's run to local partition idx's cache. It runs in the
+// sender's process (partition stage or remote push), so the insert itself is
+// free; the run's serialization and transport were charged by the sender.
+// Deliveries to a dead node and re-deliveries of a task already seen by this
+// partition (a node-loss re-execution fanning out again) are dropped.
+func (m *interManager) addRun(idx int, task taskID, run *kv.Run) {
+	if m.dead || run.Records == 0 {
 		return
 	}
 	ps := m.parts[idx]
+	if ps.seen[task] {
+		return
+	}
+	ps.seen[task] = true
 	ps.cached = append(ps.cached, run)
 	ps.cachedBytes += run.StoredBytes()
 	if m.aggregateCache() > m.cfg.CacheThreshold {
@@ -100,23 +128,52 @@ func (m *interManager) aggregateCache() int64 {
 // start spawns the merger processes. The returned done signal fires when
 // every merger has quiesced after inputDone.
 func (m *interManager) start(env *sim.Env) {
-	var mergerSigs []*sim.Signal
 	for i := range m.parts {
-		i := i
-		proc := env.Spawn(fmt.Sprintf("%s/merger%d", m.node.Name, i), func(p *sim.Proc) {
-			m.mergerLoop(p, i)
-		})
-		mergerSigs = append(mergerSigs, proc.Done())
+		m.spawnMerger(env, i)
 	}
 	env.Spawn(m.node.Name+"/merge-join", func(p *sim.Proc) {
 		m.inputDone.Wait(p)
-		for i := range m.wake {
+		// Index loops: partitions adopted from a dead node appended their
+		// own wake queue and merger after start.
+		for i := 0; i < len(m.wake); i++ {
 			m.wake[i].Close()
 		}
-		sim.WaitAll(p, mergerSigs...)
+		for i := 0; i < len(m.mergerSigs); i++ {
+			m.mergerSigs[i].Wait(p)
+		}
 		m.mergeDelay = p.Now() - m.mapDoneAt
 		m.done.Fire(m.mergeDelay)
 	})
+}
+
+func (m *interManager) spawnMerger(env *sim.Env, idx int) {
+	proc := env.Spawn(fmt.Sprintf("%s/merger%d", m.node.Name, idx), func(p *sim.Proc) {
+		m.mergerLoop(p, idx)
+	})
+	m.mergerSigs = append(m.mergerSigs, proc.Done())
+}
+
+// adoptPart takes over global partition `global` from a dead node: a fresh,
+// empty store (the data died with the node — re-executed map tasks rebuild
+// it) with its own wake queue and merger. It returns the local index for
+// the rewired ownerRef.
+func (m *interManager) adoptPart(env *sim.Env, global int) int {
+	m.parts = append(m.parts, newPartStore(global))
+	m.wake = append(m.wake, sim.NewQueue[struct{}](env, 1))
+	idx := len(m.parts) - 1
+	m.spawnMerger(env, idx)
+	return idx
+}
+
+// markDead drops all of the node's intermediate data — "a failing node
+// loses its intermediate data" (§III-E) — and quiesces its mergers. Safe in
+// scheduler-callback context (never parks).
+func (m *interManager) markDead() {
+	m.dead = true
+	for i, ps := range m.parts {
+		ps.cached, ps.cachedBytes, ps.onDisk = nil, 0, nil
+		m.wake[i].Close()
+	}
 }
 
 func (m *interManager) mergerLoop(p *sim.Proc, idx int) {
@@ -182,6 +239,9 @@ func (m *interManager) flush(p *sim.Proc, ps *partStore) {
 		ops += (costDecompressPerByte + costCompressPerByte) * float64(raw)
 	}
 	m.node.HostWork(p, ops, 1)
+	if m.dead {
+		return // the node died mid-flush; its store is gone
+	}
 	merged := kv.MergeRuns(runs, m.cfg.Compress)
 	m.node.Disk.Write(p, merged.StoredBytes())
 	ps.onDisk = append(ps.onDisk, merged)
@@ -212,6 +272,9 @@ func (m *interManager) compactCache(p *sim.Proc, ps *partStore) {
 		ops += (costDecompressPerByte + costCompressPerByte) * float64(raw)
 	}
 	m.node.HostWork(p, ops, 1)
+	if m.dead {
+		return
+	}
 	merged := kv.MergeRuns(runs, m.cfg.Compress)
 	ps.cached = append(ps.cached, merged)
 	ps.cachedBytes += merged.StoredBytes()
@@ -243,6 +306,9 @@ func (m *interManager) compactDisk(p *sim.Proc, ps *partStore) {
 		ops += (costDecompressPerByte + costCompressPerByte) * float64(raw)
 	}
 	m.node.HostWork(p, ops, 1)
+	if m.dead {
+		return
+	}
 	merged := kv.MergeRuns(runs, m.cfg.Compress)
 	m.node.Disk.Write(p, merged.StoredBytes())
 	ps.onDisk = append(ps.onDisk, merged)

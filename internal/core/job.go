@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"glasswing/internal/cl"
 	"glasswing/internal/dfs"
@@ -49,8 +50,10 @@ type Result struct {
 	// OutputPairs counts final key/value pairs.
 	OutputPairs int
 	// TaskRetries counts map task attempts that failed and were
-	// re-executed (§III-E fault tolerance).
+	// re-executed (§III-E fault tolerance); it mirrors Stats.MapRetries.
 	TaskRetries int
+	// Stats breaks down all fault-tolerance activity (§III-E).
+	Stats JobStats
 	// Trace is the activity timeline (nil unless Config.Trace).
 	Trace *Trace
 
@@ -97,7 +100,15 @@ func maxStages(all []StageTimes) StageTimes {
 type pullItem struct {
 	src   int
 	local int
+	task  taskID
 	run   *kv.Run
+}
+
+// ownerRef locates a global partition's store: the manager of node and the
+// local index within it. Node death reassigns ownership to a survivor.
+type ownerRef struct {
+	node  int
+	local int
 }
 
 // job is the in-flight state of one MapReduce execution.
@@ -110,10 +121,27 @@ type job struct {
 	managers []*interManager
 	pending  map[int][]pullItem
 	outputs  map[int][]kv.Pair
-	retries  int
+	stats    JobStats
 	failErr  error
 	trace    *Trace
-	sched    *mapScheduler
+	sched    *taskScheduler[splitRef]
+	redSched *taskScheduler[reduceRef]
+
+	// owners maps each global partition to the node/store currently
+	// responsible for it; killNode rewires entries of a dead node.
+	owners    []ownerRef
+	deadNodes []bool
+	// deliveredTo records, per resolved map task, the set of owner nodes
+	// its output reached; deliveredOrder keeps deterministic iteration.
+	deliveredTo    map[taskID]map[int]bool
+	deliveredOrder []taskID
+	// sending/sendingDest/sendingActive track each sender's in-flight
+	// transfer so killNode can account for data lost on the wire.
+	sending       []taskID
+	sendingDest   []int
+	sendingActive []bool
+	mapDone       bool
+	rrNode        int
 
 	// senders deliver intermediate Partitions asynchronously so the
 	// partitioning stage never blocks on the network: communication
@@ -125,19 +153,179 @@ type job struct {
 type pushMsg struct {
 	dest  int
 	local int
+	task  taskID
 	run   *kv.Run
 }
 
-// senderLoop drains one node's push queue over the fabric.
+// mapTaskID names a split across all of its attempts.
+func mapTaskID(sp splitRef) taskID {
+	return taskID(sp.file.FileName + "#" + strconv.Itoa(sp.idx))
+}
+
+// senderLoop drains one node's push queue over the fabric. Traffic from or
+// to a dead node is dropped: killNode purges the queues and re-executes the
+// affected tasks, and these checks catch transfers already in flight.
 func (j *job) senderLoop(p *sim.Proc, nodeIdx int) {
 	for {
 		m, ok := j.senders[nodeIdx].Get(p)
 		if !ok {
 			return
 		}
+		if j.deadNodes[nodeIdx] || j.deadNodes[m.dest] {
+			continue
+		}
+		j.sending[nodeIdx], j.sendingDest[nodeIdx], j.sendingActive[nodeIdx] = m.task, m.dest, true
 		j.cluster.Transfer(p, j.cluster.Nodes[nodeIdx], j.cluster.Nodes[m.dest], m.run.StoredBytes())
-		j.managers[m.dest].add(m.local, m.run)
+		j.sendingActive[nodeIdx] = false
+		if j.deadNodes[nodeIdx] || j.deadNodes[m.dest] {
+			continue
+		}
+		j.managers[m.dest].addRun(m.local, m.task, m.run)
 	}
+}
+
+// deliver routes one partitioned run of task id to global partition g's
+// current owner and records the delivery for node-loss recovery.
+func (j *job) deliver(p *sim.Proc, src int, id taskID, g int, run *kv.Run) {
+	own := j.owners[g]
+	j.noteDelivered(id, own.node)
+	if own.node == src {
+		j.managers[own.node].addRun(own.local, id, run)
+		return
+	}
+	if j.cfg.PullShuffle {
+		j.pending[own.node] = append(j.pending[own.node], pullItem{src: src, local: own.local, task: id, run: run})
+		return
+	}
+	j.senders[src].Put(p, pushMsg{dest: own.node, local: own.local, task: id, run: run})
+}
+
+func (j *job) noteDelivered(id taskID, node int) {
+	m := j.deliveredTo[id]
+	if m == nil {
+		m = make(map[int]bool)
+		j.deliveredTo[id] = m
+		j.deliveredOrder = append(j.deliveredOrder, id)
+	}
+	m[node] = true
+}
+
+// pickLiveNode returns a live node index, round-robin for balance.
+func (j *job) pickLiveNode() int {
+	n := len(j.deadNodes)
+	for i := 0; i < n; i++ {
+		j.rrNode = (j.rrNode + 1) % n
+		if !j.deadNodes[j.rrNode] {
+			return j.rrNode
+		}
+	}
+	return 0
+}
+
+// killNode applies one scheduled node failure (§III-E: "a failing node
+// loses its intermediate data, so its completed map tasks are re-executed").
+// It runs in scheduler-callback context, so it must never park:
+//
+//   - the node's outbound queue, its in-flight transfer, and live nodes'
+//     traffic destined to it are dropped;
+//   - its partitions are adopted (empty) by survivors and ownership rewired;
+//   - every resolved map task whose output is now incomplete re-executes on
+//     a surviving node;
+//   - the schedulers stop assigning the node work, and its pipeline stages
+//     drain cooperatively at their next boundary.
+//
+// Failures after the map phase, of an already-dead node, or that would kill
+// the last live node are skipped. "After the map phase" includes remaining
+// == 0 with mapDone not yet set: once the last split resolves the phase is
+// over, even if the master's wake-up event has not fired yet — the input
+// stages may already have exited, so re-opened work could strand.
+func (j *job) killNode(d int) {
+	if j.mapDone || j.sched.remaining == 0 || d < 0 || d >= len(j.deadNodes) || j.deadNodes[d] {
+		return
+	}
+	live := 0
+	for i := range j.deadNodes {
+		if !j.deadNodes[i] && i != d {
+			live++
+		}
+	}
+	if live == 0 {
+		return
+	}
+	j.deadNodes[d] = true
+	j.stats.NodesLost++
+
+	var rexOrder []taskID
+	rexSeen := make(map[taskID]bool)
+	addRex := func(id taskID) {
+		if !rexSeen[id] {
+			rexSeen[id] = true
+			rexOrder = append(rexOrder, id)
+		}
+	}
+	// The dead node's queued outbound traffic and in-flight transfer die
+	// with it.
+	for _, m := range j.senders[d].Filter(func(pushMsg) bool { return false }) {
+		addRex(m.task)
+	}
+	if j.sendingActive[d] {
+		addRex(j.sending[d])
+	}
+	// Live nodes' traffic destined to the dead node is undeliverable.
+	for s := range j.senders {
+		if s == d {
+			continue
+		}
+		for _, m := range j.senders[s].Filter(func(m pushMsg) bool { return m.dest != d }) {
+			addRex(m.task)
+		}
+		if j.sendingActive[s] && j.sendingDest[s] == d {
+			addRex(j.sending[s])
+		}
+	}
+	// Output already stored at the dead node is lost.
+	for _, id := range j.deliveredOrder {
+		if j.deliveredTo[id][d] {
+			addRex(id)
+		}
+	}
+
+	// Survivors adopt the dead node's partitions (empty — re-executed
+	// tasks rebuild their content) and ownership rewires before any
+	// re-executed task can deliver.
+	for _, ps := range j.managers[d].parts {
+		t := j.pickLiveNode()
+		local := j.managers[t].adoptPart(j.cluster.Env, ps.global)
+		j.owners[ps.global] = ownerRef{node: t, local: local}
+	}
+	j.managers[d].markDead()
+
+	for _, id := range rexOrder {
+		delete(j.deliveredTo[id], d)
+		if j.sched.reexecute(id) {
+			j.stats.MapRecoveries++
+		}
+	}
+	j.sched.markDead(d)
+}
+
+// validateFaultConfig rejects inconsistent fault-injection settings.
+func validateFaultConfig(cfg Config, nodes int) error {
+	for _, nf := range cfg.NodeFailures {
+		if nf.Node < 0 || nf.Node >= nodes {
+			return fmt.Errorf("core: NodeFailures names node %d of %d", nf.Node, nodes)
+		}
+		if nf.At < 0 {
+			return fmt.Errorf("core: NodeFailures time %g is negative", nf.At)
+		}
+	}
+	if len(cfg.NodeFailures) > 0 && cfg.PullShuffle {
+		return fmt.Errorf("core: NodeFailures is incompatible with PullShuffle")
+	}
+	if cfg.SpeculativeSlowdown < 0 {
+		return fmt.Errorf("core: SpeculativeSlowdown %g is negative", cfg.SpeculativeSlowdown)
+	}
+	return nil
 }
 
 // Run executes app under cfg on the runtime's cluster and returns the
@@ -151,35 +339,47 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 	if len(cfg.Input) == 0 {
 		return nil, fmt.Errorf("core: no input files")
 	}
+	if err := validateFaultConfig(cfg, len(rt.Cluster.Nodes)); err != nil {
+		return nil, err
+	}
 	env := rt.Cluster.Env
+	n := len(rt.Cluster.Nodes)
 	j := &job{
-		cluster: rt.Cluster,
-		fs:      rt.FS,
-		app:     app,
-		cfg:     cfg,
-		pending: make(map[int][]pullItem),
-		outputs: make(map[int][]kv.Pair),
+		cluster:       rt.Cluster,
+		fs:            rt.FS,
+		app:           app,
+		cfg:           cfg,
+		pending:       make(map[int][]pullItem),
+		outputs:       make(map[int][]kv.Pair),
+		deadNodes:     make([]bool, n),
+		deliveredTo:   make(map[taskID]map[int]bool),
+		sending:       make([]taskID, n),
+		sendingDest:   make([]int, n),
+		sendingActive: make([]bool, n),
 	}
 	if cfg.Trace {
 		j.trace = &Trace{}
 	}
-	for i, n := range rt.Cluster.Nodes {
+	for i, node := range rt.Cluster.Nodes {
 		dev := cfg.Device
 		if len(cfg.DevicePerNode) > 0 {
-			if len(cfg.DevicePerNode) != len(rt.Cluster.Nodes) {
+			if len(cfg.DevicePerNode) != n {
 				return nil, fmt.Errorf("core: DevicePerNode has %d entries for %d nodes",
-					len(cfg.DevicePerNode), len(rt.Cluster.Nodes))
+					len(cfg.DevicePerNode), n)
 			}
 			dev = cfg.DevicePerNode[i]
 		}
-		if dev < 0 || dev >= len(n.Devices) {
+		if dev < 0 || dev >= len(node.Devices) {
 			return nil, fmt.Errorf("core: node %d has no device %d", i, dev)
 		}
-		j.ctxs = append(j.ctxs, cl.NewContext(n.Devices[dev]))
-		mgr := newInterManager(env, n, cfg, i*cfg.PartitionsPerNode)
+		j.ctxs = append(j.ctxs, cl.NewContext(node.Devices[dev]))
+		mgr := newInterManager(env, node, cfg, i*cfg.PartitionsPerNode)
 		mgr.nodeIdx = i
 		mgr.trace = j.trace
 		j.managers = append(j.managers, mgr)
+	}
+	for g := 0; g < n*cfg.PartitionsPerNode; g++ {
+		j.owners = append(j.owners, ownerRef{node: g / cfg.PartitionsPerNode, local: g % cfg.PartitionsPerNode})
 	}
 	splits, err := j.assignSplits()
 	if err != nil {
@@ -188,13 +388,18 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 	if err := j.checkDeviceMemory(splits); err != nil {
 		return nil, err
 	}
-	j.sched = newMapScheduler(env, splits, cfg.StaticScheduling)
+	j.sched = newTaskScheduler[splitRef](env, n, cfg.StaticScheduling, cfg.SpeculativeSlowdown, cfg.MaxTaskAttempts)
+	for node, per := range splits {
+		for _, sp := range per {
+			j.sched.addTask(node, mapTaskID(sp), sp)
+		}
+	}
 
 	res := &Result{
 		App:          app.Name,
-		Nodes:        len(rt.Cluster.Nodes),
-		MapStages:    make([]StageTimes, len(rt.Cluster.Nodes)),
-		ReduceStages: make([]StageTimes, len(rt.Cluster.Nodes)),
+		Nodes:        n,
+		MapStages:    make([]StageTimes, n),
+		ReduceStages: make([]StageTimes, n),
 		outputs:      j.outputs,
 	}
 
@@ -211,21 +416,37 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 		// Map phase: one pipeline per node plus one async sender per
 		// node, all concurrent.
 		mapStart := p.Now()
-		var mapProcs, sendProcs []*sim.Proc
+		var sendProcs []*sim.Proc
 		for i := range rt.Cluster.Nodes {
 			i := i
 			j.senders = append(j.senders, sim.NewQueue[pushMsg](env, 0))
 			sendProcs = append(sendProcs, env.Spawn(fmt.Sprintf("node%03d/sender", i), func(q *sim.Proc) {
 				j.senderLoop(q, i)
 			}))
-			pr := env.Spawn(fmt.Sprintf("node%03d/map", i), func(q *sim.Proc) {
+			env.Spawn(fmt.Sprintf("node%03d/map", i), func(q *sim.Proc) {
 				res.MapStages[i] = j.runMapPipeline(q, i)
 			})
-			mapProcs = append(mapProcs, pr)
 		}
-		for _, pr := range mapProcs {
-			pr.Done().Wait(p)
+		// Node failures are scheduled only after the senders and pipelines
+		// exist; a failure instant that already passed during startup fires
+		// immediately.
+		for _, nf := range cfg.NodeFailures {
+			nf := nf
+			at := mapStart + nf.At
+			if at < p.Now() {
+				at = p.Now()
+			}
+			env.At(at, func() { j.killNode(nf.Node) })
 		}
+		// The map phase completes when every split is resolved and no
+		// scheduled node failure can re-open work — not when the last
+		// pipeline drains: a loser attempt (its twin already resolved the
+		// task, or its node died) keeps draining in the background like a
+		// killed Hadoop attempt, without gating the job. In a fault-free
+		// run the last resolve coincides with the last pipeline's exit, so
+		// the timeline is unchanged.
+		j.sched.awaitDone(p)
+		j.mapDone = true
 		res.MapElapsed = p.Now() - mapStart
 		for _, m := range j.managers {
 			m.mapDoneAt = p.Now()
@@ -249,7 +470,7 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 				pr := env.Spawn(fmt.Sprintf("node%03d/fetch", dest), func(q *sim.Proc) {
 					for _, it := range items {
 						j.cluster.Transfer(q, j.cluster.Nodes[it.src], j.cluster.Nodes[dest], it.run.StoredBytes())
-						j.managers[dest].add(it.local, it.run)
+						j.managers[dest].addRun(it.local, it.task, it.run)
 					}
 				})
 				fetchers = append(fetchers, pr)
@@ -271,10 +492,28 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 			res.IntermediateBytes += m.storedBytes()
 		}
 
-		// Reduce phase.
+		// Reduce phase: partitions are tasks of a second scheduler so a
+		// failed reduce attempt can requeue anywhere (§III-E). First
+		// attempts stay pinned to the partition's owner — remote stealing
+		// is restricted to requeued work, so the fault-free timeline is
+		// exactly the per-node iteration it always was.
 		reduceStart := p.Now()
+		j.redSched = newTaskScheduler[reduceRef](env, n, cfg.StaticScheduling, cfg.SpeculativeSlowdown, cfg.MaxTaskAttempts)
+		j.redSched.stealRequeued = true
+		for i, dead := range j.deadNodes {
+			if dead {
+				j.redSched.dead[i] = true
+			}
+		}
+		for g := range j.owners {
+			own := j.owners[g]
+			j.redSched.addTask(own.node, taskID("part#"+strconv.Itoa(g)), reduceRef{global: g, owner: own.node, local: own.local})
+		}
 		var redProcs []*sim.Proc
 		for i := range rt.Cluster.Nodes {
+			if j.deadNodes[i] {
+				continue
+			}
 			i := i
 			pr := env.Spawn(fmt.Sprintf("node%03d/reduce", i), func(q *sim.Proc) {
 				res.ReduceStages[i] = j.runReducePipeline(q, i)
@@ -295,7 +534,8 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 	for _, pairs := range j.outputs {
 		res.OutputPairs += len(pairs)
 	}
-	res.TaskRetries = j.retries
+	res.Stats = j.stats
+	res.TaskRetries = j.stats.MapRetries
 	res.Trace = j.trace
 	return res, nil
 }

@@ -15,21 +15,16 @@ type splitRef struct {
 	idx  int
 }
 
-// taskAttempt is one scheduling of a split (attempt counts from 1).
-type taskAttempt struct {
-	sp      splitRef
-	attempt int
-}
-
 // mapChunk travels through the map pipeline's input group.
 type mapChunk struct {
-	task    taskAttempt
+	task    schedTask[splitRef]
 	records []kv.Pair
 	bytes   int64
 }
 
 // outChunk travels through the output group.
 type outChunk struct {
+	task          schedTask[splitRef]
 	pairs         []kv.Pair
 	volume        int64
 	decodePerPair float64
@@ -54,6 +49,14 @@ type StageTimes struct {
 // five stages are independent processes coupled by queues and gated by the
 // buffer pools; otherwise every chunk passes through the stages
 // back-to-back (ablation).
+//
+// Fault tolerance runs through the shared scheduler (§III-E): a split is
+// resolved when its output has been partitioned and handed off for delivery
+// — not merely computed — so a node death can tell exactly which completed
+// work it lost. If the node dies mid-phase, each stage drops in-flight
+// chunks at its next boundary (abandoning them back to the scheduler) and
+// drains; blocking charges already started run to completion, modeling
+// failure-detection delay.
 func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 	env := p.Env()
 	node := j.cluster.Nodes[nodeIdx]
@@ -69,24 +72,20 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 	retrQ := sim.NewQueue[outChunk](env, 0)
 	partQ := sim.NewQueue[outChunk](env, 0)
 
-	// Task bookkeeping for re-execution (§III-E): the shared scheduler
-	// hands out splits (dynamically, with stealing, unless static); a
-	// split is resolved when a kernel execution succeeds or its attempts
-	// are exhausted.
-	resolve := func() { j.sched.resolve() }
-	retry := func(t taskAttempt) {
-		j.retries++
-		if t.attempt >= cfg.MaxTaskAttempts {
-			// Give up on the split: record the job failure and resolve
-			// the task so the pipelines drain instead of deadlocking.
+	dead := func() bool { return j.deadNodes[nodeIdx] }
+	// retry handles an injected attempt failure: discard the attempt's
+	// output and reschedule the split, unless a twin attempt is still
+	// running (it decides the task's fate) or attempts are exhausted.
+	retry := func(t schedTask[splitRef]) {
+		j.stats.MapRetries++
+		if j.sched.fail(t, nodeIdx) == failExhausted {
+			// Record the job failure; the task counts as resolved so the
+			// pipelines drain instead of deadlocking.
 			if j.failErr == nil {
 				j.failErr = fmt.Errorf("core: split %d of %q failed %d attempts",
-					t.sp.idx, t.sp.file.FileName, t.attempt)
+					t.payload.idx, t.payload.file.FileName, j.cfg.MaxTaskAttempts)
 			}
-			resolve()
-			return
 		}
-		j.sched.requeue(nodeIdx, taskAttempt{sp: t.sp, attempt: t.attempt + 1})
 	}
 
 	input := func(p *sim.Proc) {
@@ -97,8 +96,14 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 				return
 			}
 			inBufs.Acquire(p, 1)
+			if dead() {
+				inBufs.Release(1)
+				j.sched.abandon(t, nodeIdx)
+				stageQ.Close()
+				return
+			}
 			t0 := p.Now()
-			block, err := j.fs.ReadBlock(p, node, t.sp.file, t.sp.idx)
+			block, err := j.fs.ReadBlock(p, node, t.payload.file, t.payload.idx)
 			if err != nil {
 				panic(err)
 			}
@@ -106,6 +111,12 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			node.HostWork(p, j.app.ParseCostPerByte*float64(len(block)), 1)
 			times.Input += p.Now() - t0
 			j.trace.add(nodeIdx, "map/input", t0, p.Now())
+			if dead() {
+				inBufs.Release(1)
+				j.sched.abandon(t, nodeIdx)
+				stageQ.Close()
+				return
+			}
 			stageQ.Put(p, mapChunk{task: t, records: recs, bytes: int64(len(block))})
 		}
 	}
@@ -116,6 +127,11 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			if !ok {
 				kernelQ.Close()
 				return
+			}
+			if dead() {
+				inBufs.Release(1)
+				j.sched.abandon(c.task, nodeIdx)
+				continue
 			}
 			t0 := p.Now()
 			ctx.EnqueueWrite(p, c.bytes)
@@ -133,13 +149,24 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 				retrQ.Close()
 				return
 			}
+			if dead() {
+				inBufs.Release(1)
+				j.sched.abandon(c.task, nodeIdx)
+				continue
+			}
 			outBufs.Acquire(p, 1)
 			t0 := p.Now()
 			oc := j.execMapKernel(p, ctx, coll, c)
 			times.Kernel += p.Now() - t0
 			j.trace.add(nodeIdx, "map/kernel", t0, p.Now())
+			j.traceAttempt(nodeIdx, c.task.attempt, c.task.spec, t0, p.Now())
 			inBufs.Release(1)
-			if cfg.FaultInjector != nil && cfg.FaultInjector(c.task.sp.file.FileName, c.task.sp.idx, c.task.attempt) {
+			if dead() {
+				outBufs.Release(1)
+				j.sched.abandon(c.task, nodeIdx)
+				continue
+			}
+			if cfg.FaultInjector != nil && cfg.FaultInjector(c.task.payload.file.FileName, c.task.payload.idx, c.task.attempt) {
 				// Task failure: discard the attempt's output (it never
 				// reached the durable partitioning stage) and reschedule
 				// the split. The wasted read/compute time stays charged.
@@ -147,7 +174,6 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 				retry(c.task)
 				continue
 			}
-			resolve()
 			retrQ.Put(p, oc)
 		}
 	}
@@ -158,6 +184,11 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			if !ok {
 				partQ.Close()
 				return
+			}
+			if dead() {
+				outBufs.Release(1)
+				j.sched.abandon(oc.task, nodeIdx)
+				continue
 			}
 			t0 := p.Now()
 			ctx.EnqueueRead(p, oc.volume)
@@ -172,6 +203,11 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			oc, ok := partQ.Get(p)
 			if !ok {
 				return
+			}
+			if dead() {
+				outBufs.Release(1)
+				j.sched.abandon(oc.task, nodeIdx)
+				continue
 			}
 			t0 := p.Now()
 			j.partitionChunk(p, nodeIdx, oc)
@@ -188,8 +224,12 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			if !ok {
 				break
 			}
+			if dead() {
+				j.sched.abandon(t, nodeIdx)
+				break
+			}
 			t0 := p.Now()
-			block, err := j.fs.ReadBlock(p, node, t.sp.file, t.sp.idx)
+			block, err := j.fs.ReadBlock(p, node, t.payload.file, t.payload.idx)
 			if err != nil {
 				panic(err)
 			}
@@ -206,11 +246,15 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			t0 = p.Now()
 			oc := j.execMapKernel(p, ctx, coll, c)
 			times.Kernel += p.Now() - t0
-			if cfg.FaultInjector != nil && cfg.FaultInjector(t.sp.file.FileName, t.sp.idx, t.attempt) {
+			j.traceAttempt(nodeIdx, t.attempt, t.spec, t0, p.Now())
+			if dead() {
+				j.sched.abandon(t, nodeIdx)
+				break
+			}
+			if cfg.FaultInjector != nil && cfg.FaultInjector(t.payload.file.FileName, t.payload.idx, t.attempt) {
 				retry(t)
 				continue
 			}
-			resolve()
 
 			t0 = p.Now()
 			ctx.EnqueueRead(p, oc.volume)
@@ -236,6 +280,17 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 	}
 	times.Elapsed = p.Now() - start
 	return times
+}
+
+// traceAttempt records the extra trace rows that make recovery work
+// visible: "retry" for any attempt beyond the first, "speculative" for
+// backup copies.
+func (j *job) traceAttempt(nodeIdx, attempt int, spec bool, start, end float64) {
+	if spec {
+		j.trace.add(nodeIdx, "speculative", start, end)
+	} else if attempt > 1 {
+		j.trace.add(nodeIdx, "retry", start, end)
+	}
 }
 
 // execMapKernel runs the application's map function over one chunk with the
@@ -266,13 +321,17 @@ func (j *job) execMapKernel(p *sim.Proc, ctx *cl.Context, coll collector, c mapC
 	for _, pr := range pairs {
 		vol += pr.Size()
 	}
-	return outChunk{pairs: pairs, volume: vol, decodePerPair: decodePerPair}
+	return outChunk{task: c.task, pairs: pairs, volume: vol, decodePerPair: decodePerPair}
 }
 
 // partitionChunk implements the pipeline's final stage for one chunk: N
 // partitioner threads decode the collector output, split it into the global
 // partitions, sort each, persist it locally for durability, and push each
-// partition to its destination node (§III-A).
+// partition to its destination node (§III-A). The split resolves here —
+// only once its runs are handed off for delivery — and the hand-off itself
+// is atomic (it never parks), so a task is either fully delivered or not at
+// all. If a twin attempt already resolved the task, this copy's output is
+// discarded.
 func (j *job) partitionChunk(p *sim.Proc, nodeIdx int, oc outChunk) {
 	cfg := j.cfg
 	node := j.cluster.Nodes[nodeIdx]
@@ -317,6 +376,20 @@ func (j *job) partitionChunk(p *sim.Proc, nodeIdx int, oc outChunk) {
 	}
 	node.HostWork(p, ops, n)
 
+	if j.deadNodes[nodeIdx] {
+		// The node died while partitioning: nothing was delivered.
+		j.sched.abandon(oc.task, nodeIdx)
+		return
+	}
+	if !j.sched.resolveFirst(oc.task.id, nodeIdx) {
+		// A twin attempt (speculative backup or original) won the race;
+		// this copy's output is discarded.
+		return
+	}
+	if oc.task.spec {
+		j.stats.SpeculativeWins++
+	}
+
 	// Durability: the node's map output is persisted locally in addition
 	// to the copy that feeds intermediate-data processing (§III-E). The
 	// write is write-behind — the OS page cache absorbs it off the
@@ -327,16 +400,6 @@ func (j *job) partitionChunk(p *sim.Proc, nodeIdx int, oc outChunk) {
 
 	// Hand each Partition to the async sender (or the local cache).
 	for _, r := range runs {
-		dest := r.g / cfg.PartitionsPerNode
-		local := r.g % cfg.PartitionsPerNode
-		if dest == nodeIdx {
-			j.managers[dest].add(local, r.run)
-			continue
-		}
-		if cfg.PullShuffle {
-			j.pending[dest] = append(j.pending[dest], pullItem{src: nodeIdx, local: local, run: r.run})
-			continue
-		}
-		j.senders[nodeIdx].Put(p, pushMsg{dest: dest, local: local, run: r.run})
+		j.deliver(p, nodeIdx, oc.task.id, r.g, r.run)
 	}
 }

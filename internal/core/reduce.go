@@ -8,32 +8,49 @@ import (
 	"glasswing/internal/sim"
 )
 
+// reduceRef identifies one reduce task: a global partition and the
+// node/store that currently holds its intermediate data.
+type reduceRef struct {
+	global int
+	owner  int
+	local  int
+}
+
 // reduceChunk is a batch of ConcurrentKeys key groups heading to the device.
 type reduceChunk struct {
-	part   int // global partition id
+	task   schedTask[reduceRef]
 	groups []kv.Group
 	bytes  int64
-	last   bool // last chunk of the partition
+	last   bool // last chunk of the attempt
 }
 
 // reduceOut is the output of one reduce kernel launch.
 type reduceOut struct {
-	part   int
+	task   schedTask[reduceRef]
 	pairs  []kv.Pair
 	volume int64
 	last   bool
+	// drop on the last chunk discards the attempt's accumulated output:
+	// the attempt failed (injected fault) or lost to a twin.
+	drop bool
 }
 
 // runReducePipeline executes one node's 5-stage reduce pipeline (§III-C):
 // the input reader performs one last multi-way merge over each partition's
 // runs and batches key groups; Stage/Kernel/Retrieve mirror the map
 // pipeline; the output stage writes final data to persistent storage.
+//
+// Partitions arrive through the reduce-side scheduler (§III-E): first
+// attempts stay pinned to the node that holds the partition's data, so the
+// fault-free order is the owner's local iteration; a failed attempt requeues
+// and may run anywhere — a remote node pays the owner's disk read plus one
+// fabric transfer of the stored partition. Speculative backups race the
+// original and the first finisher's output wins.
 func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 	env := p.Env()
 	node := j.cluster.Nodes[nodeIdx]
 	ctx := j.ctxs[nodeIdx]
 	cfg := j.cfg
-	mgr := j.managers[nodeIdx]
 	var times StageTimes
 	start := p.Now()
 
@@ -45,7 +62,13 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 	outQ := sim.NewQueue[reduceOut](env, 0)
 
 	input := func(p *sim.Proc) {
-		for _, ps := range mgr.parts {
+		for {
+			t, ok := j.redSched.next(p, nodeIdx)
+			if !ok {
+				stageQ.Close()
+				return
+			}
+			ps := j.managers[t.payload.owner].parts[t.payload.local]
 			runs := ps.runs()
 			var stored, raw int64
 			var pairsN int
@@ -57,7 +80,12 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 				stored += r.StoredBytes()
 			}
 			t0 := p.Now()
-			node.Disk.Read(p, stored)
+			j.cluster.Nodes[t.payload.owner].Disk.Read(p, stored)
+			if t.payload.owner != nodeIdx {
+				// Re-queued or speculative attempt away from the data: the
+				// whole stored partition crosses the fabric.
+				j.cluster.Transfer(p, j.cluster.Nodes[t.payload.owner], node, ps.storedTotal())
+			}
 			ops := mergeCost(pairsN, len(runs)) + costGroupPerValue*float64(pairsN)
 			if cfg.Compress {
 				ops += costDecompressPerByte * float64(raw)
@@ -73,7 +101,7 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			flush := func(last bool) {
 				times.Input += p.Now() - t0
 				j.trace.add(nodeIdx, "reduce/input", t0, p.Now())
-				stageQ.Put(p, reduceChunk{part: ps.global, groups: batch, bytes: batchBytes, last: last})
+				stageQ.Put(p, reduceChunk{task: t, groups: batch, bytes: batchBytes, last: last})
 				batch, batchBytes = nil, 0
 				t0 = p.Now()
 			}
@@ -89,13 +117,12 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 					flush(false)
 				}
 			}
-			// Always emit a final (possibly empty) chunk so the output
-			// stage writes every partition file, keeping TS partition
-			// numbering dense.
+			// Always emit a final (possibly empty) chunk: it resolves the
+			// attempt, and the output stage writes every partition file,
+			// keeping TS partition numbering dense.
 			inBufs.Acquire(p, 1)
 			flush(true)
 		}
-		stageQ.Close()
 	}
 
 	stage := func(p *sim.Proc) {
@@ -124,7 +151,28 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			ro := j.execReduceKernel(p, ctx, c)
 			times.Kernel += p.Now() - t0
 			j.trace.add(nodeIdx, "reduce/kernel", t0, p.Now())
+			j.traceAttempt(nodeIdx, c.task.attempt, c.task.spec, t0, p.Now())
 			inBufs.Release(1)
+			if c.last {
+				// The attempt's fate is decided once its whole partition
+				// has been processed.
+				if cfg.ReduceFaultInjector != nil && cfg.ReduceFaultInjector(c.task.payload.global, c.task.attempt) {
+					j.stats.ReduceRetries++
+					if j.redSched.fail(c.task, nodeIdx) == failExhausted {
+						if j.failErr == nil {
+							j.failErr = fmt.Errorf("core: reduce partition %d failed %d attempts",
+								c.task.payload.global, cfg.MaxTaskAttempts)
+						}
+					}
+					ro.drop = true
+				} else if j.redSched.resolveFirst(c.task.id, nodeIdx) {
+					if c.task.spec {
+						j.stats.SpeculativeWins++
+					}
+				} else {
+					ro.drop = true // a twin attempt won the race
+				}
+			}
 			retrQ.Put(p, ro)
 		}
 	}
@@ -153,14 +201,20 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			t0 := p.Now()
 			partPairs = append(partPairs, ro.pairs...)
 			if ro.last {
-				name := fmt.Sprintf("%s-%05d", cfg.OutputPath, ro.part)
-				blob := kv.Marshal(partPairs)
-				node.HostWork(p, costSerializePerByte*float64(len(blob)), 1)
-				if _, err := j.fs.Write(p, node, name, blob, cfg.OutputReplication); err != nil {
-					panic(err)
+				if ro.drop {
+					// Failed or losing attempt: its partial output never
+					// reaches persistent storage.
+					partPairs = nil
+				} else {
+					name := fmt.Sprintf("%s-%05d", cfg.OutputPath, ro.task.payload.global)
+					blob := kv.Marshal(partPairs)
+					node.HostWork(p, costSerializePerByte*float64(len(blob)), 1)
+					if _, err := j.fs.Write(p, node, name, blob, cfg.OutputReplication); err != nil {
+						panic(err)
+					}
+					j.outputs[ro.task.payload.global] = partPairs
+					partPairs = nil
 				}
-				j.outputs[ro.part] = partPairs
-				partPairs = nil
 			}
 			times.Partition += p.Now() - t0
 			j.trace.add(nodeIdx, "reduce/output", t0, p.Now())
@@ -200,11 +254,11 @@ func (j *job) execReduceKernel(p *sim.Proc, ctx *cl.Context, c reduceChunk) redu
 				vol += int64(len(g.Key) + len(v))
 			}
 		}
-		return reduceOut{part: c.part, pairs: pairs, volume: vol, last: c.last}
+		return reduceOut{task: c.task, pairs: pairs, volume: vol, last: c.last}
 	}
 
 	if len(c.groups) == 0 {
-		return reduceOut{part: c.part, last: c.last}
+		return reduceOut{task: c.task, last: c.last}
 	}
 
 	var st cl.Stats
@@ -240,5 +294,5 @@ func (j *job) execReduceKernel(p *sim.Proc, ctx *cl.Context, c reduceChunk) redu
 		ctx.EnqueueWrite(p, int64(extraLaunches)*scratchStateBytes)
 		ctx.EnqueueRead(p, int64(extraLaunches)*scratchStateBytes)
 	}
-	return reduceOut{part: c.part, pairs: pairs, volume: vol, last: c.last}
+	return reduceOut{task: c.task, pairs: pairs, volume: vol, last: c.last}
 }

@@ -1,95 +1,427 @@
 package core
 
-import "glasswing/internal/sim"
+import (
+	"math"
+	"sort"
 
-// mapScheduler hands out input splits to the nodes' map pipelines the way
-// the paper's coordinator does: "Glasswing's job coordinator is like
-// Hadoop's: both use a dedicated master node; Glasswing's scheduler
-// considers file affinity in its job allocation" (§IV-A). Each split is
-// initially assigned to a node holding a local replica; a node that runs
-// dry steals from the most-loaded peer, so a slow node cannot strand work
-// (Config.StaticScheduling disables stealing for the straggler ablation).
+	"glasswing/internal/sim"
+)
+
+// taskID uniquely identifies a schedulable unit of work — a map split or a
+// reduce partition — across all of its attempts.
+type taskID string
+
+// schedTask is one handed-out attempt of a task. Attempts count from 1 and
+// increase monotonically across retries, node-loss re-executions and
+// speculative backups, so fault injectors keyed by attempt see each
+// execution exactly once.
+type schedTask[T any] struct {
+	id      taskID
+	payload T
+	attempt int
+	// spec marks a speculative backup of an attempt running elsewhere; the
+	// first finisher wins and the loser's output is discarded.
+	spec bool
+}
+
+// runningAttempt tracks one in-flight attempt for straggler detection and
+// first-finisher resolution.
+type runningAttempt struct {
+	node  int
+	start float64
+	spec  bool
+}
+
+// failOutcome reports what the scheduler did with a failed attempt.
+type failOutcome int
+
+const (
+	// failRequeued: the task went back to a queue for another attempt.
+	failRequeued failOutcome = iota
+	// failDropped: a twin attempt is still running (or already resolved),
+	// so this copy is simply discarded.
+	failDropped
+	// failExhausted: the task accumulated MaxTaskAttempts failures and the
+	// job must fail; the task is resolved so the pipelines drain.
+	failExhausted
+)
+
+// speculativeMinSamples is the number of completed attempts needed before
+// the median duration is considered meaningful for straggler detection.
+const speculativeMinSamples = 3
+
+// taskScheduler hands out tasks to the nodes' pipelines the way the paper's
+// coordinator does: "Glasswing's job coordinator is like Hadoop's: both use
+// a dedicated master node; Glasswing's scheduler considers file affinity in
+// its job allocation" (§IV-A). Each task is initially assigned to an
+// affinity node; a node that runs dry steals from the most-loaded peer, so
+// a slow node cannot strand work (static disables stealing for the
+// straggler ablation).
 //
-// Failed attempts re-enter the scheduler, so re-executed tasks (§III-E) can
-// land on any node with capacity. The scheduler is driven entirely inside
-// the simulation's serialized world — no locking.
-type mapScheduler struct {
-	env       *sim.Env
-	static    bool
-	queues    [][]taskAttempt
+// Beyond the paper's map-only coordinator, the same scheduler now drives
+// the full §III-E fault-tolerance story:
+//
+//   - failed attempts re-enter a queue (fail), bounded by maxFailures;
+//   - attempts stranded on a dead node are returned (abandon);
+//   - resolved tasks whose delivered output died with a node are re-queued
+//     (reexecute), the Hadoop node-loss behaviour;
+//   - an idle node may launch a speculative backup of an attempt running
+//     longer than specFactor x the median completed-attempt time, and the
+//     first finisher wins (resolveFirst).
+//
+// One generic instantiation serves both the map side (payload splitRef) and
+// the reduce side (payload reduceRef). The scheduler runs entirely inside
+// the simulation's serialized world — no locking — and never iterates maps,
+// so it is deterministic.
+type taskScheduler[T any] struct {
+	env    *sim.Env
+	static bool
+	// stealRequeued restricts stealing to requeued (attempt > 1) tasks:
+	// the reduce side keeps its affinity placement for first attempts so
+	// the fault-free timeline is unchanged, but retries may land anywhere.
+	stealRequeued bool
+	specFactor    float64
+	maxFailures   int
+
+	queues    [][]schedTask[T]
+	dead      []bool
 	remaining int
 	cond      *sim.Signal
+
+	payloads   map[taskID]T
+	maxAttempt map[taskID]int
+	failures   map[taskID]int
+	resolved   map[taskID]bool
+	gaveUp     map[taskID]bool
+	speculated map[taskID]bool
+	running    map[taskID][]runningAttempt
+	runOrder   []taskID // deterministic iteration order over running
+
+	durations []float64
+	durSorted bool
+	timerAt   float64
+	rr        int
 }
 
-func newMapScheduler(env *sim.Env, assigned [][]splitRef, static bool) *mapScheduler {
-	s := &mapScheduler{env: env, static: static, cond: sim.NewSignal(env)}
-	for _, splits := range assigned {
-		q := make([]taskAttempt, 0, len(splits))
-		for _, sp := range splits {
-			q = append(q, taskAttempt{sp: sp, attempt: 1})
-		}
-		s.queues = append(s.queues, q)
-		s.remaining += len(splits)
+func newTaskScheduler[T any](env *sim.Env, nodes int, static bool, specFactor float64, maxFailures int) *taskScheduler[T] {
+	return &taskScheduler[T]{
+		env:         env,
+		static:      static,
+		specFactor:  specFactor,
+		maxFailures: maxFailures,
+		queues:      make([][]schedTask[T], nodes),
+		dead:        make([]bool, nodes),
+		cond:        sim.NewSignal(env),
+		payloads:    make(map[taskID]T),
+		maxAttempt:  make(map[taskID]int),
+		failures:    make(map[taskID]int),
+		resolved:    make(map[taskID]bool),
+		gaveUp:      make(map[taskID]bool),
+		speculated:  make(map[taskID]bool),
+		running:     make(map[taskID][]runningAttempt),
+		timerAt:     math.Inf(1),
 	}
-	return s
 }
 
-// next blocks p until a split is available for node (its own queue first,
-// then stolen from the most-loaded peer) or all splits have been resolved
-// (ok=false).
-func (s *mapScheduler) next(p *sim.Proc, node int) (taskAttempt, bool) {
+// addTask registers a task on its affinity node's queue (attempt 1).
+func (s *taskScheduler[T]) addTask(node int, id taskID, payload T) {
+	s.payloads[id] = payload
+	s.maxAttempt[id] = 1
+	s.queues[node] = append(s.queues[node], schedTask[T]{id: id, payload: payload, attempt: 1})
+	s.remaining++
+}
+
+// next blocks p until a task is available for node — its own queue first,
+// then stolen from the most-loaded peer, then a speculative backup — or all
+// tasks have been resolved (ok = false). A dead node receives no work.
+func (s *taskScheduler[T]) next(p *sim.Proc, node int) (schedTask[T], bool) {
 	for {
+		if s.dead[node] {
+			return schedTask[T]{}, false
+		}
 		if len(s.queues[node]) > 0 {
 			t := s.queues[node][0]
 			s.queues[node] = s.queues[node][1:]
+			s.noteStart(t, node)
 			return t, true
 		}
 		if !s.static {
+			// Steal from the tail: the head is the victim's most local
+			// work, the tail is what it would reach last.
 			victim, most := -1, 0
 			for i, q := range s.queues {
-				if i != node && len(q) > most {
-					victim, most = i, len(q)
+				if i == node || len(q) <= most {
+					continue
 				}
+				if s.stealRequeued && q[len(q)-1].attempt == 1 {
+					continue
+				}
+				victim, most = i, len(q)
 			}
 			if victim >= 0 {
-				// Steal from the tail: the head is the victim's most local
-				// work, the tail is what it would reach last.
 				q := s.queues[victim]
 				t := q[len(q)-1]
 				s.queues[victim] = q[:len(q)-1]
+				s.noteStart(t, node)
 				return t, true
 			}
 		}
-		if s.remaining == 0 {
-			return taskAttempt{}, false
+		if t, ok := s.speculate(node); ok {
+			s.noteStart(t, node)
+			return t, true
 		}
-		// Work may still appear: a running attempt can fail and requeue.
+		if s.remaining == 0 {
+			return schedTask[T]{}, false
+		}
+		// Work may still appear: a running attempt can fail and requeue, a
+		// node death can re-open resolved tasks, or a running attempt can
+		// become eligible for speculation.
 		s.wait(p)
 	}
 }
 
-// requeue returns a failed attempt to its node's queue (any node may steal
-// it from there).
-func (s *mapScheduler) requeue(node int, t taskAttempt) {
+func (s *taskScheduler[T]) noteStart(t schedTask[T], node int) {
+	if t.attempt > s.maxAttempt[t.id] {
+		s.maxAttempt[t.id] = t.attempt
+	}
+	if len(s.running[t.id]) == 0 {
+		s.runOrder = append(s.runOrder, t.id)
+	}
+	s.running[t.id] = append(s.running[t.id], runningAttempt{node: node, start: s.env.Now(), spec: t.spec})
+}
+
+// endAttempt removes node's in-flight attempt of id and returns it.
+func (s *taskScheduler[T]) endAttempt(id taskID, node int) (runningAttempt, bool) {
+	rs := s.running[id]
+	for i, r := range rs {
+		if r.node == node {
+			s.running[id] = append(rs[:i:i], rs[i+1:]...)
+			if len(s.running[id]) == 0 {
+				delete(s.running, id)
+				for j, o := range s.runOrder {
+					if o == id {
+						s.runOrder = append(s.runOrder[:j], s.runOrder[j+1:]...)
+						break
+					}
+				}
+			}
+			return r, true
+		}
+	}
+	return runningAttempt{}, false
+}
+
+// resolveFirst marks id resolved if this attempt is the first to finish,
+// and reports whether the caller won. Losers (a twin attempt finished
+// earlier) must discard their output.
+func (s *taskScheduler[T]) resolveFirst(id taskID, node int) bool {
+	r, ran := s.endAttempt(id, node)
+	if s.resolved[id] {
+		return false
+	}
+	s.resolved[id] = true
+	if ran {
+		s.durations = append(s.durations, s.env.Now()-r.start)
+		s.durSorted = false
+	}
+	s.remaining--
+	if s.remaining == 0 || s.specFactor > 0 {
+		s.broadcast()
+	}
+	return true
+}
+
+// isResolved reports whether id has already been resolved (a twin won, or
+// the task was given up).
+func (s *taskScheduler[T]) isResolved(id taskID) bool { return s.resolved[id] }
+
+// fail records a failed attempt. The task is requeued unless a twin attempt
+// is still running (it decides the task's fate) or the accumulated failures
+// reach maxFailures (the caller must fail the job).
+func (s *taskScheduler[T]) fail(t schedTask[T], node int) failOutcome {
+	s.endAttempt(t.id, node)
+	if s.resolved[t.id] {
+		return failDropped
+	}
+	s.failures[t.id]++
+	if len(s.running[t.id]) > 0 {
+		return failDropped
+	}
+	if s.failures[t.id] >= s.maxFailures {
+		s.gaveUp[t.id] = true
+		s.resolved[t.id] = true
+		s.remaining--
+		s.broadcast()
+		return failExhausted
+	}
+	s.requeueOn(node, schedTask[T]{id: t.id, payload: t.payload, attempt: s.maxAttempt[t.id] + 1})
+	return failRequeued
+}
+
+// abandon returns an in-flight attempt whose node died mid-execution. If a
+// twin attempt is still running elsewhere the abandoned copy is dropped;
+// abandoned attempts do not count against maxFailures.
+func (s *taskScheduler[T]) abandon(t schedTask[T], node int) {
+	s.endAttempt(t.id, node)
+	if s.resolved[t.id] || len(s.running[t.id]) > 0 {
+		s.broadcast()
+		return
+	}
+	s.requeueOn(node, schedTask[T]{id: t.id, payload: t.payload, attempt: s.maxAttempt[t.id] + 1})
+}
+
+// reexecute re-queues an already-resolved task whose delivered output was
+// lost with a dead node (§III-E: "a failing node loses its intermediate
+// data, so its completed map tasks are re-executed"). It reports whether a
+// re-execution was actually scheduled: pending or in-flight tasks recover
+// through their normal path and are left alone.
+func (s *taskScheduler[T]) reexecute(id taskID) bool {
+	if !s.resolved[id] || s.gaveUp[id] {
+		return false
+	}
+	delete(s.resolved, id)
+	s.remaining++
+	s.requeueOn(s.pickLive(), schedTask[T]{id: id, payload: s.payloads[id], attempt: s.maxAttempt[id] + 1})
+	return true
+}
+
+// requeueOn appends a task to node's queue (or a live node's if node is
+// dead) and wakes waiters; any node may then steal it.
+func (s *taskScheduler[T]) requeueOn(node int, t schedTask[T]) {
+	if s.dead[node] {
+		node = s.pickLive()
+	}
+	if t.attempt > s.maxAttempt[t.id] {
+		s.maxAttempt[t.id] = t.attempt
+	}
+	delete(s.speculated, t.id) // a queued task may be backed up again later
 	s.queues[node] = append(s.queues[node], t)
 	s.broadcast()
 }
 
-// resolve marks one split permanently finished (successful kernel run, or
-// given up after MaxTaskAttempts).
-func (s *mapScheduler) resolve() {
-	s.remaining--
-	if s.remaining <= 0 {
+// markDead removes node from scheduling: its queue is redistributed over
+// surviving nodes and it is never handed work again.
+func (s *taskScheduler[T]) markDead(node int) {
+	if s.dead[node] {
+		return
+	}
+	s.dead[node] = true
+	moved := s.queues[node]
+	s.queues[node] = nil
+	for _, t := range moved {
+		i := s.pickLive()
+		s.queues[i] = append(s.queues[i], t)
+	}
+	s.broadcast()
+}
+
+// pickLive returns a live node index, round-robin for balance.
+func (s *taskScheduler[T]) pickLive() int {
+	n := len(s.queues)
+	for i := 0; i < n; i++ {
+		s.rr = (s.rr + 1) % n
+		if !s.dead[s.rr] {
+			return s.rr
+		}
+	}
+	return 0
+}
+
+// speculate hands an idle node a backup copy of the slowest running attempt
+// once that attempt has run for at least specFactor x the median completed
+// attempt duration (Hadoop's speculative execution, which the paper's
+// evaluation disables on the "extremely stable" DAS cluster, §IV-A).
+func (s *taskScheduler[T]) speculate(node int) (schedTask[T], bool) {
+	if s.specFactor <= 0 || len(s.durations) < speculativeMinSamples {
+		return schedTask[T]{}, false
+	}
+	threshold := s.specFactor * s.median()
+	now := s.env.Now()
+	var best taskID
+	var bestStart float64
+	next := math.Inf(1)
+	for _, id := range s.runOrder {
+		if s.resolved[id] || s.speculated[id] {
+			continue
+		}
+		for _, r := range s.running[id] {
+			if r.spec || s.dead[r.node] || r.node == node {
+				continue
+			}
+			// One expression decides both "over threshold" and the wake-up
+			// deadline: computing them differently (now-start >= threshold
+			// vs start+threshold) can disagree in the last float bit and
+			// re-arm the timer at the current instant forever.
+			due := r.start + threshold
+			if due <= now {
+				if best == "" || r.start < bestStart {
+					best, bestStart = id, r.start
+				}
+			} else if due < next {
+				next = due
+			}
+		}
+	}
+	if best == "" {
+		s.armTimer(next)
+		return schedTask[T]{}, false
+	}
+	s.speculated[best] = true
+	return schedTask[T]{id: best, payload: s.payloads[best], attempt: s.maxAttempt[best] + 1, spec: true}, true
+}
+
+// armTimer schedules a wake-up at the instant the earliest running attempt
+// crosses the speculation threshold.
+func (s *taskScheduler[T]) armTimer(at float64) {
+	if math.IsInf(at, 1) {
+		return
+	}
+	if at < s.env.Now() {
+		at = s.env.Now()
+	}
+	if s.timerAt > s.env.Now() && at >= s.timerAt {
+		return // an earlier wake-up is already pending
+	}
+	s.timerAt = at
+	s.env.At(at, func() {
+		if s.timerAt == at {
+			s.timerAt = math.Inf(1)
+		}
 		s.broadcast()
+	})
+}
+
+func (s *taskScheduler[T]) median() float64 {
+	if !s.durSorted {
+		sort.Float64s(s.durations)
+		s.durSorted = true
+	}
+	n := len(s.durations)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s.durations[n/2]
+	}
+	return (s.durations[n/2-1] + s.durations[n/2]) / 2
+}
+
+// awaitDone blocks p until every task is resolved. Loser attempts (a twin
+// already resolved their task) may still be draining in the pipelines —
+// like Hadoop's killed speculative attempts, they no longer gate phase
+// completion.
+func (s *taskScheduler[T]) awaitDone(p *sim.Proc) {
+	for s.remaining > 0 {
+		s.wait(p)
 	}
 }
 
-func (s *mapScheduler) wait(p *sim.Proc) {
+func (s *taskScheduler[T]) wait(p *sim.Proc) {
 	c := s.cond
 	c.Wait(p)
 }
 
-func (s *mapScheduler) broadcast() {
+func (s *taskScheduler[T]) broadcast() {
 	c := s.cond
 	s.cond = sim.NewSignal(s.env)
 	c.Fire(nil)

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"glasswing/internal/sim"
+)
+
+// schedScenario drives one randomized schedule through a taskScheduler:
+// workers pull tasks, sleep a random service time, then resolve or fail
+// them; a chaos process meanwhile kills nodes (always sparing one) and
+// re-opens resolved tasks the way killNode does for lost intermediate
+// output. The scheduler's bookkeeping invariants must hold no matter how
+// the pieces interleave:
+//
+//   - no task is lost: every task ends resolved (won or given up);
+//   - no task is double-resolved: resolveFirst returns true exactly once
+//     per "epoch" (the span between re-executions);
+//   - remaining reaches exactly 0 and the run drains completely (queues
+//     empty, no in-flight attempts).
+//
+// The simulation is serialized and the rand.Source is seeded, so each
+// scenario is fully deterministic.
+func schedScenario(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	env := sim.NewEnv()
+	nodes := 2 + rng.Intn(4)
+	tasks := 5 + rng.Intn(40)
+	maxFail := 2 + rng.Intn(3)
+	static := rng.Intn(4) == 0
+	spec := 0.0
+	if rng.Intn(2) == 0 {
+		spec = 1.0 + rng.Float64()*2
+	}
+
+	s := newTaskScheduler[int](env, nodes, static, spec, maxFail)
+	s.stealRequeued = rng.Intn(2) == 0
+
+	ids := make([]taskID, tasks)
+	for i := range ids {
+		ids[i] = taskID(fmt.Sprintf("t%02d", i))
+		s.addTask(rng.Intn(nodes), ids[i], i)
+	}
+
+	wins := map[taskID]int{}    // resolveFirst returned true
+	reexecs := map[taskID]int{} // reexecute returned true
+
+	for w := 0; w < nodes; w++ {
+		w := w
+		env.Spawn(fmt.Sprintf("worker%d", w), func(p *sim.Proc) {
+			for {
+				tk, ok := s.next(p, w)
+				if !ok {
+					return
+				}
+				p.Delay(1e-3 + rng.Float64()*1e-2)
+				if s.dead[w] {
+					// The node died mid-attempt: hand the task back the
+					// way the job does for a killed node's pipelines.
+					s.abandon(tk, w)
+					return
+				}
+				if rng.Float64() < 0.3 {
+					s.fail(tk, w)
+					continue
+				}
+				if s.resolveFirst(tk.id, w) {
+					wins[tk.id]++
+				}
+			}
+		})
+	}
+
+	env.Spawn("chaos", func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			p.Delay(rng.Float64() * 0.04)
+			if s.remaining == 0 {
+				return
+			}
+			switch rng.Intn(3) {
+			case 0: // kill a node, always sparing the last live one
+				var live []int
+				for n := range s.dead {
+					if !s.dead[n] {
+						live = append(live, n)
+					}
+				}
+				if len(live) > 1 {
+					s.markDead(live[rng.Intn(len(live))])
+				}
+			case 1: // re-open a resolved task (lost intermediate output)
+				var done []taskID
+				for id := range s.resolved {
+					if !s.gaveUp[id] {
+						done = append(done, id)
+					}
+				}
+				sort.Slice(done, func(a, b int) bool { return done[a] < done[b] })
+				if len(done) > 0 {
+					id := done[rng.Intn(len(done))]
+					if s.reexecute(id) {
+						reexecs[id]++
+					}
+				}
+			}
+		}
+	})
+
+	env.RunUntil(1e9) // panics on deadlock, listing the parked processes
+
+	if s.remaining != 0 {
+		t.Fatalf("seed %d: remaining = %d after drain, want 0", seed, s.remaining)
+	}
+	if len(s.running) != 0 || len(s.runOrder) != 0 {
+		t.Fatalf("seed %d: %d attempts still in flight after drain", seed, len(s.running))
+	}
+	for n, q := range s.queues {
+		if len(q) != 0 {
+			t.Fatalf("seed %d: node %d queue still holds %d tasks", seed, n, len(q))
+		}
+	}
+	for _, id := range ids {
+		if !s.resolved[id] {
+			t.Fatalf("seed %d: task %s was lost (never resolved)", seed, id)
+		}
+		// Each re-execution re-opens the task for exactly one more win;
+		// a task that exhausted its attempts ends on a give-up instead.
+		want := reexecs[id] + 1
+		if s.gaveUp[id] {
+			want = reexecs[id]
+		}
+		if wins[id] != want {
+			t.Fatalf("seed %d: task %s resolved %d times, want %d (reexecs %d, gaveUp %v)",
+				seed, id, wins[id], want, reexecs[id], s.gaveUp[id])
+		}
+	}
+}
+
+func TestSchedulerPropertyRandomSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) { schedScenario(t, seed) })
+	}
+}
+
+// TestSchedulerExhaustionResolves pins the give-up path: a task whose every
+// attempt fails must still resolve (so pipelines drain) while being marked
+// given up, without consuming more than maxFailures attempts.
+func TestSchedulerExhaustionResolves(t *testing.T) {
+	env := sim.NewEnv()
+	s := newTaskScheduler[int](env, 2, false, 0, 3)
+	s.addTask(0, "doomed", 0)
+	s.addTask(1, "fine", 1)
+
+	outcomes := []failOutcome{}
+	env.Spawn("worker0", func(p *sim.Proc) {
+		for {
+			tk, ok := s.next(p, 0)
+			if !ok {
+				return
+			}
+			p.Delay(1e-3)
+			if tk.id == "doomed" {
+				outcomes = append(outcomes, s.fail(tk, 0))
+				continue
+			}
+			s.resolveFirst(tk.id, 0)
+		}
+	})
+	env.RunUntil(1e9)
+
+	if want := []failOutcome{failRequeued, failRequeued, failExhausted}; len(outcomes) != len(want) {
+		t.Fatalf("outcomes = %v, want %v", outcomes, want)
+	} else {
+		for i := range want {
+			if outcomes[i] != want[i] {
+				t.Fatalf("outcomes = %v, want %v", outcomes, want)
+			}
+		}
+	}
+	if !s.gaveUp["doomed"] || !s.resolved["doomed"] {
+		t.Fatalf("doomed task not given up + resolved: gaveUp=%v resolved=%v",
+			s.gaveUp["doomed"], s.resolved["doomed"])
+	}
+	if s.remaining != 0 {
+		t.Fatalf("remaining = %d, want 0", s.remaining)
+	}
+}
+
+// TestSchedulerSpeculationFirstWinner pins the two-attempt race: a backup
+// launched for a straggling attempt resolves the task once, and the loser's
+// resolveFirst reports false so its output is discarded.
+func TestSchedulerSpeculationFirstWinner(t *testing.T) {
+	env := sim.NewEnv()
+	s := newTaskScheduler[int](env, 2, false, 2, 4)
+	for i := 0; i < 4; i++ {
+		s.addTask(0, taskID(fmt.Sprintf("t%d", i)), i)
+	}
+
+	specs, winners := 0, map[taskID]int{}
+	for w := 0; w < 2; w++ {
+		w := w
+		env.Spawn(fmt.Sprintf("worker%d", w), func(p *sim.Proc) {
+			for {
+				tk, ok := s.next(p, w)
+				if !ok {
+					return
+				}
+				d := 1e-3
+				if tk.id == "t3" && !tk.spec {
+					d = 1.0 // the original t3 attempt straggles hard
+				}
+				if tk.spec {
+					specs++
+				}
+				p.Delay(d)
+				if s.resolveFirst(tk.id, w) {
+					winners[tk.id]++
+				}
+			}
+		})
+	}
+	env.RunUntil(1e9)
+
+	if specs == 0 {
+		t.Fatal("no speculative backup was launched for the straggling attempt")
+	}
+	for id, n := range winners {
+		if n != 1 {
+			t.Fatalf("task %s won %d times, want exactly 1", id, n)
+		}
+	}
+	if len(winners) != 4 || s.remaining != 0 {
+		t.Fatalf("winners=%d remaining=%d, want 4 and 0", len(winners), s.remaining)
+	}
+}

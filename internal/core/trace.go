@@ -31,15 +31,17 @@ func (t *Trace) add(node int, stage string, start, end float64) {
 	t.Spans = append(t.Spans, Span{Node: node, Stage: stage, Start: start, End: end})
 }
 
-// Window returns the earliest start and latest end across all spans.
+// Window returns the earliest start and latest end across all spans. A nil
+// or empty trace has no window: it returns the documented zero (0, 0)
+// rather than the (+Inf, -Inf) a naive min/max fold would produce.
 func (t *Trace) Window() (start, end float64) {
+	if t == nil || len(t.Spans) == 0 {
+		return 0, 0
+	}
 	start, end = math.Inf(1), math.Inf(-1)
 	for _, s := range t.Spans {
 		start = math.Min(start, s.Start)
 		end = math.Max(end, s.End)
-	}
-	if len(t.Spans) == 0 {
-		return 0, 0
 	}
 	return start, end
 }
@@ -117,6 +119,8 @@ func stageOrder(stage string) string {
 		"map/retrieve":  "a3",
 		"map/partition": "a4",
 		"merge":         "b0",
+		"retry":         "b1",
+		"speculative":   "b2",
 		"reduce/input":  "c0",
 		"reduce/stage":  "c1",
 		"reduce/kernel": "c2",

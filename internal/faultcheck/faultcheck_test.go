@@ -1,0 +1,292 @@
+// Package faultcheck is the differential fault-injection harness: every
+// application runs once fault-free to establish a baseline output digest,
+// then repeatedly under seeded random fault schedules — injected map and
+// reduce attempt failures, whole-node deaths, speculative execution — and
+// every faulty run must produce byte-identical output while the job's
+// fault-tolerance counters match the schedule that was actually injected.
+//
+// MapReduce's §III-E guarantee is exactly this: failures change when and
+// where work runs, never what the job computes. The simulation is
+// deterministic, so any digest mismatch is a real recovery bug, not noise.
+package faultcheck
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"glasswing"
+	"glasswing/internal/apps"
+	"glasswing/internal/kv"
+	"glasswing/internal/workload"
+)
+
+// digest fingerprints a job's complete output in partition order.
+func digest(res *glasswing.Result) string {
+	sum := sha256.Sum256(kv.Marshal(res.Output()))
+	return hex.EncodeToString(sum[:])
+}
+
+// appCase runs one application on a fresh cluster. mutate edits the job
+// config before the run (fault injectors, node failures, speculation); the
+// runner also verifies the output against ground truth, so a faulty run
+// must be not merely self-consistent but correct.
+type appCase struct {
+	name  string
+	nodes int
+	run   func(t *testing.T, mutate func(*glasswing.Config)) *glasswing.Result
+}
+
+func cases() []appCase {
+	return []appCase{
+		{name: "WordCount", nodes: 4, run: runWordCount},
+		{name: "TeraSort", nodes: 4, run: runTeraSort},
+		{name: "KMeans", nodes: 3, run: runKMeans},
+	}
+}
+
+func runWordCount(t *testing.T, mutate func(*glasswing.Config)) *glasswing.Result {
+	t.Helper()
+	data, want := apps.WCData(1, 192<<10, 1500)
+	cluster := glasswing.NewCluster(glasswing.ClusterConfig{Nodes: 4, BlockSize: 16 << 10})
+	cluster.LoadText("in", data)
+	cfg := glasswing.Config{
+		Input:           []string{"in"},
+		Collector:       glasswing.HashTable,
+		UseCombiner:     true,
+		MaxTaskAttempts: 8,
+	}
+	mutate(&cfg)
+	res, err := cluster.Run(glasswing.WordCountApp(), cfg)
+	if err != nil {
+		t.Fatalf("WordCount: %v", err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatalf("WordCount output: %v", err)
+	}
+	return res
+}
+
+func runTeraSort(t *testing.T, mutate func(*glasswing.Config)) *glasswing.Result {
+	t.Helper()
+	data := workload.TeraGen(2, 3000)
+	cluster := glasswing.NewCluster(glasswing.ClusterConfig{Nodes: 4, BlockSize: 32 << 10})
+	cluster.LoadRecords("ts", data, workload.TeraRecordSize)
+	cfg := glasswing.Config{
+		Input:             []string{"ts"},
+		Collector:         glasswing.BufferPool,
+		Partitioner:       glasswing.TeraSortPartitioner(data, 16),
+		OutputReplication: 1,
+		MaxTaskAttempts:   8,
+	}
+	mutate(&cfg)
+	res, err := cluster.Run(glasswing.TeraSortApp(), cfg)
+	if err != nil {
+		t.Fatalf("TeraSort: %v", err)
+	}
+	if err := apps.VerifyTeraSort(res.Output(), data); err != nil {
+		t.Fatalf("TeraSort output: %v", err)
+	}
+	return res
+}
+
+func runKMeans(t *testing.T, mutate func(*glasswing.Config)) *glasswing.Result {
+	t.Helper()
+	data, spec := apps.KMData(3, 4096, 4, 16)
+	cluster := glasswing.NewCluster(glasswing.ClusterConfig{Nodes: 3, BlockSize: 8 << 10})
+	cluster.LoadRecords("km", data, int64(spec.Dim*4))
+	cfg := glasswing.Config{
+		Input:           []string{"km"},
+		Collector:       glasswing.HashTable,
+		UseCombiner:     true,
+		MaxTaskAttempts: 8,
+	}
+	mutate(&cfg)
+	res, err := cluster.RunWithBroadcast(glasswing.KMeansApp(spec), cfg, spec.CentersBytes())
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	if err := apps.VerifyKMeans(res.Output(), data, spec); err != nil {
+		t.Fatalf("KMeans output: %v", err)
+	}
+	return res
+}
+
+// countingFaults wraps SeededFaults so the test knows exactly how many
+// failures the schedule injected: the framework's JobStats must agree.
+func countingFaults(seed int64, pMap, pReduce float64) (mi func(string, int, int) bool, ri func(int, int) bool, nMap, nReduce *int) {
+	m, r := glasswing.SeededFaults(seed, pMap, pReduce)
+	nMap, nReduce = new(int), new(int)
+	mi = func(file string, split, attempt int) bool {
+		if m(file, split, attempt) {
+			*nMap++
+			return true
+		}
+		return false
+	}
+	ri = func(part, attempt int) bool {
+		if r(part, attempt) {
+			*nReduce++
+			return true
+		}
+		return false
+	}
+	return mi, ri, nMap, nReduce
+}
+
+// TestDifferentialFaultSchedules is the harness core: per application, a
+// fault-free baseline followed by seeded random map+reduce fault schedules
+// (7 seeds x 3 apps = 21 schedules). Every schedule must reproduce the
+// baseline digest and report exactly the injected failure counts.
+func TestDifferentialFaultSchedules(t *testing.T) {
+	for _, ac := range cases() {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			baseline := ac.run(t, func(*glasswing.Config) {})
+			if baseline.Stats != (glasswing.JobStats{}) {
+				t.Fatalf("fault-free baseline reports fault activity: %+v", baseline.Stats)
+			}
+			want := digest(baseline)
+
+			for seed := int64(1); seed <= 7; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					pMap := 0.02 + 0.10*rng.Float64()
+					pReduce := 0.05 + 0.20*rng.Float64()
+					mi, ri, nMap, nReduce := countingFaults(seed, pMap, pReduce)
+
+					res := ac.run(t, func(c *glasswing.Config) {
+						c.FaultInjector = mi
+						c.ReduceFaultInjector = ri
+					})
+
+					if got := digest(res); got != want {
+						t.Fatalf("seed %d (pMap=%.3f pReduce=%.3f): output digest %s != baseline %s",
+							seed, pMap, pReduce, got, want)
+					}
+					if res.Stats.MapRetries != *nMap || res.Stats.ReduceRetries != *nReduce {
+						t.Fatalf("seed %d: stats report %d/%d map/reduce retries, schedule injected %d/%d",
+							seed, res.Stats.MapRetries, res.Stats.ReduceRetries, *nMap, *nReduce)
+					}
+					if res.TaskRetries != res.Stats.MapRetries {
+						t.Fatalf("TaskRetries=%d diverges from Stats.MapRetries=%d",
+							res.TaskRetries, res.Stats.MapRetries)
+					}
+					if res.Stats.NodesLost != 0 || res.Stats.SpeculativeWins != 0 {
+						t.Fatalf("seed %d: unexpected node/speculation activity: %+v", seed, res.Stats)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDifferentialNodeDeath kills a node partway through each application's
+// map phase (placed as a fraction of the baseline's MapElapsed — NodeFailure
+// times are anchored to map-phase start). The dead node's intermediate data
+// is lost, yet the output must still match the baseline digest. At least one
+// scenario must demonstrate actual re-execution of completed map work.
+func TestDifferentialNodeDeath(t *testing.T) {
+	recoveries := 0
+	for _, ac := range cases() {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			baseline := ac.run(t, func(*glasswing.Config) {})
+			want := digest(baseline)
+
+			for _, frac := range []float64{0.35, 0.7} {
+				frac := frac
+				t.Run(fmt.Sprintf("at%.0f%%", frac*100), func(t *testing.T) {
+					victim := ac.nodes - 2 // never node 0, never the last index
+					res := ac.run(t, func(c *glasswing.Config) {
+						c.NodeFailures = []glasswing.NodeFailure{
+							{Node: victim, At: frac * baseline.MapElapsed},
+						}
+					})
+					if got := digest(res); got != want {
+						t.Fatalf("node %d death at %.0f%% of map: digest %s != baseline %s",
+							victim, frac*100, got, want)
+					}
+					if res.Stats.NodesLost != 1 {
+						t.Fatalf("NodesLost = %d, want 1", res.Stats.NodesLost)
+					}
+					recoveries += res.Stats.MapRecoveries
+				})
+			}
+		})
+	}
+	if recoveries == 0 {
+		t.Error("no node-death scenario re-executed any completed map task")
+	}
+}
+
+// TestDifferentialSpeculationAndCombined turns on speculative execution —
+// alone and on top of a fault schedule with a node death — and checks the
+// output still matches the fault-free baseline. First-finisher-wins must
+// never let a loser attempt's output leak into the result.
+func TestDifferentialSpeculationAndCombined(t *testing.T) {
+	for _, ac := range cases() {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			baseline := ac.run(t, func(*glasswing.Config) {})
+			want := digest(baseline)
+
+			t.Run("speculation", func(t *testing.T) {
+				res := ac.run(t, func(c *glasswing.Config) {
+					c.SpeculativeSlowdown = 1.5
+				})
+				if got := digest(res); got != want {
+					t.Fatalf("speculation: digest %s != baseline %s", got, want)
+				}
+			})
+
+			t.Run("combined", func(t *testing.T) {
+				mi, ri, _, _ := countingFaults(11, 0.08, 0.12)
+				res := ac.run(t, func(c *glasswing.Config) {
+					c.FaultInjector = mi
+					c.ReduceFaultInjector = ri
+					c.SpeculativeSlowdown = 2
+					c.NodeFailures = []glasswing.NodeFailure{
+						{Node: ac.nodes - 2, At: 0.5 * baseline.MapElapsed},
+					}
+				})
+				if got := digest(res); got != want {
+					t.Fatalf("combined faults: digest %s != baseline %s", got, want)
+				}
+				if res.Stats.NodesLost != 1 {
+					t.Fatalf("NodesLost = %d, want 1", res.Stats.NodesLost)
+				}
+			})
+		})
+	}
+}
+
+// TestScheduleReproducibility runs the same seeded schedule twice and
+// demands bit-identical results — digest and all counters. This is what
+// makes a harness failure debuggable: any schedule that ever fails can be
+// replayed exactly.
+func TestScheduleReproducibility(t *testing.T) {
+	run := func() (*glasswing.Result, int, int) {
+		mi, ri, nMap, nReduce := countingFaults(5, 0.1, 0.15)
+		res := runWordCount(t, func(c *glasswing.Config) {
+			c.FaultInjector = mi
+			c.ReduceFaultInjector = ri
+		})
+		return res, *nMap, *nReduce
+	}
+	r1, m1, red1 := run()
+	r2, m2, red2 := run()
+	if digest(r1) != digest(r2) {
+		t.Fatal("same fault schedule produced different outputs")
+	}
+	if r1.Stats != r2.Stats || m1 != m2 || red1 != red2 {
+		t.Fatalf("same fault schedule produced different stats: %+v vs %+v (injected %d/%d vs %d/%d)",
+			r1.Stats, r2.Stats, m1, red1, m2, red2)
+	}
+	if r1.JobTime != r2.JobTime {
+		t.Fatalf("same fault schedule produced different virtual times: %g vs %g", r1.JobTime, r2.JobTime)
+	}
+}

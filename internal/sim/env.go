@@ -32,7 +32,8 @@ type Env struct {
 	events eventHeap
 	yield  chan struct{} // a process signals "I parked or finished"
 	inRun  bool
-	nprocs int // live (spawned, not yet finished) processes
+	nprocs int     // live (spawned, not yet finished) processes
+	procs  []*Proc // all spawned processes, for deadlock diagnostics
 }
 
 // NewEnv returns an empty environment with the clock at 0.
@@ -119,7 +120,18 @@ func (e *Env) RunUntil(limit float64) float64 {
 		ev.fn()
 	}
 	if e.nprocs > 0 {
-		panic(fmt.Sprintf("sim: deadlock: event queue empty with %d live process(es) parked at t=%g", e.nprocs, e.now))
+		var stuck []string
+		for _, p := range e.procs {
+			if !p.finished {
+				stuck = append(stuck, p.Name)
+				if len(stuck) == 100 {
+					stuck = append(stuck, "...")
+					break
+				}
+			}
+		}
+		panic(fmt.Sprintf("sim: deadlock: event queue empty with %d live process(es) parked at t=%g: %v",
+			e.nprocs, e.now, stuck))
 	}
 	return e.now
 }
@@ -148,6 +160,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, resume: make(chan struct{}), Name: name}
 	p.doneSig = NewSignal(e)
 	e.nprocs++
+	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume // wait for the start event
 		fn(p)

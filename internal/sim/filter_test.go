@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// TestQueueFilterRemovesInFIFOOrder pins Filter's contract: removed items
+// come back in their queue (FIFO) order, and the kept items preserve their
+// relative order for subsequent Gets.
+func TestQueueFilterRemovesInFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, 0)
+	for i := 1; i <= 6; i++ {
+		q.TryPut(i)
+	}
+
+	removed := q.Filter(func(v int) bool { return v%2 == 1 })
+	if len(removed) != 3 || removed[0] != 2 || removed[1] != 4 || removed[2] != 6 {
+		t.Fatalf("removed = %v, want [2 4 6]", removed)
+	}
+
+	var got []int
+	env.Spawn("drain", func(p *Proc) {
+		for q.Len() > 0 {
+			v, _ := q.Get(p)
+			got = append(got, v)
+		}
+	})
+	env.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("kept = %v, want [1 3 5]", got)
+	}
+}
+
+// TestQueueFilterEmptyAndKeepAll covers the no-op edges: filtering an empty
+// queue and a filter that keeps everything both remove nothing.
+func TestQueueFilterEmptyAndKeepAll(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[string](env, 0)
+	if removed := q.Filter(func(string) bool { return false }); len(removed) != 0 {
+		t.Fatalf("filter of empty queue removed %v", removed)
+	}
+	q.TryPut("a")
+	q.TryPut("b")
+	if removed := q.Filter(func(string) bool { return true }); len(removed) != 0 {
+		t.Fatalf("keep-all filter removed %v", removed)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue len = %d after keep-all filter, want 2", q.Len())
+	}
+}
+
+// TestQueueFilterWakesBlockedPutter pins the capacity interaction used by
+// node-death handling: purging items from a full queue must wake a producer
+// blocked in Put, or a sender draining to a dead node would stall forever.
+func TestQueueFilterWakesBlockedPutter(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, 2)
+	q.TryPut(10)
+	q.TryPut(20)
+
+	put := false
+	env.Spawn("prod", func(p *Proc) {
+		q.Put(p, 30) // blocks: the queue is full
+		put = true
+	})
+	env.Spawn("chaos", func(p *Proc) {
+		p.Delay(1e-3)
+		if removed := q.Filter(func(v int) bool { return v != 10 }); len(removed) != 1 || removed[0] != 10 {
+			t.Errorf("removed = %v, want [10]", removed)
+		}
+	})
+	env.Run()
+
+	if !put {
+		t.Fatal("blocked Put did not complete after Filter opened capacity")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue len = %d, want 2 (20 and 30)", q.Len())
+	}
+}

@@ -116,6 +116,27 @@ func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
 	return item, true
 }
 
+// Filter retains only the buffered items for which keep returns true and
+// returns the removed ones in FIFO order. Blocked putters are woken (removal
+// may have opened capacity). It supports node-down handling: a dead node's
+// in-flight traffic is purged from sender queues without disturbing the rest
+// of the stream.
+func (q *Queue[T]) Filter(keep func(T) bool) []T {
+	var kept, removed []T
+	for _, it := range q.items {
+		if keep(it) {
+			kept = append(kept, it)
+		} else {
+			removed = append(removed, it)
+		}
+	}
+	q.items = kept
+	if len(removed) > 0 {
+		q.wakePutters()
+	}
+	return removed
+}
+
 // Close marks the queue as finished. Blocked getters drain remaining items
 // and then observe ok=false. Close is idempotent.
 func (q *Queue[T]) Close() {
