@@ -9,17 +9,24 @@
 //	          [-partitions P] [-partition-threads N] [-collector hash|pool]
 //	          [-fault-seed S -map-fault P -reduce-fault P] [-kill NODE@T,...]
 //	          [-speculate FACTOR] [-max-attempts N] [-verify]
+//	          [-trace-out FILE] [-metrics-out FILE] [-report]
 //
 // Every run processes real generated data; -verify checks the output
 // against an independent reference implementation. The fault flags exercise
 // the §III-E fault tolerance: seeded random attempt failures, scheduled
 // node deaths and speculative execution, all deterministic per seed.
+//
+// The observability flags work on both runtimes: -trace-out writes Chrome
+// trace_event JSON (open in chrome://tracing or ui.perfetto.dev),
+// -metrics-out writes a metrics snapshot as JSON, and -report prints the
+// pipeline stall analysis (per-stage busy/stall/occupancy, overlap factor).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -32,20 +39,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("glasswing: ")
 	var (
-		appName   = flag.String("app", "wc", "application: wc, pvc, ts, km, mm")
-		nodes     = flag.Int("nodes", 4, "cluster nodes")
-		gpu       = flag.Bool("gpu", false, "run kernels on the GPU (device 1)")
-		fsKind    = flag.String("fs", "hdfs", "file system: hdfs or local")
-		size      = flag.Int("size", 2<<20, "approximate input size in bytes")
-		slow      = flag.Float64("slow", 1, "hardware slowdown factor (simulate larger data)")
-		buffering = flag.Int("buffering", 2, "pipeline buffering level (1-3)")
-		parts     = flag.Int("partitions", 8, "intermediate partitions per node (P)")
-		pthreads  = flag.Int("partition-threads", 8, "partitioner threads (N)")
-		collector = flag.String("collector", "hash", "map output collector: hash or pool")
-		combine   = flag.Bool("combiner", true, "run the combiner (hash collector only)")
-		verify    = flag.Bool("verify", false, "verify output against a reference implementation")
-		trace     = flag.Bool("trace", false, "print the pipeline activity timeline (Gantt)")
-		useNative = flag.Bool("native", false, "run on the native runtime (real host, wall-clock) instead of the simulated cluster")
+		appName    = flag.String("app", "wc", "application: wc, pvc, ts, km, mm")
+		nodes      = flag.Int("nodes", 4, "cluster nodes")
+		gpu        = flag.Bool("gpu", false, "run kernels on the GPU (device 1)")
+		fsKind     = flag.String("fs", "hdfs", "file system: hdfs or local")
+		size       = flag.Int("size", 2<<20, "approximate input size in bytes")
+		slow       = flag.Float64("slow", 1, "hardware slowdown factor (simulate larger data)")
+		buffering  = flag.Int("buffering", 2, "pipeline buffering level (1-3)")
+		parts      = flag.Int("partitions", 8, "intermediate partitions per node (P)")
+		pthreads   = flag.Int("partition-threads", 8, "partitioner threads (N)")
+		collector  = flag.String("collector", "hash", "map output collector: hash or pool")
+		combine    = flag.Bool("combiner", true, "run the combiner (hash collector only)")
+		verify     = flag.Bool("verify", false, "verify output against a reference implementation")
+		trace      = flag.Bool("trace", false, "print the pipeline activity timeline (Gantt)")
+		useNative  = flag.Bool("native", false, "run on the native runtime (real host, wall-clock) instead of the simulated cluster")
+		traceOut   = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
+		report     = flag.Bool("report", false, "print the pipeline stall analysis (busy/stall/occupancy per stage)")
 
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		mapFault    = flag.Float64("map-fault", 0, "probability a map attempt fails (0 disables)")
@@ -73,7 +83,9 @@ func main() {
 		PartitionThreads:  *pthreads,
 		Compress:          true,
 	}
-	cfg.Trace = *trace
+	cfg.Trace = *trace || *traceOut != "" || *report
+	reg := glasswing.NewMetricsRegistry()
+	cfg.Metrics = reg
 	if *collector == "pool" {
 		cfg.Collector = glasswing.BufferPool
 	} else {
@@ -160,7 +172,7 @@ func main() {
 	}
 
 	if *useNative {
-		runNativeJob(*appName, *size)
+		runNativeJob(*appName, *size, *traceOut, *metricsOut, *report)
 		return
 	}
 
@@ -190,6 +202,49 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Trace.String())
 	}
+	if *report {
+		fmt.Println()
+		glasswing.AnalyzePipeline(glasswing.TraceSpans(res)).WriteTable(os.Stdout)
+	}
+	writeTraceFile(*traceOut, glasswing.TraceSpans(res), glasswing.TraceInstants(res))
+	writeMetricsFile(*metricsOut, reg)
+}
+
+// writeTraceFile exports spans as Chrome trace_event JSON (no-op without a
+// path).
+func writeTraceFile(path string, spans []glasswing.Span, instants []glasswing.TraceInstant) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := glasswing.WriteChromeTrace(f, spans, instants...); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", path)
+}
+
+// writeMetricsFile snapshots the registry as JSON (no-op without a path).
+func writeMetricsFile(path string, reg *glasswing.MetricsRegistry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote metrics snapshot to %s\n", path)
 }
 
 // parseKills parses the -kill flag: comma-separated NODE@SECONDS entries,
@@ -215,7 +270,7 @@ func parseKills(spec string) ([]glasswing.NodeFailure, error) {
 }
 
 // runNativeJob executes the selected application on the native runtime.
-func runNativeJob(appName string, size int) {
+func runNativeJob(appName string, size int, traceOut, metricsOut string, report bool) {
 	var (
 		app    *glasswing.App
 		blocks [][]byte
@@ -223,6 +278,10 @@ func runNativeJob(appName string, size int) {
 		check  func(*glasswing.NativeResult) error
 	)
 	cfg.Collector = glasswing.HashTable
+	tel := glasswing.NewTelemetry()
+	if traceOut != "" || metricsOut != "" || report {
+		cfg.Telemetry = tel
+	}
 	switch appName {
 	case "wc":
 		data, want := apps.WCData(1, size, size/400)
@@ -272,4 +331,10 @@ func runNativeJob(appName string, size int) {
 		log.Fatalf("output verification FAILED: %v", err)
 	}
 	fmt.Println("output verified against reference implementation")
+	if report {
+		fmt.Println()
+		glasswing.AnalyzePipeline(tel.Spans.Spans()).WriteTable(os.Stdout)
+	}
+	writeTraceFile(traceOut, tel.Spans.Spans(), tel.Spans.Instants())
+	writeMetricsFile(metricsOut, tel.Metrics)
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"glasswing/internal/hw"
+	"glasswing/internal/obs"
 	"glasswing/internal/sim"
 )
 
@@ -29,6 +30,14 @@ import (
 // device memory, §III-D).
 type Context struct {
 	Device *hw.Device
+
+	// Sink, if set, receives one span per completed command-queue operation
+	// ("cl/write", "cl/kernel", "cl/read" tracks), timed from the queue's
+	// profiling timestamps. Node labels the spans. Synchronous calls
+	// (Launch, EnqueueWrite/Read) are not sinked: their time is already
+	// covered by the caller's own pipeline spans.
+	Sink obs.SpanSink
+	Node int
 
 	allocated int64
 	// Profiling counters (virtual seconds / launches), in the spirit of

@@ -3,6 +3,7 @@ package cl
 import (
 	"fmt"
 
+	"glasswing/internal/obs"
 	"glasswing/internal/sim"
 )
 
@@ -67,6 +68,10 @@ func (c *Context) NewQueue(env *sim.Env, name string) *CommandQueue {
 			op.ev.start = p.Now()
 			op.run(p)
 			op.ev.end = p.Now()
+			if q.ctx.Sink != nil {
+				q.ctx.Sink.Span(obs.Span{Node: q.ctx.Node, Stage: "cl/" + op.ev.Name,
+					Start: op.ev.start, End: op.ev.end})
+			}
 			op.ev.done.Fire(nil)
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"glasswing/internal/hw"
+	"glasswing/internal/obs"
 	"glasswing/internal/sim"
 )
 
@@ -77,4 +78,35 @@ func TestEventProfilePanicsBeforeCompletion(t *testing.T) {
 		env.Run()
 	}()
 	ev.Profile()
+}
+
+func TestCommandQueueSpanSink(t *testing.T) {
+	env, ctx := gpuCtx()
+	sink := &obs.SpanBuffer{}
+	ctx.Sink, ctx.Node = sink, 3
+	q := ctx.NewQueue(env, "q")
+	prof := ctx.Device.Profile
+	env.Spawn("driver", func(p *sim.Proc) {
+		q.EnqueueWriteAsync(int64(prof.PCIeBW))
+		q.EnqueueKernelAsync(prof.HWThreads, Stats{Ops: prof.Peak()})
+		q.EnqueueReadAsync(int64(prof.PCIeBW / 2))
+		q.Finish(p)
+	})
+	env.Run()
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("sinked %d spans, want 3", len(spans))
+	}
+	wantStages := []string{"cl/write", "cl/kernel", "cl/read"}
+	for i, s := range spans {
+		if s.Stage != wantStages[i] {
+			t.Errorf("span %d stage = %q, want %q", i, s.Stage, wantStages[i])
+		}
+		if s.Node != 3 {
+			t.Errorf("span %d node = %d, want 3", i, s.Node)
+		}
+		if s.End <= s.Start {
+			t.Errorf("span %d has no duration: %+v", i, s)
+		}
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"glasswing/internal/kv"
+	"glasswing/internal/obs"
 )
 
 // CollectorKind selects the mechanism map kernels use to collect and store
@@ -207,6 +208,12 @@ type Config struct {
 	// Trace records a per-stage activity timeline in Result.Trace,
 	// visualizing the pipeline overlap (Trace.Render draws a Gantt chart).
 	Trace bool
+	// Metrics, if set, receives the job's counters and gauges: the
+	// fault-tolerance activity behind Result.Stats, the headline timings,
+	// and per-stage busy time. A registry may be shared across runs —
+	// counters accumulate, and Result.Stats still reports only this run's
+	// activity. Nil runs with a private registry.
+	Metrics *obs.Registry
 
 	// StaticScheduling pins every split to its affinity-assigned node
 	// instead of the default dynamic hand-out with work stealing

@@ -9,6 +9,7 @@ import (
 	"glasswing/internal/dfs"
 	"glasswing/internal/hw"
 	"glasswing/internal/kv"
+	"glasswing/internal/obs"
 	"glasswing/internal/sim"
 )
 
@@ -121,7 +122,7 @@ type job struct {
 	managers []*interManager
 	pending  map[int][]pullItem
 	outputs  map[int][]kv.Pair
-	stats    JobStats
+	counters *jobCounters
 	failErr  error
 	trace    *Trace
 	sched    *taskScheduler[splitRef]
@@ -253,7 +254,8 @@ func (j *job) killNode(d int) {
 		return
 	}
 	j.deadNodes[d] = true
-	j.stats.NodesLost++
+	j.counters.nodesLost.Inc()
+	j.trace.mark(d, "node-death", j.cluster.Env.Now())
 
 	var rexOrder []taskID
 	rexSeen := make(map[taskID]bool)
@@ -303,7 +305,7 @@ func (j *job) killNode(d int) {
 	for _, id := range rexOrder {
 		delete(j.deliveredTo[id], d)
 		if j.sched.reexecute(id) {
-			j.stats.MapRecoveries++
+			j.counters.mapRecoveries.Inc()
 		}
 	}
 	j.sched.markDead(d)
@@ -360,6 +362,11 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 	if cfg.Trace {
 		j.trace = &Trace{}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	j.counters = newJobCounters(reg)
 	for i, node := range rt.Cluster.Nodes {
 		dev := cfg.Device
 		if len(cfg.DevicePerNode) > 0 {
@@ -372,7 +379,13 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 		if dev < 0 || dev >= len(node.Devices) {
 			return nil, fmt.Errorf("core: node %d has no device %d", i, dev)
 		}
-		j.ctxs = append(j.ctxs, cl.NewContext(node.Devices[dev]))
+		ctx := cl.NewContext(node.Devices[dev])
+		if j.trace != nil {
+			// cl command-queue operations land on the same timeline as the
+			// pipeline rows ("cl/write", "cl/kernel", "cl/read" tracks).
+			ctx.Sink, ctx.Node = j.trace, i
+		}
+		j.ctxs = append(j.ctxs, ctx)
 		mgr := newInterManager(env, node, cfg, i*cfg.PartitionsPerNode)
 		mgr.nodeIdx = i
 		mgr.trace = j.trace
@@ -534,9 +547,10 @@ func Run(rt *Runtime, app *App, cfg Config) (*Result, error) {
 	for _, pairs := range j.outputs {
 		res.OutputPairs += len(pairs)
 	}
-	res.Stats = j.stats
-	res.TaskRetries = j.stats.MapRetries
+	res.Stats = j.counters.stats()
+	res.TaskRetries = res.Stats.MapRetries
 	res.Trace = j.trace
+	publishResult(reg, res)
 	return res, nil
 }
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strconv"
+
+	"glasswing/internal/obs"
+)
+
+// jobCounters routes the fault-tolerance counters through the metrics
+// registry. The registry is the source of truth — JobStats is derived from
+// it at the end of the run. Because a registry may be shared across runs
+// (iterative jobs, benchmark sweeps), each job records the counter values at
+// start and reports the difference.
+type jobCounters struct {
+	mapRetries      *obs.Counter
+	reduceRetries   *obs.Counter
+	nodesLost       *obs.Counter
+	mapRecoveries   *obs.Counter
+	speculativeWins *obs.Counter
+	base            JobStats
+}
+
+func newJobCounters(reg *obs.Registry) *jobCounters {
+	c := &jobCounters{
+		mapRetries:      reg.Counter("map_retries_total"),
+		reduceRetries:   reg.Counter("reduce_retries_total"),
+		nodesLost:       reg.Counter("nodes_lost_total"),
+		mapRecoveries:   reg.Counter("map_recoveries_total"),
+		speculativeWins: reg.Counter("speculative_wins_total"),
+	}
+	c.base = c.totals()
+	return c
+}
+
+func (c *jobCounters) totals() JobStats {
+	return JobStats{
+		MapRetries:      int(c.mapRetries.Value()),
+		ReduceRetries:   int(c.reduceRetries.Value()),
+		NodesLost:       int(c.nodesLost.Value()),
+		MapRecoveries:   int(c.mapRecoveries.Value()),
+		SpeculativeWins: int(c.speculativeWins.Value()),
+	}
+}
+
+// stats returns this run's activity: the registry totals minus the values
+// captured when the job started.
+func (c *jobCounters) stats() JobStats {
+	t := c.totals()
+	return JobStats{
+		MapRetries:      t.MapRetries - c.base.MapRetries,
+		ReduceRetries:   t.ReduceRetries - c.base.ReduceRetries,
+		NodesLost:       t.NodesLost - c.base.NodesLost,
+		MapRecoveries:   t.MapRecoveries - c.base.MapRecoveries,
+		SpeculativeWins: t.SpeculativeWins - c.base.SpeculativeWins,
+	}
+}
+
+// publishResult exposes the finished job's headline numbers and per-stage
+// busy breakdown as gauges, so a metrics snapshot alone reconstructs the
+// paper's Tables II/III figures without holding the Result.
+func publishResult(reg *obs.Registry, res *Result) {
+	reg.Gauge("job_time_seconds").Set(res.JobTime)
+	reg.Gauge("map_elapsed_seconds").Set(res.MapElapsed)
+	reg.Gauge("merge_delay_seconds").Set(res.MergeDelay)
+	reg.Gauge("reduce_elapsed_seconds").Set(res.ReduceElapsed)
+	reg.Gauge("intermediate_bytes").Set(float64(res.IntermediateBytes))
+	reg.Gauge("output_pairs").Set(float64(res.OutputPairs))
+	publishStages(reg, "map", res.MapStages)
+	publishStages(reg, "reduce", res.ReduceStages)
+}
+
+func publishStages(reg *obs.Registry, phase string, all []StageTimes) {
+	for node, st := range all {
+		if st.Elapsed == 0 {
+			continue // node never ran this phase (dead, or reduce skipped)
+		}
+		set := func(stage string, v float64) {
+			reg.Gauge("stage_busy_seconds",
+				obs.L("node", strconv.Itoa(node)),
+				obs.L("phase", phase),
+				obs.L("stage", stage)).Set(v)
+		}
+		set("input", st.Input)
+		set("stage", st.Stage)
+		set("kernel", st.Kernel)
+		set("retrieve", st.Retrieve)
+		set("partition", st.Partition)
+		set("elapsed", st.Elapsed)
+	}
+}

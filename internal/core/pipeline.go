@@ -77,7 +77,7 @@ func (j *job) runMapPipeline(p *sim.Proc, nodeIdx int) StageTimes {
 	// output and reschedule the split, unless a twin attempt is still
 	// running (it decides the task's fate) or attempts are exhausted.
 	retry := func(t schedTask[splitRef]) {
-		j.stats.MapRetries++
+		j.counters.mapRetries.Inc()
 		if j.sched.fail(t, nodeIdx) == failExhausted {
 			// Record the job failure; the task counts as resolved so the
 			// pipelines drain instead of deadlocking.
@@ -387,7 +387,7 @@ func (j *job) partitionChunk(p *sim.Proc, nodeIdx int, oc outChunk) {
 		return
 	}
 	if oc.task.spec {
-		j.stats.SpeculativeWins++
+		j.counters.speculativeWins.Inc()
 	}
 
 	// Durability: the node's map output is persisted locally in addition

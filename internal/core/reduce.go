@@ -157,7 +157,7 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 				// The attempt's fate is decided once its whole partition
 				// has been processed.
 				if cfg.ReduceFaultInjector != nil && cfg.ReduceFaultInjector(c.task.payload.global, c.task.attempt) {
-					j.stats.ReduceRetries++
+					j.counters.reduceRetries.Inc()
 					if j.redSched.fail(c.task, nodeIdx) == failExhausted {
 						if j.failErr == nil {
 							j.failErr = fmt.Errorf("core: reduce partition %d failed %d attempts",
@@ -167,7 +167,7 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 					ro.drop = true
 				} else if j.redSched.resolveFirst(c.task.id, nodeIdx) {
 					if c.task.spec {
-						j.stats.SpeculativeWins++
+						j.counters.speculativeWins.Inc()
 					}
 				} else {
 					ro.drop = true // a twin attempt won the race

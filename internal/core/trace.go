@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"glasswing/internal/obs"
 )
 
 // Span is one traced interval of pipeline activity.
@@ -16,12 +18,22 @@ type Span struct {
 	End   float64
 }
 
+// Mark is one traced instant — an event with no duration, such as a node
+// death. Instants are kept apart from Spans so every Span keeps the
+// invariant End > Start.
+type Mark struct {
+	Node int
+	Name string
+	At   float64
+}
+
 // Trace is a job's activity timeline, recorded when Config.Trace is set.
 // It shows the overlap the Glasswing pipeline achieves — which stages run
 // concurrently, where the pipeline stalls, how the merge phase interleaves
 // with the map phase.
 type Trace struct {
 	Spans []Span
+	Marks []Mark
 }
 
 func (t *Trace) add(node int, stage string, start, end float64) {
@@ -29,6 +41,43 @@ func (t *Trace) add(node int, stage string, start, end float64) {
 		return
 	}
 	t.Spans = append(t.Spans, Span{Node: node, Stage: stage, Start: start, End: end})
+}
+
+func (t *Trace) mark(node int, name string, at float64) {
+	if t == nil {
+		return
+	}
+	t.Marks = append(t.Marks, Mark{Node: node, Name: name, At: at})
+}
+
+// Span implements obs.SpanSink, so a Trace can be handed to instrumented
+// components (cl command queues) as their span destination.
+func (t *Trace) Span(s obs.Span) {
+	t.add(s.Node, s.Stage, s.Start, s.End)
+}
+
+// ObsSpans converts the trace for the obs exporter and analyzer.
+func (t *Trace) ObsSpans() []obs.Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]obs.Span, len(t.Spans))
+	for i, s := range t.Spans {
+		out[i] = obs.Span{Node: s.Node, Stage: s.Stage, Start: s.Start, End: s.End}
+	}
+	return out
+}
+
+// ObsInstants converts the trace's marks for the obs exporter.
+func (t *Trace) ObsInstants() []obs.Instant {
+	if t == nil {
+		return nil
+	}
+	out := make([]obs.Instant, len(t.Marks))
+	for i, m := range t.Marks {
+		out[i] = obs.Instant{Node: m.Node, Name: m.Name, At: m.At}
+	}
+	return out
 }
 
 // Window returns the earliest start and latest end across all spans. A nil
@@ -102,6 +151,14 @@ func (t *Trace) Render(w io.Writer, width int) {
 			if hi > width {
 				hi = width
 			}
+			if lo >= width {
+				lo = width - 1
+			}
+			// A span shorter than one column still paints one cell; lo ==
+			// hi would otherwise drop it from the chart entirely.
+			if hi <= lo {
+				hi = lo + 1
+			}
 			for i := lo; i < hi && i < width; i++ {
 				cells[i] = '#'
 			}
@@ -110,28 +167,9 @@ func (t *Trace) Render(w io.Writer, width int) {
 	}
 }
 
-// stageOrder keeps pipeline rows in execution order.
-func stageOrder(stage string) string {
-	order := map[string]string{
-		"map/input":     "a0",
-		"map/stage":     "a1",
-		"map/kernel":    "a2",
-		"map/retrieve":  "a3",
-		"map/partition": "a4",
-		"merge":         "b0",
-		"retry":         "b1",
-		"speculative":   "b2",
-		"reduce/input":  "c0",
-		"reduce/stage":  "c1",
-		"reduce/kernel": "c2",
-		"reduce/retr":   "c3",
-		"reduce/output": "c4",
-	}
-	if o, ok := order[stage]; ok {
-		return o
-	}
-	return "z" + stage
-}
+// stageOrder keeps pipeline rows in execution order (shared with the obs
+// exporter and analyzer so every view agrees on track layout).
+func stageOrder(stage string) string { return obs.TrackOrder(stage) }
 
 // String renders the trace at a default width.
 func (t *Trace) String() string {

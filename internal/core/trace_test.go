@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// A span much shorter than one chart column must still paint a cell: the
+// truncated lo and the rounded-up hi can land on the same column, which used
+// to drop the span from the Gantt chart entirely.
+func TestTraceRenderSubColumnSpan(t *testing.T) {
+	tr := &Trace{}
+	tr.add(0, "map/kernel", 0, 100) // sets the window: one column = 1s
+	tr.add(0, "merge", 50.2, 50.3)  // a tenth of a column
+	tr.add(0, "spill", 99.95, 100)  // sub-column at the very edge of the window
+	var sb strings.Builder
+	tr.Render(&sb, 100)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.Contains(line, "merge") && !strings.Contains(line, "spill") {
+			continue
+		}
+		if !strings.Contains(line, "#") {
+			t.Errorf("sub-column span renders no cells:\n%s", sb.String())
+		}
+	}
+}
+
+func TestTraceMarksAndConversion(t *testing.T) {
+	tr := &Trace{}
+	tr.add(1, "map/kernel", 1, 2)
+	tr.mark(1, "node-death", 1.5)
+	if len(tr.Marks) != 1 || tr.Marks[0].Name != "node-death" {
+		t.Fatalf("marks = %+v", tr.Marks)
+	}
+	spans, instants := tr.ObsSpans(), tr.ObsInstants()
+	if len(spans) != 1 || spans[0].Stage != "map/kernel" || spans[0].Node != 1 {
+		t.Errorf("ObsSpans = %+v", spans)
+	}
+	if len(instants) != 1 || instants[0].At != 1.5 {
+		t.Errorf("ObsInstants = %+v", instants)
+	}
+
+	// nil traces convert to empty, and mark/Span are no-ops.
+	var nilTr *Trace
+	nilTr.mark(0, "x", 1)
+	if nilTr.ObsSpans() != nil || nilTr.ObsInstants() != nil {
+		t.Error("nil trace should convert to nil slices")
+	}
+}

@@ -37,7 +37,8 @@ func TestTableFormatting(t *testing.T) {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "tab1", "fig2a", "fig2b", "fig2c", "fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
 		"tab2", "tab3", "fig4a", "fig4b", "fig5", "vert", "vert-k20m",
-		"abl-olap", "abl-buf", "abl-push", "abl-comp", "abl-net", "ext-hadoopcl", "ext-hetero", "ext-straggler"}
+		"abl-olap", "abl-buf", "abl-push", "abl-comp", "abl-net", "ext-hadoopcl", "ext-hetero", "ext-straggler",
+		"obs-stall"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All), len(want))
 	}
@@ -48,6 +49,24 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if Lookup("nope") != nil {
 		t.Error("Lookup of unknown id should be nil")
+	}
+}
+
+// TestPipelineStallsShape: the traced stall analysis reports every map
+// pipeline stage and its notes carry the overlap-factor comparison.
+func TestPipelineStallsShape(t *testing.T) {
+	tab := PipelineStalls(Quick())
+	stages := map[string]bool{}
+	for _, row := range tab.Rows {
+		stages[row[0]] = true
+	}
+	for _, stage := range []string{"map/input", "map/kernel", "map/partition", "reduce/kernel"} {
+		if !stages[stage] {
+			t.Errorf("stall table missing stage %q (rows: %v)", stage, tab.Rows)
+		}
+	}
+	if len(tab.Notes) < 2 || !strings.Contains(tab.Notes[0], "overlap factor") {
+		t.Errorf("expected overlap-factor note, got %v", tab.Notes)
 	}
 }
 

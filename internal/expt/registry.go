@@ -36,6 +36,7 @@ var All = []Experiment{
 	{"ext-hadoopcl", "extension: HadoopCL comparison", ExtHadoopCL},
 	{"ext-hetero", "extension: heterogeneous cluster scheduling", ExtHeterogeneous},
 	{"ext-straggler", "extension: straggler + speculative execution", ExtStraggler},
+	{"obs-stall", "observability: pipeline stall analysis", PipelineStalls},
 }
 
 // Lookup finds an experiment by id, or nil.

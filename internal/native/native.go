@@ -20,6 +20,7 @@ import (
 
 	"glasswing/internal/core"
 	"glasswing/internal/kv"
+	"glasswing/internal/obs"
 )
 
 // Config tunes the native pipeline. The names mirror the paper's
@@ -48,6 +49,12 @@ type Config struct {
 	SpillDir string
 	// Partitioner overrides hash partitioning.
 	Partitioner func(key []byte, n int) int
+	// Telemetry, if set, receives wall-clock stage spans (map/kernel,
+	// map/partition, spill, merge, reduce) plus allocation and spill
+	// counters. Nil keeps the hot path free of span and memory-stat
+	// overhead; the cheap per-stage busy totals in Result.Stages are
+	// collected either way.
+	Telemetry *obs.Telemetry
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +92,13 @@ type Result struct {
 	IntermediatePairs int
 	OutputPairs       int
 	SpillFiles        int
+	// SpillBytes is the on-disk spill volume (after compression, if any).
+	SpillBytes int64
+
+	// Stages is the per-stage wall-clock busy time, summed across workers
+	// (so a stage served by several goroutines can exceed the phase
+	// elapsed time). Stages that never ran are absent.
+	Stages map[string]time.Duration
 
 	outputs [][]kv.Pair // per partition, key-sorted
 }
@@ -115,8 +129,10 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 		res.InputBytes += int64(len(b))
 	}
 	start := time.Now()
+	rec := newRecorder(cfg.Telemetry)
 
 	store := newPartitionStore(cfg)
+	store.rec = rec
 	defer store.cleanup()
 
 	// ---- Map phase: chunk pipeline with bounded in-flight buffers. ----
@@ -135,8 +151,10 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 		go func() {
 			defer mapWG.Done()
 			for block := range chunkCh {
+				end := rec.start(stageMapKernel)
 				recs := app.Parse(block)
 				pairs, state := execChunk(app, cfg, recs)
+				end()
 				partCh <- chunkOut{pairs: pairs, state: state}
 			}
 		}()
@@ -159,6 +177,7 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 					co.state.release()
 					continue
 				}
+				end := rec.start(stageMapPartition)
 				for i := range buckets {
 					buckets[i] = buckets[i][:0]
 				}
@@ -176,6 +195,7 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 						break
 					}
 				}
+				end()
 				interPairs.Add(int64(len(co.pairs)))
 				co.state.release()
 			}
@@ -202,6 +222,7 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 	}
 	res.MergeDelay = time.Since(mergeStart)
 	res.SpillFiles = store.spillCount()
+	res.SpillBytes = rec.spillBytes.Load()
 
 	// ---- Reduce phase: partitions in parallel. ----
 	reduceStart := time.Now()
@@ -216,7 +237,9 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 			defer redWG.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			end := rec.start(stageReduce)
 			out, err := reducePartition(app, store, g)
+			end()
 			if err != nil {
 				redErr <- err
 				return
@@ -235,6 +258,8 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 	for _, part := range res.outputs {
 		res.OutputPairs += len(part)
 	}
+	res.Stages = rec.stages()
+	rec.publish(res)
 	return res, nil
 }
 

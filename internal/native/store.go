@@ -3,6 +3,7 @@ package native
 import (
 	"compress/flate"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -29,6 +30,8 @@ type storeShard struct {
 // methods are safe for concurrent use.
 type partitionStore struct {
 	cfg Config
+	// rec, when set, times spill and merge work and counts spill bytes.
+	rec *recorder
 
 	shards      []storeShard
 	cachedBytes atomic.Int64 // aggregate across shards
@@ -130,17 +133,23 @@ func (s *partitionStore) spill(g int, runs []*kv.Run) error {
 		return err
 	}
 	path := filepath.Join(dir, fmt.Sprintf("part%04d-%06d.run", g, s.nspill.Add(1)))
+	end := s.rec.start(stageSpill)
+	defer end()
 
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("native: creating spill: %w", err)
+	}
+	var out io.Writer = f
+	if s.rec != nil {
+		out = &countingWriter{w: f, n: &s.rec.spillBytes}
 	}
 	var sink = struct {
 		write *kv.Writer
 		close func() error
 	}{}
 	if s.cfg.Compress {
-		fw, err := flate.NewWriter(f, flate.BestSpeed)
+		fw, err := flate.NewWriter(out, flate.BestSpeed)
 		if err != nil {
 			f.Close()
 			return err
@@ -153,7 +162,7 @@ func (s *partitionStore) spill(g int, runs []*kv.Run) error {
 			return f.Close()
 		}
 	} else {
-		sink.write = kv.NewWriter(f)
+		sink.write = kv.NewWriter(out)
 		sink.close = f.Close
 	}
 	iters := make([]kv.Iterator, len(runs))
@@ -206,6 +215,8 @@ func (s *partitionStore) compactAll(workers int) error {
 			if len(runs) < 2 {
 				return
 			}
+			end := s.rec.start(stageMerge)
+			defer end()
 			merged := kv.MergeRuns(runs, s.cfg.Compress)
 			var before int64
 			for _, r := range runs {

@@ -1,0 +1,151 @@
+package native
+
+import (
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"glasswing/internal/obs"
+)
+
+// Pipeline stage names for the native runtime's spans and Result.Stages.
+// They reuse the sim trace vocabulary so both runtimes export onto the same
+// Chrome-trace tracks.
+const (
+	stageMapKernel    = "map/kernel"
+	stageMapPartition = "map/partition"
+	stageSpill        = "spill"
+	stageMerge        = "merge"
+	stageReduce       = "reduce"
+)
+
+// recorder collects the native pipeline's wall-clock stage telemetry. The
+// per-stage busy accumulators are plain atomics and always on (a handful of
+// Add calls per chunk); spans, metrics and memory-stat deltas are recorded
+// only when the caller supplied a Telemetry bundle, so benchmark runs stay
+// undistorted. A nil recorder is inert.
+type recorder struct {
+	epoch time.Time
+	tel   *obs.Telemetry
+
+	mapKernelNs    atomic.Int64
+	mapPartitionNs atomic.Int64
+	spillNs        atomic.Int64
+	mergeNs        atomic.Int64
+	reduceNs       atomic.Int64
+
+	chunks     atomic.Int64
+	spillBytes atomic.Int64
+
+	chunkHist *obs.Histogram
+	memStart  runtime.MemStats
+}
+
+func newRecorder(tel *obs.Telemetry) *recorder {
+	r := &recorder{epoch: time.Now(), tel: tel}
+	if tel != nil {
+		if tel.Metrics != nil {
+			r.chunkHist = tel.Metrics.Histogram("native_chunk_seconds", obs.DefTimeBuckets)
+		}
+		runtime.ReadMemStats(&r.memStart)
+	}
+	return r
+}
+
+func (r *recorder) acc(stage string) *atomic.Int64 {
+	switch stage {
+	case stageMapKernel:
+		return &r.mapKernelNs
+	case stageMapPartition:
+		return &r.mapPartitionNs
+	case stageSpill:
+		return &r.spillNs
+	case stageMerge:
+		return &r.mergeNs
+	default:
+		return &r.reduceNs
+	}
+}
+
+// start begins one unit of stage work; the returned func ends it, adding the
+// elapsed time to the stage accumulator and emitting a span when enabled.
+func (r *recorder) start(stage string) func() {
+	if r == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		r.acc(stage).Add(int64(d))
+		if stage == stageMapKernel {
+			r.chunks.Add(1)
+			if r.chunkHist != nil {
+				r.chunkHist.Observe(d.Seconds())
+			}
+		}
+		if r.tel != nil && r.tel.Spans != nil {
+			begin := t0.Sub(r.epoch).Seconds()
+			r.tel.Spans.Span(obs.Span{Node: 0, Stage: stage, Start: begin, End: begin + d.Seconds()})
+		}
+	}
+}
+
+// stages snapshots the per-stage busy totals (stages that never ran are
+// omitted).
+func (r *recorder) stages() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range []struct {
+		name string
+		ns   *atomic.Int64
+	}{
+		{stageMapKernel, &r.mapKernelNs},
+		{stageMapPartition, &r.mapPartitionNs},
+		{stageSpill, &r.spillNs},
+		{stageMerge, &r.mergeNs},
+		{stageReduce, &r.reduceNs},
+	} {
+		if v := s.ns.Load(); v > 0 {
+			out[s.name] = time.Duration(v)
+		}
+	}
+	return out
+}
+
+// publish pushes the finished run's counters and gauges into the telemetry
+// registry.
+func (r *recorder) publish(res *Result) {
+	if r.tel == nil || r.tel.Metrics == nil {
+		return
+	}
+	reg := r.tel.Metrics
+	reg.Counter("native_chunks_total").Add(r.chunks.Load())
+	reg.Counter("native_intermediate_pairs_total").Add(int64(res.IntermediatePairs))
+	reg.Counter("native_spill_files_total").Add(int64(res.SpillFiles))
+	reg.Counter("native_spill_bytes_total").Add(res.SpillBytes)
+	reg.Counter("native_output_pairs_total").Add(int64(res.OutputPairs))
+	reg.Gauge("native_map_seconds").Set(res.MapElapsed.Seconds())
+	reg.Gauge("native_merge_seconds").Set(res.MergeDelay.Seconds())
+	reg.Gauge("native_reduce_seconds").Set(res.ReduceElapsed.Seconds())
+	reg.Gauge("native_total_seconds").Set(res.Total.Seconds())
+
+	// Allocation pressure across the run (ReadMemStats is stop-the-world,
+	// so it only happens on instrumented runs).
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	reg.Gauge("native_mallocs_delta").Set(float64(m.Mallocs - r.memStart.Mallocs))
+	reg.Gauge("native_heap_bytes_delta").Set(float64(m.TotalAlloc - r.memStart.TotalAlloc))
+}
+
+// countingWriter tallies bytes written through it into an atomic (spill
+// volume as stored on disk, after any compression).
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

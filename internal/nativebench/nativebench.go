@@ -15,6 +15,7 @@ import (
 	"glasswing/internal/core"
 	"glasswing/internal/dfs"
 	"glasswing/internal/native"
+	"glasswing/internal/obs"
 	"glasswing/internal/workload"
 )
 
@@ -142,10 +143,18 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	PairsPerSec float64 `json:"pairs_per_sec"`
 	MBPerSec    float64 `json:"mb_per_sec"`
+
+	// Telemetry of one instrumented run after the timed iterations (the
+	// benchmark loop itself runs uninstrumented): per-stage busy
+	// nanoseconds and spill activity.
+	StageNs    map[string]int64 `json:"stage_ns,omitempty"`
+	SpillFiles int              `json:"spill_files,omitempty"`
+	SpillBytes int64            `json:"spill_bytes,omitempty"`
 }
 
 // Measure benchmarks one scenario via testing.Benchmark and folds the
-// outcome into a Result.
+// outcome into a Result, then does one extra instrumented run for the
+// stage/spill telemetry columns.
 func Measure(s Scenario) Result {
 	r := testing.Benchmark(func(b *testing.B) { Bench(b, s) })
 	res := Result{
@@ -158,6 +167,16 @@ func Measure(s Scenario) Result {
 	}
 	if r.T > 0 {
 		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	app, blocks, cfg := s.Build()
+	cfg.Telemetry = obs.NewTelemetry()
+	if probe, err := native.Run(app, blocks, cfg); err == nil {
+		res.StageNs = make(map[string]int64, len(probe.Stages))
+		for stage, d := range probe.Stages {
+			res.StageNs[stage] = int64(d)
+		}
+		res.SpillFiles = probe.SpillFiles
+		res.SpillBytes = probe.SpillBytes
 	}
 	return res
 }

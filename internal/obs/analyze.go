@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// StageReport is the analyzer's view of one (node, stage) track over the
+// traced window.
+type StageReport struct {
+	Node  int    `json:"node"`
+	Stage string `json:"stage"`
+	// Spans is the number of recorded intervals.
+	Spans int `json:"spans"`
+	// Busy is the summed duration of all spans. Tracks served by several
+	// workers (mergers, native map workers) can exceed Active.
+	Busy float64 `json:"busy"`
+	// Active is the union of the spans' intervals: the time at least one
+	// worker was busy on this track. Active <= window always.
+	Active float64 `json:"active"`
+	// Stall is window - Active: time this track sat idle while the job ran.
+	Stall float64 `json:"stall"`
+	// Occupancy is Active / window, in [0, 1].
+	Occupancy float64 `json:"occupancy"`
+}
+
+// Report is the pipeline analysis of one traced run — the measured form of
+// the paper's §V claim that the 5-stage pipeline hides I/O, PCIe and
+// communication cost behind the kernel.
+type Report struct {
+	// Start/End/Wall delimit the traced window.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Wall  float64 `json:"wall"`
+	// Rows are the per-(node, stage) breakdowns, in node then pipeline
+	// order.
+	Rows []StageReport `json:"rows"`
+	// TotalBusy is sum of Busy over all rows.
+	TotalBusy float64 `json:"total_busy"`
+	// OverlapFactor is TotalBusy / Wall: how many seconds of stage work the
+	// pipeline retired per wall second. 1.0 is fully serial; any overlap —
+	// stages within a node or nodes against each other — pushes it above 1.
+	OverlapFactor float64 `json:"overlap_factor"`
+	// CriticalPath is the union of all spans: the time at least one stage
+	// anywhere was busy. It lower-bounds any schedule of the same work and
+	// Wall - CriticalPath is time the whole job sat idle (startup gaps,
+	// phase barriers).
+	CriticalPath float64 `json:"critical_path"`
+}
+
+// Analyze computes the per-stage busy/stall breakdown, occupancy, overlap
+// factor and critical-path estimate from a run's spans.
+func Analyze(spans []Span) *Report {
+	rep := &Report{}
+	if len(spans) == 0 {
+		return rep
+	}
+	type key struct {
+		node  int
+		stage string
+	}
+	rows := map[key][]Span{}
+	first, last := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		k := key{s.Node, s.Stage}
+		rows[k] = append(rows[k], s)
+		if s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	rep.Start, rep.End = first, last
+	rep.Wall = last - first
+
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		a, b := TrackOrder(keys[i].stage), TrackOrder(keys[j].stage)
+		if a != b {
+			return a < b
+		}
+		return keys[i].stage < keys[j].stage
+	})
+	for _, k := range keys {
+		row := StageReport{Node: k.node, Stage: k.stage, Spans: len(rows[k])}
+		for _, s := range rows[k] {
+			row.Busy += s.End - s.Start
+		}
+		row.Active = unionDuration(rows[k])
+		row.Stall = rep.Wall - row.Active
+		if rep.Wall > 0 {
+			row.Occupancy = row.Active / rep.Wall
+		}
+		rep.TotalBusy += row.Busy
+		rep.Rows = append(rep.Rows, row)
+	}
+	if rep.Wall > 0 {
+		rep.OverlapFactor = rep.TotalBusy / rep.Wall
+	}
+	rep.CriticalPath = unionDuration(spans)
+	return rep
+}
+
+// unionDuration returns the total length of the union of the spans'
+// intervals.
+func unionDuration(spans []Span) float64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	iv := make([][2]float64, 0, len(spans))
+	for _, s := range spans {
+		iv = append(iv, [2]float64{s.Start, s.End})
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	var total float64
+	curLo, curHi := iv[0][0], iv[0][1]
+	for _, x := range iv[1:] {
+		if x[0] > curHi {
+			total += curHi - curLo
+			curLo, curHi = x[0], x[1]
+			continue
+		}
+		if x[1] > curHi {
+			curHi = x[1]
+		}
+	}
+	return total + (curHi - curLo)
+}
+
+// Busy returns the summed busy time of one (node, stage) row, 0 if absent.
+func (r *Report) Busy(node int, stage string) float64 {
+	for _, row := range r.Rows {
+		if row.Node == node && row.Stage == stage {
+			return row.Busy
+		}
+	}
+	return 0
+}
+
+// WriteTable renders the §V-style stage-breakdown table: one row per
+// (node, stage) with busy/stall/occupancy, then the summary lines.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "pipeline analysis: window %.3fs .. %.3fs (%.3fs wall)\n", r.Start, r.End, r.Wall)
+	fmt.Fprintf(w, "%-6s %-16s %6s %10s %10s %10s %6s\n",
+		"node", "stage", "spans", "busy(s)", "active(s)", "stall(s)", "occ")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "node%02d %-16s %6d %10.3f %10.3f %10.3f %5.0f%%\n",
+			row.Node, row.Stage, row.Spans, row.Busy, row.Active, row.Stall, row.Occupancy*100)
+	}
+	fmt.Fprintf(w, "total stage busy  %.3fs\n", r.TotalBusy)
+	fmt.Fprintf(w, "overlap factor    %.2fx (busy seconds retired per wall second; 1.0 = serial)\n", r.OverlapFactor)
+	fmt.Fprintf(w, "critical path     %.3fs (>=1 stage active; %.3fs fully idle)\n",
+		r.CriticalPath, r.Wall-r.CriticalPath)
+}

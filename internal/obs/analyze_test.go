@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.Wall != 0 || len(rep.Rows) != 0 || rep.OverlapFactor != 0 {
+		t.Errorf("empty analysis = %+v", rep)
+	}
+}
+
+func TestAnalyzeHandcrafted(t *testing.T) {
+	// Two nodes, two stages. Node 0's kernel track is served by two workers
+	// with overlapping spans: Busy > Active, Occupancy still <= 1.
+	spans := []Span{
+		{Node: 0, Stage: "map/input", Start: 0, End: 1},
+		{Node: 0, Stage: "map/kernel", Start: 0.5, End: 2},
+		{Node: 0, Stage: "map/kernel", Start: 1, End: 3},
+		{Node: 1, Stage: "map/input", Start: 0, End: 2},
+	}
+	rep := Analyze(spans)
+	if rep.Wall != 3 {
+		t.Fatalf("wall = %g, want 3", rep.Wall)
+	}
+	if got := rep.Busy(0, "map/kernel"); got != 1.5+2 {
+		t.Errorf("kernel busy = %g, want 3.5", got)
+	}
+	var kernelRow *StageReport
+	for i := range rep.Rows {
+		if rep.Rows[i].Node == 0 && rep.Rows[i].Stage == "map/kernel" {
+			kernelRow = &rep.Rows[i]
+		}
+	}
+	if kernelRow == nil {
+		t.Fatal("no kernel row")
+	}
+	if kernelRow.Active != 2.5 { // union of [0.5,2] and [1,3]
+		t.Errorf("kernel active = %g, want 2.5", kernelRow.Active)
+	}
+	if kernelRow.Busy <= kernelRow.Active {
+		t.Error("overlapping worker spans should make Busy > Active")
+	}
+	// TotalBusy = 1 + 3.5 + 2; overlap factor = 6.5/3.
+	if got, want := rep.OverlapFactor, 6.5/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("overlap = %g, want %g", got, want)
+	}
+	if rep.CriticalPath != 3 { // the union covers the whole window here
+		t.Errorf("critical path = %g, want 3", rep.CriticalPath)
+	}
+	// Rows come out in node, then pipeline order.
+	if rep.Rows[0].Stage != "map/input" || rep.Rows[1].Stage != "map/kernel" || rep.Rows[2].Node != 1 {
+		t.Errorf("row order: %+v", rep.Rows)
+	}
+}
+
+func TestAnalyzeCriticalPathGap(t *testing.T) {
+	spans := []Span{
+		{Node: 0, Stage: "map/kernel", Start: 0, End: 1},
+		{Node: 0, Stage: "reduce/kernel", Start: 2, End: 3},
+	}
+	rep := Analyze(spans)
+	if rep.Wall != 3 || rep.CriticalPath != 2 {
+		t.Errorf("wall %g critical %g, want 3 and 2", rep.Wall, rep.CriticalPath)
+	}
+}
+
+// TestAnalyzeInvariants fuzzes random span sets and checks the analyzer's
+// structural guarantees: occupancy in [0,1], Active <= window, Active <=
+// Busy per row never violated the other way (Busy >= Active), critical path
+// <= wall, and TotalBusy consistent with the rows.
+func TestAnalyzeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stages := []string{"map/input", "map/kernel", "map/partition", "merge", "reduce/kernel"}
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(40)
+		spans := make([]Span, 0, n)
+		for i := 0; i < n; i++ {
+			start := rng.Float64() * 10
+			spans = append(spans, Span{
+				Node:  rng.Intn(4),
+				Stage: stages[rng.Intn(len(stages))],
+				Start: start,
+				End:   start + 0.001 + rng.Float64()*3,
+			})
+		}
+		rep := Analyze(spans)
+		const eps = 1e-9
+		var totalBusy float64
+		for _, row := range rep.Rows {
+			if row.Occupancy < 0 || row.Occupancy > 1+eps {
+				t.Fatalf("iter %d: occupancy %g out of [0,1] (%+v)", iter, row.Occupancy, row)
+			}
+			if row.Active > rep.Wall+eps {
+				t.Fatalf("iter %d: active %g > wall %g", iter, row.Active, rep.Wall)
+			}
+			if row.Busy+eps < row.Active {
+				t.Fatalf("iter %d: busy %g < active %g", iter, row.Busy, row.Active)
+			}
+			if row.Stall < -eps {
+				t.Fatalf("iter %d: negative stall %g", iter, row.Stall)
+			}
+			totalBusy += row.Busy
+		}
+		if math.Abs(totalBusy-rep.TotalBusy) > eps {
+			t.Fatalf("iter %d: TotalBusy %g != sum of rows %g", iter, rep.TotalBusy, totalBusy)
+		}
+		if rep.CriticalPath > rep.Wall+eps {
+			t.Fatalf("iter %d: critical path %g > wall %g", iter, rep.CriticalPath, rep.Wall)
+		}
+	}
+}
+
+func TestReportTable(t *testing.T) {
+	rep := Analyze([]Span{
+		{Node: 0, Stage: "map/kernel", Start: 0, End: 2},
+		{Node: 1, Stage: "map/kernel", Start: 0, End: 2},
+	})
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"node00", "node01", "map/kernel", "overlap factor", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if rep.OverlapFactor != 2 {
+		t.Errorf("two fully overlapped nodes should give overlap 2, got %g", rep.OverlapFactor)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (JSON object
+// flavor). Only the fields the catapult/Perfetto viewers need.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports spans (plus optional instants) as Chrome
+// trace_event JSON: one process per node, one thread track per pipeline
+// stage, tracks in pipeline order. The output opens directly in
+// chrome://tracing or https://ui.perfetto.dev. Output is deterministic for
+// a given input (events sorted, stable field order), so it can be pinned by
+// golden tests.
+func WriteChromeTrace(w io.Writer, spans []Span, instants ...Instant) error {
+	// Global track table: a stage gets the same tid on every node, so
+	// cross-node comparison is one vertical scan in the viewer.
+	stageSet := map[string]bool{}
+	nodeSet := map[int]bool{}
+	for _, s := range spans {
+		stageSet[s.Stage] = true
+		nodeSet[s.Node] = true
+	}
+	for _, i := range instants {
+		nodeSet[i.Node] = true
+	}
+	stages := make([]string, 0, len(stageSet))
+	for st := range stageSet {
+		stages = append(stages, st)
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		a, b := TrackOrder(stages[i]), TrackOrder(stages[j])
+		if a != b {
+			return a < b
+		}
+		return stages[i] < stages[j]
+	})
+	tid := make(map[string]int, len(stages))
+	for i, st := range stages {
+		tid[st] = i
+	}
+	instantTid := len(stages)
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	var events []chromeEvent
+	for _, n := range nodes {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node%02d", n)},
+		})
+		for _, st := range stages {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: n, Tid: tid[st],
+				Args: map[string]any{"name": st},
+			})
+		}
+	}
+	const usec = 1e6
+	body := make([]chromeEvent, 0, len(spans)+len(instants))
+	for _, s := range spans {
+		body = append(body, chromeEvent{
+			Name: s.Stage, Ph: "X", Cat: "pipeline",
+			Ts: s.Start * usec, Dur: (s.End - s.Start) * usec,
+			Pid: s.Node, Tid: tid[s.Stage],
+		})
+	}
+	for _, i := range instants {
+		body = append(body, chromeEvent{
+			Name: i.Name, Ph: "i", Cat: "event", S: "p",
+			Ts: i.At * usec, Pid: i.Node, Tid: instantTid,
+		})
+	}
+	sort.SliceStable(body, func(i, j int) bool {
+		if body[i].Ts != body[j].Ts {
+			return body[i].Ts < body[j].Ts
+		}
+		if body[i].Pid != body[j].Pid {
+			return body[i].Pid < body[j].Pid
+		}
+		return body[i].Tid < body[j].Tid
+	})
+	events = append(events, body...)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

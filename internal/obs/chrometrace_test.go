@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func decodeTrace(t *testing.T, blob []byte) (events []map[string]any) {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace does not parse: %v\n%s", err, blob)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		{Node: 1, Stage: "map/kernel", Start: 0.5, End: 1.5},
+		{Node: 0, Stage: "map/input", Start: 0, End: 1},
+		{Node: 0, Stage: "map/kernel", Start: 0.25, End: 2},
+	}
+	instants := []Instant{{Node: 1, Name: "node-death", At: 1.25}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, instants...); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	var complete, meta, instant int
+	tidByStage := map[string]float64{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			name := ev["name"].(string)
+			tid := ev["tid"].(float64)
+			if prev, ok := tidByStage[name]; ok && prev != tid {
+				t.Errorf("stage %q has tids %g and %g; tracks must be global", name, prev, tid)
+			}
+			tidByStage[name] = tid
+			if ev["dur"].(float64) <= 0 {
+				t.Errorf("non-positive dur in %v", ev)
+			}
+		case "M":
+			meta++
+		case "i":
+			instant++
+			if ev["name"] != "node-death" {
+				t.Errorf("instant = %v", ev)
+			}
+		}
+	}
+	if complete != len(spans) {
+		t.Errorf("%d complete events, want %d", complete, len(spans))
+	}
+	if instant != 1 {
+		t.Errorf("%d instant events, want 1", instant)
+	}
+	// 2 nodes x (1 process_name + 2 thread_name) metadata events.
+	if meta != 6 {
+		t.Errorf("%d metadata events, want 6", meta)
+	}
+	// map/input precedes map/kernel in pipeline track order.
+	if !(tidByStage["map/input"] < tidByStage["map/kernel"]) {
+		t.Errorf("track order wrong: %v", tidByStage)
+	}
+
+	// Determinism: same input, byte-identical output.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, spans, instants...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("exporter output is not deterministic")
+	}
+}
+
+func TestWriteChromeTraceMicroseconds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Span{{Node: 0, Stage: "s", Start: 2, End: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeTrace(t, buf.Bytes()) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		if ev["ts"].(float64) != 2e6 || ev["dur"].(float64) != 1e6 {
+			t.Errorf("expected microsecond timestamps, got %v", ev)
+		}
+	}
+}

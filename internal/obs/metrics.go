@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric (node, stage, partition...).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer. All methods are safe for
+// concurrent use; recording is a single atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down. Set is a single atomic store;
+// Add is a CAS loop.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Bounds are the inclusive upper
+// edges of the buckets, fixed at registration; one extra overflow bucket
+// catches everything above the last bound. Observe is a binary search plus
+// three atomic adds — no locks on the hot path.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, non-cumulative
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefTimeBuckets is a general-purpose duration bucket layout (seconds),
+// spanning sub-millisecond kernel launches to hundred-second phases.
+var DefTimeBuckets = []float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry holds a process's metrics, keyed by name plus canonicalized
+// label set. Lookup takes a read lock (hold the returned handle across a hot
+// loop); recording on a handle is purely atomic.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	keys     map[string]metricKey // canonical key -> decoded identity
+}
+
+type metricKey struct {
+	name   string
+	typ    string
+	labels []Label
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		keys:     make(map[string]metricKey),
+	}
+}
+
+// canonical builds the registry key: name{k1=v1,k2=v2} with labels sorted by
+// key, so the same label set always resolves to the same metric.
+func canonical(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String(), ls
+}
+
+// Counter returns (registering on first use) the counter with this name and
+// label set.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key, ls := canonical(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[key] = c
+	r.keys[key] = metricKey{name: name, typ: "counter", labels: ls}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge with this name and
+// label set.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key, ls := canonical(name, labels)
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[key] = g
+	r.keys[key] = metricKey{name: name, typ: "gauge", labels: ls}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram with this name
+// and label set. Bounds are fixed by the first registration; later calls
+// with the same name+labels return the existing histogram regardless of the
+// bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	key, ls := canonical(name, labels)
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h
+	}
+	h = &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[key] = h
+	r.keys[key] = metricKey{name: name, typ: "histogram", labels: ls}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: the inclusive upper edge
+// ("+Inf" for the overflow bucket) and its non-cumulative sample count.
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Metric is one registry entry in a snapshot.
+type Metric struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every metric's current value, sorted by canonical key so
+// output is deterministic. Histogram Value is the sample mean.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.keys))
+	for k := range r.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Metric, 0, len(keys))
+	for _, k := range keys {
+		id := r.keys[k]
+		m := Metric{Name: id.name, Type: id.typ}
+		if len(id.labels) > 0 {
+			m.Labels = make(map[string]string, len(id.labels))
+			for _, l := range id.labels {
+				m.Labels[l.Key] = l.Value
+			}
+		}
+		switch id.typ {
+		case "counter":
+			m.Value = float64(r.counters[k].Value())
+		case "gauge":
+			m.Value = r.gauges[k].Value()
+		case "histogram":
+			h := r.hists[k]
+			m.Count = h.Count()
+			m.Sum = h.Sum()
+			if m.Count > 0 {
+				m.Value = m.Sum / float64(m.Count)
+			}
+			for i := range h.buckets {
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmt.Sprintf("%g", h.bounds[i])
+				}
+				m.Buckets = append(m.Buckets, Bucket{Le: le, Count: h.buckets[i].Load()})
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a {"metrics": [...]} JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []Metric `json:"metrics"`
+	}{Metrics: r.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("node", "0"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", L("node", "0")); again != c {
+		t.Error("same name+labels should return the same counter")
+	}
+	if other := r.Counter("requests_total", L("node", "1")); other == c {
+		t.Error("different labels should be a different counter")
+	}
+
+	g := r.Gauge("temp")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Errorf("gauge = %g, want 1.0", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("a", "1"), L("b", "2"))
+	b := r.Counter("m", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Error("label order must not matter for metric identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	// 0.005 and 0.01 land in the first bucket (inclusive upper edge), 0.05
+	// in the second, 0.5 in the third, 5 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			h := r.Histogram("obs", DefTimeBuckets)
+			g := r.Gauge("level")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("obs", nil).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("level").Value(); got != 8000 {
+		t.Errorf("concurrent gauge = %g, want 8000", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", L("node", "1")).Add(3)
+	r.Gauge("a_seconds").Set(2.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	// Sorted by canonical key: a_seconds, b_total{...}, h.
+	if snap[0].Name != "a_seconds" || snap[1].Name != "b_total" || snap[2].Name != "h" {
+		t.Errorf("snapshot order: %q %q %q", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[1].Labels["node"] != "1" || snap[1].Value != 3 {
+		t.Errorf("counter snapshot = %+v", snap[1])
+	}
+	if snap[2].Count != 1 || len(snap[2].Buckets) != 2 || snap[2].Buckets[1].Le != "+Inf" {
+		t.Errorf("histogram snapshot = %+v", snap[2])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Metric `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if len(doc.Metrics) != 3 {
+		t.Errorf("round-tripped %d metrics, want 3", len(doc.Metrics))
+	}
+}

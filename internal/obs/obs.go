@@ -1,0 +1,35 @@
+// Package obs is the shared observability layer consumed by both Glasswing
+// runtimes: the simulated cluster (internal/core, virtual seconds) and the
+// native host runtime (internal/native, wall-clock seconds).
+//
+// It provides three pieces, all runtime-agnostic:
+//
+//   - a metrics Registry — counters, gauges and fixed-bucket histograms with
+//     atomic hot-path recording, labeled (node/stage/partition/...), and
+//     snapshottable to JSON;
+//   - a SpanSink interface plus SpanBuffer — the timeline feed: the sim
+//     core's Trace, the cl command-queue profiling events and the native
+//     runtime's wall-clock stage instrumentation all record Spans;
+//   - consumers of the timeline: WriteChromeTrace exports any run as Chrome
+//     trace_event JSON (open in chrome://tracing or Perfetto), and Analyze
+//     computes the paper's §V per-stage breakdown — busy/stall time,
+//     occupancy, the overlap factor and a critical-path estimate.
+//
+// The package depends only on the standard library, so every layer of the
+// system (core, cl, native, the facade, the experiment drivers) can feed it
+// without import cycles.
+package obs
+
+// Telemetry bundles the two collection surfaces a run needs: a metrics
+// registry and a span buffer. It is the unit callers hand to a runtime
+// (native.Config.Telemetry) or build piecemeal (the sim core takes the
+// registry via core.Config.Metrics and records spans in its own Trace).
+type Telemetry struct {
+	Metrics *Registry
+	Spans   *SpanBuffer
+}
+
+// NewTelemetry returns an empty telemetry collector.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Spans: &SpanBuffer{}}
+}

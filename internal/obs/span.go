@@ -1,0 +1,107 @@
+package obs
+
+import "sync"
+
+// Span is one interval of pipeline activity on one node's stage track.
+// Times are seconds — virtual seconds for the simulated runtime, wall-clock
+// seconds since run start for the native one.
+type Span struct {
+	Node  int     `json:"node"`
+	Stage string  `json:"stage"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Instant is an instantaneous event on a node's timeline (a node death, a
+// phase boundary) — a Chrome trace "instant" rather than a duration.
+type Instant struct {
+	Node int     `json:"node"`
+	Name string  `json:"name"`
+	At   float64 `json:"at"`
+}
+
+// SpanSink receives spans as they complete. Implementations must tolerate
+// concurrent calls: the native runtime records from many goroutines.
+type SpanSink interface {
+	Span(s Span)
+}
+
+// SpanBuffer is the straightforward SpanSink: it accumulates spans (and
+// instants) under a mutex for later export or analysis.
+type SpanBuffer struct {
+	mu       sync.Mutex
+	spans    []Span
+	instants []Instant
+}
+
+// Span records one span. Degenerate spans (End <= Start) are dropped.
+func (b *SpanBuffer) Span(s Span) {
+	if b == nil || s.End <= s.Start {
+		return
+	}
+	b.mu.Lock()
+	b.spans = append(b.spans, s)
+	b.mu.Unlock()
+}
+
+// Mark records one instantaneous event.
+func (b *SpanBuffer) Mark(i Instant) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.instants = append(b.instants, i)
+	b.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (b *SpanBuffer) Spans() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Span(nil), b.spans...)
+}
+
+// Instants returns a copy of the recorded instants.
+func (b *SpanBuffer) Instants() []Instant {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Instant(nil), b.instants...)
+}
+
+// TrackOrder returns a sort key placing stage tracks in pipeline execution
+// order: the map group, then intermediate-data and recovery work, then the
+// reduce group, then device-level (cl) tracks, then unknown stages
+// lexicographically. Both the core Gantt renderer and the Chrome exporter
+// use it, so the two views always agree on row order.
+func TrackOrder(stage string) string {
+	order := map[string]string{
+		"map/input":     "a0",
+		"map/stage":     "a1",
+		"map/kernel":    "a2",
+		"map/retrieve":  "a3",
+		"map/partition": "a4",
+		"merge":         "b0",
+		"spill":         "b1",
+		"retry":         "b2",
+		"speculative":   "b3",
+		"reduce/input":  "c0",
+		"reduce/stage":  "c1",
+		"reduce/kernel": "c2",
+		"reduce":        "c2~", // native's single reduce track, next to its sim analog
+		"reduce/retr":   "c3",
+		"reduce/output": "c4",
+		"cl/write":      "d0",
+		"cl/kernel":     "d1",
+		"cl/read":       "d2",
+	}
+	if o, ok := order[stage]; ok {
+		return o
+	}
+	return "z" + stage
+}

@@ -1,0 +1,90 @@
+package glasswing
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"glasswing/internal/apps"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tracedWCRun executes the deterministic 2-node traced WC job every
+// observability test shares. The sim clock is virtual, so the span set —
+// and therefore the exported trace — is bit-identical across runs.
+func tracedWCRun(t *testing.T) *Result {
+	t.Helper()
+	data, want := apps.WCData(7, 128<<10, 1200)
+	cluster := NewCluster(ClusterConfig{Nodes: 2, BlockSize: 16 << 10})
+	cluster.LoadText("input", data)
+	res, err := cluster.Run(WordCountApp(), Config{
+		Input:       []string{"input"},
+		Collector:   HashTable,
+		UseCombiner: true,
+		Trace:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The Chrome trace of the deterministic traced run is pinned byte-for-byte.
+// Regenerate with `go test -run TestChromeTraceGolden -update .` after an
+// intentional exporter or scheduler change.
+func TestChromeTraceGolden(t *testing.T) {
+	res := tracedWCRun(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, TraceSpans(res), TraceInstants(res)...); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "wc_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from %s (%d vs %d bytes); rerun with -update if intentional",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// The analyzer's per-row busy totals must agree with the sim Trace's own
+// accounting, and a pipelined multi-node run must overlap (> 1 stage-second
+// retired per wall second).
+func TestAnalyzerAgreesWithTrace(t *testing.T) {
+	res := tracedWCRun(t)
+	rep := AnalyzePipeline(TraceSpans(res))
+	if len(rep.Rows) == 0 {
+		t.Fatal("no analyzer rows from traced run")
+	}
+	nodes := map[int]bool{}
+	for _, row := range rep.Rows {
+		nodes[row.Node] = true
+		want := res.Trace.Busy(row.Node, row.Stage)
+		if math.Abs(row.Busy-want) > 1e-9 {
+			t.Errorf("busy(%d, %s) = %v, Trace.Busy = %v", row.Node, row.Stage, row.Busy, want)
+		}
+	}
+	if len(nodes) != 2 {
+		t.Errorf("analyzer saw %d nodes, want 2", len(nodes))
+	}
+	if rep.OverlapFactor <= 1.0 {
+		t.Errorf("overlap factor = %v, want > 1.0 for a pipelined run", rep.OverlapFactor)
+	}
+	if rep.CriticalPath <= 0 || rep.CriticalPath > rep.Wall+1e-9 {
+		t.Errorf("critical path %v outside (0, wall=%v]", rep.CriticalPath, rep.Wall)
+	}
+}
