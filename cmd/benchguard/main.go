@@ -1,0 +1,84 @@
+// Command benchguard is the benchmark regression gate: it measures the
+// pinned native scenarios fresh (or reads a previously measured report) and
+// diffs them against the committed BENCH_native.json baseline, failing when
+// allocs_per_op regresses past its budget (default 25%) or a per-stage busy
+// time past its wider one (default 50% — stage wall time is noisy even on
+// serialized probes; see nativebench.GuardOpts). Raw wall time is reported
+// but never gated — shared CI hardware is too noisy for a hard ns/op
+// threshold.
+//
+// Usage:
+//
+//	benchguard [-baseline BENCH_native.json] [-fresh report.json] \
+//	           [-max-ratio 1.25] [-stage-max-ratio 1.5]
+//
+// With no -fresh, the scenarios are measured in-process, which takes a few
+// minutes at benchmark fidelity.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"glasswing/internal/nativebench"
+)
+
+type report struct {
+	Scenarios []nativebench.Result `json:"scenarios"`
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_native.json", "committed baseline report")
+	freshPath := flag.String("fresh", "", "fresh report to diff (empty = measure scenarios now)")
+	maxRatio := flag.Float64("max-ratio", 0, "allowed fresh/base allocs_per_op ratio (0 = default 1.25)")
+	stageMaxRatio := flag.Float64("stage-max-ratio", 0, "allowed fresh/base stage_ns ratio (0 = default 1.5)")
+	flag.Parse()
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	var fresh []nativebench.Result
+	if *freshPath != "" {
+		rep, err := readReport(*freshPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		fresh = rep.Scenarios
+	} else {
+		for _, s := range nativebench.Scenarios() {
+			fmt.Fprintf(os.Stderr, "measuring %s...\n", s.Name)
+			fresh = append(fresh, nativebench.Measure(s))
+		}
+	}
+
+	regs := nativebench.CompareResults(base.Scenarios, fresh, nativebench.GuardOpts{
+		MaxRatio:      *maxRatio,
+		StageMaxRatio: *stageMaxRatio,
+	})
+	if len(regs) == 0 {
+		fmt.Printf("benchguard: %d scenarios within budget vs %s\n", len(base.Scenarios), *baseline)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "benchguard: REGRESSION:", r)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command conformance runs the cross-runtime conformance matrix and prints
+// one row per cell: runtime, application, metamorphic axis, variant, the
+// canonical output digest, and the verdict (digest equality with the
+// sequential reference, the app verifier, and — for the instrumented
+// runtimes — the record/byte conservation ledger).
+//
+// Usage:
+//
+//	conformance [-runtime sim,native] [-app WC,TS] [-axis chunk,faults] [-q]
+//
+// Exits non-zero if any cell fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"glasswing/internal/conformance"
+)
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func main() {
+	runtimes := flag.String("runtime", "", "comma-separated runtimes (sim,native,hadoop,gpmr; empty = all)")
+	apps := flag.String("app", "", "comma-separated applications (WC,TS,KM; empty = all)")
+	axes := flag.String("axis", "", "comma-separated axes (baseline,chunk,workers,partitions,compress,overlap,collector,faults; empty = all)")
+	quiet := flag.Bool("q", false, "suppress per-cell rows; print only the summary matrix")
+	flag.Parse()
+
+	opt := conformance.Options{
+		Runtimes: splitList(*runtimes),
+		Apps:     splitList(*apps),
+		Axes:     splitList(*axes),
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !*quiet {
+		fmt.Fprintln(w, "RUNTIME\tAPP\tAXIS\tVARIANT\tDIGEST\tRESULT")
+	}
+	cells := conformance.RunMatrix(opt, func(c conformance.Cell) {
+		if *quiet {
+			return
+		}
+		verdict := "ok"
+		if c.Err != nil {
+			verdict = "FAIL: " + strings.ReplaceAll(c.Err.Error(), "\n", "; ")
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.12s\t%s\n", c.Runtime, c.App, c.Axis, c.Variant, c.Digest, verdict)
+		w.Flush()
+	})
+	if !*quiet {
+		fmt.Fprintln(w)
+	}
+
+	// Summary matrix: per runtime x app, cells passed / run, axes covered.
+	type key struct{ runtime, app string }
+	type tally struct {
+		pass, total int
+		axes        map[string]bool
+	}
+	sums := map[key]*tally{}
+	failed := 0
+	for _, c := range cells {
+		k := key{c.Runtime, c.App}
+		t := sums[k]
+		if t == nil {
+			t = &tally{axes: map[string]bool{}}
+			sums[k] = t
+		}
+		t.total++
+		t.axes[c.Axis] = true
+		if c.Err == nil {
+			t.pass++
+		} else {
+			failed++
+		}
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].runtime != keys[j].runtime {
+			return keys[i].runtime < keys[j].runtime
+		}
+		return keys[i].app < keys[j].app
+	})
+	fmt.Fprintln(w, "RUNTIME\tAPP\tCELLS\tAXES")
+	for _, k := range keys {
+		t := sums[k]
+		fmt.Fprintf(w, "%s\t%s\t%d/%d\t%d\n", k.runtime, k.app, t.pass, t.total, len(t.axes))
+	}
+	w.Flush()
+
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "conformance: %d of %d cells FAILED\n", failed, len(cells))
+		os.Exit(1)
+	}
+	fmt.Printf("conformance: all %d cells passed\n", len(cells))
+}

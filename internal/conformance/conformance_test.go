@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// TestReference sanity-checks the sequential reference engine itself: jobs
+// exist, expectations are internally consistent, and the digest is stable
+// across recomputation.
+func TestReference(t *testing.T) {
+	jobs := Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("want 3 conformance jobs, got %d", len(jobs))
+	}
+	for _, j := range jobs {
+		exp1 := Reference(j)
+		exp2 := Reference(j)
+		if exp1 != exp2 {
+			t.Errorf("%s: reference not deterministic: %+v vs %+v", j.Name, exp1, exp2)
+		}
+		if exp1.Records == 0 || exp1.InterPairs == 0 || exp1.OutputPairs == 0 || exp1.DistinctKeys == 0 {
+			t.Errorf("%s: degenerate expectation %+v", j.Name, exp1)
+		}
+		if exp1.InterBytes <= exp1.InterPairs {
+			t.Errorf("%s: intermediate bytes %d implausibly small for %d pairs",
+				j.Name, exp1.InterBytes, exp1.InterPairs)
+		}
+	}
+}
+
+// runRuntimeMatrix executes one runtime's full slice of the matrix and
+// fails on any cell whose digest, verifier, or ledger check does not hold.
+func runRuntimeMatrix(t *testing.T, runtime string, wantAxes int) {
+	t.Helper()
+	cells := RunMatrix(Options{Runtimes: []string{runtime}}, nil)
+	if len(cells) == 0 {
+		t.Fatalf("no cells ran for runtime %q", runtime)
+	}
+	axes := map[string]bool{}
+	apps := map[string]bool{}
+	for _, c := range cells {
+		axes[c.Axis] = true
+		apps[c.App] = true
+		if c.Err != nil {
+			t.Errorf("%s: %v", c.Key(), c.Err)
+		} else if c.Digest == "" {
+			t.Errorf("%s: empty digest", c.Key())
+		}
+	}
+	if len(apps) != 3 {
+		t.Errorf("runtime %q covered %d apps, want 3", runtime, len(apps))
+	}
+	if len(axes) < wantAxes {
+		t.Errorf("runtime %q covered %d axes, want >= %d", runtime, len(axes), wantAxes)
+	}
+	t.Logf("runtime %s: %d cells, %d apps, %d axes", runtime, len(cells), len(apps), len(axes))
+}
+
+func TestMatrixSim(t *testing.T) {
+	t.Parallel()
+	runRuntimeMatrix(t, "sim", 8)
+}
+
+func TestMatrixNative(t *testing.T) {
+	t.Parallel()
+	runRuntimeMatrix(t, "native", 6)
+}
+
+func TestMatrixHadoop(t *testing.T) {
+	t.Parallel()
+	runRuntimeMatrix(t, "hadoop", 4)
+}
+
+func TestMatrixGPMR(t *testing.T) {
+	t.Parallel()
+	runRuntimeMatrix(t, "gpmr", 4)
+}
+
+// TestCrossRuntimeDigests pins the property the whole subsystem exists for:
+// for each app, the baseline cells of every runtime produce byte-identical
+// canonical digests (they are each already compared against the reference,
+// but this states the cross-runtime claim directly).
+func TestCrossRuntimeDigests(t *testing.T) {
+	t.Parallel()
+	cells := RunMatrix(Options{Axes: []string{"baseline"}}, nil)
+	byApp := map[string]map[string]string{} // app -> runtime -> digest
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Errorf("%s: %v", c.Key(), c.Err)
+			continue
+		}
+		if byApp[c.App] == nil {
+			byApp[c.App] = map[string]string{}
+		}
+		byApp[c.App][c.Runtime] = c.Digest
+	}
+	for app, digests := range byApp {
+		if len(digests) != len(RuntimeNames) {
+			t.Errorf("%s: baseline ran on %d runtimes, want %d", app, len(digests), len(RuntimeNames))
+		}
+		var first string
+		for _, d := range digests {
+			if first == "" {
+				first = d
+			} else if d != first {
+				t.Errorf("%s: divergent baseline digests across runtimes: %v", app, digests)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"glasswing/internal/obs"
+)
+
+// Ledger is one run's conservation account, read back from the conserv_*
+// counters both instrumented runtimes publish into their obs registry
+// (internal/core's jobCounters and internal/native's recorder use the same
+// metric vocabulary, so one reader serves both).
+type Ledger struct {
+	MapRecordsIn int64 // parsed records consumed by map kernels
+	MapPairsOut  int64 // pairs leaving map kernels (post-combine if any)
+
+	PartitionRecords     int64 // pairs serialized into partition runs
+	PartitionRuns        int64 // runs produced
+	PartitionRawBytes    int64 // run payload volume before encoding
+	PartitionStoredBytes int64 // encoded run volume (post-compression)
+
+	StoreAccepted    int64 // records accepted by the intermediate store
+	StoreDupDropped  int64 // duplicate task output rejected (sim re-execution)
+	StoreDeadDropped int64 // output addressed to a dead store (sim node death)
+	StoreLost        int64 // records lost with a dying store (sim node death)
+
+	SpillRecords     int64 // records written to spill files (native)
+	SpillRawBytes    int64 // spill payload volume before framing (native)
+	SpillStoredBytes int64 // on-disk spill volume after compression (native)
+
+	MergeIn  int64 // records entering compaction merges
+	MergeOut int64 // records leaving compaction merges
+
+	ReduceRecordsIn int64 // records read by winning reduce attempts
+	ReduceGroupsIn  int64 // key groups consumed by reduce input stages
+	OutputPairs     int64 // final pairs committed to output
+}
+
+// ReadLedger extracts the conservation counters from a registry; names that
+// were never written read as zero.
+func ReadLedger(reg *obs.Registry) Ledger {
+	c := func(name string) int64 { return reg.Counter(name).Value() }
+	return Ledger{
+		MapRecordsIn:         c("conserv_map_records_in_total"),
+		MapPairsOut:          c("conserv_map_pairs_out_total"),
+		PartitionRecords:     c("conserv_partition_records_total"),
+		PartitionRuns:        c("conserv_partition_runs_total"),
+		PartitionRawBytes:    c("conserv_partition_raw_bytes_total"),
+		PartitionStoredBytes: c("conserv_partition_stored_bytes_total"),
+		StoreAccepted:        c("conserv_store_accepted_records_total"),
+		StoreDupDropped:      c("conserv_store_dup_dropped_records_total"),
+		StoreDeadDropped:     c("conserv_store_dead_dropped_records_total"),
+		StoreLost:            c("conserv_store_lost_records_total"),
+		SpillRecords:         c("conserv_spill_records_total"),
+		SpillRawBytes:        c("conserv_spill_raw_bytes_total"),
+		SpillStoredBytes:     c("conserv_spill_stored_bytes_total"),
+		MergeIn:              c("conserv_merge_records_in_total"),
+		MergeOut:             c("conserv_merge_records_out_total"),
+		ReduceRecordsIn:      c("conserv_reduce_records_in_total"),
+		ReduceGroupsIn:       c("conserv_reduce_groups_in_total"),
+		OutputPairs:          c("conserv_output_pairs_total"),
+	}
+}
+
+// CheckOpts qualifies which ledger invariants apply to a run.
+type CheckOpts struct {
+	// Sim distinguishes the simulated core (which has fault tolerance and
+	// always groups reduce input) from the native pipeline.
+	Sim bool
+	// Faulty marks runs with injected task faults or node deaths: map-side
+	// production counters legitimately over-count there (re-executed work
+	// is counted again; the store dedups it), so only store-onward
+	// invariants are exact.
+	Faulty bool
+	// Combiner marks runs where map output is combined: pair counts and
+	// bytes shrink below the reference's no-combiner volumes.
+	Combiner bool
+	// Compress marks runs with DEFLATE-compressed intermediate runs.
+	Compress bool
+	// HasReduce marks apps with a reduce function; the native runtime only
+	// counts reduce groups on that path (reduce-less output is drained
+	// without grouping).
+	HasReduce bool
+	// WantSpill asserts the run was forced to spill (native cache
+	// threshold axis): zero spill activity would mean the axis tested
+	// nothing.
+	WantSpill bool
+}
+
+// Check verifies the conservation invariants of one run against the
+// reference expectation, returning every violated invariant joined into one
+// error (nil when the ledger balances).
+func (l Ledger) Check(exp Expected, o CheckOpts) error {
+	var errs []error
+	eq := func(what string, got, want int64) {
+		if got != want {
+			errs = append(errs, fmt.Errorf("%s: got %d, want %d", what, got, want))
+		}
+	}
+
+	if !o.Faulty {
+		// Fault-free, the map side is exact: every input record is mapped
+		// exactly once and every emitted pair is serialized and accepted
+		// exactly once.
+		eq("map records in != input records", l.MapRecordsIn, exp.Records)
+		eq("partition records != map pairs out", l.PartitionRecords, l.MapPairsOut)
+		eq("store accepted != partition records", l.StoreAccepted, l.PartitionRecords)
+		eq("dup-dropped records", l.StoreDupDropped, 0)
+		eq("dead-dropped records", l.StoreDeadDropped, 0)
+		eq("lost records", l.StoreLost, 0)
+		if !o.Combiner {
+			eq("map pairs out != reference intermediate pairs", l.MapPairsOut, exp.InterPairs)
+			eq("partition raw bytes != reference intermediate bytes", l.PartitionRawBytes, exp.InterBytes)
+		}
+	}
+
+	// Store-onward invariants hold even under faults: re-executed map
+	// output is deduplicated at the store, losing attempts never commit,
+	// and a winning reduce attempt reads exactly what its partition's
+	// store holds.
+	eq("reduce records in != store accepted - lost", l.ReduceRecordsIn, l.StoreAccepted-l.StoreLost)
+	eq("merge records out != in", l.MergeOut, l.MergeIn)
+	if o.Sim || o.HasReduce {
+		eq("reduce groups != reference distinct keys", l.ReduceGroupsIn, exp.DistinctKeys)
+	}
+	eq("output pairs != reference output pairs", l.OutputPairs, exp.OutputPairs)
+
+	// Byte accounting: uncompressed run encoding adds only uvarint framing
+	// (two length prefixes of at most 5 bytes per pair, plus at most 10
+	// bytes of record count per run); compression must at least produce
+	// non-empty blobs.
+	if !o.Compress {
+		lo, hi := l.PartitionRawBytes, l.PartitionRawBytes+10*l.PartitionRecords+10*l.PartitionRuns
+		if l.PartitionStoredBytes < lo || l.PartitionStoredBytes > hi {
+			errs = append(errs, fmt.Errorf("stored bytes %d outside framing bounds [%d,%d]",
+				l.PartitionStoredBytes, lo, hi))
+		}
+	} else if l.PartitionRecords > 0 && l.PartitionStoredBytes <= 0 {
+		errs = append(errs, fmt.Errorf("compressed run bytes not accounted: %d", l.PartitionStoredBytes))
+	}
+
+	if o.WantSpill && l.SpillRecords == 0 {
+		errs = append(errs, errors.New("spill axis ran without spilling"))
+	}
+	if l.SpillRecords > 0 {
+		if !o.Compress {
+			lo, hi := l.SpillRawBytes, l.SpillRawBytes+10*l.SpillRecords
+			if l.SpillStoredBytes < lo || l.SpillStoredBytes > hi {
+				errs = append(errs, fmt.Errorf("spill bytes %d outside framing bounds [%d,%d]",
+					l.SpillStoredBytes, lo, hi))
+			}
+		} else if l.SpillStoredBytes <= 0 {
+			errs = append(errs, fmt.Errorf("compressed spill bytes not accounted: %d", l.SpillStoredBytes))
+		}
+	}
+	return errors.Join(errs...)
+}

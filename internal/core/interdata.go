@@ -54,6 +54,9 @@ type interManager struct {
 	nodeIdx int
 	trace   *Trace
 	cfg     Config
+	// conserv is the job's conservation ledger (set by Run; nil-field-safe
+	// because counters are only touched when non-nil).
+	conserv *conservCounters
 	parts   []*partStore
 
 	wake       []*sim.Queue[struct{}]
@@ -92,16 +95,28 @@ func newInterManager(env *sim.Env, node *hw.Node, cfg Config, firstGlobal int) *
 // Deliveries to a dead node and re-deliveries of a task already seen by this
 // partition (a node-loss re-execution fanning out again) are dropped.
 func (m *interManager) addRun(idx int, task taskID, run *kv.Run) {
-	if m.dead || run.Records == 0 {
+	if m.dead {
+		if m.conserv != nil {
+			m.conserv.storeDeadDropped.Add(int64(run.Records))
+		}
+		return
+	}
+	if run.Records == 0 {
 		return
 	}
 	ps := m.parts[idx]
 	if ps.seen[task] {
+		if m.conserv != nil {
+			m.conserv.storeDupDropped.Add(int64(run.Records))
+		}
 		return
 	}
 	ps.seen[task] = true
 	ps.cached = append(ps.cached, run)
 	ps.cachedBytes += run.StoredBytes()
+	if m.conserv != nil {
+		m.conserv.storeAccepted.Add(int64(run.Records))
+	}
 	if m.aggregateCache() > m.cfg.CacheThreshold {
 		for i := range m.parts {
 			if m.parts[i].cachedBytes > 0 {
@@ -171,6 +186,13 @@ func (m *interManager) adoptPart(env *sim.Env, global int) int {
 func (m *interManager) markDead() {
 	m.dead = true
 	for i, ps := range m.parts {
+		if m.conserv != nil {
+			var lost int64
+			for _, r := range ps.runs() {
+				lost += int64(r.Records)
+			}
+			m.conserv.storeLost.Add(lost)
+		}
 		ps.cached, ps.cachedBytes, ps.onDisk = nil, 0, nil
 		m.wake[i].Close()
 	}
@@ -240,9 +262,18 @@ func (m *interManager) flush(p *sim.Proc, ps *partStore) {
 	}
 	m.node.HostWork(p, ops, 1)
 	if m.dead {
-		return // the node died mid-flush; its store is gone
+		// The node died mid-flush: the detached runs were not in the store
+		// when markDead counted its loss, so account for them here.
+		if m.conserv != nil {
+			m.conserv.storeLost.Add(int64(pairsN))
+		}
+		return
 	}
 	merged := kv.MergeRuns(runs, m.cfg.Compress)
+	if m.conserv != nil {
+		m.conserv.mergeRecordsIn.Add(int64(pairsN))
+		m.conserv.mergeRecordsOut.Add(int64(merged.Records))
+	}
 	m.node.Disk.Write(p, merged.StoredBytes())
 	ps.onDisk = append(ps.onDisk, merged)
 }
@@ -273,9 +304,16 @@ func (m *interManager) compactCache(p *sim.Proc, ps *partStore) {
 	}
 	m.node.HostWork(p, ops, 1)
 	if m.dead {
+		if m.conserv != nil {
+			m.conserv.storeLost.Add(int64(pairsN))
+		}
 		return
 	}
 	merged := kv.MergeRuns(runs, m.cfg.Compress)
+	if m.conserv != nil {
+		m.conserv.mergeRecordsIn.Add(int64(pairsN))
+		m.conserv.mergeRecordsOut.Add(int64(merged.Records))
+	}
 	ps.cached = append(ps.cached, merged)
 	ps.cachedBytes += merged.StoredBytes()
 }
@@ -307,9 +345,16 @@ func (m *interManager) compactDisk(p *sim.Proc, ps *partStore) {
 	}
 	m.node.HostWork(p, ops, 1)
 	if m.dead {
+		if m.conserv != nil {
+			m.conserv.storeLost.Add(int64(pairsN))
+		}
 		return
 	}
 	merged := kv.MergeRuns(runs, m.cfg.Compress)
+	if m.conserv != nil {
+		m.conserv.mergeRecordsIn.Add(int64(pairsN))
+		m.conserv.mergeRecordsOut.Add(int64(merged.Records))
+	}
 	m.node.Disk.Write(p, merged.StoredBytes())
 	ps.onDisk = append(ps.onDisk, merged)
 }

@@ -18,6 +18,79 @@ type jobCounters struct {
 	mapRecoveries   *obs.Counter
 	speculativeWins *obs.Counter
 	base            JobStats
+
+	conserv conservCounters
+}
+
+// conservCounters is the job's record/byte conservation ledger (the
+// ConservationMetricNames vocabulary): every stage boundary counts what it
+// consumed and produced, so a metrics snapshot can prove the pipeline
+// neither lost nor duplicated data. All sites count winning attempts only —
+// a resolved task whose twin lost the race contributes nothing — except the
+// explicit drop/loss counters, which account for data that legitimately
+// vanished (dead stores, dedup of re-executed tasks).
+type conservCounters struct {
+	mapRecordsIn    *obs.Counter // input records consumed by resolved map tasks
+	mapPairsOut     *obs.Counter // pairs emitted by resolved map tasks
+	partRecords     *obs.Counter // pairs serialized into partition runs
+	partRuns        *obs.Counter // runs produced by the partitioning stage
+	partRawBytes    *obs.Counter // payload bytes entering runs
+	partStoredBytes *obs.Counter // encoded bytes leaving runs (post-compression)
+
+	storeAccepted    *obs.Counter // records accepted into intermediate stores
+	storeDupDropped  *obs.Counter // records dropped as re-delivery duplicates
+	storeDeadDropped *obs.Counter // records dropped en route to / at a dead node
+	storeLost        *obs.Counter // accepted records lost with a dead store
+
+	mergeRecordsIn  *obs.Counter // records entering intermediate merges
+	mergeRecordsOut *obs.Counter // records leaving intermediate merges
+
+	reduceRecordsIn *obs.Counter // records read by winning reduce attempts
+	reduceGroupsIn  *obs.Counter // key groups read by winning reduce attempts
+	outputPairs     *obs.Counter // pairs persisted by winning reduce attempts
+}
+
+// ConservationMetricNames lists the ledger counters both runtimes publish
+// (internal/conformance reads them back to check records in == records out
+// per stage).
+func ConservationMetricNames() []string {
+	return []string{
+		"conserv_map_records_in_total",
+		"conserv_map_pairs_out_total",
+		"conserv_partition_records_total",
+		"conserv_partition_runs_total",
+		"conserv_partition_raw_bytes_total",
+		"conserv_partition_stored_bytes_total",
+		"conserv_store_accepted_records_total",
+		"conserv_store_dup_dropped_records_total",
+		"conserv_store_dead_dropped_records_total",
+		"conserv_store_lost_records_total",
+		"conserv_merge_records_in_total",
+		"conserv_merge_records_out_total",
+		"conserv_reduce_records_in_total",
+		"conserv_reduce_groups_in_total",
+		"conserv_output_pairs_total",
+	}
+}
+
+func newConservCounters(reg *obs.Registry) conservCounters {
+	return conservCounters{
+		mapRecordsIn:     reg.Counter("conserv_map_records_in_total"),
+		mapPairsOut:      reg.Counter("conserv_map_pairs_out_total"),
+		partRecords:      reg.Counter("conserv_partition_records_total"),
+		partRuns:         reg.Counter("conserv_partition_runs_total"),
+		partRawBytes:     reg.Counter("conserv_partition_raw_bytes_total"),
+		partStoredBytes:  reg.Counter("conserv_partition_stored_bytes_total"),
+		storeAccepted:    reg.Counter("conserv_store_accepted_records_total"),
+		storeDupDropped:  reg.Counter("conserv_store_dup_dropped_records_total"),
+		storeDeadDropped: reg.Counter("conserv_store_dead_dropped_records_total"),
+		storeLost:        reg.Counter("conserv_store_lost_records_total"),
+		mergeRecordsIn:   reg.Counter("conserv_merge_records_in_total"),
+		mergeRecordsOut:  reg.Counter("conserv_merge_records_out_total"),
+		reduceRecordsIn:  reg.Counter("conserv_reduce_records_in_total"),
+		reduceGroupsIn:   reg.Counter("conserv_reduce_groups_in_total"),
+		outputPairs:      reg.Counter("conserv_output_pairs_total"),
+	}
 }
 
 func newJobCounters(reg *obs.Registry) *jobCounters {
@@ -27,6 +100,7 @@ func newJobCounters(reg *obs.Registry) *jobCounters {
 		nodesLost:       reg.Counter("nodes_lost_total"),
 		mapRecoveries:   reg.Counter("map_recoveries_total"),
 		speculativeWins: reg.Counter("speculative_wins_total"),
+		conserv:         newConservCounters(reg),
 	}
 	c.base = c.totals()
 	return c

@@ -26,6 +26,7 @@ type mapChunk struct {
 type outChunk struct {
 	task          schedTask[splitRef]
 	pairs         []kv.Pair
+	records       int // input records the chunk was mapped from
 	volume        int64
 	decodePerPair float64
 }
@@ -321,7 +322,7 @@ func (j *job) execMapKernel(p *sim.Proc, ctx *cl.Context, coll collector, c mapC
 	for _, pr := range pairs {
 		vol += pr.Size()
 	}
-	return outChunk{task: c.task, pairs: pairs, volume: vol, decodePerPair: decodePerPair}
+	return outChunk{task: c.task, pairs: pairs, records: len(c.records), volume: vol, decodePerPair: decodePerPair}
 }
 
 // partitionChunk implements the pipeline's final stage for one chunk: N
@@ -389,6 +390,20 @@ func (j *job) partitionChunk(p *sim.Proc, nodeIdx int, oc outChunk) {
 	if oc.task.spec {
 		j.counters.speculativeWins.Inc()
 	}
+
+	// Conservation ledger: this attempt's output is the one that counts.
+	// (A task re-executed after a node death resolves again, so under node
+	// failures these map-side totals exceed the dataset; the store-side
+	// ledger stays exact through the dup/dead/lost counters.)
+	cons := &j.counters.conserv
+	cons.mapRecordsIn.Add(int64(oc.records))
+	cons.mapPairsOut.Add(int64(len(oc.pairs)))
+	for _, r := range runs {
+		cons.partRecords.Add(int64(r.run.Records))
+		cons.partRawBytes.Add(r.run.RawBytes)
+		cons.partStoredBytes.Add(r.run.StoredBytes())
+	}
+	cons.partRuns.Add(int64(len(runs)))
 
 	// Durability: the node's map output is persisted locally in addition
 	// to the copy that feeds intermediate-data processing (§III-E). The

@@ -22,6 +22,12 @@ type reduceChunk struct {
 	groups []kv.Group
 	bytes  int64
 	last   bool // last chunk of the attempt
+	// pairsIn/groupsIn, set on the last chunk, are the attempt's whole
+	// input (records and key groups read from the partition store); the
+	// kernel stage adds them to the conservation ledger iff this attempt
+	// wins the task.
+	pairsIn  int
+	groupsIn int
 }
 
 // reduceOut is the output of one reduce kernel launch.
@@ -98,10 +104,15 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 			gi := kv.NewGroupIter(kv.Merge(iters...))
 			var batch []kv.Group
 			var batchBytes int64
+			var groupsN int
 			flush := func(last bool) {
 				times.Input += p.Now() - t0
 				j.trace.add(nodeIdx, "reduce/input", t0, p.Now())
-				stageQ.Put(p, reduceChunk{task: t, groups: batch, bytes: batchBytes, last: last})
+				c := reduceChunk{task: t, groups: batch, bytes: batchBytes, last: last}
+				if last {
+					c.pairsIn, c.groupsIn = pairsN, groupsN
+				}
+				stageQ.Put(p, c)
 				batch, batchBytes = nil, 0
 				t0 = p.Now()
 			}
@@ -110,6 +121,7 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 				if !ok {
 					break
 				}
+				groupsN++
 				batch = append(batch, g)
 				batchBytes += g.Bytes()
 				if len(batch) >= cfg.ConcurrentKeys {
@@ -169,6 +181,10 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 					if c.task.spec {
 						j.counters.speculativeWins.Inc()
 					}
+					// Ledger: the winning attempt's input is what the
+					// reduce phase consumed for this partition.
+					j.counters.conserv.reduceRecordsIn.Add(int64(c.pairsIn))
+					j.counters.conserv.reduceGroupsIn.Add(int64(c.groupsIn))
 				} else {
 					ro.drop = true // a twin attempt won the race
 				}
@@ -212,6 +228,7 @@ func (j *job) runReducePipeline(p *sim.Proc, nodeIdx int) StageTimes {
 					if _, err := j.fs.Write(p, node, name, blob, cfg.OutputReplication); err != nil {
 						panic(err)
 					}
+					j.counters.conserv.outputPairs.Add(int64(len(partPairs)))
 					j.outputs[ro.task.payload.global] = partPairs
 					partPairs = nil
 				}

@@ -121,8 +121,13 @@ func Unmarshal(blob []byte) ([]Pair, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kv: reading pair count: %w", err)
 	}
+	// Every pair carries at least two framing bytes, so a count beyond the
+	// blob size is corrupt; rejecting it here also bounds the preallocation
+	// against hostile counts.
+	if count > uint64(len(blob)) {
+		return nil, fmt.Errorf("kv: pair count %d exceeds blob size %d", count, len(blob))
+	}
 	pairs := make([]Pair, 0, count)
-	off := len(blob) - rd.Len()
 	for i := uint64(0); i < count; i++ {
 		kl, err := binary.ReadUvarint(rd)
 		if err != nil {
@@ -132,10 +137,13 @@ func Unmarshal(blob []byte) ([]Pair, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kv: pair %d value length: %w", i, err)
 		}
-		off = len(blob) - rd.Len()
-		if off+int(kl)+int(vl) > len(blob) {
-			return nil, fmt.Errorf("kv: pair %d overruns blob (%d+%d+%d > %d)", i, off, kl, vl, len(blob))
+		// Validate in uint64 space before any int conversion: lengths near
+		// 2^63 would otherwise overflow the bounds arithmetic.
+		rem := uint64(rd.Len())
+		if kl > rem || vl > rem-kl {
+			return nil, fmt.Errorf("kv: pair %d overruns blob (%d+%d > %d remaining)", i, kl, vl, rem)
 		}
+		off := len(blob) - rd.Len()
 		key := blob[off : off+int(kl)]
 		val := blob[off+int(kl) : off+int(kl)+int(vl)]
 		pairs = append(pairs, Pair{Key: key, Value: val})

@@ -1,0 +1,76 @@
+package kv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomPairs builds count pairs with small random keys/values, biased so
+// duplicate keys occur (exercising the value tie-break).
+func randomPairs(rng *rand.Rand, count int) []Pair {
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		key := make([]byte, rng.Intn(6)+1)
+		for j := range key {
+			key[j] = byte('a' + rng.Intn(4)) // tiny alphabet: collisions guaranteed
+		}
+		val := make([]byte, rng.Intn(8))
+		rng.Read(val)
+		pairs[i] = Pair{Key: key, Value: val}
+	}
+	return pairs
+}
+
+// TestQuickSortPairsAgainstStdlib pits SortPairs and PairsSorted against the
+// standard library's sort on the same comparator: both must agree on the
+// ordering and on the sortedness predicate.
+func TestQuickSortPairsAgainstStdlib(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := randomPairs(rng, int(n))
+		ref := append([]Pair(nil), pairs...)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Compare(ref[j]) < 0 })
+
+		SortPairs(pairs)
+		if !sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Compare(pairs[j]) < 0 }) {
+			return false
+		}
+		if PairsSorted(pairs) != true {
+			return false
+		}
+		for i := range pairs {
+			if pairs[i].Compare(ref[i]) != 0 {
+				return false
+			}
+		}
+		// PairsSorted must agree with the stdlib predicate on arbitrary
+		// (mostly unsorted) slices too.
+		shuffled := randomPairs(rng, int(n))
+		return PairsSorted(shuffled) ==
+			sort.SliceIsSorted(shuffled, func(i, j int) bool { return shuffled[i].Compare(shuffled[j]) < 0 })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPartitionStable checks the default partitioner's contract: the
+// result is always in [0, n), depends only on the key bytes (equal keys —
+// even aliased vs copied — always land together), and is deterministic
+// across calls.
+func TestQuickPartitionStable(t *testing.T) {
+	prop := func(key []byte, n uint8) bool {
+		parts := int(n%32) + 1
+		p := Partition(key, parts)
+		if p < 0 || p >= parts {
+			return false
+		}
+		cp := append([]byte(nil), key...)
+		return Partition(cp, parts) == p && Partition(key, parts) == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

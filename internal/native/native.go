@@ -155,6 +155,8 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 				recs := app.Parse(block)
 				pairs, state := execChunk(app, cfg, recs)
 				end()
+				rec.mapRecordsIn.Add(int64(len(recs)))
+				rec.mapPairsOut.Add(int64(len(pairs)))
 				partCh <- chunkOut{pairs: pairs, state: state}
 			}
 		}()
@@ -190,7 +192,12 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 						continue
 					}
 					kv.SortPairs(bucket)
-					if err := store.add(g, kv.NewRun(bucket, cfg.Compress)); err != nil {
+					run := kv.NewRun(bucket, cfg.Compress)
+					rec.partRecords.Add(int64(run.Records))
+					rec.partRuns.Add(1)
+					rec.partRawBytes.Add(run.RawBytes)
+					rec.partStoredBytes.Add(run.StoredBytes())
+					if err := store.add(g, run); err != nil {
 						store.fail(err)
 						break
 					}
@@ -300,21 +307,31 @@ func execChunk(app *core.App, cfg Config, recs []kv.Pair) ([]kv.Pair, *chunkStat
 // reducePartition merges one partition's runs and applies the reduce kernel
 // (or passes merged pairs through for reduce-less apps like TeraSort).
 func reducePartition(app *core.App, store *partitionStore, g int) ([]kv.Pair, error) {
+	rec := store.rec
+	if rec == nil {
+		rec = new(recorder) // store built without a recorder (tests): count into a discard
+	}
 	iters, err := store.iterators(g)
 	if err != nil {
 		return nil, err
 	}
 	merged := kv.Merge(iters...)
 	if app.Reduce == nil {
-		return kv.Drain(merged), nil
+		out := kv.Drain(merged)
+		rec.reduceRecordsIn.Add(int64(len(out)))
+		rec.outputPairs.Add(int64(len(out)))
+		return out, nil
 	}
 	var out []kv.Pair
 	gi := kv.NewGroupIter(merged)
 	for {
 		grp, ok := gi.Next()
 		if !ok {
+			rec.outputPairs.Add(int64(len(out)))
 			return out, nil
 		}
+		rec.reduceRecordsIn.Add(int64(len(grp.Values)))
+		rec.reduceGroupsIn.Add(1)
 		app.Reduce(grp.Key, grp.Values, func(k, v []byte) {
 			out = append(out, kv.Pair{
 				Key:   append([]byte(nil), k...),

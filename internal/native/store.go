@@ -74,6 +74,9 @@ func (s *partitionStore) add(g int, run *kv.Run) error {
 	sh.runs = append(sh.runs, run)
 	sh.bytes.Add(n)
 	sh.mu.Unlock()
+	if s.rec != nil {
+		s.rec.storeAccepted.Add(int64(run.Records))
+	}
 	if total := s.cachedBytes.Add(n); s.cfg.CacheThreshold > 0 && total > s.cfg.CacheThreshold {
 		return s.spillLargest()
 	}
@@ -187,6 +190,10 @@ func (s *partitionStore) spill(g int, runs []*kv.Run) error {
 	if err := sink.close(); err != nil {
 		return fmt.Errorf("native: closing spill: %w", err)
 	}
+	if s.rec != nil {
+		s.rec.spillRecords.Add(int64(sink.write.Count()))
+		s.rec.spillRawBytes.Add(sink.write.Bytes())
+	}
 	sh := &s.shards[g]
 	sh.mu.Lock()
 	sh.spills = append(sh.spills, path)
@@ -219,8 +226,14 @@ func (s *partitionStore) compactAll(workers int) error {
 			defer end()
 			merged := kv.MergeRuns(runs, s.cfg.Compress)
 			var before int64
+			var beforeRecs int
 			for _, r := range runs {
 				before += r.StoredBytes()
+				beforeRecs += r.Records
+			}
+			if s.rec != nil {
+				s.rec.mergeIn.Add(int64(beforeRecs))
+				s.rec.mergeOut.Add(int64(merged.Records))
 			}
 			delta := merged.StoredBytes() - before
 			sh.mu.Lock()

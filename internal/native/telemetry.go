@@ -38,6 +38,25 @@ type recorder struct {
 	chunks     atomic.Int64
 	spillBytes atomic.Int64
 
+	// Conservation ledger (the same conserv_* vocabulary as the sim core's
+	// jobCounters): each pipeline boundary counts the records and bytes it
+	// consumed and produced, so internal/conformance can prove the native
+	// pipeline's bookkeeping balances. Always on — plain atomic adds.
+	mapRecordsIn    atomic.Int64 // parsed records consumed by map kernels
+	mapPairsOut     atomic.Int64 // pairs emitted by map kernels
+	partRecords     atomic.Int64 // pairs serialized into partition runs
+	partRuns        atomic.Int64 // runs produced by partition workers
+	partRawBytes    atomic.Int64 // payload bytes entering runs
+	partStoredBytes atomic.Int64 // encoded run bytes (post-compression)
+	storeAccepted   atomic.Int64 // records accepted by the partition store
+	spillRecords    atomic.Int64 // records written to spill files
+	spillRawBytes   atomic.Int64 // payload bytes written to spill files
+	mergeIn         atomic.Int64 // records entering compaction merges
+	mergeOut        atomic.Int64 // records leaving compaction merges
+	reduceRecordsIn atomic.Int64 // records fed into reduce-side merges
+	reduceGroupsIn  atomic.Int64 // key groups consumed by reduce kernels
+	outputPairs     atomic.Int64 // final pairs produced
+
 	chunkHist *obs.Histogram
 	memStart  runtime.MemStats
 }
@@ -124,6 +143,24 @@ func (r *recorder) publish(res *Result) {
 	reg.Counter("native_spill_files_total").Add(int64(res.SpillFiles))
 	reg.Counter("native_spill_bytes_total").Add(res.SpillBytes)
 	reg.Counter("native_output_pairs_total").Add(int64(res.OutputPairs))
+	// Conservation ledger, under the shared conserv_* names so the same
+	// reader handles both runtimes.
+	reg.Counter("conserv_map_records_in_total").Add(r.mapRecordsIn.Load())
+	reg.Counter("conserv_map_pairs_out_total").Add(r.mapPairsOut.Load())
+	reg.Counter("conserv_partition_records_total").Add(r.partRecords.Load())
+	reg.Counter("conserv_partition_runs_total").Add(r.partRuns.Load())
+	reg.Counter("conserv_partition_raw_bytes_total").Add(r.partRawBytes.Load())
+	reg.Counter("conserv_partition_stored_bytes_total").Add(r.partStoredBytes.Load())
+	reg.Counter("conserv_store_accepted_records_total").Add(r.storeAccepted.Load())
+	reg.Counter("conserv_spill_records_total").Add(r.spillRecords.Load())
+	reg.Counter("conserv_spill_raw_bytes_total").Add(r.spillRawBytes.Load())
+	reg.Counter("conserv_spill_stored_bytes_total").Add(r.spillBytes.Load())
+	reg.Counter("conserv_merge_records_in_total").Add(r.mergeIn.Load())
+	reg.Counter("conserv_merge_records_out_total").Add(r.mergeOut.Load())
+	reg.Counter("conserv_reduce_records_in_total").Add(r.reduceRecordsIn.Load())
+	reg.Counter("conserv_reduce_groups_in_total").Add(r.reduceGroupsIn.Load())
+	reg.Counter("conserv_output_pairs_total").Add(r.outputPairs.Load())
+
 	reg.Gauge("native_map_seconds").Set(res.MapElapsed.Seconds())
 	reg.Gauge("native_merge_seconds").Set(res.MergeDelay.Seconds())
 	reg.Gauge("native_reduce_seconds").Set(res.ReduceElapsed.Seconds())

@@ -16,7 +16,7 @@ func TestTelemetryInstrumentsEveryStage(t *testing.T) {
 	blocks := dfs.SplitLines(data, 16<<10)
 	tel := obs.NewTelemetry()
 	res, err := Run(apps.WordCount(), blocks, Config{
-		Partitions:     4,
+		Partitions: 4,
 		// Low enough that spills trigger, high enough that partitions still
 		// hold several cached runs for compactAll to merge.
 		CacheThreshold: 64 << 10,

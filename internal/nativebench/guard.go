@@ -1,0 +1,110 @@
+package nativebench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one metric that moved past the guard threshold between the
+// committed baseline and a fresh measurement.
+type Regression struct {
+	Scenario string
+	Metric   string // "allocs_per_op" or "stage_ns/<stage>"
+	Base     int64
+	Fresh    int64
+	Ratio    float64 // Fresh / Base
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %d -> %d (%.2fx)", r.Scenario, r.Metric, r.Base, r.Fresh, r.Ratio)
+}
+
+// GuardOpts tunes the regression guard.
+type GuardOpts struct {
+	// MaxRatio is the allowed fresh/base ratio for allocs_per_op; above it
+	// the metric is flagged (0 = the default 1.25, i.e. a 25% regression
+	// budget — allocation counts are deterministic enough for a tight gate).
+	MaxRatio float64
+	// StageMaxRatio is the allowed fresh/base ratio for per-stage busy time
+	// (0 = the default 1.5). Stage wall time carries ±30-40% run-to-run
+	// noise on shared or CPU-capped hosts even with serialized minimum-of-5
+	// probes; a tighter budget makes the gate flap, and the regressions
+	// worth blocking (lost sort efficiency, accidentally quadratic work,
+	// broken spill batching) show up as multiples, not +30%. Tighten via
+	// the flag on quiet dedicated hardware.
+	StageMaxRatio float64
+	// MinStageNs ignores stages whose baseline busy time is below this floor:
+	// short stages are dominated by scheduler noise — even the minimum over
+	// several probe runs swings ~30% below ~10ms — and a 25% budget on them
+	// would make the guard flap (0 = the default 10ms).
+	MinStageNs int64
+	// MinAllocs ignores scenarios whose baseline allocation count is below
+	// this floor (0 = the default 1000).
+	MinAllocs int64
+}
+
+func (o GuardOpts) withDefaults() GuardOpts {
+	if o.MaxRatio <= 0 {
+		o.MaxRatio = 1.25
+	}
+	if o.StageMaxRatio <= 0 {
+		o.StageMaxRatio = 1.5
+	}
+	if o.MinStageNs <= 0 {
+		o.MinStageNs = 10e6
+	}
+	if o.MinAllocs <= 0 {
+		o.MinAllocs = 1000
+	}
+	return o
+}
+
+// CompareResults diffs fresh measurements against the committed baseline and
+// returns every guarded metric that regressed past the budget. Guarded
+// metrics are allocs_per_op (deterministic enough for a hard gate) and the
+// per-stage busy nanoseconds; raw ns_per_op is deliberately not gated — end
+// to-end wall time on shared CI hardware is too noisy for a hard threshold,
+// and a real slowdown surfaces in the stage totals anyway. A scenario present
+// in the baseline but missing from the fresh report is itself a regression
+// (the benchmark silently stopped covering it).
+func CompareResults(base, fresh []Result, o GuardOpts) []Regression {
+	o = o.withDefaults()
+	freshByName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		freshByName[r.Name] = r
+	}
+	var regs []Regression
+	for _, b := range base {
+		f, ok := freshByName[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Scenario: b.Name, Metric: "missing", Ratio: 0})
+			continue
+		}
+		if b.AllocsPerOp >= o.MinAllocs {
+			if ratio := float64(f.AllocsPerOp) / float64(b.AllocsPerOp); ratio > o.MaxRatio {
+				regs = append(regs, Regression{
+					Scenario: b.Name, Metric: "allocs_per_op",
+					Base: b.AllocsPerOp, Fresh: f.AllocsPerOp, Ratio: ratio,
+				})
+			}
+		}
+		stages := make([]string, 0, len(b.StageNs))
+		for stage := range b.StageNs {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		for _, stage := range stages {
+			bns := b.StageNs[stage]
+			if bns < o.MinStageNs {
+				continue
+			}
+			if ratio := float64(f.StageNs[stage]) / float64(bns); ratio > o.StageMaxRatio {
+				regs = append(regs, Regression{
+					Scenario: b.Name, Metric: "stage_ns/" + stage,
+					Base: bns, Fresh: f.StageNs[stage], Ratio: ratio,
+				})
+			}
+		}
+	}
+	return regs
+}

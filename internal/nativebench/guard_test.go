@@ -1,0 +1,93 @@
+package nativebench
+
+import "testing"
+
+func guardBase() []Result {
+	return []Result{
+		{
+			Name:        "wc-hash",
+			AllocsPerOp: 100000,
+			StageNs:     map[string]int64{"map/kernel": 100e6, "merge": 50e6, "reduce": 1e6},
+		},
+		{Name: "terasort", AllocsPerOp: 500, StageNs: map[string]int64{"merge": 10e6}},
+	}
+}
+
+func TestGuardPassesWithinBudget(t *testing.T) {
+	fresh := []Result{
+		{
+			Name:        "wc-hash",
+			AllocsPerOp: 120000, // +20%, inside the 25% alloc budget
+			// merge +40%: past the alloc budget but inside the wider 50%
+			// stage budget — stage time gets noise headroom, allocs don't.
+			StageNs: map[string]int64{"map/kernel": 110e6, "merge": 70e6, "reduce": 9e6},
+		},
+		{Name: "terasort", AllocsPerOp: 5000, StageNs: map[string]int64{"merge": 12e6}},
+	}
+	if regs := CompareResults(guardBase(), fresh, GuardOpts{}); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+}
+
+func TestGuardFlagsAllocRegression(t *testing.T) {
+	fresh := []Result{
+		{Name: "wc-hash", AllocsPerOp: 130000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}},
+		{Name: "terasort", StageNs: map[string]int64{"merge": 10e6}},
+	}
+	regs := CompareResults(guardBase(), fresh, GuardOpts{})
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" || regs[0].Scenario != "wc-hash" {
+		t.Fatalf("expected one wc-hash allocs_per_op regression, got %v", regs)
+	}
+}
+
+func TestGuardFlagsStageRegression(t *testing.T) {
+	fresh := []Result{
+		{
+			Name:        "wc-hash",
+			AllocsPerOp: 100000,
+			// merge blew up 2x; reduce also "blew up" but its 1ms baseline is
+			// under the noise floor and must be ignored.
+			StageNs: map[string]int64{"map/kernel": 100e6, "merge": 100e6, "reduce": 10e6},
+		},
+		{Name: "terasort", StageNs: map[string]int64{"merge": 10e6}},
+	}
+	regs := CompareResults(guardBase(), fresh, GuardOpts{})
+	if len(regs) != 1 || regs[0].Metric != "stage_ns/merge" {
+		t.Fatalf("expected one stage_ns/merge regression, got %v", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Fatalf("ratio = %.2f, want ~2.0", regs[0].Ratio)
+	}
+}
+
+func TestGuardFlagsMissingScenario(t *testing.T) {
+	fresh := []Result{
+		{Name: "wc-hash", AllocsPerOp: 100000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}},
+	}
+	regs := CompareResults(guardBase(), fresh, GuardOpts{})
+	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Scenario != "terasort" {
+		t.Fatalf("expected terasort flagged missing, got %v", regs)
+	}
+}
+
+func TestGuardIgnoresTinyAllocBase(t *testing.T) {
+	// terasort's 500-alloc baseline is under MinAllocs: even a 10x jump must
+	// not trip the guard (relative noise on tiny counts).
+	fresh := []Result{
+		{Name: "wc-hash", AllocsPerOp: 100000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}},
+		{Name: "terasort", AllocsPerOp: 5000, StageNs: map[string]int64{"merge": 10e6}},
+	}
+	if regs := CompareResults(guardBase(), fresh, GuardOpts{}); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+}
+
+func TestGuardCustomRatio(t *testing.T) {
+	fresh := []Result{
+		{Name: "wc-hash", AllocsPerOp: 110000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}},
+		{Name: "terasort", StageNs: map[string]int64{"merge": 10e6}},
+	}
+	if regs := CompareResults(guardBase(), fresh, GuardOpts{MaxRatio: 1.05}); len(regs) != 1 {
+		t.Fatalf("expected the tighter 5%% budget to flag +10%% allocs, got %v", regs)
+	}
+}
