@@ -21,3 +21,12 @@ func BenchmarkNative(b *testing.B) {
 		b.Run(s.Name, func(b *testing.B) { nativebench.Bench(b, s) })
 	}
 }
+
+// BenchmarkNativeDist times the distributed runtime's pinned loopback
+// scenarios: a coordinator plus three workers over real TCP in this
+// process, network shuffle included.
+func BenchmarkNativeDist(b *testing.B) {
+	for _, s := range nativebench.DistScenarios() {
+		b.Run(s.Name, func(b *testing.B) { nativebench.BenchDist(b, s) })
+	}
+}

@@ -67,6 +67,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "measuring %s...\n", s.Name)
 			fresh = append(fresh, nativebench.Measure(s))
 		}
+		for _, s := range nativebench.DistScenarios() {
+			fmt.Fprintf(os.Stderr, "measuring %s...\n", s.Name)
+			fresh = append(fresh, nativebench.MeasureDist(s))
+		}
 	}
 
 	regs := nativebench.CompareResults(base.Scenarios, fresh, nativebench.GuardOpts{

@@ -1,0 +1,129 @@
+// Command distnode runs one node of a real distributed glasswing cluster:
+// a coordinator that serves a job to TCP workers, or a worker that joins
+// one. Each invocation is one OS process; point N workers at a
+// coordinator's address and the job runs with its shuffle streamed
+// worker-to-worker over real sockets, overlapped with map compute.
+//
+// Usage:
+//
+//	distnode -serve ADDR -workers N [-app wc|ts|km] [-size BYTES]
+//	         [-partitions P] [-chunk BYTES] [-verify] [-trace-out FILE]
+//	         [-metrics-out FILE]
+//	distnode -join ADDR [-listen ADDR]
+//
+// A three-node run on one machine:
+//
+//	distnode -serve 127.0.0.1:9700 -workers 3 -app wc -verify &
+//	distnode -join 127.0.0.1:9700 &
+//	distnode -join 127.0.0.1:9700 &
+//	distnode -join 127.0.0.1:9700
+//
+// The coordinator generates the input, splits it into blocks, and ships
+// each block inside its map-task assignment; workers resolve the kernel
+// from the app name and parameter blob, so no filesystem or code is
+// shared between processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"glasswing/internal/dist"
+	"glasswing/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distnode: ")
+	var (
+		serve      = flag.String("serve", "", "coordinator mode: listen address for workers (e.g. 127.0.0.1:9700)")
+		join       = flag.String("join", "", "worker mode: coordinator address to join")
+		listen     = flag.String("listen", "127.0.0.1:0", "worker mode: shuffle listen address peers dial (use a reachable host:port for multi-host runs)")
+		workers    = flag.Int("workers", 3, "coordinator mode: workers to wait for")
+		appName    = flag.String("app", "wc", "application: wc, ts, km")
+		size       = flag.Int("size", 1<<20, "approximate input size in bytes")
+		partitions = flag.Int("partitions", 0, "reduce partitions (0 = default)")
+		chunk      = flag.Int("chunk", 0, "map block size in bytes (0 = default)")
+		verify     = flag.Bool("verify", false, "verify output against a reference implementation")
+		traceOut   = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *join != "" && *serve != "":
+		log.Fatal("pick one of -serve (coordinator) or -join (worker)")
+	case *join != "":
+		tel := obs.NewTelemetry()
+		if err := dist.Join(*join, *listen, dist.Tuning{}, tel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("worker done")
+	case *serve != "":
+		job, blocks, check, err := dist.DemoJob(*appName, *size, *partitions, *chunk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tel := obs.NewTelemetry()
+		res, err := dist.Serve(*serve, dist.Options{
+			Job:       job,
+			Workers:   *workers,
+			Blocks:    blocks,
+			Telemetry: tel,
+			NewApp:    dist.RegistryResolver,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (dist, %d workers): total %v (map %v, reduce %v), %d blocks in, %d intermediate pairs, %d output pairs\n",
+			res.App, res.Workers, res.Total, res.MapElapsed, res.ReduceElapsed,
+			len(blocks), res.IntermediatePairs, res.OutputPairs)
+		if *verify {
+			if err := check(res); err != nil {
+				log.Fatalf("output verification FAILED: %v", err)
+			}
+			fmt.Println("output verified against reference implementation")
+		}
+		writeTrace(*traceOut, tel)
+		writeMetrics(*metricsOut, tel)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeTrace(path string, tel *obs.Telemetry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f, tel.Spans.Spans(), tel.Spans.Instants()...); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote Chrome trace to %s\n", path)
+}
+
+func writeMetrics(path string, tel *obs.Telemetry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tel.Metrics.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote metrics snapshot to %s\n", path)
+}

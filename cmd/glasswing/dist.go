@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"glasswing"
+	"glasswing/internal/dist"
+	"glasswing/internal/obs"
+)
+
+// distJobConfig selects how the distributed runtime runs a job: loopback
+// (workers > 0, serveAddr empty) spawns the whole cluster in-process over
+// real TCP; serveAddr set makes this process the coordinator and waits for
+// remote -worker / distnode processes to join.
+type distJobConfig struct {
+	app        string
+	size       int
+	partitions int
+	workers    int
+	serveAddr  string
+	verify     bool
+	traceOut   string
+	metricsOut string
+	report     bool
+}
+
+func runDistJob(c distJobConfig) {
+	job, blocks, check, err := dist.DemoJob(c.app, c.size, c.partitions, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if c.workers <= 0 {
+		c.workers = 3
+	}
+	tel := obs.NewTelemetry()
+	o := dist.Options{
+		Job:        job,
+		Workers:    c.workers,
+		Blocks:     blocks,
+		Telemetry:  tel,
+		KillWorker: -1,
+	}
+	var res *dist.Result
+	if c.serveAddr != "" {
+		o.NewApp = dist.RegistryResolver
+		res, err = dist.Serve(c.serveAddr, o)
+	} else {
+		res, err = dist.RunLoopback(o)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (dist, %d workers): total %v (map %v, reduce %v), %d blocks in, %d intermediate pairs, %d output pairs\n",
+		res.App, res.Workers, res.Total, res.MapElapsed, res.ReduceElapsed,
+		len(blocks), res.IntermediatePairs, res.OutputPairs)
+	if res.MapRetries > 0 || res.WorkersLost > 0 {
+		fmt.Printf("fault tolerance: %d map retries, %d worker(s) lost, %d map re-executions\n",
+			res.MapRetries, res.WorkersLost, res.MapRecoveries)
+	}
+	if c.verify {
+		if err := check(res); err != nil {
+			log.Fatalf("output verification FAILED: %v", err)
+		}
+		fmt.Println("output verified against reference implementation")
+	}
+	if c.report {
+		fmt.Println()
+		glasswing.AnalyzePipeline(tel.Spans.Spans()).WriteTable(os.Stdout)
+	}
+	writeTraceFile(c.traceOut, tel.Spans.Spans(), tel.Spans.Instants())
+	writeMetricsFile(c.metricsOut, tel.Metrics)
+}
+
+// runDistWorker joins a remote coordinator and blocks until the job ends.
+func runDistWorker(coordAddr, listenAddr string) {
+	if err := dist.Join(coordAddr, listenAddr, dist.Tuning{}, obs.NewTelemetry()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("worker done")
+}

@@ -10,11 +10,21 @@
 //	          [-fault-seed S -map-fault P -reduce-fault P] [-kill NODE@T,...]
 //	          [-speculate FACTOR] [-max-attempts N] [-verify]
 //	          [-trace-out FILE] [-metrics-out FILE] [-report]
+//	glasswing -dist N -app wc|ts|km ...       (N-worker TCP cluster in one process)
+//	glasswing -coordinator ADDR -dist N ...   (serve a job to N remote workers)
+//	glasswing -worker ADDR                    (join a remote coordinator)
 //
 // Every run processes real generated data; -verify checks the output
 // against an independent reference implementation. The fault flags exercise
 // the §III-E fault tolerance: seeded random attempt failures, scheduled
 // node deaths and speculative execution, all deterministic per seed.
+//
+// The -dist family runs the genuinely distributed runtime (internal/dist):
+// -dist N alone spins up a coordinator plus N workers inside this process,
+// connected over real loopback TCP with the shuffle streamed
+// worker-to-worker during the map phase. -coordinator/-worker split the
+// same cluster across processes or machines (cmd/distnode is the
+// standalone equivalent).
 //
 // The observability flags work on both runtimes: -trace-out writes Chrome
 // trace_event JSON (open in chrome://tracing or ui.perfetto.dev),
@@ -57,6 +67,11 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
 		report     = flag.Bool("report", false, "print the pipeline stall analysis (busy/stall/occupancy per stage)")
 
+		distWorkers = flag.Int("dist", 0, "run on the distributed runtime with N TCP workers (0 disables)")
+		coordAddr   = flag.String("coordinator", "", "serve the job as a distributed coordinator at this address (workers join with -worker)")
+		workerJoin  = flag.String("worker", "", "join a distributed coordinator at this address as a worker")
+		workerAddr  = flag.String("worker-listen", "127.0.0.1:0", "shuffle listen address for -worker (use a reachable host:port across machines)")
+
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		mapFault    = flag.Float64("map-fault", 0, "probability a map attempt fails (0 disables)")
 		reduceFault = flag.Float64("reduce-fault", 0, "probability a reduce attempt fails (0 disables)")
@@ -65,6 +80,25 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 0, "max failed attempts per task before the job fails (0 = default 4)")
 	)
 	flag.Parse()
+
+	if *workerJoin != "" {
+		runDistWorker(*workerJoin, *workerAddr)
+		return
+	}
+	if *distWorkers > 0 || *coordAddr != "" {
+		runDistJob(distJobConfig{
+			app:        *appName,
+			size:       *size,
+			partitions: *parts,
+			workers:    *distWorkers,
+			serveAddr:  *coordAddr,
+			verify:     *verify,
+			traceOut:   *traceOut,
+			metricsOut: *metricsOut,
+			report:     *report,
+		})
+		return
+	}
 
 	cc := glasswing.ClusterConfig{
 		Nodes:     *nodes,

@@ -38,14 +38,22 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	row := func(r nativebench.Result) {
+		fmt.Fprintf(os.Stderr, "%-18s %12d ns/op %12d B/op %9d allocs/op %14.0f pairs/s %8.1f MB/s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.PairsPerSec, r.MBPerSec)
+		rep.Scenarios = append(rep.Scenarios, r)
+	}
 	for _, s := range nativebench.Scenarios() {
 		if *only != "" && s.Name != *only {
 			continue
 		}
-		r := nativebench.Measure(s)
-		fmt.Fprintf(os.Stderr, "%-18s %12d ns/op %12d B/op %9d allocs/op %14.0f pairs/s %8.1f MB/s\n",
-			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.PairsPerSec, r.MBPerSec)
-		rep.Scenarios = append(rep.Scenarios, r)
+		row(nativebench.Measure(s))
+	}
+	for _, s := range nativebench.DistScenarios() {
+		if *only != "" && s.Name != *only {
+			continue
+		}
+		row(nativebench.MeasureDist(s))
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")

@@ -35,6 +35,13 @@ func TeraSort() *core.App {
 // any partition count by quantile: keys are ranked against the sorted
 // sample and mapped proportionally.
 func TeraPartitioner(data []byte, sampleEvery int) func(key []byte, n int) int {
+	return RangePartitioner(TeraSample(data, sampleEvery))
+}
+
+// TeraSample extracts every sampleEvery-th record's key from TeraGen data,
+// sorted — the serializable core of the range partitioner, small enough to
+// travel to remote workers that never see the full input.
+func TeraSample(data []byte, sampleEvery int) [][]byte {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
@@ -43,6 +50,13 @@ func TeraPartitioner(data []byte, sampleEvery int) func(key []byte, n int) int {
 		sample = append(sample, data[off:off+10])
 	}
 	sort.Slice(sample, func(i, j int) bool { return bytes.Compare(sample[i], sample[j]) < 0 })
+	return sample
+}
+
+// RangePartitioner builds a total-order partitioner over a sorted key
+// sample: keys are ranked against the sample and mapped to partitions
+// proportionally by quantile, adapting to any partition count.
+func RangePartitioner(sample [][]byte) func(key []byte, n int) int {
 	return func(key []byte, n int) int {
 		if n <= 1 || len(sample) == 0 {
 			return 0

@@ -76,6 +76,33 @@ func TestMatrixGPMR(t *testing.T) {
 	runRuntimeMatrix(t, "gpmr", 4)
 }
 
+func TestMatrixDist(t *testing.T) {
+	t.Parallel()
+	runRuntimeMatrix(t, "dist", 7)
+}
+
+// TestMatrixDistCellCount pins the dist matrix's breadth: the ISSUE's
+// acceptance floor is 20 executed axis cells including the worker-kill one.
+func TestMatrixDistCellCount(t *testing.T) {
+	t.Parallel()
+	cells := RunMatrix(Options{Runtimes: []string{"dist"}}, nil)
+	if len(cells) < 20 {
+		t.Fatalf("dist matrix ran %d cells, want >= 20", len(cells))
+	}
+	kills := 0
+	for _, c := range cells {
+		if c.Variant == "worker-kill" {
+			kills++
+			if c.Err != nil {
+				t.Errorf("%s: %v", c.Key(), c.Err)
+			}
+		}
+	}
+	if kills != 3 {
+		t.Errorf("worker-kill ran for %d apps, want 3", kills)
+	}
+}
+
 // TestCrossRuntimeDigests pins the property the whole subsystem exists for:
 // for each app, the baseline cells of every runtime produce byte-identical
 // canonical digests (they are each already compared against the reference,

@@ -35,6 +35,17 @@ type Ledger struct {
 	ReduceRecordsIn int64 // records read by winning reduce attempts
 	ReduceGroupsIn  int64 // key groups consumed by reduce input stages
 	OutputPairs     int64 // final pairs committed to output
+
+	// Wire shuffle accounting (dist runtime only): every record and encoded
+	// byte enqueued onto a network connection must either arrive at its
+	// destination or be explicitly accounted lost with a dying worker —
+	// sent == recv + lost, exactly, even across a kill.
+	NetRecordsSent int64 // records enqueued onto shuffle connections
+	NetBytesSent   int64 // encoded run bytes enqueued onto shuffle connections
+	NetRecordsRecv int64 // records decoded at live destinations
+	NetBytesRecv   int64 // encoded run bytes decoded at live destinations
+	NetRecordsLost int64 // records dropped with dead connections/workers
+	NetBytesLost   int64 // encoded run bytes dropped with dead connections/workers
 }
 
 // ReadLedger extracts the conservation counters from a registry; names that
@@ -60,6 +71,12 @@ func ReadLedger(reg *obs.Registry) Ledger {
 		ReduceRecordsIn:      c("conserv_reduce_records_in_total"),
 		ReduceGroupsIn:       c("conserv_reduce_groups_in_total"),
 		OutputPairs:          c("conserv_output_pairs_total"),
+		NetRecordsSent:       c("conserv_net_records_sent_total"),
+		NetBytesSent:         c("conserv_net_bytes_sent_total"),
+		NetRecordsRecv:       c("conserv_net_records_recv_total"),
+		NetBytesRecv:         c("conserv_net_bytes_recv_total"),
+		NetRecordsLost:       c("conserv_net_records_lost_total"),
+		NetBytesLost:         c("conserv_net_bytes_lost_total"),
 	}
 }
 
@@ -86,6 +103,10 @@ type CheckOpts struct {
 	// threshold axis): zero spill activity would mean the axis tested
 	// nothing.
 	WantSpill bool
+	// Dist marks runs of the distributed runtime, enabling the wire
+	// conservation invariants (net sent == recv + lost) and asserting that
+	// a multi-worker run actually moved shuffle data over connections.
+	Dist bool
 }
 
 // Check verifies the conservation invariants of one run against the
@@ -138,6 +159,22 @@ func (l Ledger) Check(exp Expected, o CheckOpts) error {
 		}
 	} else if l.PartitionRecords > 0 && l.PartitionStoredBytes <= 0 {
 		errs = append(errs, fmt.Errorf("compressed run bytes not accounted: %d", l.PartitionStoredBytes))
+	}
+
+	if o.Dist {
+		// Wire conservation: the shuffle plane may not leak. Every record
+		// and byte enqueued is either decoded at a live destination or
+		// flushed as lost with a dead connection — balanced even across a
+		// worker kill.
+		eq("net records sent != recv + lost", l.NetRecordsSent, l.NetRecordsRecv+l.NetRecordsLost)
+		eq("net bytes sent != recv + lost", l.NetBytesSent, l.NetBytesRecv+l.NetBytesLost)
+		if !o.Faulty {
+			eq("net lost records on a fault-free run", l.NetRecordsLost, 0)
+			eq("net lost bytes on a fault-free run", l.NetBytesLost, 0)
+		}
+	} else {
+		// Non-dist runtimes never touch the wire counters.
+		eq("net records sent on a non-dist run", l.NetRecordsSent, 0)
 	}
 
 	if o.WantSpill && l.SpillRecords == 0 {

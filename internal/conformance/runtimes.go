@@ -7,6 +7,7 @@ import (
 	"glasswing"
 	"glasswing/internal/core"
 	"glasswing/internal/dfs"
+	"glasswing/internal/dist"
 	"glasswing/internal/gpmr"
 	"glasswing/internal/hadoop"
 	"glasswing/internal/hw"
@@ -16,11 +17,11 @@ import (
 	"glasswing/internal/sim"
 )
 
-// RuntimeNames lists the engines the matrix covers. The simulated core and
-// the native pipeline are fully instrumented (digest + verifier + ledger);
-// the Hadoop and GPMR baseline models share the same kernels and are held
-// to digest + verifier equality.
-var RuntimeNames = []string{"sim", "native", "hadoop", "gpmr"}
+// RuntimeNames lists the engines the matrix covers. The simulated core, the
+// native pipeline and the distributed TCP runtime are fully instrumented
+// (digest + verifier + ledger); the Hadoop and GPMR baseline models share
+// the same kernels and are held to digest + verifier equality.
+var RuntimeNames = []string{"sim", "native", "hadoop", "gpmr", "dist"}
 
 // Cell is one executed point of the runtime x app x axis matrix.
 type Cell struct {
@@ -83,6 +84,9 @@ func RunMatrix(opt Options, report func(Cell)) []Cell {
 		}
 		if selected(opt.Runtimes, "gpmr") {
 			runGpmrApp(j, exp, opt, add)
+		}
+		if selected(opt.Runtimes, "dist") {
+			runDistApp(j, exp, opt, add)
 		}
 	}
 	return cells
@@ -458,6 +462,120 @@ func runHadoopApp(j Job, exp Expected, opt Options, add func(Cell)) {
 		out := res.Output()
 		cell.Digest = Digest(out)
 		cell.Err = verdict(j, exp, cell.Digest, out, nil)
+		add(cell)
+	}
+}
+
+// ---- Distributed runtime (internal/dist, loopback TCP). ----
+//
+// Every cell runs a real coordinator + N worker goroutines over 127.0.0.1
+// sockets: the shuffle crosses the kernel's TCP stack, and the ledger check
+// additionally enforces the wire conservation invariants (Dist: true).
+
+type distVariant struct {
+	axis, name   string
+	workers      int     // 0 = 3
+	partitions   int     // 0 = 4
+	blockMul     float64 // 0 = 1
+	compress     bool
+	altCollector bool // flip the job's tuned collector
+	combiner     bool // HashTable + combiner (CombinerOK apps only)
+	mapFault     bool // deterministic injected attempt failures
+	kill         bool // kill a worker mid-map
+}
+
+func distVariants(j Job) []distVariant {
+	vs := []distVariant{
+		{axis: "baseline", name: "w3"},
+		{axis: "workers", name: "w2", workers: 2},
+		{axis: "workers", name: "w5", workers: 5},
+		{axis: "partitions", name: "p2", partitions: 2},
+		{axis: "partitions", name: "p9", partitions: 9},
+		{axis: "chunk", name: "half-block", blockMul: 0.5},
+		{axis: "chunk", name: "double-block", blockMul: 2},
+		{axis: "compress", name: "deflate", compress: true},
+		{axis: "collector", name: "alt", altCollector: true},
+	}
+	if j.CombinerOK {
+		vs = append(vs, distVariant{axis: "collector", name: "combiner", combiner: true})
+	}
+	vs = append(vs,
+		// Injected attempt failures die before partitioning, so nothing
+		// touches the wire and the retry cell stays fully exact (not Faulty).
+		distVariant{axis: "faults", name: "map-retry", mapFault: true},
+		// The kill cell murders a worker after two map resolutions: homes
+		// re-assign, resolved tasks re-execute, and the wire + store ledgers
+		// must still balance to the byte.
+		distVariant{axis: "faults", name: "worker-kill", kill: true},
+	)
+	return vs
+}
+
+func runDistApp(j Job, exp Expected, opt Options, add func(Cell)) {
+	for _, v := range distVariants(j) {
+		if !selected(opt.Axes, v.axis) {
+			continue
+		}
+		cell := Cell{Runtime: "dist", App: j.Name, Axis: v.axis, Variant: v.name}
+		workers := v.workers
+		if workers == 0 {
+			workers = 3
+		}
+		partitions := v.partitions
+		if partitions == 0 {
+			partitions = 4
+		}
+		collector := j.Collector
+		if v.altCollector {
+			if collector == core.HashTable {
+				collector = core.BufferPool
+			} else {
+				collector = core.HashTable
+			}
+		}
+		if v.combiner {
+			collector = core.HashTable
+		}
+		tel := obs.NewTelemetry()
+		o := dist.Options{
+			Job: dist.Job{
+				App:         dist.AppSpec{Name: j.Name},
+				Partitions:  partitions,
+				Collector:   collector,
+				UseCombiner: v.combiner,
+				Compress:    v.compress,
+			},
+			Workers:   workers,
+			Blocks:    splitBlocks(j, j.blockFor(v.blockMul)),
+			Telemetry: tel,
+			NewApp: func(dist.AppSpec) (*core.App, func(key []byte, n int) int, error) {
+				return j.New(), j.Partitioner, nil
+			},
+			KillWorker: -1,
+		}
+		if v.mapFault {
+			o.MapFault = func(task, attempt int) bool { return attempt == 0 && task%3 == 0 }
+		}
+		if v.kill {
+			o.KillWorker = 1
+			o.KillAfterMapDone = 2
+		}
+		res, err := dist.RunLoopback(o)
+		if err != nil {
+			cell.Err = err
+			add(cell)
+			continue
+		}
+		out := res.Output()
+		cell.Digest = Digest(out)
+		led := ReadLedger(tel.Metrics)
+		cell.Err = verdict(j, exp, cell.Digest, out, led.Check(exp, CheckOpts{
+			Dist:      true,
+			Faulty:    v.kill,
+			Combiner:  v.combiner,
+			Compress:  v.compress,
+			HasReduce: j.New().Reduce != nil,
+		}))
 		add(cell)
 	}
 }

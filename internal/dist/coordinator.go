@@ -1,0 +1,371 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"glasswing/internal/kv"
+	"glasswing/internal/obs"
+)
+
+// Options configures one distributed job from the coordinator's side. The
+// loopback runner shares this type; fields marked loopback-only are ignored
+// by the multi-process Serve entry point.
+type Options struct {
+	Job     Job
+	Workers int
+	Tuning  Tuning
+	// Blocks are the map input splits; one map task per block.
+	Blocks [][]byte
+	// Telemetry receives the coordinator-side counters; in loopback mode the
+	// workers share it too (spans, conserv_* ledger).
+	Telemetry *obs.Telemetry
+
+	// NewApp resolves the job's application (loopback-only; multi-process
+	// workers use the registry). The resolver's partitioner return value
+	// overrides the default hash partitioner.
+	NewApp Resolver
+	// MapFault injects attempt failures after the map kernel but before any
+	// shuffle effect (loopback-only).
+	MapFault func(task, attempt int) bool
+	// KillWorker, when >= 0, kills that worker once KillAfterMapDone map
+	// tasks have resolved (loopback-only).
+	KillWorker       int
+	KillAfterMapDone int
+}
+
+// coordinator phases.
+const (
+	phaseMap = iota
+	phaseReduce
+	phaseDone
+)
+
+// cworker is the coordinator's view of one worker node.
+type cworker struct {
+	cc          *conn
+	addr        string // peer-facing listen address
+	alive       bool
+	outstanding int // map tasks dispatched, not yet reported
+}
+
+// cevent is one frame (or connection loss) from one worker, funneled into
+// the coordinator's single event loop by per-worker reader goroutines.
+type cevent struct {
+	w       int
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// acceptTimeout bounds cluster formation so a worker that never dials
+// fails the job instead of hanging CI.
+const acceptTimeout = 60 * time.Second
+
+// serve runs the coordinator side of one job on an already-open listener:
+// form the cluster, drive the map phase through the scheduler, gate reduce
+// on full shuffle commit, and assemble the result. kill (may be nil) is the
+// loopback fault hook that murders a worker in-process.
+func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
+	o.Job = o.Job.withDefaults()
+	tun := o.Tuning.withDefaults()
+	n := o.Workers
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: need at least one worker, got %d", n)
+	}
+	if len(o.Blocks) == 0 {
+		return nil, fmt.Errorf("dist: no input blocks")
+	}
+
+	start := time.Now()
+
+	// Cluster formation: worker ids are assigned in order of arrival; the
+	// job starts only once every worker's peer listener address is known.
+	ws := make([]*cworker, n)
+	defer func() {
+		for _, cw := range ws {
+			if cw != nil {
+				cw.cc.close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Now().Add(acceptTimeout))
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: awaiting worker %d/%d: %w", i+1, n, err)
+		}
+		cc := newConn(c, fmt.Sprintf("worker%d", i), tun, nil)
+		typ, p, err := cc.recv()
+		if err != nil || typ != mHello {
+			cc.close()
+			return nil, fmt.Errorf("dist: bad hello from worker %d (%s): %v", i, typeName(typ), err)
+		}
+		h, err := decodeHello(p)
+		if err != nil {
+			cc.close()
+			return nil, err
+		}
+		ws[i] = &cworker{cc: cc, addr: h.ListenAddr, alive: true}
+	}
+
+	peers := make([]string, n)
+	for i, cw := range ws {
+		peers[i] = cw.addr
+	}
+	homes := make([]int, o.Job.Partitions)
+	for p := range homes {
+		homes[p] = p % n
+	}
+	for i, cw := range ws {
+		cw.cc.send(frame{typ: mWelcome, payload: welcomeMsg{WorkerID: i, Workers: n}.encode()})
+		cw.cc.send(frame{typ: mJobStart, payload: jobStartMsg{Job: o.Job, Peers: peers, Homes: homes}.encode()})
+	}
+
+	events := make(chan cevent, 4*n)
+	for i, cw := range ws {
+		go func(i int, cc *conn) {
+			for {
+				typ, p, err := cc.recv()
+				if err != nil {
+					events <- cevent{w: i, err: err}
+					return
+				}
+				events <- cevent{w: i, typ: typ, payload: p}
+			}
+		}(i, cw.cc)
+	}
+
+	sched := newSched(len(o.Blocks), n, o.Job.MaxAttempts)
+	alive := make([]bool, n)
+	liveCount := n
+	for i := range alive {
+		alive[i] = true
+	}
+
+	res := &Result{App: o.Job.App.Name, Workers: n}
+	for _, b := range o.Blocks {
+		res.InputBytes += int64(len(b))
+	}
+	interPairs := make([]int64, len(o.Blocks)) // per task, last winning attempt
+	outputs := make([][]kv.Pair, o.Job.Partitions)
+
+	phase := phaseMap
+	var jobErr error
+	killArmed := kill != nil && o.KillWorker >= 0 && o.KillWorker < n
+	pendingKill := false
+	reduceOutstanding := 0
+	var mapElapsed time.Duration
+	var reduceStart time.Time
+
+	fail := func(err error) {
+		if jobErr == nil {
+			jobErr = err
+		}
+		phase = phaseDone
+		for _, cw := range ws {
+			cw.cc.close() // hard: unblock every reader
+		}
+	}
+
+	// fill tops every live worker up to its MapSlots quota.
+	fill := func() {
+		if phase != phaseMap || jobErr != nil {
+			return
+		}
+		for w, cw := range ws {
+			if !cw.alive {
+				continue
+			}
+			for cw.outstanding < tun.MapSlots {
+				t, ok := sched.next(w, alive)
+				if !ok {
+					break
+				}
+				cw.cc.send(frame{typ: mMapTask, payload: mapTaskMsg{
+					Task: t, Attempt: sched.attempt[t], Block: o.Blocks[t],
+				}.encode()})
+				cw.outstanding++
+			}
+		}
+	}
+
+	// maybeReduce fires the reduce phase once every map task is resolved —
+	// and, crucially, once no kill is pending: a kill that has been
+	// triggered but whose death the coordinator has not yet observed must
+	// not let reduce start against a store that is about to be lost.
+	maybeReduce := func() {
+		if phase != phaseMap || jobErr != nil || pendingKill || sched.resolvedCount != sched.total {
+			return
+		}
+		phase = phaseReduce
+		mapElapsed = time.Since(start)
+		reduceStart = time.Now()
+		for p := 0; p < o.Job.Partitions; p++ {
+			ws[homes[p]].cc.send(frame{typ: mReduceTask, payload: reduceTaskMsg{Partition: p}.encode()})
+			reduceOutstanding++
+		}
+	}
+
+	death := func(w int) {
+		if !ws[w].alive {
+			return
+		}
+		ws[w].alive = false
+		alive[w] = false
+		liveCount--
+		res.WorkersLost++
+		if w == o.KillWorker {
+			pendingKill = false
+		}
+		if liveCount == 0 {
+			fail(fmt.Errorf("dist: all workers dead"))
+			return
+		}
+		if phase == phaseReduce {
+			// Reduce-phase deaths would need output re-execution plus store
+			// reconstruction from *completed* map output that also died with
+			// the worker — the full job restarts the sim core models. The
+			// dist runtime anchors recovery in the map phase, like the sim
+			// core's NodeFailures, and treats this as fatal.
+			fail(fmt.Errorf("dist: worker %d died during reduce", w))
+			return
+		}
+		// Re-home the dead worker's partitions across survivors,
+		// deterministically: ascending partitions, cycling ascending live ids.
+		rr := 0
+		var live []int
+		for i, a := range alive {
+			if a {
+				live = append(live, i)
+			}
+		}
+		for p := range homes {
+			if homes[p] == w {
+				homes[p] = live[rr%len(live)]
+				rr++
+			}
+		}
+		sched.death(w, alive)
+		dead := workerDeadMsg{Dead: w, Homes: homes}.encode()
+		for _, cw := range ws {
+			if cw.alive {
+				cw.cc.send(frame{typ: mWorkerDead, payload: dead})
+			}
+		}
+		fill()
+	}
+
+	fill()
+
+	readers := n
+	for readers > 0 {
+		ev := <-events
+		if ev.err != nil {
+			readers--
+			if phase != phaseDone {
+				death(ev.w)
+			} else if ws[ev.w].alive {
+				ws[ev.w].alive = false
+			}
+			continue
+		}
+		if phase == phaseDone {
+			continue // draining
+		}
+		switch ev.typ {
+		case mMapDone:
+			m, err := decodeMapDone(ev.payload)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			ws[ev.w].outstanding--
+			if sched.done(m.Task, m.Attempt) {
+				interPairs[m.Task] = m.Stats.PairsOut
+				if killArmed && !pendingKill && sched.resolvedCount >= o.KillAfterMapDone {
+					killArmed = false
+					pendingKill = true
+					// The kill hook runs off-loop: it closes the victim's
+					// coordinator link, which comes back as this loop's
+					// death event.
+					go kill(o.KillWorker)
+				}
+			}
+			fill()
+			maybeReduce()
+		case mMapFailed:
+			m, err := decodeTaskFail(ev.payload)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			ws[ev.w].outstanding--
+			if err := sched.fail(m.Task, m.Attempt, ev.w, alive); err != nil {
+				fail(err)
+				continue
+			}
+			fill()
+		case mReduceDone:
+			m, err := decodeReduceDone(ev.payload)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			pairs, err := kv.Unmarshal(m.Output)
+			if err != nil {
+				fail(fmt.Errorf("dist: partition %d output: %w", m.Partition, err))
+				continue
+			}
+			outputs[m.Partition] = pairs
+			res.OutputPairs += len(pairs)
+			reduceOutstanding--
+			if reduceOutstanding == 0 {
+				phase = phaseDone
+				res.ReduceElapsed = time.Since(reduceStart)
+				for _, cw := range ws {
+					if cw.alive {
+						cw.cc.send(frame{typ: mJobEnd})
+					}
+				}
+				// Workers close their end after job-end; readers drain out.
+			}
+		case mReduceFailed:
+			m, err := decodeTaskFail(ev.payload)
+			if err == nil {
+				err = fmt.Errorf("dist: reduce partition %d failed: %s", m.Task, m.Reason)
+			}
+			fail(err)
+		default:
+			fail(fmt.Errorf("dist: unexpected %s from worker %d", typeName(ev.typ), ev.w))
+		}
+	}
+
+	if jobErr != nil {
+		return nil, jobErr
+	}
+	for _, t := range interPairs {
+		res.IntermediatePairs += t
+	}
+	res.MapRetries = sched.retries
+	res.MapRecoveries = sched.recoveries
+	res.MapElapsed = mapElapsed
+	res.Total = time.Since(start)
+	res.outputs = outputs
+	return res, nil
+}
+
+// Serve runs a coordinator for one job at addr, waiting for o.Workers
+// multi-process workers (cmd/distnode) to join. Loopback-only Options
+// fields are ignored.
+func Serve(addr string, o Options) (*Result, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	defer ln.Close()
+	return serve(ln, o, nil)
+}

@@ -1,0 +1,48 @@
+package dist
+
+import (
+	"fmt"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/workload"
+)
+
+// DemoJob builds one registry application end to end: the Job (params
+// encoded so remote workers can resolve the kernel without seeing the
+// input), the generated input blocks, and an output verifier. Both
+// cmd/glasswing's loopback mode and cmd/distnode's coordinator mode run
+// jobs through this, so an in-process cluster and a multi-process one
+// execute the identical workload.
+//
+// size is the approximate input volume in bytes, chunk the map block size
+// (0 for the default). Seeds are fixed: a demo job is reproducible across
+// machines by construction.
+func DemoJob(name string, size, partitions, chunk int) (Job, [][]byte, func(*Result) error, error) {
+	if size <= 0 {
+		size = 1 << 20
+	}
+	job := Job{App: AppSpec{Name: name}, Partitions: partitions}
+	switch name {
+	case "wc":
+		data, want := apps.WCData(1, size, size/400)
+		job.Collector = core.HashTable
+		job.UseCombiner = true
+		verify := func(r *Result) error { return apps.VerifyCounts(r.Output(), want) }
+		return job, SplitBlocks(data, chunk, 0), verify, nil
+	case "ts":
+		data := apps.TSData(3, size/workload.TeraRecordSize)
+		job.App.Params = EncodeTSParams(apps.TeraSample(data, 16))
+		job.Collector = core.BufferPool
+		verify := func(r *Result) error { return apps.VerifyTeraSort(r.Output(), data) }
+		return job, SplitBlocks(data, chunk, workload.TeraRecordSize), verify, nil
+	case "km":
+		data, spec := apps.KMData(4, size/16, 4, 64)
+		job.App.Params = EncodeKMParams(spec)
+		job.Collector = core.HashTable
+		verify := func(r *Result) error { return apps.VerifyKMeans(r.Output(), data, spec) }
+		return job, SplitBlocks(data, chunk, spec.Dim*4), verify, nil
+	default:
+		return Job{}, nil, nil, fmt.Errorf("dist: no demo job %q (wc, ts, km)", name)
+	}
+}

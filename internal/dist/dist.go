@@ -1,0 +1,165 @@
+// Package dist is the genuinely distributed Glasswing runtime: a
+// coordinator and N worker nodes connected over TCP, running the same
+// App/collector semantics as internal/core and internal/native but with a
+// real wire shuffle — intermediate kv runs stream partition-by-partition to
+// their destination workers *while* map execution continues, the paper's
+// stage-4 compute/communication overlap made real (§III-A stage 5 pushes
+// partitions to destination nodes; §III-B caches them there).
+//
+// The runtime comes in two deployments sharing every line of protocol code:
+//
+//   - loopback: coordinator and workers are goroutines in one process,
+//     connected through real 127.0.0.1 TCP sockets (RunLoopback). This is
+//     what tests, conformance and CI drive — the bytes genuinely cross the
+//     kernel's TCP stack.
+//   - multi-process: `cmd/glasswing -coordinator` serves a job and
+//     `cmd/distnode` (or `cmd/glasswing -worker`) joins from other
+//     processes or hosts; the application is resolved by name through the
+//     registry in registry.go.
+//
+// Architecture (one job):
+//
+//	coordinator ── MapTask(block) ──▶ worker w
+//	worker w ── Run(partition p) ──▶ worker home(p)     (during map!)
+//	worker w ── Mark(attempt) ──▶ every peer            (attempt complete)
+//	peer ── Ack ──▶ worker w                            (commit barrier)
+//	worker w ── MapDone ──▶ coordinator                 (after all acks)
+//	coordinator ── StartReduce/ReduceTask(p) ──▶ home(p)
+//	home(p) ── ReduceDone(output) ──▶ coordinator
+//
+// Fault tolerance mirrors the semantics of internal/core's taskScheduler:
+// failed attempts are requeued up to MaxAttempts; a worker death (detected
+// by connection loss or heartbeat timeout) requeues its in-flight tasks,
+// reassigns its home partitions to survivors and re-executes every resolved
+// map task — the destination-push shuffle means a dead node loses a slice
+// of *every* task's output, so unlike Hadoop's mapper-local story the
+// recovery set is all resolved tasks; destination-side first-marker-wins
+// dedup discards the re-delivered output partitions that survived.
+//
+// Every transfer is instrumented through internal/obs (net/send and
+// net/recv spans on the worker's node track, conserv_net_* counters), so
+// Chrome traces show the wire stage and internal/conformance can prove
+// records sent == received + lost even across a worker kill.
+package dist
+
+import (
+	"time"
+
+	"glasswing/internal/core"
+	"glasswing/internal/kv"
+)
+
+// AppSpec identifies the job's application on the wire so multi-process
+// workers can reconstruct the kernels locally (code never crosses the
+// network; both sides run the same binary). Params is an opaque
+// registry-defined payload — TeraSort ships its sampled range boundaries,
+// KMeans its center spec.
+type AppSpec struct {
+	Name   string
+	Params []byte
+}
+
+// Job is the wire-level job description the coordinator broadcasts in
+// JobStart.
+type Job struct {
+	App        AppSpec
+	Partitions int // total reduce partitions across the cluster
+	Collector  core.CollectorKind
+	UseCombiner bool
+	// Compress stores and ships intermediate runs DEFLATE-compressed
+	// (kv.Run's encoding — the same bytes that would hit a spill file go
+	// onto the socket).
+	Compress bool
+	// MaxAttempts bounds failed executions per task (0 = default 4).
+	MaxAttempts int
+}
+
+func (j Job) withDefaults() Job {
+	if j.Partitions <= 0 {
+		j.Partitions = 4
+	}
+	if j.MaxAttempts <= 0 {
+		j.MaxAttempts = 4
+	}
+	return j
+}
+
+// Tuning holds the transport knobs shared by coordinator and workers.
+type Tuning struct {
+	// SendWindow bounds the bytes of shuffle data queued on one
+	// connection's write pump; a sender whose window is full blocks until
+	// the pump drains — backpressure from a slow receiver propagates to
+	// the map executor (0 = default 4 MiB).
+	SendWindow int64
+	// HeartbeatEvery is the keep-alive send interval (0 = default 1s).
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout declares a peer dead after this long without any
+	// inbound frame (0 = default 10s).
+	HeartbeatTimeout time.Duration
+	// MapSlots is how many map tasks a worker may hold at once; the wire
+	// shuffle of task k overlaps the kernel of task k+1 even at 1 because
+	// sends are asynchronous (0 = default 2).
+	MapSlots int
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.SendWindow <= 0 {
+		t.SendWindow = 4 << 20
+	}
+	if t.HeartbeatEvery <= 0 {
+		t.HeartbeatEvery = time.Second
+	}
+	if t.HeartbeatTimeout <= 0 {
+		t.HeartbeatTimeout = 10 * time.Second
+	}
+	if t.MapSlots <= 0 {
+		t.MapSlots = 2
+	}
+	return t
+}
+
+// Result reports one distributed run.
+type Result struct {
+	App     string
+	Workers int
+
+	MapElapsed    time.Duration
+	ReduceElapsed time.Duration
+	Total         time.Duration
+
+	InputBytes        int64
+	IntermediatePairs int64
+	OutputPairs       int
+
+	// MapRetries counts requeued failed attempts, WorkersLost dead
+	// workers, MapRecoveries resolved map tasks re-executed after a death
+	// — the dist analogs of core.JobStats.
+	MapRetries    int
+	WorkersLost   int
+	MapRecoveries int
+
+	outputs [][]kv.Pair // per partition, key-sorted
+}
+
+// Output returns the final pairs in partition order; within a partition
+// keys are sorted, so a range partitioner yields totally ordered output.
+func (r *Result) Output() []kv.Pair {
+	var out []kv.Pair
+	for _, part := range r.outputs {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Stage names for the dist runtime's spans. The map/reduce vocabulary is
+// shared with the sim and native runtimes so all three export onto the same
+// Chrome-trace tracks; net/send and net/recv are the wire stage this
+// runtime adds.
+const (
+	stageMapKernel    = "map/kernel"
+	stageMapPartition = "map/partition"
+	stageNetSend      = "net/send"
+	stageNetRecv      = "net/recv"
+	stageReduce       = "reduce"
+)
+

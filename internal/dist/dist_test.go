@@ -1,0 +1,458 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/kv"
+	"glasswing/internal/obs"
+	"glasswing/internal/workload"
+)
+
+// testResolver injects app and partitioner directly, the way conformance
+// loopback cells do.
+func testResolver(app func() *core.App, prt func([]byte, int) int) Resolver {
+	return func(AppSpec) (*core.App, func([]byte, int) int, error) {
+		return app(), prt, nil
+	}
+}
+
+func wcOptions(workers int, tel *obs.Telemetry) (Options, map[string]uint64) {
+	data, want := apps.WCData(21, 96<<10, 1200)
+	return Options{
+		Job:       Job{App: AppSpec{Name: "WC"}, Partitions: 4, Collector: core.HashTable},
+		Workers:   workers,
+		Blocks:    SplitBlocks(data, 16<<10, 0),
+		Telemetry: tel,
+		NewApp:    testResolver(apps.WordCount, nil),
+		KillWorker: -1,
+	}, want
+}
+
+// netCounters reads the wire-conservation counters back out of a registry.
+func netCounters(reg *obs.Registry) (sent, recv, lost, bsent, brecv, blost int64) {
+	c := func(n string) int64 { return reg.Counter(n).Value() }
+	return c("conserv_net_records_sent_total"), c("conserv_net_records_recv_total"),
+		c("conserv_net_records_lost_total"), c("conserv_net_bytes_sent_total"),
+		c("conserv_net_bytes_recv_total"), c("conserv_net_bytes_lost_total")
+}
+
+func TestLoopbackWordCount(t *testing.T) {
+	tel := obs.NewTelemetry()
+	o, want := wcOptions(3, tel)
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	sent, recv, lost, bsent, brecv, blost := netCounters(tel.Metrics)
+	if sent == 0 {
+		t.Fatal("3-worker run shuffled nothing over the wire")
+	}
+	if lost != 0 || blost != 0 {
+		t.Fatalf("fault-free run lost data: %d records, %d bytes", lost, blost)
+	}
+	if sent != recv || bsent != brecv {
+		t.Fatalf("wire leak: sent %d/%dB, recv %d/%dB", sent, bsent, recv, brecv)
+	}
+	if res.WorkersLost != 0 || res.MapRetries != 0 {
+		t.Fatalf("unexpected faults: %+v", res)
+	}
+}
+
+func TestLoopbackSingleWorker(t *testing.T) {
+	// One node: no peers, no wire shuffle, the no-barrier map-done path.
+	tel := obs.NewTelemetry()
+	o, want := wcOptions(1, tel)
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if sent, _, _, _, _, _ := netCounters(tel.Metrics); sent != 0 {
+		t.Fatalf("single worker sent %d records over the wire", sent)
+	}
+}
+
+func TestLoopbackTeraSort(t *testing.T) {
+	data := apps.TSData(22, 2000)
+	o := Options{
+		Job: Job{
+			App:        AppSpec{Name: "TS"},
+			Partitions: 6,
+			Collector:  core.BufferPool,
+		},
+		Workers:    3,
+		Blocks:     SplitBlocks(data, 32<<10, int(workload.TeraRecordSize)),
+		NewApp:     testResolver(apps.TeraSort, apps.TeraPartitioner(data, 16)),
+		KillWorker: -1,
+	}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range partitioning + partition-ordered assembly must yield a total
+	// order; VerifyTeraSort checks order and content.
+	if err := apps.VerifyTeraSort(res.Output(), data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackKMeans(t *testing.T) {
+	data, spec := apps.KMData(23, 4096, 4, 8)
+	o := Options{
+		Job: Job{
+			App:        AppSpec{Name: "KM"},
+			Partitions: 4,
+			Collector:  core.HashTable,
+			// Combiner stays off: float sums are not associative.
+		},
+		Workers:    3,
+		Blocks:     SplitBlocks(data, 8<<10, spec.Dim*4),
+		NewApp:     testResolver(func() *core.App { return apps.KMeans(spec) }, nil),
+		KillWorker: -1,
+	}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyKMeans(res.Output(), data, spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFaultRetry(t *testing.T) {
+	tel := obs.NewTelemetry()
+	o, want := wcOptions(3, tel)
+	o.Telemetry = tel
+	o.MapFault = func(task, attempt int) bool { return attempt == 0 && task%3 == 0 }
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if res.MapRetries == 0 {
+		t.Fatal("injected faults produced no retries")
+	}
+	// Failed attempts die before partitioning, so the wire never sees them:
+	// retry cells stay byte-exact with zero loss.
+	if _, _, lost, _, _, blost := netCounters(tel.Metrics); lost != 0 || blost != 0 {
+		t.Fatalf("retry run lost data: %d records, %d bytes", lost, blost)
+	}
+}
+
+func TestMaxAttemptsExhausted(t *testing.T) {
+	o, _ := wcOptions(2, nil)
+	o.Job.MaxAttempts = 2
+	o.MapFault = func(task, attempt int) bool { return task == 1 } // always fails
+	if _, err := RunLoopback(o); err == nil {
+		t.Fatal("want job failure after exhausting attempts")
+	}
+}
+
+func TestWorkerKill(t *testing.T) {
+	tel := obs.NewTelemetry()
+	data, want := apps.WCData(21, 96<<10, 1200)
+	o := Options{
+		Job:       Job{App: AppSpec{Name: "WC"}, Partitions: 5, Collector: core.HashTable},
+		Workers:   3,
+		Blocks:    SplitBlocks(data, 8<<10, 0), // ~12 tasks: plenty left at kill time
+		Telemetry: tel,
+		NewApp:    testResolver(apps.WordCount, nil),
+		KillWorker:       1,
+		KillAfterMapDone: 2,
+	}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersLost != 1 {
+		t.Fatalf("WorkersLost = %d, want 1", res.WorkersLost)
+	}
+	if res.MapRecoveries == 0 {
+		t.Fatal("kill after resolved map tasks must re-execute them")
+	}
+	// The wire ledger must balance exactly across the kill: every record and
+	// byte enqueued was either received by a live worker or flushed as lost.
+	sent, recv, lost, bsent, brecv, blost := netCounters(tel.Metrics)
+	if sent != recv+lost {
+		t.Fatalf("net records leak: sent %d != recv %d + lost %d", sent, recv, lost)
+	}
+	if bsent != brecv+blost {
+		t.Fatalf("net bytes leak: sent %d != recv %d + lost %d", bsent, brecv, blost)
+	}
+	// Store conservation: reduce consumed exactly what survived.
+	c := func(n string) int64 { return tel.Metrics.Counter(n).Value() }
+	if got, want := c("conserv_reduce_records_in_total"),
+		c("conserv_store_accepted_records_total")-c("conserv_store_lost_records_total"); got != want {
+		t.Fatalf("reduce records in %d != store accepted - lost %d", got, want)
+	}
+}
+
+// TestOverlap is the paper's stage-4 claim made measurable: with shuffle
+// pushed through asynchronous write pumps, network transfer intervals
+// overlap map kernel intervals, and the whole 3-worker run retires more
+// than one busy-second per wall-second.
+func TestOverlap(t *testing.T) {
+	tel := obs.NewTelemetry()
+	data, _ := apps.WCData(21, 256<<10, 1200)
+	o := Options{
+		Job:       Job{App: AppSpec{Name: "WC"}, Partitions: 6, Collector: core.HashTable},
+		Workers:   3,
+		Blocks:    SplitBlocks(data, 8<<10, 0),
+		Telemetry: tel,
+		NewApp:    testResolver(apps.WordCount, nil),
+		KillWorker: -1,
+	}
+	if _, err := RunLoopback(o); err != nil {
+		t.Fatal(err)
+	}
+	spans := tel.Spans.Spans()
+	var sends, kernels []obs.Span
+	for _, s := range spans {
+		switch s.Stage {
+		case stageNetSend:
+			sends = append(sends, s)
+		case stageMapKernel:
+			kernels = append(kernels, s)
+		}
+	}
+	if len(sends) == 0 {
+		t.Fatal("no net/send spans recorded")
+	}
+	overlapped := false
+	for _, s := range sends {
+		for _, k := range kernels {
+			if s.Start < k.End && k.Start < s.End {
+				overlapped = true
+				break
+			}
+		}
+		if overlapped {
+			break
+		}
+	}
+	if !overlapped {
+		t.Fatal("no net/send span overlaps any map/kernel span: shuffle is not concurrent with compute")
+	}
+	rep := obs.Analyze(spans)
+	if rep.OverlapFactor <= 1.0 {
+		t.Fatalf("overlap factor %.2f <= 1.0: the cluster ran serially", rep.OverlapFactor)
+	}
+}
+
+// TestGeometryInvariance: the same job across worker counts, partition
+// counts and compression produces identical sorted output.
+func TestGeometryInvariance(t *testing.T) {
+	data, want := apps.WCData(21, 64<<10, 800)
+	ref := ""
+	for _, g := range []struct {
+		name             string
+		workers, parts   int
+		chunk            int
+		compress         bool
+	}{
+		{"w3-p4", 3, 4, 16 << 10, false},
+		{"w2-p7", 2, 7, 16 << 10, false},
+		{"w4-p3-small", 4, 3, 4 << 10, false},
+		{"w3-p4-deflate", 3, 4, 16 << 10, true},
+	} {
+		o := Options{
+			Job: Job{
+				App: AppSpec{Name: "WC"}, Partitions: g.parts,
+				Collector: core.HashTable, Compress: g.compress,
+			},
+			Workers:    g.workers,
+			Blocks:     SplitBlocks(data, g.chunk, 0),
+			NewApp:     testResolver(apps.WordCount, nil),
+			KillWorker: -1,
+		}
+		res, err := RunLoopback(o)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if err := apps.VerifyCounts(res.Output(), want); err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		out := res.Output()
+		kv.SortPairs(out)
+		dig := fmt.Sprintf("%x", kv.Marshal(out))
+		if ref == "" {
+			ref = dig
+		} else if dig != ref {
+			t.Fatalf("%s: output diverged from first geometry", g.name)
+		}
+	}
+}
+
+// TestServeJoin exercises the multi-process entry points (registry app
+// resolution, separate ledgers) inside one test process.
+func TestServeJoin(t *testing.T) {
+	data, want := apps.WCData(21, 64<<10, 800)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type served struct {
+		res *Result
+		err error
+	}
+	ch := make(chan served, 1)
+	go func() {
+		res, err := serve(ln, Options{
+			Job:     Job{App: AppSpec{Name: "wc"}, Partitions: 4, Collector: core.HashTable},
+			Workers: 2,
+			Blocks:  SplitBlocks(data, 16<<10, 0),
+		}, nil)
+		ch <- served{res, err}
+	}()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			errs <- Join(ln.Addr().String(), "127.0.0.1:0", Tuning{}, obs.NewTelemetry())
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := <-ch
+	if s.err != nil {
+		t.Fatal(s.err)
+	}
+	if err := apps.VerifyCounts(s.res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryParamRoundTrip(t *testing.T) {
+	data := apps.TSData(7, 500)
+	sample := apps.TeraSample(data, 16)
+	got, err := DecodeTSParams(EncodeTSParams(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sample) {
+		t.Fatalf("sample length %d != %d", len(got), len(sample))
+	}
+	for i := range got {
+		if string(got[i]) != string(sample[i]) {
+			t.Fatalf("sample[%d] mismatch", i)
+		}
+	}
+
+	_, spec := apps.KMData(5, 64, 3, 4)
+	gs, err := DecodeKMParams(EncodeKMParams(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Dim != spec.Dim || gs.ModelCenters != spec.ModelCenters || len(gs.Centers) != len(spec.Centers) {
+		t.Fatalf("spec mismatch: %+v vs %+v", gs, spec)
+	}
+	for i := range gs.Centers {
+		for d := range gs.Centers[i] {
+			if gs.Centers[i][d] != spec.Centers[i][d] {
+				t.Fatalf("center (%d,%d) mismatch", i, d)
+			}
+		}
+	}
+
+	if _, _, err := RegistryResolver(AppSpec{Name: "nope"}); err == nil {
+		t.Fatal("unknown app must fail resolution")
+	}
+}
+
+func TestSchedDeathRequeuesEverything(t *testing.T) {
+	s := newSched(6, 3, 4)
+	alive := []bool{true, true, true}
+	// Worker 0 resolves tasks 0 and 3; task 1 in flight on worker 1.
+	for _, w := range []int{0, 1, 2} {
+		for {
+			if _, ok := s.next(w, alive); !ok {
+				break
+			}
+		}
+	}
+	s.done(0, 0)
+	s.done(3, 0)
+	alive[1] = false
+	s.death(1, alive)
+	if s.recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2 (both resolved tasks)", s.recoveries)
+	}
+	if s.resolvedCount != 0 {
+		t.Fatalf("resolvedCount = %d, want 0", s.resolvedCount)
+	}
+	// Every task must be requeued with a bumped attempt, and stale attempt-0
+	// reports must now be ignored.
+	if s.done(0, 0) {
+		t.Fatal("stale attempt accepted after death bump")
+	}
+	queued := 0
+	for _, q := range s.queues {
+		queued += len(q)
+	}
+	if queued != 6 {
+		t.Fatalf("queued = %d, want all 6 tasks", queued)
+	}
+}
+
+func TestSchedFailExhaustion(t *testing.T) {
+	s := newSched(1, 1, 2)
+	alive := []bool{true}
+	if _, ok := s.next(0, alive); !ok {
+		t.Fatal("no task")
+	}
+	if err := s.fail(0, 0, 0, alive); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.next(0, alive); !ok {
+		t.Fatal("retry not queued")
+	}
+	if err := s.fail(0, 1, 0, alive); err == nil {
+		t.Fatal("want exhaustion error on second failure")
+	}
+}
+
+func TestHeartbeatKeepsIdleLinkAlive(t *testing.T) {
+	// A link with a short read timeout but regular heartbeats must survive
+	// an idle period several timeouts long.
+	a, b := tcpPair(t)
+	tun := Tuning{HeartbeatEvery: 20 * time.Millisecond, HeartbeatTimeout: 120 * time.Millisecond}
+	ca := newConn(a, "a", tun, nil)
+	defer ca.close()
+	cb := newConn(b, "b", tun, nil)
+	defer cb.close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cb.recv() // only heartbeats arrive until the real frame
+		done <- err
+	}()
+	time.Sleep(500 * time.Millisecond)
+	ca.send(frame{typ: mMark, payload: markMsg{Task: 1}.encode()})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("idle link died despite heartbeats: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame never arrived")
+	}
+}

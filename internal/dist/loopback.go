@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RunLoopback runs one distributed job entirely in-process: the coordinator
+// and o.Workers worker nodes are goroutines connected through real
+// 127.0.0.1 TCP sockets, so every shuffle byte crosses the kernel's TCP
+// stack and every transport policy (framing, windows, heartbeats, death
+// detection) is exercised exactly as in a multi-process deployment. All
+// nodes share one conservation ledger, published into o.Telemetry after the
+// whole cluster has quiesced.
+func RunLoopback(o Options) (*Result, error) {
+	if o.Workers <= 0 {
+		return nil, fmt.Errorf("dist: need at least one worker, got %d", o.Workers)
+	}
+	resolve := o.NewApp
+	if resolve == nil {
+		resolve = RegistryResolver
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dist: loopback listen: %w", err)
+	}
+	defer ln.Close()
+
+	led := newLedger(o.Telemetry)
+
+	// Workers register here once the coordinator assigns their id, so the
+	// kill hook can find its victim. Registration happens at welcome time,
+	// strictly before any map task resolves, so a kill (which only fires
+	// after KillAfterMapDone resolutions) always finds the worker; the poll
+	// is a safety margin, not a synchronization mechanism.
+	var regMu sync.Mutex
+	registered := make(map[int]*worker)
+	kill := func(id int) {
+		for i := 0; i < 500; i++ {
+			regMu.Lock()
+			w := registered[id]
+			regMu.Unlock()
+			if w != nil {
+				w.kill()
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			killed, err := runWorker(workerConfig{
+				coordAddr:  ln.Addr().String(),
+				listenAddr: "127.0.0.1:0",
+				tun:        o.Tuning,
+				led:        led,
+				resolve:    resolve,
+				mapFault:   o.MapFault,
+				onWelcome: func(w *worker) {
+					regMu.Lock()
+					registered[w.id] = w
+					regMu.Unlock()
+				},
+			})
+			if !killed {
+				workerErrs[i] = err
+			}
+		}(i)
+	}
+
+	res, err := serve(ln, o, kill)
+
+	// Close the listener before waiting: a worker stuck in cluster
+	// formation (possible only if serve already failed) errors out instead
+	// of hanging.
+	ln.Close()
+	wg.Wait()
+	led.publish()
+
+	if err != nil {
+		return nil, err
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return nil, fmt.Errorf("dist: worker goroutine %d: %w", i, werr)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+)
+
+// The registry resolves AppSpec names to application kernels for
+// multi-process workers — code never crosses the wire, only the app name
+// and a parameter blob. Loopback callers usually bypass this with
+// Options.NewApp, but the registry entries are what `cmd/distnode` uses.
+
+// RegistryResolver resolves the built-in applications: "wc" (word count,
+// no params), "ts" (TeraSort; params = EncodeTSParams sample boundaries),
+// "km" (KMeans; params = EncodeKMParams center spec).
+func RegistryResolver(spec AppSpec) (*core.App, func(key []byte, n int) int, error) {
+	switch spec.Name {
+	case "wc":
+		return apps.WordCount(), nil, nil
+	case "ts":
+		sample, err := DecodeTSParams(spec.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		return apps.TeraSort(), apps.RangePartitioner(sample), nil
+	case "km":
+		ksp, err := DecodeKMParams(spec.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		return apps.KMeans(ksp), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("dist: unknown app %q", spec.Name)
+	}
+}
+
+// EncodeTSParams packs a TeraSort key sample (the range-partitioner
+// boundaries every node must agree on) into an AppSpec params blob.
+func EncodeTSParams(sample [][]byte) []byte {
+	var e enc
+	e.u(uint64(len(sample)))
+	for _, k := range sample {
+		e.bytes(k)
+	}
+	return e.buf
+}
+
+// DecodeTSParams unpacks EncodeTSParams.
+func DecodeTSParams(p []byte) ([][]byte, error) {
+	d := dec{buf: p}
+	n := d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	sample := make([][]byte, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		sample = append(sample, append([]byte(nil), d.bytes()...))
+	}
+	return sample, d.fin("ts-params")
+}
+
+// EncodeKMParams packs a KMeans spec into an AppSpec params blob.
+func EncodeKMParams(s apps.KMeansSpec) []byte {
+	var e enc
+	e.u(uint64(s.Dim))
+	e.u(uint64(s.ModelCenters))
+	e.u(uint64(len(s.Centers)))
+	for _, c := range s.Centers {
+		e.u(uint64(len(c)))
+		for _, v := range c {
+			e.u(uint64(math.Float32bits(v)))
+		}
+	}
+	return e.buf
+}
+
+// DecodeKMParams unpacks EncodeKMParams.
+func DecodeKMParams(p []byte) (apps.KMeansSpec, error) {
+	d := dec{buf: p}
+	var s apps.KMeansSpec
+	s.Dim = int(d.u())
+	s.ModelCenters = int(d.u())
+	k := d.u()
+	if k > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < k && d.err == nil; i++ {
+		dim := d.u()
+		if dim > uint64(len(p)) {
+			d.err = errCorrupt
+			break
+		}
+		c := make([]float32, 0, dim)
+		for j := uint64(0); j < dim && d.err == nil; j++ {
+			c = append(c, math.Float32frombits(uint32(d.u())))
+		}
+		s.Centers = append(s.Centers, c)
+	}
+	return s, d.fin("km-params")
+}
+
+// SplitBlocks cuts input into map blocks of roughly chunk bytes, on record
+// boundaries: recordSize > 0 splits on fixed-size records (TeraSort's
+// 100-byte rows, KMeans' packed points), otherwise on newlines.
+func SplitBlocks(data []byte, chunk int, recordSize int) [][]byte {
+	if chunk <= 0 {
+		chunk = 96 << 10
+	}
+	var blocks [][]byte
+	if recordSize > 0 {
+		per := chunk / recordSize
+		if per < 1 {
+			per = 1
+		}
+		step := per * recordSize
+		for off := 0; off < len(data); off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			blocks = append(blocks, data[off:end])
+		}
+		return blocks
+	}
+	for off := 0; off < len(data); {
+		end := off + chunk
+		if end >= len(data) {
+			blocks = append(blocks, data[off:])
+			break
+		}
+		// Extend to the next newline so no record straddles blocks.
+		for end < len(data) && data[end-1] != '\n' {
+			end++
+		}
+		blocks = append(blocks, data[off:end])
+		off = end
+	}
+	return blocks
+}

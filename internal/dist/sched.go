@@ -1,0 +1,156 @@
+package dist
+
+import "fmt"
+
+// dsched is the coordinator's map-task scheduler. It is the event-driven
+// mirror of internal/core's generic taskScheduler[T] semantics: per-worker
+// queues with affinity, work stealing from the most-loaded queue's tail,
+// failed attempts requeued on the same worker up to maxAttempts, and
+// worker death triggering redistribution plus re-execution. It is not
+// self-locking — only the coordinator's single event loop touches it.
+//
+// One divergence from the mapper-local story is deliberate: because the
+// shuffle pushes every task's output to destination workers as it is
+// produced, a death invalidates a slice of *every* attempt that shuffled
+// under the old partition-home map. So death re-queues not just the dead
+// worker's tasks but every resolved or in-flight task, with a bumped
+// attempt number; stale attempts still executing report under their old
+// attempt and are ignored, and destination-side per-(task,partition) dedup
+// discards whatever re-delivered output survived.
+type dsched struct {
+	queues   [][]int // per-worker pending task ids (FIFO)
+	attempt  []int   // task → current expected attempt
+	failures []int   // task → failed-attempt count
+	resolved []bool
+	total    int
+	resolvedCount int
+	maxAttempts   int
+
+	retries    int // failed attempts requeued
+	recoveries int // resolved tasks re-executed after a death
+}
+
+func newSched(nTasks, nWorkers, maxAttempts int) *dsched {
+	s := &dsched{
+		queues:      make([][]int, nWorkers),
+		attempt:     make([]int, nTasks),
+		failures:    make([]int, nTasks),
+		resolved:    make([]bool, nTasks),
+		total:       nTasks,
+		maxAttempts: maxAttempts,
+	}
+	for t := 0; t < nTasks; t++ {
+		w := t % nWorkers
+		s.queues[w] = append(s.queues[w], t)
+	}
+	return s
+}
+
+// next pops the next task for wkr: its own queue first, then a steal from
+// the tail of the most-loaded live queue.
+func (s *dsched) next(wkr int, alive []bool) (int, bool) {
+	if q := s.queues[wkr]; len(q) > 0 {
+		t := q[0]
+		s.queues[wkr] = q[1:]
+		return t, true
+	}
+	victim, best := -1, 0
+	for w, q := range s.queues {
+		if alive[w] && len(q) > best {
+			victim, best = w, len(q)
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	q := s.queues[victim]
+	t := q[len(q)-1]
+	s.queues[victim] = q[:len(q)-1]
+	return t, true
+}
+
+// done resolves a task if the report matches the current attempt; stale
+// reports (from attempts superseded by a death) are ignored.
+func (s *dsched) done(task, attempt int) bool {
+	if attempt != s.attempt[task] || s.resolved[task] {
+		return false
+	}
+	s.resolved[task] = true
+	s.resolvedCount++
+	return true
+}
+
+// fail requeues a failed current attempt on the same worker (survivors
+// inherit via death redistribution if it later dies); exhausting
+// maxAttempts fails the job.
+func (s *dsched) fail(task, attempt, wkr int, alive []bool) error {
+	if attempt != s.attempt[task] || s.resolved[task] {
+		return nil // stale attempt; its successor is already queued
+	}
+	s.failures[task]++
+	if s.failures[task] >= s.maxAttempts {
+		return fmt.Errorf("dist: task %d failed %d attempts", task, s.failures[task])
+	}
+	s.attempt[task]++
+	s.retries++
+	target := wkr
+	if !alive[target] {
+		target = s.anyLive(alive)
+	}
+	s.queues[target] = append(s.queues[target], task)
+	return nil
+}
+
+func (s *dsched) anyLive(alive []bool) int {
+	for w, a := range alive {
+		if a {
+			return w
+		}
+	}
+	return 0
+}
+
+// death redistributes after wkr dies (alive must already exclude it):
+// its queued tasks move to survivors, and every resolved or in-flight task
+// is re-queued under a fresh attempt, because its shuffle output was
+// addressed under the old partition-home map.
+func (s *dsched) death(wkr int, alive []bool) {
+	orphans := s.queues[wkr]
+	s.queues[wkr] = nil
+	live := []int{}
+	for w, a := range alive {
+		if a {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	rr := 0
+	requeue := func(t int) {
+		s.queues[live[rr%len(live)]] = append(s.queues[live[rr%len(live)]], t)
+		rr++
+	}
+	for _, t := range orphans {
+		requeue(t)
+	}
+	queued := make(map[int]bool, len(orphans))
+	for _, q := range s.queues {
+		for _, t := range q {
+			queued[t] = true
+		}
+	}
+	for t := 0; t < s.total; t++ {
+		if queued[t] {
+			continue // still pending; will execute under the new home map
+		}
+		if s.resolved[t] {
+			s.resolved[t] = false
+			s.resolvedCount--
+			s.recoveries++
+		}
+		// Resolved or in-flight: supersede with a fresh attempt.
+		s.attempt[t]++
+		requeue(t)
+	}
+}

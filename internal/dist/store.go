@@ -1,0 +1,88 @@
+package dist
+
+import "glasswing/internal/kv"
+
+// attemptKey identifies one execution of one map task.
+type attemptKey struct{ task, attempt int }
+
+// shuffleStore is a worker's intermediate-data cache: runs pushed to this
+// node because it is home to their partition, the paper's destination-side
+// partition cache (§III-B). Runs arrive staged per (task, attempt) and
+// become visible to reduce only when the sender's end-of-attempt marker
+// commits them — the FIFO connection guarantees every run precedes its
+// marker, so a commit is always complete for the partitions this node
+// was home to when the sender partitioned.
+//
+// Deduplication is per (task, partition), not per task: after a worker
+// death re-homes partitions, a re-executed attempt must be able to add the
+// newly-inherited partitions of a task whose other partitions this node
+// already holds. Map output is deterministic per task, so accepting
+// partition p from one attempt and partition q from another composes
+// correctly; duplicate partitions are dropped and accounted.
+//
+// Not self-locking: callers hold the owning worker's mutex.
+type shuffleStore struct {
+	partitions map[int][]*kv.Run            // committed runs per home partition
+	have       map[int]map[int]bool         // task → partitions committed here
+	staged     map[attemptKey]map[int]*kv.Run // uncommitted arrivals
+}
+
+func newShuffleStore() *shuffleStore {
+	return &shuffleStore{
+		partitions: make(map[int][]*kv.Run),
+		have:       make(map[int]map[int]bool),
+		staged:     make(map[attemptKey]map[int]*kv.Run),
+	}
+}
+
+// stage records one partition's run for an in-flight attempt.
+func (s *shuffleStore) stage(task, attempt, part int, run *kv.Run) {
+	k := attemptKey{task, attempt}
+	m := s.staged[k]
+	if m == nil {
+		m = make(map[int]*kv.Run)
+		s.staged[k] = m
+	}
+	m[part] = run
+}
+
+// commit publishes an attempt's staged runs, partition by partition:
+// partitions this node has not seen for the task are accepted, the rest
+// are duplicates from re-execution and dropped. Returns record counts for
+// the conservation ledger.
+func (s *shuffleStore) commit(task, attempt int) (accepted, dupped int64) {
+	k := attemptKey{task, attempt}
+	m := s.staged[k]
+	delete(s.staged, k)
+	for part, run := range m {
+		if s.have[task][part] {
+			dupped += int64(run.Records)
+			continue
+		}
+		if s.have[task] == nil {
+			s.have[task] = make(map[int]bool)
+		}
+		s.have[task][part] = true
+		s.partitions[part] = append(s.partitions[part], run)
+		accepted += int64(run.Records)
+	}
+	return accepted, dupped
+}
+
+// runsFor hands a partition's committed runs to reduce.
+func (s *shuffleStore) runsFor(part int) []*kv.Run { return s.partitions[part] }
+
+// lostAll empties the store, returning the committed record count — the
+// data that dies with this worker.
+func (s *shuffleStore) lostAll() int64 {
+	var lost int64
+	for _, runs := range s.partitions {
+		for _, r := range runs {
+			lost += int64(r.Records)
+		}
+	}
+	s.partitions = make(map[int][]*kv.Run)
+	s.have = make(map[int]map[int]bool)
+	s.staged = make(map[attemptKey]map[int]*kv.Run)
+	return lost
+}

@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"sync/atomic"
+	"time"
+
+	"glasswing/internal/obs"
+)
+
+// ledger is the dist runtime's conservation and stage-time account, using
+// the same conserv_* vocabulary as internal/core's jobCounters and
+// internal/native's recorder plus the wire counters this runtime adds. In
+// loopback mode one ledger is shared by every node in the process (the
+// counters are atomics), matching how conformance reads a single registry;
+// a multi-process worker owns a private one.
+type ledger struct {
+	tel   *obs.Telemetry
+	epoch time.Time
+
+	mapRecordsIn atomic.Int64
+	mapPairsOut  atomic.Int64
+	partRecords  atomic.Int64
+	partRuns     atomic.Int64
+	partRaw      atomic.Int64
+	partStored   atomic.Int64
+
+	storeAccepted   atomic.Int64
+	storeDupDropped atomic.Int64
+	storeLost       atomic.Int64
+
+	reduceRecordsIn atomic.Int64
+	reduceGroupsIn  atomic.Int64
+	outputPairs     atomic.Int64
+
+	netRecordsSent atomic.Int64
+	netBytesSent   atomic.Int64
+	netRecordsRecv atomic.Int64
+	netBytesRecv   atomic.Int64
+	netRecordsLost atomic.Int64
+	netBytesLost   atomic.Int64
+
+	mapKernelNs    atomic.Int64
+	mapPartitionNs atomic.Int64
+	netSendNs      atomic.Int64
+	netRecvNs      atomic.Int64
+	reduceNs       atomic.Int64
+}
+
+func newLedger(tel *obs.Telemetry) *ledger {
+	return &ledger{tel: tel, epoch: time.Now()}
+}
+
+// flushAttempt folds one winning map attempt's stats into the ledger.
+// Failed and killed attempts flush nothing, so the map-side counters stay
+// exact even on retry runs.
+func (l *ledger) flushAttempt(s attemptStats) {
+	l.mapRecordsIn.Add(s.RecordsIn)
+	l.mapPairsOut.Add(s.PairsOut)
+	l.partRecords.Add(s.PartRecords)
+	l.partRuns.Add(s.PartRuns)
+	l.partRaw.Add(s.PartRaw)
+	l.partStored.Add(s.PartStored)
+}
+
+func (l *ledger) netSent(records, bytes int64) {
+	l.netRecordsSent.Add(records)
+	l.netBytesSent.Add(bytes)
+}
+
+func (l *ledger) netRecv(records, bytes int64) {
+	l.netRecordsRecv.Add(records)
+	l.netBytesRecv.Add(bytes)
+}
+
+func (l *ledger) netLost(records, bytes int64) {
+	l.netRecordsLost.Add(records)
+	l.netBytesLost.Add(bytes)
+}
+
+func (l *ledger) nsAcc(stage string) *atomic.Int64 {
+	switch stage {
+	case stageMapKernel:
+		return &l.mapKernelNs
+	case stageMapPartition:
+		return &l.mapPartitionNs
+	case stageNetSend:
+		return &l.netSendNs
+	case stageNetRecv:
+		return &l.netRecvNs
+	default:
+		return &l.reduceNs
+	}
+}
+
+// span starts one unit of stage work on node's track; the returned func
+// ends it, feeding both the busy accumulator and (when telemetry is on)
+// the span buffer.
+func (l *ledger) span(node int, stage string) func() {
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		l.nsAcc(stage).Add(int64(d))
+		if l.tel != nil && l.tel.Spans != nil {
+			begin := t0.Sub(l.epoch).Seconds()
+			l.tel.Spans.Span(obs.Span{Node: node, Stage: stage, Start: begin, End: begin + d.Seconds()})
+		}
+	}
+}
+
+// stages snapshots per-stage busy totals (stages that never ran are
+// omitted), the same shape the native recorder reports.
+func (l *ledger) stages() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range []struct {
+		name string
+		ns   *atomic.Int64
+	}{
+		{stageMapKernel, &l.mapKernelNs},
+		{stageMapPartition, &l.mapPartitionNs},
+		{stageNetSend, &l.netSendNs},
+		{stageNetRecv, &l.netRecvNs},
+		{stageReduce, &l.reduceNs},
+	} {
+		if v := s.ns.Load(); v > 0 {
+			out[s.name] = time.Duration(v)
+		}
+	}
+	return out
+}
+
+// publish pushes the settled counters into the telemetry registry. Call
+// once, after every node has quiesced.
+func (l *ledger) publish() {
+	if l.tel == nil || l.tel.Metrics == nil {
+		return
+	}
+	reg := l.tel.Metrics
+	reg.Counter("conserv_map_records_in_total").Add(l.mapRecordsIn.Load())
+	reg.Counter("conserv_map_pairs_out_total").Add(l.mapPairsOut.Load())
+	reg.Counter("conserv_partition_records_total").Add(l.partRecords.Load())
+	reg.Counter("conserv_partition_runs_total").Add(l.partRuns.Load())
+	reg.Counter("conserv_partition_raw_bytes_total").Add(l.partRaw.Load())
+	reg.Counter("conserv_partition_stored_bytes_total").Add(l.partStored.Load())
+	reg.Counter("conserv_store_accepted_records_total").Add(l.storeAccepted.Load())
+	reg.Counter("conserv_store_dup_dropped_records_total").Add(l.storeDupDropped.Load())
+	reg.Counter("conserv_store_lost_records_total").Add(l.storeLost.Load())
+	reg.Counter("conserv_reduce_records_in_total").Add(l.reduceRecordsIn.Load())
+	reg.Counter("conserv_reduce_groups_in_total").Add(l.reduceGroupsIn.Load())
+	reg.Counter("conserv_output_pairs_total").Add(l.outputPairs.Load())
+	reg.Counter("conserv_net_records_sent_total").Add(l.netRecordsSent.Load())
+	reg.Counter("conserv_net_bytes_sent_total").Add(l.netBytesSent.Load())
+	reg.Counter("conserv_net_records_recv_total").Add(l.netRecordsRecv.Load())
+	reg.Counter("conserv_net_bytes_recv_total").Add(l.netBytesRecv.Load())
+	reg.Counter("conserv_net_records_lost_total").Add(l.netRecordsLost.Load())
+	reg.Counter("conserv_net_bytes_lost_total").Add(l.netBytesLost.Load())
+	reg.Counter("dist_shuffle_bytes_total").Add(l.netBytesSent.Load())
+}

@@ -1,0 +1,482 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"glasswing/internal/core"
+)
+
+// The wire format is deliberately tiny: every frame is
+//
+//	[4-byte big-endian length][1-byte type][payload]
+//
+// where length counts the type byte plus the payload. Payloads are encoded
+// with uvarints and length-prefixed byte strings (the same primitives as
+// kv's stream framing). Bulk shuffle data rides in mRun frames whose
+// payload embeds a kv.Run blob verbatim — the bytes that would hit a spill
+// file are the bytes on the socket.
+
+// maxFrame bounds one frame; a length prefix beyond it means a corrupt or
+// hostile stream, not a big transfer (runs are produced per map chunk and
+// sit far below this).
+const maxFrame = 1 << 28
+
+// Message types. Control frames are small and never window-limited; mRun
+// is the only bulk type.
+const (
+	mHello      byte = iota + 1 // worker→coord: listen addr
+	mWelcome                    // coord→worker: assigned worker id, cluster size
+	mJobStart                   // coord→worker: job spec, peer addrs, partition homes
+	mMapTask                    // coord→worker: task, attempt, input block
+	mMapDone                    // worker→coord: task, attempt, attempt stats
+	mMapFailed                  // worker→coord: task, attempt, reason
+	mRun                        // worker→worker: one partition's run for one attempt (bulk)
+	mMark                       // worker→worker: attempt complete, commit staged runs
+	mAck                        // worker→worker: mark processed
+	mReduceTask                 // coord→worker: partition, attempt
+	mReduceDone                 // worker→coord: partition, attempt, output pairs
+	mReduceFailed               // worker→coord: partition, attempt, reason
+	mWorkerDead                 // coord→worker: dead id, reassigned partition homes
+	mJobEnd                     // coord→worker: job over, shut down
+	mHeartbeat                  // both directions: keep-alive
+	mPeerHello                  // worker→worker on dial: my worker id
+)
+
+func typeName(t byte) string {
+	names := [...]string{
+		mHello: "hello", mWelcome: "welcome", mJobStart: "job-start",
+		mMapTask: "map-task", mMapDone: "map-done", mMapFailed: "map-failed",
+		mRun: "run", mMark: "mark", mAck: "ack",
+		mReduceTask: "reduce-task", mReduceDone: "reduce-done", mReduceFailed: "reduce-failed",
+		mWorkerDead: "worker-dead", mJobEnd: "job-end", mHeartbeat: "heartbeat",
+		mPeerHello: "peer-hello",
+	}
+	if int(t) < len(names) && names[t] != "" {
+		return names[t]
+	}
+	return fmt.Sprintf("type-%d", t)
+}
+
+// writeFrame emits one frame. It performs a single Write call per frame
+// (header and payload pre-assembled) so a connection torn down between
+// frames never leaves a truncated frame behind — the kill accounting in
+// loopback mode relies on whole-frame delivery.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	frame := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(1+len(payload)))
+	frame[4] = typ
+	copy(frame[5:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one frame, tolerating arbitrary short reads from the
+// socket (io.ReadFull reassembles TCP segmentation).
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: implausible frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("dist: truncated frame: %w", err)
+	}
+	return body[0], body[1:], nil
+}
+
+// enc assembles a payload from uvarints and length-prefixed byte strings.
+type enc struct{ buf []byte }
+
+func (e *enc) u(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	e.buf = append(e.buf, tmp[:n]...)
+}
+
+func (e *enc) i(v int64) { e.u(uint64(v)) }
+
+func (e *enc) bytes(b []byte) {
+	e.u(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) str(s string) { e.bytes([]byte(s)) }
+
+func (e *enc) bool(b bool) {
+	if b {
+		e.u(1)
+	} else {
+		e.u(0)
+	}
+}
+
+var errCorrupt = errors.New("dist: corrupt payload")
+
+// dec decodes a payload; the first malformed field latches err and every
+// later read returns zero values, so decode paths check err once at the
+// end.
+type dec struct {
+	buf []byte
+	err error
+}
+
+func (d *dec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errCorrupt
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *dec) i() int64 { return int64(d.u()) }
+
+func (d *dec) bytes() []byte {
+	n := d.u()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = errCorrupt
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) bool() bool { return d.u() != 0 }
+
+// fin returns the latched decode error, also flagging trailing garbage.
+func (d *dec) fin(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("dist: decoding %s: %w", what, d.err)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("dist: decoding %s: %d trailing bytes", what, len(d.buf))
+	}
+	return nil
+}
+
+// --- message payloads ---
+
+type helloMsg struct {
+	ListenAddr string // where this worker accepts peer connections
+}
+
+func (m helloMsg) encode() []byte {
+	var e enc
+	e.str(m.ListenAddr)
+	return e.buf
+}
+
+func decodeHello(p []byte) (helloMsg, error) {
+	d := dec{buf: p}
+	m := helloMsg{ListenAddr: d.str()}
+	return m, d.fin("hello")
+}
+
+type welcomeMsg struct {
+	WorkerID int
+	Workers  int
+}
+
+func (m welcomeMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.WorkerID))
+	e.i(int64(m.Workers))
+	return e.buf
+}
+
+func decodeWelcome(p []byte) (welcomeMsg, error) {
+	d := dec{buf: p}
+	m := welcomeMsg{WorkerID: int(d.i()), Workers: int(d.i())}
+	return m, d.fin("welcome")
+}
+
+type jobStartMsg struct {
+	Job   Job
+	Peers []string // worker id → listen addr
+	Homes []int    // partition → home worker id
+}
+
+func (m jobStartMsg) encode() []byte {
+	var e enc
+	e.str(m.Job.App.Name)
+	e.bytes(m.Job.App.Params)
+	e.i(int64(m.Job.Partitions))
+	e.u(uint64(m.Job.Collector))
+	e.bool(m.Job.UseCombiner)
+	e.bool(m.Job.Compress)
+	e.i(int64(m.Job.MaxAttempts))
+	e.u(uint64(len(m.Peers)))
+	for _, p := range m.Peers {
+		e.str(p)
+	}
+	e.u(uint64(len(m.Homes)))
+	for _, h := range m.Homes {
+		e.i(int64(h))
+	}
+	return e.buf
+}
+
+func decodeJobStart(p []byte) (jobStartMsg, error) {
+	d := dec{buf: p}
+	var m jobStartMsg
+	m.Job.App.Name = d.str()
+	m.Job.App.Params = append([]byte(nil), d.bytes()...)
+	m.Job.Partitions = int(d.i())
+	m.Job.Collector = core.CollectorKind(d.u())
+	m.Job.UseCombiner = d.bool()
+	m.Job.Compress = d.bool()
+	m.Job.MaxAttempts = int(d.i())
+	np := d.u()
+	if np > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < np && d.err == nil; i++ {
+		m.Peers = append(m.Peers, d.str())
+	}
+	nh := d.u()
+	if nh > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < nh && d.err == nil; i++ {
+		m.Homes = append(m.Homes, int(d.i()))
+	}
+	return m, d.fin("job-start")
+}
+
+type mapTaskMsg struct {
+	Task    int
+	Attempt int
+	Block   []byte
+}
+
+func (m mapTaskMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Task))
+	e.i(int64(m.Attempt))
+	e.bytes(m.Block)
+	return e.buf
+}
+
+func decodeMapTask(p []byte) (mapTaskMsg, error) {
+	d := dec{buf: p}
+	m := mapTaskMsg{Task: int(d.i()), Attempt: int(d.i())}
+	m.Block = append([]byte(nil), d.bytes()...)
+	return m, d.fin("map-task")
+}
+
+// attemptStats is the map-side conservation slice of one successful
+// attempt, flushed into the shared ledger only when the attempt wins.
+type attemptStats struct {
+	RecordsIn   int64
+	PairsOut    int64
+	PartRecords int64
+	PartRuns    int64
+	PartRaw     int64
+	PartStored  int64
+}
+
+type mapDoneMsg struct {
+	Task    int
+	Attempt int
+	Stats   attemptStats
+}
+
+func (m mapDoneMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Task))
+	e.i(int64(m.Attempt))
+	e.i(m.Stats.RecordsIn)
+	e.i(m.Stats.PairsOut)
+	e.i(m.Stats.PartRecords)
+	e.i(m.Stats.PartRuns)
+	e.i(m.Stats.PartRaw)
+	e.i(m.Stats.PartStored)
+	return e.buf
+}
+
+func decodeMapDone(p []byte) (mapDoneMsg, error) {
+	d := dec{buf: p}
+	m := mapDoneMsg{Task: int(d.i()), Attempt: int(d.i())}
+	m.Stats = attemptStats{
+		RecordsIn: d.i(), PairsOut: d.i(),
+		PartRecords: d.i(), PartRuns: d.i(), PartRaw: d.i(), PartStored: d.i(),
+	}
+	return m, d.fin("map-done")
+}
+
+type taskFailMsg struct {
+	Task    int
+	Attempt int
+	Reason  string
+}
+
+func (m taskFailMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Task))
+	e.i(int64(m.Attempt))
+	e.str(m.Reason)
+	return e.buf
+}
+
+func decodeTaskFail(p []byte) (taskFailMsg, error) {
+	d := dec{buf: p}
+	m := taskFailMsg{Task: int(d.i()), Attempt: int(d.i()), Reason: d.str()}
+	return m, d.fin("task-fail")
+}
+
+type runMsg struct {
+	Task       int
+	Attempt    int
+	Partition  int
+	Records    int
+	RawBytes   int64
+	Compressed bool
+	Blob       []byte
+}
+
+func (m runMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Task))
+	e.i(int64(m.Attempt))
+	e.i(int64(m.Partition))
+	e.i(int64(m.Records))
+	e.i(m.RawBytes)
+	e.bool(m.Compressed)
+	e.bytes(m.Blob)
+	return e.buf
+}
+
+func decodeRun(p []byte) (runMsg, error) {
+	d := dec{buf: p}
+	m := runMsg{
+		Task: int(d.i()), Attempt: int(d.i()), Partition: int(d.i()),
+		Records: int(d.i()), RawBytes: d.i(), Compressed: d.bool(),
+	}
+	m.Blob = append([]byte(nil), d.bytes()...)
+	return m, d.fin("run")
+}
+
+type markMsg struct {
+	Task    int
+	Attempt int
+}
+
+func (m markMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Task))
+	e.i(int64(m.Attempt))
+	return e.buf
+}
+
+func decodeMark(p []byte) (markMsg, error) {
+	d := dec{buf: p}
+	m := markMsg{Task: int(d.i()), Attempt: int(d.i())}
+	return m, d.fin("mark")
+}
+
+type reduceTaskMsg struct {
+	Partition int
+	Attempt   int
+}
+
+func (m reduceTaskMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Partition))
+	e.i(int64(m.Attempt))
+	return e.buf
+}
+
+func decodeReduceTask(p []byte) (reduceTaskMsg, error) {
+	d := dec{buf: p}
+	m := reduceTaskMsg{Partition: int(d.i()), Attempt: int(d.i())}
+	return m, d.fin("reduce-task")
+}
+
+type reduceDoneMsg struct {
+	Partition int
+	Attempt   int
+	RecordsIn int64
+	GroupsIn  int64
+	Output    []byte // kv.Marshal of the partition's final pairs
+}
+
+func (m reduceDoneMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Partition))
+	e.i(int64(m.Attempt))
+	e.i(m.RecordsIn)
+	e.i(m.GroupsIn)
+	e.bytes(m.Output)
+	return e.buf
+}
+
+func decodeReduceDone(p []byte) (reduceDoneMsg, error) {
+	d := dec{buf: p}
+	m := reduceDoneMsg{
+		Partition: int(d.i()), Attempt: int(d.i()),
+		RecordsIn: d.i(), GroupsIn: d.i(),
+	}
+	m.Output = append([]byte(nil), d.bytes()...)
+	return m, d.fin("reduce-done")
+}
+
+type workerDeadMsg struct {
+	Dead  int
+	Homes []int // full partition → home map after reassignment
+}
+
+func (m workerDeadMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Dead))
+	e.u(uint64(len(m.Homes)))
+	for _, h := range m.Homes {
+		e.i(int64(h))
+	}
+	return e.buf
+}
+
+func decodeWorkerDead(p []byte) (workerDeadMsg, error) {
+	d := dec{buf: p}
+	m := workerDeadMsg{Dead: int(d.i())}
+	n := d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Homes = append(m.Homes, int(d.i()))
+	}
+	return m, d.fin("worker-dead")
+}
+
+type peerHelloMsg struct {
+	WorkerID int
+}
+
+func (m peerHelloMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.WorkerID))
+	return e.buf
+}
+
+func decodePeerHello(p []byte) (peerHelloMsg, error) {
+	d := dec{buf: p}
+	m := peerHelloMsg{WorkerID: int(d.i())}
+	return m, d.fin("peer-hello")
+}

@@ -1,0 +1,709 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"glasswing/internal/core"
+	"glasswing/internal/kv"
+	"glasswing/internal/obs"
+)
+
+// Join connects one worker process to the coordinator at coordAddr,
+// executes its share of the job, and returns when the job ends. The
+// application is resolved by name through the registry; listenAddr is the
+// peer-facing listener (use ":0" to let the kernel pick). Telemetry (may be
+// nil) receives this process's slice of the conservation ledger.
+func Join(coordAddr, listenAddr string, tun Tuning, tel *obs.Telemetry) error {
+	led := newLedger(tel)
+	_, err := runWorker(workerConfig{
+		coordAddr:  coordAddr,
+		listenAddr: listenAddr,
+		tun:        tun,
+		led:        led,
+		resolve:    RegistryResolver,
+	})
+	led.publish()
+	return err
+}
+
+// Resolver reconstructs an application from its wire spec. Code never
+// crosses the network: both ends run the same binary and look the app up
+// locally (registry.go provides the default; loopback injects the job's
+// App directly).
+type Resolver func(spec AppSpec) (*core.App, func(key []byte, n int) int, error)
+
+// workerConfig configures one worker node.
+type workerConfig struct {
+	coordAddr  string
+	listenAddr string // peer-facing listener ("127.0.0.1:0" for loopback)
+	tun        Tuning
+	led        *ledger // shared in loopback; nil = private
+	resolve    Resolver
+	// mapFault, if set, fails map attempts after the kernel but before any
+	// partitioning or sends — the same injection point as the sim core's
+	// FaultInjector, so failed attempts have no observable shuffle effect.
+	mapFault func(task, attempt int) bool
+	// onWelcome is called once the coordinator assigns this worker's id
+	// (loopback uses it to wire the kill hook).
+	onWelcome func(w *worker)
+}
+
+// pendingDone tracks the commit barrier of one finished map attempt: the
+// peers whose acks are still outstanding, and the attempt's stats to flush
+// when the last ack lands.
+type pendingDone struct {
+	acks  map[int]bool
+	stats attemptStats
+}
+
+// worker is one node of the distributed runtime.
+type worker struct {
+	cfg workerConfig
+	tun Tuning
+	led *ledger
+
+	id  int
+	n   int
+	job Job
+	app *core.App
+	prt func(key []byte, n int) int
+
+	coord     *conn
+	peers     []*conn // index by worker id; nil at own slot
+	peerAddrs []string
+
+	execCh chan execItem
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	store   *shuffleStore
+	homes   []int
+	alive   []bool
+	killed  bool
+	ackWait map[attemptKey]*pendingDone
+}
+
+type execItem struct {
+	reduce  bool
+	mapTask mapTaskMsg
+	redTask reduceTaskMsg
+}
+
+// runWorker joins the coordinator at cfg.coordAddr, executes one job, and
+// returns whether the worker was killed mid-job (loopback fault cells) and
+// any unexpected error.
+func runWorker(cfg workerConfig) (killed bool, err error) {
+	tun := cfg.tun.withDefaults()
+	led := cfg.led
+	ownLed := led == nil
+	if ownLed {
+		led = newLedger(nil)
+	}
+	w := &worker{
+		cfg:     cfg,
+		tun:     tun,
+		led:     led,
+		execCh:  make(chan execItem, 4096),
+		stop:    make(chan struct{}),
+		store:   newShuffleStore(),
+		ackWait: make(map[attemptKey]*pendingDone),
+	}
+
+	ln, err := net.Listen("tcp", cfg.listenAddr)
+	if err != nil {
+		return false, fmt.Errorf("dist: worker listen: %w", err)
+	}
+	defer ln.Close()
+
+	c, err := net.Dial("tcp", cfg.coordAddr)
+	if err != nil {
+		return false, fmt.Errorf("dist: dialing coordinator: %w", err)
+	}
+	w.coord = newConn(c, "coord", tun, nil)
+	defer w.coord.close()
+
+	w.coord.send(frame{typ: mHello, payload: helloMsg{ListenAddr: ln.Addr().String()}.encode()})
+
+	if err := w.join(); err != nil {
+		return false, err
+	}
+	if cfg.onWelcome != nil {
+		cfg.onWelcome(w)
+	}
+	if err := w.connectPeers(ln); err != nil {
+		return false, err
+	}
+
+	for j, pc := range w.peers {
+		if pc == nil {
+			continue
+		}
+		w.wg.Add(1)
+		go w.peerReader(j, pc)
+	}
+	w.wg.Add(1)
+	go w.executor()
+
+	err = w.coordLoop()
+
+	close(w.stop)
+	w.coord.close()
+	w.mu.Lock()
+	wasKilled := w.killed
+	w.mu.Unlock()
+	for _, pc := range w.peers {
+		if pc == nil {
+			continue
+		}
+		if wasKilled {
+			pc.seal() // already sealed by kill; idempotent
+		} else {
+			pc.shutdown()
+		}
+	}
+	w.wg.Wait()
+	for _, pc := range w.peers {
+		if pc != nil {
+			pc.close()
+		}
+	}
+	if ownLed {
+		led.publish()
+	}
+	if wasKilled {
+		return true, nil
+	}
+	return false, err
+}
+
+// join completes the hello/welcome/job-start handshake.
+func (w *worker) join() error {
+	typ, p, err := w.coord.recv()
+	if err != nil {
+		return fmt.Errorf("dist: awaiting welcome: %w", err)
+	}
+	if typ != mWelcome {
+		return fmt.Errorf("dist: expected welcome, got %s", typeName(typ))
+	}
+	wel, err := decodeWelcome(p)
+	if err != nil {
+		return err
+	}
+	w.id, w.n = wel.WorkerID, wel.Workers
+
+	typ, p, err = w.coord.recv()
+	if err != nil {
+		return fmt.Errorf("dist: awaiting job start: %w", err)
+	}
+	if typ != mJobStart {
+		return fmt.Errorf("dist: expected job-start, got %s", typeName(typ))
+	}
+	js, err := decodeJobStart(p)
+	if err != nil {
+		return err
+	}
+	w.job = js.Job.withDefaults()
+	w.homes = js.Homes
+	w.alive = make([]bool, w.n)
+	for i := range w.alive {
+		w.alive[i] = true
+	}
+	w.peerAddrs = js.Peers
+
+	app, prt, err := w.cfg.resolve(w.job.App)
+	if err != nil {
+		return fmt.Errorf("dist: resolving app %q: %w", w.job.App.Name, err)
+	}
+	if prt == nil {
+		prt = kv.Partition
+	}
+	w.app, w.prt = app, prt
+	return nil
+}
+
+// connectPeers establishes the worker mesh: this worker dials every peer
+// with a lower id and accepts a connection from every peer with a higher
+// one, identifying dialers by their peer-hello frame.
+func (w *worker) connectPeers(ln net.Listener) error {
+	w.peers = make([]*conn, w.n)
+	onDrop := func(records, acct int64) { w.led.netLost(records, acct) }
+	// net/send spans are recorded on the pump goroutine, where the socket
+	// write actually happens — that is the wall-clock interval that
+	// overlaps the executor's map/kernel spans in the trace.
+	onBulkWrite := func() func() { return w.led.span(w.id, stageNetSend) }
+
+	type res struct {
+		id  int
+		cc  *conn
+		err error
+	}
+	ch := make(chan res, w.n)
+	for j := 0; j < w.id; j++ {
+		go func(j int) {
+			c, err := net.Dial("tcp", w.peerAddrs[j])
+			if err != nil {
+				ch <- res{err: fmt.Errorf("dist: dialing peer %d: %w", j, err)}
+				return
+			}
+			cc := newConn(c, fmt.Sprintf("peer%d", j), w.tun, onDrop)
+			cc.onBulkWrite = onBulkWrite
+			cc.send(frame{typ: mPeerHello, payload: peerHelloMsg{WorkerID: w.id}.encode()})
+			ch <- res{id: j, cc: cc}
+		}(j)
+	}
+	accepts := w.n - 1 - w.id
+	go func() {
+		for i := 0; i < accepts; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				ch <- res{err: fmt.Errorf("dist: accepting peer: %w", err)}
+				return
+			}
+			cc := newConn(c, "peer?", w.tun, onDrop)
+			cc.onBulkWrite = onBulkWrite
+			typ, p, err := cc.recv()
+			if err != nil || typ != mPeerHello {
+				cc.close()
+				ch <- res{err: fmt.Errorf("dist: bad peer hello (%s): %v", typeName(typ), err)}
+				return
+			}
+			ph, err := decodePeerHello(p)
+			if err != nil {
+				cc.close()
+				ch <- res{err: err}
+				return
+			}
+			ch <- res{id: ph.WorkerID, cc: cc}
+		}
+	}()
+	for i := 0; i < w.n-1; i++ {
+		r := <-ch
+		if r.err != nil {
+			return r.err
+		}
+		if r.id < 0 || r.id >= w.n || r.id == w.id || w.peers[r.id] != nil {
+			r.cc.close()
+			return fmt.Errorf("dist: peer id %d invalid or duplicate", r.id)
+		}
+		w.peers[r.id] = r.cc
+	}
+	return nil
+}
+
+// coordLoop dispatches coordinator frames until job end, death of the
+// coordinator, or our own (expected) kill.
+func (w *worker) coordLoop() error {
+	for {
+		typ, p, err := w.coord.recv()
+		if err != nil {
+			w.mu.Lock()
+			killed := w.killed
+			w.mu.Unlock()
+			if killed {
+				return nil
+			}
+			return fmt.Errorf("dist: lost coordinator: %w", err)
+		}
+		switch typ {
+		case mMapTask:
+			m, err := decodeMapTask(p)
+			if err != nil {
+				return err
+			}
+			w.execCh <- execItem{mapTask: m}
+		case mReduceTask:
+			m, err := decodeReduceTask(p)
+			if err != nil {
+				return err
+			}
+			w.execCh <- execItem{reduce: true, redTask: m}
+		case mWorkerDead:
+			m, err := decodeWorkerDead(p)
+			if err != nil {
+				return err
+			}
+			w.handleDeath(m)
+		case mJobEnd:
+			return nil
+		default:
+			return fmt.Errorf("dist: unexpected %s from coordinator", typeName(typ))
+		}
+	}
+}
+
+// executor runs map and reduce tasks serially; shuffle sends are
+// asynchronous (the connection write pumps own the sockets), so task k's
+// network transfer overlaps task k+1's kernel — the paper's stage-4
+// compute/communication overlap.
+func (w *worker) executor() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case it := <-w.execCh:
+			if it.reduce {
+				w.runReduce(it.redTask)
+			} else {
+				w.runMap(it.mapTask)
+			}
+		}
+	}
+}
+
+// execMapKernel runs the map kernel over one block through the configured
+// collector: the hash table groups values per key (enabling the combiner),
+// the buffer pool appends pairs directly. Either way the emitted multiset
+// is identical (the combiner is the only semantic difference), matching
+// the native pipeline's collector behavior.
+func execMapKernel(app *core.App, job Job, recs []kv.Pair) []kv.Pair {
+	var out []kv.Pair
+	emitCopy := func(k, v []byte) {
+		out = append(out, kv.Pair{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+	}
+	if job.Collector == core.HashTable {
+		idx := make(map[string]int)
+		var keys [][]byte
+		var vals [][][]byte
+		emit := func(k, v []byte) {
+			i, ok := idx[string(k)]
+			if !ok {
+				i = len(keys)
+				idx[string(k)] = i
+				keys = append(keys, append([]byte(nil), k...))
+				vals = append(vals, nil)
+			}
+			vals[i] = append(vals[i], append([]byte(nil), v...))
+		}
+		for _, rec := range recs {
+			app.Map(rec, emit)
+		}
+		if job.UseCombiner && app.Combine != nil {
+			for i := range keys {
+				app.Combine(keys[i], vals[i], emitCopy)
+			}
+		} else {
+			for i := range keys {
+				for _, v := range vals[i] {
+					out = append(out, kv.Pair{Key: keys[i], Value: v})
+				}
+			}
+		}
+		return out
+	}
+	for _, rec := range recs {
+		app.Map(rec, emitCopy)
+	}
+	return out
+}
+
+// runMap executes one map attempt: kernel, partition, push runs to their
+// home workers, then mark every live peer. The attempt reports done to the
+// coordinator only when every live peer has acked its marker — at which
+// point its output is committed everywhere it needs to be.
+func (w *worker) runMap(m mapTaskMsg) {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+
+	end := w.led.span(w.id, stageMapKernel)
+	recs := w.app.Parse(m.Block)
+	pairs := execMapKernel(w.app, w.job, recs)
+	end()
+
+	if w.cfg.mapFault != nil && w.cfg.mapFault(m.Task, m.Attempt) {
+		// Fail before partitioning: like the sim core, a failed attempt has
+		// produced nothing durable and nothing has touched the wire.
+		w.coord.send(frame{typ: mMapFailed, payload: taskFailMsg{
+			Task: m.Task, Attempt: m.Attempt, Reason: "injected fault",
+		}.encode()})
+		return
+	}
+
+	P := w.job.Partitions
+	end = w.led.span(w.id, stageMapPartition)
+	buckets := make([][]kv.Pair, P)
+	for _, pr := range pairs {
+		p := w.prt(pr.Key, P)
+		buckets[p] = append(buckets[p], pr)
+	}
+	runs := make([]*kv.Run, P)
+	stats := attemptStats{RecordsIn: int64(len(recs)), PairsOut: int64(len(pairs))}
+	for p, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		kv.SortPairs(b)
+		r := kv.NewRun(b, w.job.Compress)
+		runs[p] = r
+		stats.PartRecords += int64(r.Records)
+		stats.PartRuns++
+		stats.PartRaw += r.RawBytes
+		stats.PartStored += r.StoredBytes()
+	}
+	end()
+
+	// Register the ack barrier and commit our own partitions under one
+	// lock, against a consistent homes/alive snapshot: a death processed
+	// before this point is excluded from the barrier, one processed after
+	// will prune it.
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	homes := append([]int(nil), w.homes...)
+	var livePeers []int
+	for j := 0; j < w.n; j++ {
+		if j != w.id && w.alive[j] {
+			livePeers = append(livePeers, j)
+		}
+	}
+	for p, r := range runs {
+		if r != nil && homes[p] == w.id {
+			w.store.stage(m.Task, m.Attempt, p, r)
+		}
+	}
+	acc, dup := w.store.commit(m.Task, m.Attempt)
+	w.led.storeAccepted.Add(acc)
+	w.led.storeDupDropped.Add(dup)
+	var pd *pendingDone
+	if len(livePeers) > 0 {
+		pd = &pendingDone{acks: make(map[int]bool, len(livePeers)), stats: stats}
+		for _, j := range livePeers {
+			pd.acks[j] = true
+		}
+		w.ackWait[attemptKey{m.Task, m.Attempt}] = pd
+	}
+	w.mu.Unlock()
+
+	// Push remote partitions. The send window may block here — that is the
+	// backpressure path — but the frames stream out through the pumps while
+	// this executor moves on to the next task.
+	for p := 0; p < P; p++ {
+		r := runs[p]
+		if r == nil || homes[p] == w.id {
+			continue
+		}
+		payload := runMsg{
+			Task: m.Task, Attempt: m.Attempt, Partition: p,
+			Records: r.Records, RawBytes: r.RawBytes, Compressed: r.Compressed,
+			Blob: r.Blob(),
+		}.encode()
+		w.led.netSent(int64(r.Records), r.StoredBytes())
+		w.peers[homes[p]].send(frame{
+			typ: mRun, payload: payload, bulk: true,
+			records: int64(r.Records), acct: r.StoredBytes(),
+		})
+	}
+	mark := markMsg{Task: m.Task, Attempt: m.Attempt}.encode()
+	for _, j := range livePeers {
+		w.peers[j].send(frame{typ: mMark, payload: mark})
+	}
+	if pd == nil {
+		// Single-node cluster (or every peer dead): no barrier to wait on.
+		w.led.flushAttempt(stats)
+		w.coord.send(frame{typ: mMapDone, payload: mapDoneMsg{Task: m.Task, Attempt: m.Attempt, Stats: stats}.encode()})
+	}
+}
+
+// runReduce merges one home partition's committed runs and applies the
+// reduce kernel (or drains merged pairs for reduce-less apps), reporting
+// the partition's output to the coordinator.
+func (w *worker) runReduce(rt reduceTaskMsg) {
+	end := w.led.span(w.id, stageReduce)
+	w.mu.Lock()
+	runs := append([]*kv.Run(nil), w.store.runsFor(rt.Partition)...)
+	w.mu.Unlock()
+
+	var recordsIn int64
+	iters := make([]kv.Iterator, len(runs))
+	for i, r := range runs {
+		recordsIn += int64(r.Records)
+		iters[i] = r.Iter()
+	}
+	merged := kv.Merge(iters...)
+	var out []kv.Pair
+	var groups int64
+	if w.app.Reduce != nil {
+		emit := func(k, v []byte) {
+			out = append(out, kv.Pair{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+		}
+		gi := kv.NewGroupIter(merged)
+		for {
+			g, ok := gi.Next()
+			if !ok {
+				break
+			}
+			groups++
+			w.app.Reduce(g.Key, g.Values, emit)
+		}
+	} else {
+		out = kv.Drain(merged)
+	}
+	w.led.reduceRecordsIn.Add(recordsIn)
+	w.led.reduceGroupsIn.Add(groups)
+	w.led.outputPairs.Add(int64(len(out)))
+	end()
+
+	w.coord.send(frame{typ: mReduceDone, payload: reduceDoneMsg{
+		Partition: rt.Partition, Attempt: rt.Attempt,
+		RecordsIn: recordsIn, GroupsIn: groups, Output: kv.Marshal(out),
+	}.encode()})
+}
+
+// peerReader owns the inbound side of one peer link.
+func (w *worker) peerReader(j int, cc *conn) {
+	defer w.wg.Done()
+	for {
+		typ, p, err := cc.recv()
+		if err != nil {
+			cc.close()
+			return
+		}
+		switch typ {
+		case mRun:
+			w.onRun(p)
+		case mMark:
+			w.onMark(cc, p)
+		case mAck:
+			w.onAck(j, p)
+		}
+	}
+}
+
+// onRun stages one inbound shuffle run — or, on a killed worker, drains it
+// as lost so the wire ledger still balances.
+func (w *worker) onRun(p []byte) {
+	end := w.led.span(w.id, stageNetRecv)
+	defer end()
+	msg, err := decodeRun(p)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		w.led.netLost(int64(msg.Records), int64(len(msg.Blob)))
+		return
+	}
+	w.led.netRecv(int64(msg.Records), int64(len(msg.Blob)))
+	run := kv.RunFromBlob(msg.Blob, msg.Records, msg.RawBytes, msg.Compressed)
+	w.store.stage(msg.Task, msg.Attempt, msg.Partition, run)
+}
+
+// onMark commits an attempt's staged runs and acks the sender. A killed
+// worker neither commits nor acks — the sender's barrier is released by
+// the coordinator's death notice instead.
+func (w *worker) onMark(cc *conn, p []byte) {
+	msg, err := decodeMark(p)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	acc, dup := w.store.commit(msg.Task, msg.Attempt)
+	w.led.storeAccepted.Add(acc)
+	w.led.storeDupDropped.Add(dup)
+	w.mu.Unlock()
+	cc.send(frame{typ: mAck, payload: p})
+}
+
+// onAck releases one peer from an attempt's commit barrier; the last ack
+// flushes the attempt's stats and reports map-done.
+func (w *worker) onAck(j int, p []byte) {
+	msg, err := decodeMark(p)
+	if err != nil {
+		return
+	}
+	k := attemptKey{msg.Task, msg.Attempt}
+	var done *pendingDone
+	w.mu.Lock()
+	if pd := w.ackWait[k]; pd != nil {
+		delete(pd.acks, j)
+		if len(pd.acks) == 0 {
+			delete(w.ackWait, k)
+			done = pd
+		}
+	}
+	w.mu.Unlock()
+	if done != nil {
+		w.led.flushAttempt(done.stats)
+		w.coord.send(frame{typ: mMapDone, payload: mapDoneMsg{Task: k.task, Attempt: k.attempt, Stats: done.stats}.encode()})
+	}
+}
+
+// handleDeath applies a coordinator death notice: mark the peer dead,
+// adopt the re-homed partition map, release the dead peer from every
+// commit barrier, and seal our link to it (queued frames are accounted
+// lost; already-delivered bytes will still be drained by the dying peer).
+func (w *worker) handleDeath(m workerDeadMsg) {
+	type flushed struct {
+		k  attemptKey
+		pd *pendingDone
+	}
+	var done []flushed
+	w.mu.Lock()
+	if m.Dead >= 0 && m.Dead < w.n {
+		w.alive[m.Dead] = false
+	}
+	if len(m.Homes) == len(w.homes) {
+		w.homes = m.Homes
+	}
+	for k, pd := range w.ackWait {
+		if pd.acks[m.Dead] {
+			delete(pd.acks, m.Dead)
+			if len(pd.acks) == 0 {
+				delete(w.ackWait, k)
+				done = append(done, flushed{k, pd})
+			}
+		}
+	}
+	w.mu.Unlock()
+	if m.Dead >= 0 && m.Dead < len(w.peers) && w.peers[m.Dead] != nil {
+		w.peers[m.Dead].seal()
+	}
+	for _, d := range done {
+		w.led.flushAttempt(d.pd.stats)
+		w.coord.send(frame{typ: mMapDone, payload: mapDoneMsg{Task: d.k.task, Attempt: d.k.attempt, Stats: d.pd.stats}.encode()})
+	}
+}
+
+// kill simulates this worker dying mid-job (loopback fault cells): the
+// store's committed records are written off as lost, outbound pumps seal
+// (queued frames become net-lost), inbound links switch to drain
+// accounting, and the coordinator link drops — which is how the
+// coordinator finds out.
+func (w *worker) kill() {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.killed = true
+	lost := w.store.lostAll()
+	w.led.storeLost.Add(lost)
+	w.ackWait = make(map[attemptKey]*pendingDone)
+	w.mu.Unlock()
+	for _, pc := range w.peers {
+		if pc != nil {
+			pc.seal()
+		}
+	}
+	w.coord.close()
+}

@@ -50,6 +50,16 @@ func NewRun(pairs []Pair, compress bool) *Run {
 // the network.
 func (r *Run) StoredBytes() int64 { return int64(len(r.blob)) }
 
+// Blob exposes the encoded bytes for transport. Callers must not mutate
+// the returned slice — it is the run's backing store.
+func (r *Run) Blob() []byte { return r.blob }
+
+// RunFromBlob reconstructs a run received over the wire from its encoded
+// bytes and metadata. The blob is retained, not copied.
+func RunFromBlob(blob []byte, records int, rawBytes int64, compressed bool) *Run {
+	return &Run{blob: blob, Records: records, RawBytes: rawBytes, Compressed: compressed}
+}
+
 // Pairs decodes the run back into sorted pairs.
 func (r *Run) Pairs() ([]Pair, error) {
 	blob := r.blob

@@ -86,15 +86,48 @@ func (r *Reader) Read() (Pair, error) {
 	if kl > maxFrameLen || vl > maxFrameLen {
 		return Pair{}, fmt.Errorf("kv: implausible frame lengths %d/%d", kl, vl)
 	}
-	key := make([]byte, kl)
-	if _, err := io.ReadFull(r.r, key); err != nil {
+	key, err := readCapped(r.r, kl)
+	if err != nil {
 		return Pair{}, fmt.Errorf("kv: reading key: %w", unexpected(err))
 	}
-	val := make([]byte, vl)
-	if _, err := io.ReadFull(r.r, val); err != nil {
+	val, err := readCapped(r.r, vl)
+	if err != nil {
 		return Pair{}, fmt.Errorf("kv: reading value: %w", unexpected(err))
 	}
 	return Pair{Key: key, Value: val}, nil
+}
+
+// readCapped reads exactly n bytes, growing the buffer in bounded chunks.
+// A corrupt or truncated stream whose length prefix claims a huge frame
+// (network streams are untrusted input — a hostile 5-byte prefix can claim
+// a gigabyte) then fails with io.ErrUnexpectedEOF after at most one chunk
+// of over-allocation instead of committing the full claimed length up
+// front.
+func readCapped(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 64 << 10
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, chunk)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	for uint64(len(buf)) < n {
+		step := n - uint64(len(buf))
+		if step > chunk {
+			step = chunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 func unexpected(err error) error {

@@ -69,6 +69,102 @@ func TestStreamTruncationDetected(t *testing.T) {
 	}
 }
 
+// jaggedReader delivers at most a few bytes per Read call, the way a TCP
+// socket hands back whatever segment happens to have arrived.
+type jaggedReader struct {
+	data []byte
+	step int
+}
+
+func (j *jaggedReader) Read(p []byte) (int, error) {
+	if len(j.data) == 0 {
+		return 0, io.EOF
+	}
+	n := 1 + j.step%3 // 1..3 bytes per call
+	j.step++
+	if n > len(j.data) {
+		n = len(j.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, j.data[:n])
+	j.data = j.data[n:]
+	return n, nil
+}
+
+// TestStreamPartialReads decodes a stream delivered in 1-3 byte fragments:
+// frame boundaries never align with read boundaries, as over a socket.
+func TestStreamPartialReads(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("alpha"), Value: bytes.Repeat([]byte("v"), 500)},
+		{Key: bytes.Repeat([]byte("k"), 200), Value: []byte("beta")},
+		{Key: nil, Value: nil},
+		{Key: []byte("tail"), Value: []byte("end")},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, p := range pairs {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&jaggedReader{data: buf.Bytes()})
+	for i, want := range pairs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("pair %d mismatch over jagged reads", i)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+// TestStreamSocketSplit replays the shuffle plane's failure shape: a peer
+// dies mid-transfer and the survivor holds a prefix that stops between the
+// key and value of a record. The reader must surface truncation, not EOF,
+// and deliver every record that fully arrived first.
+func TestStreamSocketSplit(t *testing.T) {
+	// The same segment as testdata/fuzz/FuzzStreamDecode/seed-socket-split:
+	// six 18-byte records with the last one cut after its key.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 6; i++ {
+		w.Write(Pair{
+			Key:   []byte{'w', 'o', 'r', 'd', '-', '0', '0', byte('0' + i)},
+			Value: []byte{1, 0, 0, 0, 0, 0, 0, 0},
+		})
+	}
+	w.Flush()
+	segment := buf.Bytes()[:100]
+
+	r := NewReader(bytes.NewReader(segment))
+	var got int
+	for {
+		_, err := r.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				t.Fatalf("mid-record split reported as clean EOF after %d records", got)
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+			}
+			break
+		}
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("decoded %d whole records before the split, want 5", got)
+	}
+}
+
 func TestStreamThroughFlateFile(t *testing.T) {
 	// The native runtime's spill path: stream pairs through DEFLATE into a
 	// real file and back.

@@ -1,0 +1,120 @@
+package nativebench
+
+import (
+	"testing"
+
+	"glasswing/internal/dist"
+	"glasswing/internal/obs"
+)
+
+// DistScenario is one pinned distributed-runtime workload: a loopback TCP
+// cluster with a fixed worker count running a DemoJob. Timed iterations
+// include cluster formation — a real dist job pays for connection setup,
+// so the benchmark does too.
+type DistScenario struct {
+	Name string
+	// Build constructs the run options. Input synthesis is excluded from
+	// timing (Build runs once, before the timer starts).
+	Build func() dist.Options
+}
+
+// DistScenarios returns the tracked distributed scenario table. Worker and
+// partition counts are pinned, like the native table, so rows are
+// comparable across machines and PRs.
+func DistScenarios() []DistScenario {
+	return []DistScenario{
+		{
+			// The shuffle-plane hot path: word count across 3 workers, small
+			// blocks so every mapper streams runs to remote partitions while
+			// later blocks are still being mapped.
+			Name: "dist-wc-3w",
+			Build: func() dist.Options {
+				return distDemo("wc", 1<<20, 8, 16<<10)
+			},
+		},
+		{
+			// Bulk-volume variant: TeraSort moves every input byte through
+			// the network shuffle (no combiner, value-carrying pairs).
+			Name: "dist-ts-3w",
+			Build: func() dist.Options {
+				return distDemo("ts", 1<<20, 8, 16<<10)
+			},
+		},
+	}
+}
+
+// distDemo builds pinned 3-worker loopback options for one DemoJob. The
+// table is static, so a bad app name is a programming error — panic.
+func distDemo(app string, size, partitions, chunk int) dist.Options {
+	job, blocks, _, err := dist.DemoJob(app, size, partitions, chunk)
+	if err != nil {
+		panic(err)
+	}
+	return dist.Options{Job: job, Workers: 3, Blocks: blocks, KillWorker: -1}
+}
+
+// BenchDist runs one distributed scenario under a testing.B.
+func BenchDist(b *testing.B, s DistScenario) {
+	o := s.Build()
+	var in int64
+	for _, blk := range o.Blocks {
+		in += int64(len(blk))
+	}
+	b.SetBytes(in)
+	b.ReportAllocs()
+	var pairs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dist.RunLoopback(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs += int64(res.IntermediatePairs)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(pairs)/sec, "pairs/s")
+	}
+}
+
+// MeasureDist benchmarks one distributed scenario and folds the outcome
+// into a Result row, then probes instrumented runs for the stage and
+// shuffle-volume columns. Stage busy time is summed from telemetry spans
+// (net/send covers each frame's queue-plus-write tenure, so it can exceed
+// wall time when transfers overlap); the per-stage minimum across probes
+// drops scheduler noise, as in Measure.
+func MeasureDist(s DistScenario) Result {
+	r := testing.Benchmark(func(b *testing.B) { BenchDist(b, s) })
+	res := Result{
+		Name:        s.Name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		PairsPerSec: r.Extra["pairs/s"],
+	}
+	if r.T > 0 {
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	for probe := 0; probe < 3; probe++ {
+		o := s.Build()
+		o.Telemetry = obs.NewTelemetry()
+		if _, err := dist.RunLoopback(o); err != nil {
+			break
+		}
+		busy := map[string]int64{}
+		for _, sp := range o.Telemetry.Spans.Spans() {
+			busy[sp.Stage] += int64((sp.End - sp.Start) * 1e9)
+		}
+		if res.StageNs == nil {
+			res.StageNs = make(map[string]int64, len(busy))
+		}
+		for stage, ns := range busy {
+			if cur, ok := res.StageNs[stage]; !ok || ns < cur {
+				res.StageNs[stage] = ns
+			}
+		}
+		res.ShuffleBytes = o.Telemetry.Metrics.Counter("dist_shuffle_bytes_total").Value()
+	}
+	return res
+}

@@ -150,6 +150,9 @@ type Result struct {
 	StageNs    map[string]int64 `json:"stage_ns,omitempty"`
 	SpillFiles int              `json:"spill_files,omitempty"`
 	SpillBytes int64            `json:"spill_bytes,omitempty"`
+	// ShuffleBytes is the network shuffle volume of one instrumented run
+	// (dist scenarios only): bytes of kv runs enqueued to remote peers.
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
 }
 
 // Measure benchmarks one scenario via testing.Benchmark and folds the

@@ -86,6 +86,8 @@ func TrackOrder(stage string) string {
 		"map/kernel":    "a2",
 		"map/retrieve":  "a3",
 		"map/partition": "a4",
+		"net/send":      "a5",
+		"net/recv":      "a6",
 		"merge":         "b0",
 		"spill":         "b1",
 		"retry":         "b2",
