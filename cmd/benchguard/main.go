@@ -1,11 +1,13 @@
 // Command benchguard is the benchmark regression gate: it measures the
 // pinned native scenarios fresh (or reads a previously measured report) and
 // diffs them against the committed BENCH_native.json baseline, failing when
-// allocs_per_op regresses past its budget (default 25%) or a per-stage busy
-// time past its wider one (default 50% — stage wall time is noisy even on
-// serialized probes; see nativebench.GuardOpts). Raw wall time is reported
-// but never gated — shared CI hardware is too noisy for a hard ns/op
-// threshold.
+// allocs_per_op regresses past its budget (default 25%; 10% for the
+// batch-allocated wc-hash/wc-pool scenarios), a per-stage busy time past
+// its wider one (default 50% — stage wall time is noisy even on serialized
+// probes; see nativebench.GuardOpts), or a dist row's shuffle_bytes past
+// 10% — wire volume is deterministic, so a fatter encoding or broken frame
+// coalescing fails immediately. Raw wall time is reported but never gated —
+// shared CI hardware is too noisy for a hard ns/op threshold.
 //
 // Usage:
 //
@@ -76,6 +78,14 @@ func main() {
 	regs := nativebench.CompareResults(base.Scenarios, fresh, nativebench.GuardOpts{
 		MaxRatio:      *maxRatio,
 		StageMaxRatio: *stageMaxRatio,
+		// The batch-kernel scenarios allocate a few large slabs per op
+		// instead of hundreds of thousands of per-record cells; at that
+		// count one reintroduced per-record allocation site shows up as a
+		// multiple, so their budget is much tighter than the default 25%.
+		AllocOverride: map[string]float64{
+			"wc-hash": 1.10,
+			"wc-pool": 1.10,
+		},
 	})
 	if len(regs) == 0 {
 		fmt.Printf("benchguard: %d scenarios within budget vs %s\n", len(base.Scenarios), *baseline)

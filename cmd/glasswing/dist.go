@@ -68,9 +68,44 @@ func runDistJob(c distJobConfig) {
 	if c.report {
 		fmt.Println()
 		glasswing.AnalyzePipeline(tel.Spans.Spans()).WriteTable(os.Stdout)
+		printWireReport(tel.Metrics)
 	}
-	writeTraceFile(c.traceOut, tel.Spans.Spans(), tel.Spans.Instants())
+	writeTraceFile(c.traceOut, tel.Spans.Spans(), tel.Spans.Instants(),
+		glasswing.TraceMeta(tel.Metrics,
+			"dist_frame_bytes", "dist_shuffle_bytes_total",
+			"dist_net_queue_ns_total", "dist_net_write_ns_total"))
 	writeMetricsFile(c.metricsOut, tel.Metrics)
+}
+
+// printWireReport prints the shuffle wire's frame-size distribution and the
+// net/send queue-vs-write split under -report, after the stage table.
+func printWireReport(reg *glasswing.MetricsRegistry) {
+	var frames *glasswing.Metric
+	for _, m := range reg.Snapshot() {
+		if m.Name == "dist_frame_bytes" {
+			mm := m
+			frames = &mm
+			break
+		}
+	}
+	if frames == nil || frames.Count == 0 {
+		return
+	}
+	fmt.Printf("\nshuffle wire: %d frames, %.0f B on the wire (mean %.0f B/frame)\n",
+		frames.Count, frames.Sum, frames.Sum/float64(frames.Count))
+	fmt.Print("frame sizes:")
+	for _, b := range frames.Buckets {
+		if b.Count > 0 {
+			fmt.Printf("  ≤%sB:%d", b.Le, b.Count)
+		}
+	}
+	fmt.Println()
+	queue := reg.Counter("dist_net_queue_ns_total").Value()
+	write := reg.Counter("dist_net_write_ns_total").Value()
+	if queue+write > 0 {
+		fmt.Printf("net/send split: %.2fms queued, %.2fms writing\n",
+			float64(queue)/1e6, float64(write)/1e6)
+	}
 }
 
 // runDistWorker joins a remote coordinator and blocks until the job ends.

@@ -240,13 +240,13 @@ func main() {
 		fmt.Println()
 		glasswing.AnalyzePipeline(glasswing.TraceSpans(res)).WriteTable(os.Stdout)
 	}
-	writeTraceFile(*traceOut, glasswing.TraceSpans(res), glasswing.TraceInstants(res))
+	writeTraceFile(*traceOut, glasswing.TraceSpans(res), glasswing.TraceInstants(res), nil)
 	writeMetricsFile(*metricsOut, reg)
 }
 
 // writeTraceFile exports spans as Chrome trace_event JSON (no-op without a
-// path).
-func writeTraceFile(path string, spans []glasswing.Span, instants []glasswing.TraceInstant) {
+// path). meta, when non-nil, rides in the trace's otherData object.
+func writeTraceFile(path string, spans []glasswing.Span, instants []glasswing.TraceInstant, meta map[string]any) {
 	if path == "" {
 		return
 	}
@@ -254,7 +254,7 @@ func writeTraceFile(path string, spans []glasswing.Span, instants []glasswing.Tr
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := glasswing.WriteChromeTrace(f, spans, instants...); err != nil {
+	if err := glasswing.WriteChromeTraceWithMeta(f, spans, meta, instants...); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -369,6 +369,6 @@ func runNativeJob(appName string, size int, traceOut, metricsOut string, report 
 		fmt.Println()
 		glasswing.AnalyzePipeline(tel.Spans.Spans()).WriteTable(os.Stdout)
 	}
-	writeTraceFile(traceOut, tel.Spans.Spans(), tel.Spans.Instants())
+	writeTraceFile(traceOut, tel.Spans.Spans(), tel.Spans.Instants(), nil)
 	writeMetricsFile(metricsOut, tel.Metrics)
 }

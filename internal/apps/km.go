@@ -65,80 +65,111 @@ func KMeans(spec KMeansSpec) *core.App {
 	perPoint := float64(spec.CostK()*dim*3 + 8)
 	agg := func(key []byte, values [][]byte, emit func(k, v []byte)) {
 		sum := make([]float64, dim)
-		var count uint64
-		for _, v := range values {
-			s, c, err := decodeKMValue(v, dim)
-			if err != nil {
-				panic(err)
-			}
-			for d := 0; d < dim; d++ {
-				sum[d] += s[d]
-			}
-			count += c
+		count, err := kmAccumulate(values, dim, sum)
+		if err != nil {
+			panic(err)
 		}
 		emit(key, encodeKMValue(sum, count))
 	}
-	return &core.App{
+	return core.FinishBatchApp(&core.App{
 		Name:             "KM",
 		Parse:            parseFixed(recSize),
 		ParseCostPerByte: 0.3,
-		Map: func(rec kv.Pair, emit func(k, v []byte)) {
-			point := decodePoint(rec.Value, dim)
-			best, bestDist := 0, math.Inf(1)
-			for c, center := range spec.Centers {
-				var dist float64
-				for d := 0; d < dim; d++ {
-					diff := float64(point[d] - center[d])
-					dist += diff * diff
-				}
-				if dist < bestDist {
-					best, bestDist = c, dist
-				}
-			}
+		// Batch kernel: the point, sum and value-encoding scratch buffers
+		// are allocated once per chunk and reused across every record in
+		// it — the per-record form allocated all three per point.
+		MapBatch: func(recs []kv.Pair, out *kv.Batch) {
+			point := make([]float32, dim)
 			sum := make([]float64, dim)
-			for d := 0; d < dim; d++ {
-				sum[d] = float64(point[d])
+			val := make([]byte, dim*8+8)
+			var key [4]byte
+			for _, rec := range recs {
+				decodePointInto(point, rec.Value)
+				best, bestDist := 0, math.Inf(1)
+				for c, center := range spec.Centers {
+					var dist float64
+					for d := 0; d < dim; d++ {
+						diff := float64(point[d] - center[d])
+						dist += diff * diff
+					}
+					if dist < bestDist {
+						best, bestDist = c, dist
+					}
+				}
+				for d := 0; d < dim; d++ {
+					sum[d] = float64(point[d])
+				}
+				binary.LittleEndian.PutUint32(key[:], uint32(best))
+				encodeKMValueInto(val, sum, 1)
+				out.AppendKV(key[:], val)
 			}
-			emit(u32(uint32(best)), encodeKMValue(sum, 1))
 		},
 		MapCost:     core.CostModel{OpsPerRecord: perPoint, OpsPerByte: 0.5, OpsPerEmit: 20},
 		Combine:     agg,
 		CombineCost: core.CostModel{OpsPerRecord: 20, OpsPerValue: float64(dim + 4), OpsPerEmit: 15},
-		Reduce: func(key []byte, values [][]byte, emit func(k, v []byte)) {
-			agg(key, values, func(k, v []byte) {
-				sum, count, err := decodeKMValue(v, dim)
-				if err != nil {
-					panic(err)
+		ReduceBatch: func(key []byte, values [][]byte, out *kv.Batch) {
+			sum := make([]float64, dim)
+			count, err := kmAccumulate(values, dim, sum)
+			if err != nil {
+				panic(err)
+			}
+			// Same arithmetic as the historical agg-then-divide chain: the
+			// intermediate encode/decode round trip was bit-exact, so
+			// dividing the accumulated sums directly is too.
+			center := make([]float64, dim)
+			if count > 0 {
+				for d := 0; d < dim; d++ {
+					center[d] = sum[d] / float64(count)
 				}
-				center := make([]float64, dim)
-				if count > 0 {
-					for d := 0; d < dim; d++ {
-						center[d] = sum[d] / float64(count)
-					}
-				}
-				emit(k, encodeKMValue(center, count))
-			})
+			}
+			out.AppendKV(key, encodeKMValue(center, count))
 		},
 		ReduceCost: core.CostModel{OpsPerRecord: float64(2 * dim), OpsPerValue: float64(dim + 4), OpsPerEmit: 15},
+	})
+}
+
+// kmAccumulate folds encoded (sum, count) values into sum (which the
+// caller zeroes), decoding in place — no per-value allocation. Addition
+// order matches the historical per-value decode loop exactly, keeping the
+// float64 results bit-identical across engines.
+func kmAccumulate(values [][]byte, dim int, sum []float64) (uint64, error) {
+	var count uint64
+	for _, v := range values {
+		if len(v) != dim*8+8 {
+			return 0, fmt.Errorf("apps: bad KM value length %d for dim %d", len(v), dim)
+		}
+		for d := 0; d < dim; d++ {
+			sum[d] += math.Float64frombits(binary.LittleEndian.Uint64(v[d*8:]))
+		}
+		count += binary.LittleEndian.Uint64(v[dim*8:])
 	}
+	return count, nil
 }
 
 func decodePoint(b []byte, dim int) []float32 {
 	p := make([]float32, dim)
-	for d := 0; d < dim; d++ {
+	decodePointInto(p, b)
+	return p
+}
+
+func decodePointInto(p []float32, b []byte) {
+	for d := range p {
 		p[d] = math.Float32frombits(binary.LittleEndian.Uint32(b[d*4 : d*4+4]))
 	}
-	return p
 }
 
 // encodeKMValue packs a float64 coordinate sum vector and a count.
 func encodeKMValue(sum []float64, count uint64) []byte {
 	out := make([]byte, len(sum)*8+8)
+	encodeKMValueInto(out, sum, count)
+	return out
+}
+
+func encodeKMValueInto(out []byte, sum []float64, count uint64) {
 	for d, v := range sum {
 		binary.LittleEndian.PutUint64(out[d*8:], math.Float64bits(v))
 	}
 	binary.LittleEndian.PutUint64(out[len(sum)*8:], count)
-	return out
 }
 
 func decodeKMValue(b []byte, dim int) ([]float64, uint64, error) {

@@ -52,31 +52,43 @@ func (s MMSpec) RecordSize() int { return 12 + 2*s.Tile*s.Tile*4 }
 func MatMul(spec MMSpec) *core.App {
 	t := spec.Tile
 	tileBytes := t * t * 4
-	return &core.App{
+	return core.FinishBatchApp(&core.App{
 		Name:             "MM",
 		Parse:            parseFixed(spec.RecordSize()),
 		ParseCostPerByte: 0.25,
-		Map: func(rec kv.Pair, emit func(k, v []byte)) {
-			i := binary.LittleEndian.Uint32(rec.Value[0:4])
-			j := binary.LittleEndian.Uint32(rec.Value[4:8])
-			a := decodeTile(rec.Value[12:12+tileBytes], t)
-			b := decodeTile(rec.Value[12+tileBytes:], t)
+		// Batch kernel: the A/B/C tile buffers and the key/value encoding
+		// scratch are allocated once per chunk and reused for every record
+		// — the per-record form decoded and encoded fresh tiles per pair.
+		MapBatch: func(recs []kv.Pair, out *kv.Batch) {
+			a := make([]float32, t*t)
+			b := make([]float32, t*t)
 			c := make([]float32, t*t)
-			for r := 0; r < t; r++ {
-				for k := 0; k < t; k++ {
-					av := a[r*t+k]
-					if av == 0 {
-						continue
-					}
-					for col := 0; col < t; col++ {
-						c[r*t+col] += av * b[k*t+col]
+			val := make([]byte, tileBytes)
+			var key [8]byte
+			for _, rec := range recs {
+				i := binary.LittleEndian.Uint32(rec.Value[0:4])
+				j := binary.LittleEndian.Uint32(rec.Value[4:8])
+				decodeTileInto(a, rec.Value[12:12+tileBytes])
+				decodeTileInto(b, rec.Value[12+tileBytes:])
+				for x := range c {
+					c[x] = 0
+				}
+				for r := 0; r < t; r++ {
+					for k := 0; k < t; k++ {
+						av := a[r*t+k]
+						if av == 0 {
+							continue
+						}
+						for col := 0; col < t; col++ {
+							c[r*t+col] += av * b[k*t+col]
+						}
 					}
 				}
+				binary.LittleEndian.PutUint32(key[0:4], i)
+				binary.LittleEndian.PutUint32(key[4:8], j)
+				encodeTileInto(val, c)
+				out.AppendKV(key[:], val)
 			}
-			key := make([]byte, 8)
-			binary.LittleEndian.PutUint32(key[0:4], i)
-			binary.LittleEndian.PutUint32(key[4:8], j)
-			emit(key, encodeTile(c))
 		},
 		// 2*T^3 fused multiply-adds per tile pair.
 		MapCost: core.CostModel{
@@ -84,15 +96,18 @@ func MatMul(spec MMSpec) *core.App {
 			OpsPerByte:   0.25,
 			OpsPerEmit:   30,
 		},
-		Reduce: func(key []byte, values [][]byte, emit func(k, v []byte)) {
+		ReduceBatch: func(key []byte, values [][]byte, out *kv.Batch) {
 			sum := make([]float32, t*t)
 			for _, v := range values {
-				tile := decodeTile(v, t)
+				// In-place decode-and-add; float32 addition order matches
+				// the historical decode-then-add loop bit for bit.
 				for x := range sum {
-					sum[x] += tile[x]
+					sum[x] += math.Float32frombits(binary.LittleEndian.Uint32(v[x*4:]))
 				}
 			}
-			emit(key, encodeTile(sum))
+			val := make([]byte, tileBytes)
+			encodeTileInto(val, sum)
+			out.AppendKV(key, val)
 		},
 		// T^2 adds per partial tile.
 		ReduceCost: core.CostModel{
@@ -100,23 +115,31 @@ func MatMul(spec MMSpec) *core.App {
 			OpsPerValue:  spec.CostTile() * spec.CostTile(),
 			OpsPerEmit:   30,
 		},
-	}
+	})
 }
 
 func encodeTile(t []float32) []byte {
 	out := make([]byte, len(t)*4)
+	encodeTileInto(out, t)
+	return out
+}
+
+func encodeTileInto(out []byte, t []float32) {
 	for i, v := range t {
 		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
 	}
-	return out
 }
 
 func decodeTile(b []byte, t int) []float32 {
 	out := make([]float32, t*t)
+	decodeTileInto(out, b)
+	return out
+}
+
+func decodeTileInto(out []float32, b []byte) {
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
 	}
-	return out
 }
 
 // MMData builds the MM input: one record per (i,j,k) tile-pair of the two

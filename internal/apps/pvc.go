@@ -14,23 +14,24 @@ import (
 // are rare, so the volume of intermediate data is large, with a massive
 // number of keys" (§IV-A1).
 func PageviewCount() *core.App {
-	return &core.App{
+	return core.FinishBatchApp(&core.App{
 		Name:             "PVC",
 		Parse:            parseLines,
 		ParseCostPerByte: 1.2,
-		Map: func(rec kv.Pair, emit func(k, v []byte)) {
-			url := logURL(rec.Value)
-			if url != nil {
-				emit(url, u32(1))
+		MapBatch: func(recs []kv.Pair, out *kv.Batch) {
+			for _, rec := range recs {
+				if url := logURL(rec.Value); url != nil {
+					out.AppendKV(url, oneU32)
+				}
 			}
 		},
 		// Barely any work per record: find the URL field and emit.
 		MapCost:     core.CostModel{OpsPerRecord: 40, OpsPerByte: 3, OpsPerEmit: 20},
 		Combine:     sumCounts,
 		CombineCost: core.CostModel{OpsPerRecord: 25, OpsPerValue: 6, OpsPerEmit: 15},
-		Reduce:      sumCounts,
+		ReduceBatch: sumCountsBatch,
 		ReduceCost:  core.CostModel{OpsPerRecord: 25, OpsPerValue: 6, OpsPerEmit: 15},
-	}
+	})
 }
 
 // logURL extracts the URL field (second whitespace-separated token) of a

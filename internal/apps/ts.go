@@ -15,18 +15,20 @@ import (
 // intermediate-data shuffle; the framework's per-partition merge produces
 // the sorted runs.
 func TeraSort() *core.App {
-	return &core.App{
+	return core.FinishBatchApp(&core.App{
 		Name:             "TS",
 		Parse:            parseFixed(workload.TeraRecordSize),
 		ParseCostPerByte: 0.4,
-		Map: func(rec kv.Pair, emit func(k, v []byte)) {
-			emit(rec.Value[:10], rec.Value[10:])
+		MapBatch: func(recs []kv.Pair, out *kv.Batch) {
+			for _, rec := range recs {
+				out.AppendKV(rec.Value[:10], rec.Value[10:])
+			}
 		},
 		// The map kernel only slices the record and looks up the sampled
 		// range partition.
 		MapCost: core.CostModel{OpsPerRecord: 25, OpsPerByte: 0.5, OpsPerEmit: 40},
 		Reduce:  nil,
-	}
+	})
 }
 
 // TeraPartitioner builds a total-order range partitioner from a sample of

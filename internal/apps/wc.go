@@ -11,35 +11,41 @@ import (
 // a large number of sparse words" (§IV-A1), which is what makes the hash
 // table contended and the combiner effective (Table II).
 func WordCount() *core.App {
-	return &core.App{
+	return core.FinishBatchApp(&core.App{
 		Name:             "WC",
 		Parse:            parseLines,
 		ParseCostPerByte: 1.5,
-		Map: func(rec kv.Pair, emit func(k, v []byte)) {
-			line := rec.Value
-			start := -1
-			for i := 0; i <= len(line); i++ {
-				if i < len(line) && line[i] != ' ' && line[i] != '\t' {
-					if start < 0 {
-						start = i
+		// The batch kernel is the primary form: one invocation tokenizes a
+		// whole chunk of lines into the output slab with no per-record
+		// closure dispatch and no per-emit value allocation (the count
+		// literal is a shared read-only constant copied into the slab).
+		MapBatch: func(recs []kv.Pair, out *kv.Batch) {
+			for _, rec := range recs {
+				line := rec.Value
+				start := -1
+				for i := 0; i <= len(line); i++ {
+					if i < len(line) && line[i] != ' ' && line[i] != '\t' {
+						if start < 0 {
+							start = i
+						}
+						continue
 					}
-					continue
-				}
-				if start >= 0 {
-					emit(line[start:i], u32(1))
-					start = -1
+					if start >= 0 {
+						out.AppendKV(line[start:i], oneU32)
+						start = -1
+					}
 				}
 			}
 		},
 		// The WC kernel scans every byte, hashes each word and emits; it
 		// performs "somewhat more computation than the PVC kernel"
 		// (§IV-A1).
-		MapCost:     core.CostModel{OpsPerRecord: 60, OpsPerByte: 10, OpsPerEmit: 25},
+		MapCost:     core.CostModel{OpsPerRecord: 60, OpsPerByte: 10, OpsPerEmit: 25, OpsPerBatch: 400},
 		Combine:     sumCounts,
 		CombineCost: core.CostModel{OpsPerRecord: 25, OpsPerValue: 6, OpsPerEmit: 15},
-		Reduce:      sumCounts,
+		ReduceBatch: sumCountsBatch,
 		ReduceCost:  core.CostModel{OpsPerRecord: 25, OpsPerValue: 6, OpsPerEmit: 15},
-	}
+	})
 }
 
 // WCData builds a WC dataset of roughly size bytes and its reference word

@@ -53,6 +53,11 @@ type CostModel struct {
 	// OpsPerEmit is the non-atomic cost of producing one output pair
 	// (the atomic part is owned by the collector).
 	OpsPerEmit float64
+	// OpsPerBatch is charged once per kernel launch, independent of batch
+	// size: the fixed launch/dispatch overhead that batch-oriented kernels
+	// amortize over many records (the per-launch constant the Xeon Phi
+	// vectorized-map work eliminates from the per-record path).
+	OpsPerBatch float64
 }
 
 // MapFunc is an application map kernel: it consumes one record and emits
@@ -78,6 +83,13 @@ type App struct {
 
 	Map     MapFunc
 	MapCost CostModel
+	// MapBatch, if non-nil, is the batch form of the map kernel: one call
+	// consumes a whole chunk of records and appends output into a columnar
+	// kv.Batch, with no per-record closure dispatch or per-emit allocation.
+	// Runtimes with a batch fast path (native, dist) prefer it; the others
+	// keep calling Map. Apps built with NewBatchApp derive Map from
+	// MapBatch, so the two can never emit different pairs.
+	MapBatch MapBatchFunc
 
 	// Combine, if non-nil, is the application-specific combiner: a local
 	// reduce over the results of one map chunk. Only supported with the
@@ -89,6 +101,10 @@ type App struct {
 	// merged, sorted partition directly (TeraSort, §IV-A1).
 	Reduce     ReduceFunc
 	ReduceCost CostModel
+	// ReduceBatch, if non-nil, is the batch form of the reduce kernel: it
+	// appends output pairs for one key group into a kv.Batch instead of
+	// passing them through an emit closure that must copy them out.
+	ReduceBatch ReduceBatchFunc
 }
 
 // Config carries the job parameters of the paper's Configuration API.

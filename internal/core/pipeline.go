@@ -311,7 +311,8 @@ func (j *job) execMapKernel(p *sim.Proc, ctx *cl.Context, coll collector, c mapC
 		}
 	})
 	st := coll.kernelStats()
-	st.Ops += j.app.MapCost.OpsPerRecord*float64(len(c.records)) +
+	st.Ops += j.app.MapCost.OpsPerBatch +
+		j.app.MapCost.OpsPerRecord*float64(len(c.records)) +
 		j.app.MapCost.OpsPerByte*float64(c.bytes) +
 		j.app.MapCost.OpsPerEmit*float64(coll.emits())
 	st.Bytes += float64(c.bytes)

@@ -279,6 +279,7 @@ func (j *job) execReduceKernel(p *sim.Proc, ctx *cl.Context, c reduceChunk) redu
 	}
 
 	var st cl.Stats
+	st.Ops += j.app.ReduceCost.OpsPerBatch
 	var pairs []kv.Pair
 	var vol int64
 	emit := func(k, v []byte) {

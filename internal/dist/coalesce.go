@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"glasswing/internal/kv"
+)
+
+// coalescer batches the shuffle runs bound for one peer into large
+// mRunBatch frames. Runs are produced one per map chunk per partition —
+// cheap to make, expensive to ship alone: each frame costs a header, a
+// socket write, send-window bookkeeping and (compressed jobs) its own
+// DEFLATE stream. Buffering entries and shipping them together pays those
+// costs once per batch.
+//
+// A buffered batch flushes on three triggers:
+//
+//   - size: the body crosses the CoalesceBytes budget (checked on add);
+//   - time: the oldest buffered entry has waited CoalesceDelay (the
+//     worker's flusher goroutine, so a batch never idles while peers
+//     starve for data);
+//   - barrier: the sender is about to emit the attempt's end-of-attempt
+//     marker, which must follow every run of that attempt on the FIFO
+//     connection (runMap flushes before each mark).
+//
+// Wire accounting happens at frame granularity, at flush: netSent counts
+// the frame's payload bytes the moment the frame is enqueued, and the
+// connection's drop path reports the same figure lost if the frame never
+// reaches the socket. Entries buffered in a closed coalescer are discarded
+// without ever being counted sent, so sent == recv + lost stays exact
+// across worker kills.
+type coalescer struct {
+	cc       *conn
+	led      *ledger
+	limit    int64
+	compress bool
+
+	mu      sync.Mutex
+	body    enc
+	records int64
+	oldest  time.Time // enqueue time of the oldest buffered entry
+	closed  bool
+}
+
+func newCoalescer(cc *conn, led *ledger, limit int64, compress bool) *coalescer {
+	return &coalescer{cc: cc, led: led, limit: limit, compress: compress}
+}
+
+// add buffers one run for shipment, flushing when the body crosses the
+// size budget. Adds to a closed coalescer (dying link) are discarded —
+// never counted sent, so no loss entry is owed.
+func (co *coalescer) add(task, attempt, part int, r *kv.Run) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.closed {
+		return
+	}
+	if len(co.body.buf) == 0 {
+		co.oldest = time.Now()
+	}
+	appendRunEntry(&co.body, runEntry{
+		Task: task, Attempt: attempt, Partition: part,
+		Records: r.Records, RawBytes: r.RawBytes, Blob: r.Blob(),
+	})
+	co.records += int64(r.Records)
+	if int64(len(co.body.buf)) >= co.limit {
+		co.flushLocked()
+	}
+}
+
+// flush ships whatever is buffered. Called before an attempt's markers go
+// out so every run precedes its mark on the connection.
+func (co *coalescer) flush() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.flushLocked()
+}
+
+// flushIfStale ships the buffer only when its oldest entry has waited at
+// least maxAge — the flusher goroutine's time trigger.
+func (co *coalescer) flushIfStale(maxAge time.Duration) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if len(co.body.buf) > 0 && time.Since(co.oldest) >= maxAge {
+		co.flushLocked()
+	}
+}
+
+func (co *coalescer) flushLocked() {
+	if co.closed || len(co.body.buf) == 0 {
+		return
+	}
+	payload := encodeRunBatchBody(co.body.buf, co.compress)
+	records := co.records
+	co.body.buf = co.body.buf[:0] // payload holds its own copy of the body
+	co.records = 0
+	co.led.netSent(records, int64(len(payload)))
+	co.led.frameBytes(5 + int64(len(payload))) // wire size incl. frame header
+	// send may block on the send window; adds from the executor then block
+	// on co.mu, which is the same backpressure they would feel sending
+	// directly. A concurrent seal/close of the conn unblocks it.
+	co.cc.send(frame{
+		typ: mRunBatch, payload: payload, bulk: true,
+		records: records, acct: int64(len(payload)),
+	})
+}
+
+// close discards buffered entries and rejects future adds. The discarded
+// entries were never counted sent, so the wire ledger balances without a
+// matching loss entry.
+func (co *coalescer) close() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.closed = true
+	co.body = enc{}
+	co.records = 0
+}

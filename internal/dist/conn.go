@@ -15,6 +15,7 @@ type frame struct {
 	records int64 // kv records carried, for loss accounting
 	acct    int64 // kv encoded bytes carried, for loss accounting
 	endSpan func() // closes the frame's net/send span (set at enqueue)
+	enq     time.Time // when the frame entered the queue (bulk only)
 }
 
 // conn wraps one TCP connection with the transport policies every link in
@@ -67,6 +68,11 @@ type conn struct {
 	// during which the data is in flight concurrently with whatever the
 	// executor computes next, i.e. the overlap the trace must show.
 	onBulkWrite func() func()
+	// onBulkTiming, if set, receives the split of each successfully written
+	// bulk frame's tenure: nanoseconds spent waiting in the queue versus
+	// nanoseconds inside the socket write. The net/send span above is their
+	// sum; the split tells queue congestion apart from a slow wire.
+	onBulkTiming func(queueNs, writeNs int64)
 
 	done chan struct{}
 }
@@ -109,6 +115,7 @@ func (cc *conn) send(f frame) {
 	}
 	if f.bulk {
 		cc.queuedBulk += int64(len(f.payload))
+		f.enq = time.Now()
 		if cc.onBulkWrite != nil {
 			f.endSpan = cc.onBulkWrite()
 		}
@@ -145,9 +152,18 @@ func (cc *conn) pump() {
 		cc.writing = true
 		cc.mu.Unlock()
 
+		var w0 time.Time
+		if f.bulk {
+			w0 = time.Now()
+		}
 		err := writeFrame(cc.c, f.typ, f.payload)
-		if err == nil && f.endSpan != nil {
-			f.endSpan()
+		if err == nil {
+			if f.bulk && cc.onBulkTiming != nil {
+				cc.onBulkTiming(w0.Sub(f.enq).Nanoseconds(), time.Since(w0).Nanoseconds())
+			}
+			if f.endSpan != nil {
+				f.endSpan()
+			}
 		}
 
 		cc.mu.Lock()

@@ -73,7 +73,7 @@ func TestSendWindowBackpressure(t *testing.T) {
 	var sent atomic.Int64
 	go func() {
 		for i := 0; i < 1000; i++ {
-			ca.send(frame{typ: mRun, payload: payload, bulk: true})
+			ca.send(frame{typ: mRunBatch, payload: payload, bulk: true})
 			sent.Add(1)
 		}
 	}()
@@ -140,7 +140,7 @@ func TestSealAccountsQueuedFramesAsLost(t *testing.T) {
 	payload := make([]byte, 1<<20)
 	const frames = 64
 	for i := 0; i < frames; i++ {
-		ca.send(frame{typ: mRun, payload: payload, bulk: true, records: 10, acct: int64(len(payload))})
+		ca.send(frame{typ: mRunBatch, payload: payload, bulk: true, records: 10, acct: int64(len(payload))})
 	}
 	ca.seal()
 	// Everything still queued at seal time must be accounted lost; at least
@@ -167,7 +167,7 @@ func TestSealAccountsQueuedFramesAsLost(t *testing.T) {
 			if err != nil {
 				return
 			}
-			if typ == mRun {
+			if typ == mRunBatch {
 				arrived++
 			}
 		}
@@ -188,7 +188,7 @@ func TestSendAfterCloseDropsWithAccounting(t *testing.T) {
 	var lost atomic.Int64
 	ca := newConn(a, "a", Tuning{}, func(records, _ int64) { lost.Add(records) })
 	ca.close()
-	ca.send(frame{typ: mRun, payload: []byte("x"), bulk: true, records: 7})
+	ca.send(frame{typ: mRunBatch, payload: []byte("x"), bulk: true, records: 7})
 	if lost.Load() != 7 {
 		t.Fatalf("post-close send accounted %d lost records, want 7", lost.Load())
 	}

@@ -66,9 +66,11 @@ type Job struct {
 	Partitions int // total reduce partitions across the cluster
 	Collector  core.CollectorKind
 	UseCombiner bool
-	// Compress stores and ships intermediate runs DEFLATE-compressed
-	// (kv.Run's encoding — the same bytes that would hit a spill file go
-	// onto the socket).
+	// Compress DEFLATEs each coalesced shuffle frame once on the wire.
+	// Runs themselves stay uncompressed at both ends — cheap to build, and
+	// the receiver decodes them as zero-copy views into the frame buffer —
+	// so the compression context is per frame, amortized across every run
+	// the frame carries.
 	Compress bool
 	// MaxAttempts bounds failed executions per task (0 = default 4).
 	MaxAttempts int
@@ -100,6 +102,12 @@ type Tuning struct {
 	// shuffle of task k overlaps the kernel of task k+1 even at 1 because
 	// sends are asynchronous (0 = default 2).
 	MapSlots int
+	// CoalesceBytes flushes a peer's outbound run coalescer once this many
+	// bytes of run entries are buffered (0 = default 256 KiB).
+	CoalesceBytes int64
+	// CoalesceDelay bounds how long a buffered run waits for more
+	// passengers before its frame ships anyway (0 = default 2ms).
+	CoalesceDelay time.Duration
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -114,6 +122,12 @@ func (t Tuning) withDefaults() Tuning {
 	}
 	if t.MapSlots <= 0 {
 		t.MapSlots = 2
+	}
+	if t.CoalesceBytes <= 0 {
+		t.CoalesceBytes = 256 << 10
+	}
+	if t.CoalesceDelay <= 0 {
+		t.CoalesceDelay = 2 * time.Millisecond
 	}
 	return t
 }

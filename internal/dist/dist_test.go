@@ -202,6 +202,76 @@ func TestWorkerKill(t *testing.T) {
 	}
 }
 
+// TestWireConservationCompression runs the same 3-worker job over both wire
+// encodings and proves the byte ledger balances exactly on each: sent ==
+// recv + lost with lost == 0 on a fault-free run, identical record counts
+// either way, and the DEFLATE wire moving strictly fewer bytes. It also
+// pins the coalescer's whole reason to exist: far fewer frames ship than
+// partition runs, and the dist_frame_bytes histogram accounts for every
+// wire byte (frame header included) without slack.
+func TestWireConservationCompression(t *testing.T) {
+	data, want := apps.WCData(21, 96<<10, 1200)
+	recordsSent := map[bool]int64{}
+	bytesSent := map[bool]int64{}
+	for _, compress := range []bool{false, true} {
+		tel := obs.NewTelemetry()
+		o := Options{
+			// 9 partitions over 3 workers: each attempt produces ~6 remote
+			// runs, so an uncoalesced wire would ship ~3x more frames than
+			// the two per-peer flushes the barrier forces.
+			Job: Job{
+				App: AppSpec{Name: "WC"}, Partitions: 9,
+				Collector: core.HashTable, Compress: compress,
+			},
+			Workers:    3,
+			Blocks:     SplitBlocks(data, 16<<10, 0),
+			Telemetry:  tel,
+			NewApp:     testResolver(apps.WordCount, nil),
+			KillWorker: -1,
+		}
+		res, err := RunLoopback(o)
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if err := apps.VerifyCounts(res.Output(), want); err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		sent, recv, lost, bsent, brecv, blost := netCounters(tel.Metrics)
+		if lost != 0 || blost != 0 {
+			t.Fatalf("compress=%v: fault-free run lost %d records, %d bytes", compress, lost, blost)
+		}
+		if sent != recv+lost || bsent != brecv+blost {
+			t.Fatalf("compress=%v: ledger leak: sent %d/%dB, recv %d/%dB, lost %d/%dB",
+				compress, sent, bsent, recv, brecv, lost, blost)
+		}
+		recordsSent[compress], bytesSent[compress] = sent, bsent
+
+		frames := tel.Metrics.Histogram("dist_frame_bytes", nil)
+		runs := tel.Metrics.Counter("conserv_partition_runs_total").Value()
+		if frames.Count() == 0 {
+			t.Fatalf("compress=%v: no shuffle frames recorded", compress)
+		}
+		if frames.Count()*2 > runs {
+			t.Fatalf("compress=%v: %d frames for %d runs: coalescing is not batching",
+				compress, frames.Count(), runs)
+		}
+		// Histogram records wire size (5-byte header + payload); the ledger
+		// records payload. The two must reconcile exactly.
+		if int64(frames.Sum()) != bsent+5*frames.Count() {
+			t.Fatalf("compress=%v: frame bytes %d != payload %d + headers %d",
+				compress, int64(frames.Sum()), bsent, 5*frames.Count())
+		}
+	}
+	if recordsSent[true] != recordsSent[false] {
+		t.Fatalf("record count depends on wire encoding: %d compressed vs %d plain",
+			recordsSent[true], recordsSent[false])
+	}
+	if bytesSent[true] >= bytesSent[false] {
+		t.Fatalf("DEFLATE wire did not shrink: %d compressed vs %d plain bytes",
+			bytesSent[true], bytesSent[false])
+	}
+}
+
 // TestOverlap is the paper's stage-4 claim made measurable: with shuffle
 // pushed through asynchronous write pumps, network transfer intervals
 // overlap map kernel intervals, and the whole 3-worker run retires more

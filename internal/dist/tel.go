@@ -44,6 +44,29 @@ type ledger struct {
 	netSendNs      atomic.Int64
 	netRecvNs      atomic.Int64
 	reduceNs       atomic.Int64
+
+	// net/send split: queue residence vs socket write, summed per bulk
+	// frame by the connection write pumps. netSendNs above is the span sum
+	// (queue + write); these tell congestion apart from a slow wire.
+	netQueueNs atomic.Int64
+	netWriteNs atomic.Int64
+}
+
+// distFrameBuckets bucket outbound shuffle frame sizes in bytes, from
+// lone-run frames up to fully coalesced multi-megabyte batches.
+var distFrameBuckets = []float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// frameBytes records one outbound shuffle frame's wire size.
+func (l *ledger) frameBytes(n int64) {
+	if l.tel != nil && l.tel.Metrics != nil {
+		l.tel.Metrics.Histogram("dist_frame_bytes", distFrameBuckets).Observe(float64(n))
+	}
+}
+
+// bulkTiming accumulates one written bulk frame's queue/write split.
+func (l *ledger) bulkTiming(queueNs, writeNs int64) {
+	l.netQueueNs.Add(queueNs)
+	l.netWriteNs.Add(writeNs)
 }
 
 func newLedger(tel *obs.Telemetry) *ledger {
@@ -154,4 +177,6 @@ func (l *ledger) publish() {
 	reg.Counter("conserv_net_records_lost_total").Add(l.netRecordsLost.Load())
 	reg.Counter("conserv_net_bytes_lost_total").Add(l.netBytesLost.Load())
 	reg.Counter("dist_shuffle_bytes_total").Add(l.netBytesSent.Load())
+	reg.Counter("dist_net_queue_ns_total").Add(l.netQueueNs.Load())
+	reg.Counter("dist_net_write_ns_total").Add(l.netWriteNs.Load())
 }

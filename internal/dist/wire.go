@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"glasswing/internal/core"
+	"glasswing/internal/kv"
 )
 
 // The wire format is deliberately tiny: every frame is
@@ -15,17 +16,19 @@ import (
 //
 // where length counts the type byte plus the payload. Payloads are encoded
 // with uvarints and length-prefixed byte strings (the same primitives as
-// kv's stream framing). Bulk shuffle data rides in mRun frames whose
-// payload embeds a kv.Run blob verbatim — the bytes that would hit a spill
-// file are the bytes on the socket.
+// kv's stream framing). Bulk shuffle data rides in mRunBatch frames: many
+// small per-chunk runs coalesced into one large frame per destination, so
+// the per-frame costs (syscall, header, send-window bookkeeping, one
+// DEFLATE stream when the job compresses) are paid once per batch instead
+// of once per run.
 
 // maxFrame bounds one frame; a length prefix beyond it means a corrupt or
 // hostile stream, not a big transfer (runs are produced per map chunk and
 // sit far below this).
 const maxFrame = 1 << 28
 
-// Message types. Control frames are small and never window-limited; mRun
-// is the only bulk type.
+// Message types. Control frames are small and never window-limited;
+// mRunBatch is the only bulk type.
 const (
 	mHello      byte = iota + 1 // worker→coord: listen addr
 	mWelcome                    // coord→worker: assigned worker id, cluster size
@@ -33,7 +36,7 @@ const (
 	mMapTask                    // coord→worker: task, attempt, input block
 	mMapDone                    // worker→coord: task, attempt, attempt stats
 	mMapFailed                  // worker→coord: task, attempt, reason
-	mRun                        // worker→worker: one partition's run for one attempt (bulk)
+	mRunBatch                   // worker→worker: coalesced partition runs (bulk)
 	mMark                       // worker→worker: attempt complete, commit staged runs
 	mAck                        // worker→worker: mark processed
 	mReduceTask                 // coord→worker: partition, attempt
@@ -49,7 +52,7 @@ func typeName(t byte) string {
 	names := [...]string{
 		mHello: "hello", mWelcome: "welcome", mJobStart: "job-start",
 		mMapTask: "map-task", mMapDone: "map-done", mMapFailed: "map-failed",
-		mRun: "run", mMark: "mark", mAck: "ack",
+		mRunBatch: "run-batch", mMark: "mark", mAck: "ack",
 		mReduceTask: "reduce-task", mReduceDone: "reduce-done", mReduceFailed: "reduce-failed",
 		mWorkerDead: "worker-dead", mJobEnd: "job-end", mHeartbeat: "heartbeat",
 		mPeerHello: "peer-hello",
@@ -341,36 +344,91 @@ func decodeTaskFail(p []byte) (taskFailMsg, error) {
 	return m, d.fin("task-fail")
 }
 
-type runMsg struct {
-	Task       int
-	Attempt    int
-	Partition  int
-	Records    int
-	RawBytes   int64
-	Compressed bool
-	Blob       []byte
+// runEntry is one partition's run inside a coalesced shuffle frame. Blob is
+// always an uncompressed kv.Run encoding — when the job compresses, the
+// whole frame body is DEFLATEd once, so every run in the batch shares one
+// compression context instead of paying per-run stream overhead.
+type runEntry struct {
+	Task      int
+	Attempt   int
+	Partition int
+	Records   int
+	RawBytes  int64
+	Blob      []byte
 }
 
-func (m runMsg) encode() []byte {
+// runBatchMsg is the bulk shuffle frame: the runs one sender has buffered
+// for one destination, shipped back to back. The body carries the entries
+// with no count prefix — the coalescer appends entries incrementally and
+// the decoder consumes until the body is exhausted.
+type runBatchMsg struct {
+	Compressed bool // body DEFLATEd as one stream on the wire
+	Entries    []runEntry
+}
+
+// appendRunEntry serializes one entry onto a body under construction.
+func appendRunEntry(e *enc, re runEntry) {
+	e.i(int64(re.Task))
+	e.i(int64(re.Attempt))
+	e.i(int64(re.Partition))
+	e.i(int64(re.Records))
+	e.i(re.RawBytes)
+	e.bytes(re.Blob)
+}
+
+func (m runBatchMsg) encode() []byte {
+	var body enc
+	for _, re := range m.Entries {
+		appendRunEntry(&body, re)
+	}
+	return encodeRunBatchBody(body.buf, m.Compressed)
+}
+
+// encodeRunBatchBody wraps an assembled entry body into the frame payload,
+// compressing it when asked.
+func encodeRunBatchBody(body []byte, compress bool) []byte {
+	if compress {
+		body = kv.Deflate(body)
+	}
 	var e enc
-	e.i(int64(m.Task))
-	e.i(int64(m.Attempt))
-	e.i(int64(m.Partition))
-	e.i(int64(m.Records))
-	e.i(m.RawBytes)
-	e.bool(m.Compressed)
-	e.bytes(m.Blob)
+	e.bool(compress)
+	e.bytes(body)
 	return e.buf
 }
 
-func decodeRun(p []byte) (runMsg, error) {
+// decodeRunBatch decodes a coalesced shuffle frame. Entry blobs alias the
+// payload (or, for a compressed frame, the freshly inflated body) — this is
+// the zero-copy receive path: callers wrap blobs in kv.NewRunView and must
+// keep them only as long as the backing buffer lives, or Retain the views.
+func decodeRunBatch(p []byte) (runBatchMsg, error) {
 	d := dec{buf: p}
-	m := runMsg{
-		Task: int(d.i()), Attempt: int(d.i()), Partition: int(d.i()),
-		Records: int(d.i()), RawBytes: d.i(), Compressed: d.bool(),
+	var m runBatchMsg
+	m.Compressed = d.bool()
+	body := d.bytes()
+	if err := d.fin("run-batch"); err != nil {
+		return m, err
 	}
-	m.Blob = append([]byte(nil), d.bytes()...)
-	return m, d.fin("run")
+	if m.Compressed {
+		var err error
+		if body, err = kv.Inflate(body); err != nil {
+			return m, fmt.Errorf("dist: inflating run batch: %w", err)
+		}
+	}
+	bd := dec{buf: body}
+	for len(bd.buf) > 0 && bd.err == nil {
+		re := runEntry{
+			Task: int(bd.i()), Attempt: int(bd.i()), Partition: int(bd.i()),
+			Records: int(bd.i()), RawBytes: bd.i(),
+		}
+		re.Blob = bd.bytes()
+		if bd.err == nil {
+			m.Entries = append(m.Entries, re)
+		}
+	}
+	if bd.err != nil {
+		return m, fmt.Errorf("dist: decoding run-batch entries: %w", bd.err)
+	}
+	return m, nil
 }
 
 type markMsg struct {

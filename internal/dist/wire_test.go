@@ -30,7 +30,7 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestReadFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	writeFrame(&buf, mRun, []byte("some payload"))
+	writeFrame(&buf, mRunBatch, []byte("some payload"))
 	whole := buf.Bytes()
 	for cut := 1; cut < len(whole); cut++ {
 		if _, _, err := readFrame(bytes.NewReader(whole[:cut])); err == nil {
@@ -105,9 +105,22 @@ func TestMessageRoundTrips(t *testing.T) {
 		{"task-fail", taskFailMsg{Task: 2, Attempt: 0, Reason: "injected"},
 			func(p []byte) (any, error) { return decodeTaskFail(p) },
 			taskFailMsg{Task: 2, Attempt: 0, Reason: "injected"}.encode()},
-		{"run", runMsg{Task: 3, Attempt: 1, Partition: 2, Records: 9, RawBytes: 123, Compressed: true, Blob: []byte{9, 8, 7}},
-			func(p []byte) (any, error) { return decodeRun(p) },
-			runMsg{Task: 3, Attempt: 1, Partition: 2, Records: 9, RawBytes: 123, Compressed: true, Blob: []byte{9, 8, 7}}.encode()},
+		{"run-batch", runBatchMsg{Entries: []runEntry{
+			{Task: 3, Attempt: 1, Partition: 2, Records: 9, RawBytes: 123, Blob: []byte{9, 8, 7}},
+			{Task: 3, Attempt: 1, Partition: 5, Records: 1, RawBytes: 11, Blob: []byte{1}},
+		}},
+			func(p []byte) (any, error) { return decodeRunBatch(p) },
+			runBatchMsg{Entries: []runEntry{
+				{Task: 3, Attempt: 1, Partition: 2, Records: 9, RawBytes: 123, Blob: []byte{9, 8, 7}},
+				{Task: 3, Attempt: 1, Partition: 5, Records: 1, RawBytes: 11, Blob: []byte{1}},
+			}}.encode()},
+		{"run-batch-deflate", runBatchMsg{Compressed: true, Entries: []runEntry{
+			{Task: 1, Attempt: 0, Partition: 0, Records: 4, RawBytes: 64, Blob: bytes.Repeat([]byte("run"), 40)},
+		}},
+			func(p []byte) (any, error) { return decodeRunBatch(p) },
+			runBatchMsg{Compressed: true, Entries: []runEntry{
+				{Task: 1, Attempt: 0, Partition: 0, Records: 4, RawBytes: 64, Blob: bytes.Repeat([]byte("run"), 40)},
+			}}.encode()},
 		{"mark", markMsg{Task: 6, Attempt: 2},
 			func(p []byte) (any, error) { return decodeMark(p) },
 			markMsg{Task: 6, Attempt: 2}.encode()},
@@ -145,7 +158,7 @@ func TestDecodeCorrupt(t *testing.T) {
 		"map-task":    func(p []byte) error { _, err := decodeMapTask(p); return err },
 		"map-done":    func(p []byte) error { _, err := decodeMapDone(p); return err },
 		"task-fail":   func(p []byte) error { _, err := decodeTaskFail(p); return err },
-		"run":         func(p []byte) error { _, err := decodeRun(p); return err },
+		"run-batch":   func(p []byte) error { _, err := decodeRunBatch(p); return err },
 		"mark":        func(p []byte) error { _, err := decodeMark(p); return err },
 		"reduce-task": func(p []byte) error { _, err := decodeReduceTask(p); return err },
 		"reduce-done": func(p []byte) error { _, err := decodeReduceDone(p); return err },
@@ -159,7 +172,7 @@ func TestDecodeCorrupt(t *testing.T) {
 		"map-task":    mapTaskMsg{Task: 1, Attempt: 0, Block: []byte("abc")}.encode(),
 		"map-done":    mapDoneMsg{Task: 1, Stats: attemptStats{RecordsIn: 5}}.encode(),
 		"task-fail":   taskFailMsg{Task: 1, Reason: "r"}.encode(),
-		"run":         runMsg{Task: 1, Records: 2, Blob: []byte("bb")}.encode(),
+		"run-batch":   runBatchMsg{Entries: []runEntry{{Task: 1, Records: 2, Blob: []byte("bb")}}}.encode(),
 		"mark":        markMsg{Task: 1, Attempt: 1}.encode(),
 		"reduce-task": reduceTaskMsg{Partition: 1}.encode(),
 		"reduce-done": reduceDoneMsg{Partition: 1, Output: []byte("oo")}.encode(),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"glasswing/internal/core"
 	"glasswing/internal/kv"
@@ -71,7 +72,8 @@ type worker struct {
 	prt func(key []byte, n int) int
 
 	coord     *conn
-	peers     []*conn // index by worker id; nil at own slot
+	peers     []*conn      // index by worker id; nil at own slot
+	coal      []*coalescer // per-peer outbound run coalescers, parallel to peers
 	peerAddrs []string
 
 	execCh chan execItem
@@ -146,6 +148,10 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 	}
 	w.wg.Add(1)
 	go w.executor()
+	if w.n > 1 {
+		w.wg.Add(1)
+		go w.coalesceFlusher()
+	}
 
 	err = w.coordLoop()
 
@@ -234,6 +240,7 @@ func (w *worker) connectPeers(ln net.Listener) error {
 	// write actually happens — that is the wall-clock interval that
 	// overlaps the executor's map/kernel spans in the trace.
 	onBulkWrite := func() func() { return w.led.span(w.id, stageNetSend) }
+	onBulkTiming := w.led.bulkTiming
 
 	type res struct {
 		id  int
@@ -250,6 +257,7 @@ func (w *worker) connectPeers(ln net.Listener) error {
 			}
 			cc := newConn(c, fmt.Sprintf("peer%d", j), w.tun, onDrop)
 			cc.onBulkWrite = onBulkWrite
+			cc.onBulkTiming = onBulkTiming
 			cc.send(frame{typ: mPeerHello, payload: peerHelloMsg{WorkerID: w.id}.encode()})
 			ch <- res{id: j, cc: cc}
 		}(j)
@@ -264,6 +272,7 @@ func (w *worker) connectPeers(ln net.Listener) error {
 			}
 			cc := newConn(c, "peer?", w.tun, onDrop)
 			cc.onBulkWrite = onBulkWrite
+			cc.onBulkTiming = onBulkTiming
 			typ, p, err := cc.recv()
 			if err != nil || typ != mPeerHello {
 				cc.close()
@@ -290,7 +299,34 @@ func (w *worker) connectPeers(ln net.Listener) error {
 		}
 		w.peers[r.id] = r.cc
 	}
+	w.coal = make([]*coalescer, w.n)
+	for j, pc := range w.peers {
+		if pc != nil {
+			w.coal[j] = newCoalescer(pc, w.led, w.tun.CoalesceBytes, w.job.Compress)
+		}
+	}
 	return nil
+}
+
+// coalesceFlusher is the coalescers' time trigger: a buffered run batch
+// whose oldest entry has waited CoalesceDelay ships even if no size or
+// marker trigger arrives — bounded latency without sacrificing batching.
+func (w *worker) coalesceFlusher() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.tun.CoalesceDelay)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			for _, co := range w.coal {
+				if co != nil {
+					co.flushIfStale(w.tun.CoalesceDelay)
+				}
+			}
+		}
+	}
 }
 
 // coordLoop dispatches coordinator frames until job end, death of the
@@ -367,6 +403,25 @@ func execMapKernel(app *core.App, job Job, recs []kv.Pair) []kv.Pair {
 			Value: append([]byte(nil), v...),
 		})
 	}
+	// With a batch kernel, run it once over the whole block and replay its
+	// output into the collector: the emit sequence matches the per-record
+	// path by construction, without paying the per-record shim's Batch setup
+	// for every record.
+	feed := func(emit func(k, v []byte)) {
+		for _, rec := range recs {
+			app.Map(rec, emit)
+		}
+	}
+	if app.MapBatch != nil {
+		var b kv.Batch
+		app.MapBatch(recs, &b)
+		feed = func(emit func(k, v []byte)) {
+			for i := 0; i < b.Len(); i++ {
+				p := b.Pair(i)
+				emit(p.Key, p.Value)
+			}
+		}
+	}
 	if job.Collector == core.HashTable {
 		idx := make(map[string]int)
 		var keys [][]byte
@@ -381,9 +436,7 @@ func execMapKernel(app *core.App, job Job, recs []kv.Pair) []kv.Pair {
 			}
 			vals[i] = append(vals[i], append([]byte(nil), v...))
 		}
-		for _, rec := range recs {
-			app.Map(rec, emit)
-		}
+		feed(emit)
 		if job.UseCombiner && app.Combine != nil {
 			for i := range keys {
 				app.Combine(keys[i], vals[i], emitCopy)
@@ -397,9 +450,7 @@ func execMapKernel(app *core.App, job Job, recs []kv.Pair) []kv.Pair {
 		}
 		return out
 	}
-	for _, rec := range recs {
-		app.Map(rec, emitCopy)
-	}
+	feed(emitCopy)
 	return out
 }
 
@@ -407,6 +458,10 @@ func execMapKernel(app *core.App, job Job, recs []kv.Pair) []kv.Pair {
 // home workers, then mark every live peer. The attempt reports done to the
 // coordinator only when every live peer has acked its marker — at which
 // point its output is committed everywhere it needs to be.
+//
+// Runs are always built uncompressed here: wire compression is applied once
+// per coalesced frame by the coalescer, and the local store holds runs the
+// reducer can decode without an inflate pass.
 func (w *worker) runMap(m mapTaskMsg) {
 	w.mu.Lock()
 	if w.killed {
@@ -415,9 +470,21 @@ func (w *worker) runMap(m mapTaskMsg) {
 	}
 	w.mu.Unlock()
 
+	// Batch kernels skip the per-record emit path: pairs land in a columnar
+	// batch whose index entries are scattered and sorted without moving
+	// payload, mirroring internal/native's fast path. The combiner needs
+	// per-key grouping, so combiner jobs stay on the per-record collector.
+	useBatch := w.app.MapBatch != nil && !w.job.UseCombiner
+
 	end := w.led.span(w.id, stageMapKernel)
 	recs := w.app.Parse(m.Block)
-	pairs := execMapKernel(w.app, w.job, recs)
+	var batch kv.Batch
+	var pairs []kv.Pair
+	if useBatch {
+		w.app.MapBatch(recs, &batch)
+	} else {
+		pairs = execMapKernel(w.app, w.job, recs)
+	}
 	end()
 
 	if w.cfg.mapFault != nil && w.cfg.mapFault(m.Task, m.Attempt) {
@@ -431,20 +498,38 @@ func (w *worker) runMap(m mapTaskMsg) {
 
 	P := w.job.Partitions
 	end = w.led.span(w.id, stageMapPartition)
-	buckets := make([][]kv.Pair, P)
-	for _, pr := range pairs {
-		p := w.prt(pr.Key, P)
-		buckets[p] = append(buckets[p], pr)
-	}
 	runs := make([]*kv.Run, P)
-	stats := attemptStats{RecordsIn: int64(len(recs)), PairsOut: int64(len(pairs))}
-	for p, b := range buckets {
-		if len(b) == 0 {
+	stats := attemptStats{RecordsIn: int64(len(recs))}
+	if useBatch {
+		stats.PairsOut = int64(batch.Len())
+		bounds := batch.PartitionRanges(w.prt, P)
+		for p := 0; p < P; p++ {
+			lo, hi := bounds[p], bounds[p+1]
+			if lo == hi {
+				continue
+			}
+			batch.SortRange(lo, hi)
+			runs[p] = batch.RunRange(lo, hi, false)
+		}
+	} else {
+		stats.PairsOut = int64(len(pairs))
+		buckets := make([][]kv.Pair, P)
+		for _, pr := range pairs {
+			p := w.prt(pr.Key, P)
+			buckets[p] = append(buckets[p], pr)
+		}
+		for p, b := range buckets {
+			if len(b) == 0 {
+				continue
+			}
+			kv.SortPairs(b)
+			runs[p] = kv.NewRun(b, false)
+		}
+	}
+	for _, r := range runs {
+		if r == nil {
 			continue
 		}
-		kv.SortPairs(b)
-		r := kv.NewRun(b, w.job.Compress)
-		runs[p] = r
 		stats.PartRecords += int64(r.Records)
 		stats.PartRuns++
 		stats.PartRaw += r.RawBytes
@@ -486,27 +571,21 @@ func (w *worker) runMap(m mapTaskMsg) {
 	}
 	w.mu.Unlock()
 
-	// Push remote partitions. The send window may block here — that is the
-	// backpressure path — but the frames stream out through the pumps while
-	// this executor moves on to the next task.
+	// Push remote partitions through the per-peer coalescers. The send
+	// window may block here — that is the backpressure path — but the
+	// frames stream out through the pumps while this executor moves on to
+	// the next task. Each peer's coalescer flushes before its mark goes
+	// out, so on the FIFO connection every run still precedes its marker.
 	for p := 0; p < P; p++ {
 		r := runs[p]
 		if r == nil || homes[p] == w.id {
 			continue
 		}
-		payload := runMsg{
-			Task: m.Task, Attempt: m.Attempt, Partition: p,
-			Records: r.Records, RawBytes: r.RawBytes, Compressed: r.Compressed,
-			Blob: r.Blob(),
-		}.encode()
-		w.led.netSent(int64(r.Records), r.StoredBytes())
-		w.peers[homes[p]].send(frame{
-			typ: mRun, payload: payload, bulk: true,
-			records: int64(r.Records), acct: r.StoredBytes(),
-		})
+		w.coal[homes[p]].add(m.Task, m.Attempt, p, r)
 	}
 	mark := markMsg{Task: m.Task, Attempt: m.Attempt}.encode()
 	for _, j := range livePeers {
+		w.coal[j].flush()
 		w.peers[j].send(frame{typ: mMark, payload: mark})
 	}
 	if pd == nil {
@@ -574,8 +653,8 @@ func (w *worker) peerReader(j int, cc *conn) {
 			return
 		}
 		switch typ {
-		case mRun:
-			w.onRun(p)
+		case mRunBatch:
+			w.onRunBatch(p)
 		case mMark:
 			w.onMark(cc, p)
 		case mAck:
@@ -584,24 +663,37 @@ func (w *worker) peerReader(j int, cc *conn) {
 	}
 }
 
-// onRun stages one inbound shuffle run — or, on a killed worker, drains it
-// as lost so the wire ledger still balances.
-func (w *worker) onRun(p []byte) {
+// onRunBatch stages every run in one coalesced shuffle frame — or, on a
+// killed worker, drains the whole frame as lost so the wire ledger still
+// balances. Wire accounting is at frame granularity: the payload byte count
+// here mirrors exactly what the sender counted at flush.
+//
+// Staged runs are kv views aliasing the frame's receive buffer — the
+// zero-copy path: readFrame allocates a fresh buffer per frame and nothing
+// reuses it, so the views stay valid for the life of the shuffle store. (A
+// pooled receive buffer would need Retain before staging.)
+func (w *worker) onRunBatch(p []byte) {
 	end := w.led.span(w.id, stageNetRecv)
 	defer end()
-	msg, err := decodeRun(p)
+	msg, err := decodeRunBatch(p)
 	if err != nil {
 		return
+	}
+	var records int64
+	for _, re := range msg.Entries {
+		records += int64(re.Records)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.killed {
-		w.led.netLost(int64(msg.Records), int64(len(msg.Blob)))
+		w.led.netLost(records, int64(len(p)))
 		return
 	}
-	w.led.netRecv(int64(msg.Records), int64(len(msg.Blob)))
-	run := kv.RunFromBlob(msg.Blob, msg.Records, msg.RawBytes, msg.Compressed)
-	w.store.stage(msg.Task, msg.Attempt, msg.Partition, run)
+	w.led.netRecv(records, int64(len(p)))
+	for _, re := range msg.Entries {
+		run := kv.NewRunView(re.Blob, re.Records, re.RawBytes, false)
+		w.store.stage(re.Task, re.Attempt, re.Partition, run)
+	}
 }
 
 // onMark commits an attempt's staged runs and acks the sender. A killed
@@ -677,6 +769,9 @@ func (w *worker) handleDeath(m workerDeadMsg) {
 	w.mu.Unlock()
 	if m.Dead >= 0 && m.Dead < len(w.peers) && w.peers[m.Dead] != nil {
 		w.peers[m.Dead].seal()
+		// Runs buffered for the dead peer were never counted sent; discard
+		// them so a later flush cannot ship data nobody will commit.
+		w.coal[m.Dead].close()
 	}
 	for _, d := range done {
 		w.led.flushAttempt(d.pd.stats)
@@ -703,6 +798,13 @@ func (w *worker) kill() {
 	for _, pc := range w.peers {
 		if pc != nil {
 			pc.seal()
+		}
+	}
+	// Seal before closing coalescers: a flush blocked on a full send window
+	// holds its coalescer's lock until the sealed conn releases it.
+	for _, co := range w.coal {
+		if co != nil {
+			co.close()
 		}
 	}
 	w.coord.close()

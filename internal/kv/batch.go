@@ -1,0 +1,194 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"slices"
+)
+
+// pairIdx locates one pair inside a Batch slab: the key starts at off, the
+// value follows it immediately. Twelve bytes per record keeps sort swaps and
+// partition scatter cheap — moving an index entry never moves payload.
+type pairIdx struct {
+	off  uint32
+	klen uint32
+	vlen uint32
+}
+
+// Batch is a columnar accumulation buffer for pairs: all key and value
+// bytes live in one contiguous slab, with a parallel index slice locating
+// each record. It is the batch-kernel currency — map kernels append into a
+// Batch, the partitioner permutes only the 12-byte index entries, and a
+// sorted index range serializes straight into a Run without touching
+// intermediate []Pair storage. Appending is amortized allocation-free
+// (slab and index double like any slice), and Reset retains capacity so a
+// pooled Batch stops allocating entirely once warm.
+//
+// A Batch is not safe for concurrent use.
+type Batch struct {
+	data []byte
+	idx  []pairIdx
+
+	// scatter scratch, reused across PartitionRanges calls
+	alt    []pairIdx
+	parts  []uint32
+	bounds []int
+
+	bytes int64
+}
+
+// Len returns the number of pairs.
+func (b *Batch) Len() int { return len(b.idx) }
+
+// Bytes returns the accumulated payload volume (keys + values).
+func (b *Batch) Bytes() int64 { return b.bytes }
+
+// AppendKV copies a key/value pair into the slab.
+func (b *Batch) AppendKV(key, value []byte) {
+	off := len(b.data)
+	if off+len(key)+len(value) > math.MaxUint32 {
+		panic("kv: Batch slab exceeds 4GiB")
+	}
+	b.data = append(b.data, key...)
+	b.data = append(b.data, value...)
+	b.idx = append(b.idx, pairIdx{off: uint32(off), klen: uint32(len(key)), vlen: uint32(len(value))})
+	b.bytes += int64(len(key) + len(value))
+}
+
+// Append copies a pair into the slab.
+func (b *Batch) Append(p Pair) { b.AppendKV(p.Key, p.Value) }
+
+// Pair returns record i as views aliasing the slab. The views are valid
+// until the next Reset; appends never move them logically (slab growth
+// copies, but the returned header was captured before).
+func (b *Batch) Pair(i int) Pair {
+	e := b.idx[i]
+	return Pair{
+		Key:   b.data[e.off : e.off+e.klen : e.off+e.klen],
+		Value: b.data[e.off+e.klen : e.off+e.klen+e.vlen : e.off+e.klen+e.vlen],
+	}
+}
+
+// Pairs appends views of every record to dst and returns it. The views
+// alias the slab and share its lifetime.
+func (b *Batch) Pairs(dst []Pair) []Pair {
+	if cap(dst)-len(dst) < len(b.idx) {
+		grown := make([]Pair, len(dst), len(dst)+len(b.idx))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := range b.idx {
+		dst = append(dst, b.Pair(i))
+	}
+	return dst
+}
+
+// Reset empties the batch, retaining slab and index capacity.
+func (b *Batch) Reset() {
+	b.data = b.data[:0]
+	b.idx = b.idx[:0]
+	b.bytes = 0
+}
+
+func (b *Batch) compareIdx(x, y pairIdx) int {
+	if c := bytes.Compare(b.data[x.off:x.off+x.klen], b.data[y.off:y.off+y.klen]); c != 0 {
+		return c
+	}
+	return bytes.Compare(b.data[x.off+x.klen:x.off+x.klen+x.vlen],
+		b.data[y.off+y.klen:y.off+y.klen+y.vlen])
+}
+
+// Sort orders the whole batch by key (then value). Only index entries move.
+func (b *Batch) Sort() { b.SortRange(0, len(b.idx)) }
+
+// SortRange orders records [lo,hi) by key (then value) in place.
+func (b *Batch) SortRange(lo, hi int) {
+	slices.SortFunc(b.idx[lo:hi], b.compareIdx)
+}
+
+// PartitionRanges reorders the index so records are grouped by partition
+// (a stable counting-sort scatter: two passes over the index, no payload
+// movement) and returns the group boundaries: partition p occupies records
+// [bounds[p], bounds[p+1]). The returned slice is scratch owned by the
+// batch — valid until the next PartitionRanges call.
+func (b *Batch) PartitionRanges(part func(key []byte, n int) int, n int) []int {
+	m := len(b.idx)
+	if cap(b.parts) < m {
+		b.parts = make([]uint32, m)
+	}
+	parts := b.parts[:m]
+	if cap(b.bounds) < n+1 {
+		b.bounds = make([]int, n+1)
+	}
+	bounds := b.bounds[:n+1]
+	for i := range bounds {
+		bounds[i] = 0
+	}
+	for i, e := range b.idx {
+		p := part(b.data[e.off:e.off+e.klen], n)
+		parts[i] = uint32(p)
+		bounds[p+1]++
+	}
+	for p := 0; p < n; p++ {
+		bounds[p+1] += bounds[p]
+	}
+	if cap(b.alt) < m {
+		b.alt = make([]pairIdx, m)
+	}
+	alt := b.alt[:m]
+	var cur [64]int
+	var cursor []int
+	if n <= len(cur) {
+		cursor = cur[:n]
+	} else {
+		cursor = make([]int, n)
+	}
+	copy(cursor, bounds[:n])
+	for i, e := range b.idx {
+		p := parts[i]
+		alt[cursor[p]] = e
+		cursor[p]++
+	}
+	b.idx, b.alt = alt, b.idx[:0]
+	return bounds
+}
+
+// RunRange serializes records [lo,hi) — which must already be sorted, e.g.
+// by SortRange — directly into a Run. The encoded size is computed exactly
+// up front, so the blob is built in a single allocation with no growth
+// copies, and the sortedness re-verification of NewRun is skipped: the
+// batch sorted this range itself.
+func (b *Batch) RunRange(lo, hi int, compress bool) *Run {
+	var raw, enc int64
+	for _, e := range b.idx[lo:hi] {
+		raw += int64(e.klen) + int64(e.vlen)
+		enc += int64(uvarintLen(uint64(e.klen))) + int64(uvarintLen(uint64(e.vlen)))
+	}
+	enc += raw + int64(uvarintLen(uint64(hi-lo)))
+	blob := make([]byte, 0, enc)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(hi-lo))
+	blob = append(blob, tmp[:n]...)
+	for _, e := range b.idx[lo:hi] {
+		n = binary.PutUvarint(tmp[:], uint64(e.klen))
+		blob = append(blob, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(e.vlen))
+		blob = append(blob, tmp[:n]...)
+		blob = append(blob, b.data[e.off:e.off+e.klen+e.vlen]...)
+	}
+	if compress {
+		blob = Deflate(blob)
+	}
+	return &Run{blob: blob, Records: hi - lo, RawBytes: raw, Compressed: compress}
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -133,6 +133,70 @@ func FuzzRunRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzRunView feeds arbitrary bytes to the zero-copy view decoder: a
+// retained view over a buffer that is then scribbled must behave exactly
+// like an owning run over a private copy — same pairs or same rejection,
+// never a panic, never a decode that reads the scribbled bytes.
+func FuzzRunView(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add(Marshal([]Pair{{Key: []byte("a"), Value: []byte("1")}}), false)
+	f.Add(NewRun([]Pair{{Key: []byte("k"), Value: bytes.Repeat([]byte("v"), 64)}}, true).Blob(), true)
+	f.Add([]byte("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"), false)
+	f.Fuzz(func(t *testing.T, blob []byte, compressed bool) {
+		own := RunFromBlob(append([]byte(nil), blob...), len(blob), int64(len(blob)), compressed)
+		buf := append([]byte(nil), blob...)
+		v := NewRunView(buf, len(blob), int64(len(blob)), compressed)
+		v.Retain()
+		for i := range buf {
+			buf[i] ^= 0xA5
+		}
+		got, gerr := v.Pairs()
+		want, werr := own.Pairs()
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("view/owning decode disagree: view err=%v owning err=%v", gerr, werr)
+		}
+		if gerr == nil && !pairsEqual(got, want) {
+			t.Fatalf("retained view decoded %d pairs, owning decoded %d — contents differ",
+				len(got), len(want))
+		}
+	})
+}
+
+// FuzzBatchRunRange drives the batch partition pipeline (scatter, range
+// sort, direct serialization) against the []Pair reference path on
+// arbitrary inputs: every partition's run must be byte-identical.
+func FuzzBatchRunRange(f *testing.F) {
+	f.Add([]byte("\x03the quick brown fox jumps over the lazy dog"), uint8(4))
+	f.Add([]byte{1, 2, 3}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, np uint8) {
+		n := int(np%9) + 1
+		pairs := pairsFromBytes(data)
+		var b Batch
+		for _, p := range pairs {
+			b.Append(p)
+		}
+		bounds := b.PartitionRanges(Partition, n)
+		ref := make([][]Pair, n)
+		for _, p := range pairs {
+			ref[Partition(p.Key, n)] = append(ref[Partition(p.Key, n)], p)
+		}
+		for p := 0; p < n; p++ {
+			lo, hi := bounds[p], bounds[p+1]
+			if hi-lo != len(ref[p]) {
+				t.Fatalf("partition %d: %d records, want %d", p, hi-lo, len(ref[p]))
+			}
+			if lo == hi {
+				continue
+			}
+			b.SortRange(lo, hi)
+			SortPairs(ref[p])
+			if !bytes.Equal(b.RunRange(lo, hi, false).Blob(), NewRun(ref[p], false).Blob()) {
+				t.Fatalf("partition %d: batch run differs from reference run", p)
+			}
+		}
+	})
+}
+
 // FuzzMergeRuns checks the k-way merge: pairs scattered round-robin over
 // several runs must merge back to exactly the sorted whole — same multiset,
 // key-then-value order preserved.

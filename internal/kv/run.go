@@ -16,6 +16,40 @@ type Run struct {
 	Records    int
 	RawBytes   int64 // payload volume before encoding
 	Compressed bool
+
+	// view marks a run whose blob aliases a caller-owned buffer (e.g. a
+	// network receive frame). Retain upgrades a view to an owning run.
+	view bool
+}
+
+// Deflate compresses blob with DEFLATE at BestSpeed. Compression failures
+// on an in-memory buffer are programming errors, hence the panics.
+func Deflate(blob []byte) []byte {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		panic(fmt.Sprintf("kv: flate writer: %v", err))
+	}
+	if _, err := w.Write(blob); err != nil {
+		panic(fmt.Sprintf("kv: compressing run: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("kv: closing compressor: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Inflate decompresses a DEFLATE blob.
+func Inflate(blob []byte) ([]byte, error) {
+	rd := flate.NewReader(bytes.NewReader(blob))
+	dec, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("kv: inflating: %w", err)
+	}
+	if err := rd.Close(); err != nil {
+		return nil, err
+	}
+	return dec, nil
 }
 
 // NewRun serializes sorted pairs into a run. It panics if the pairs are not
@@ -30,18 +64,7 @@ func NewRun(pairs []Pair, compress bool) *Run {
 	}
 	blob := Marshal(pairs)
 	if compress {
-		var buf bytes.Buffer
-		w, err := flate.NewWriter(&buf, flate.BestSpeed)
-		if err != nil {
-			panic(fmt.Sprintf("kv: flate writer: %v", err))
-		}
-		if _, err := w.Write(blob); err != nil {
-			panic(fmt.Sprintf("kv: compressing run: %v", err))
-		}
-		if err := w.Close(); err != nil {
-			panic(fmt.Sprintf("kv: closing compressor: %v", err))
-		}
-		blob = buf.Bytes()
+		blob = Deflate(blob)
 	}
 	return &Run{blob: blob, Records: len(pairs), RawBytes: raw, Compressed: compress}
 }
@@ -55,22 +78,45 @@ func (r *Run) StoredBytes() int64 { return int64(len(r.blob)) }
 func (r *Run) Blob() []byte { return r.blob }
 
 // RunFromBlob reconstructs a run received over the wire from its encoded
-// bytes and metadata. The blob is retained, not copied.
+// bytes and metadata. The blob is retained, not copied, and the run takes
+// ownership: the caller must not reuse or mutate it afterwards.
 func RunFromBlob(blob []byte, records int, rawBytes int64, compressed bool) *Run {
 	return &Run{blob: blob, Records: records, RawBytes: rawBytes, Compressed: compressed}
 }
 
-// Pairs decodes the run back into sorted pairs.
+// NewRunView wraps encoded bytes without copying or taking ownership: the
+// run aliases blob, which the caller may later overwrite (a pooled receive
+// buffer, a reused frame). A view is valid only until its backing buffer
+// is reused; call Retain to keep it beyond that point. Pairs decoded from
+// an uncompressed view alias the same buffer and share its lifetime.
+func NewRunView(blob []byte, records int, rawBytes int64, compressed bool) *Run {
+	return &Run{blob: blob, Records: records, RawBytes: rawBytes, Compressed: compressed, view: true}
+}
+
+// Owned reports whether the run owns its backing bytes (false for a view
+// that has not been retained).
+func (r *Run) Owned() bool { return !r.view }
+
+// Retain upgrades a view into an owning run by copying its blob out of the
+// caller's buffer — copy-on-retain. It is a no-op on runs that already own
+// their bytes, so it is always safe to call before storing a run whose
+// provenance is unknown.
+func (r *Run) Retain() {
+	if r.view {
+		r.blob = append([]byte(nil), r.blob...)
+		r.view = false
+	}
+}
+
+// Pairs decodes the run back into sorted pairs. For an uncompressed run
+// the pairs alias the run's blob (and, for an unretained view, the buffer
+// behind it).
 func (r *Run) Pairs() ([]Pair, error) {
 	blob := r.blob
 	if r.Compressed {
-		rd := flate.NewReader(bytes.NewReader(blob))
-		dec, err := io.ReadAll(rd)
+		dec, err := Inflate(blob)
 		if err != nil {
 			return nil, fmt.Errorf("kv: decompressing run: %w", err)
-		}
-		if err := rd.Close(); err != nil {
-			return nil, err
 		}
 		blob = dec
 	}

@@ -1,0 +1,205 @@
+package kv
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The tests in this file pin the zero-copy receive contract: a Run view
+// built with NewRunView aliases its caller's buffer (a pooled recv frame),
+// is torn by buffer reuse unless retained, and survives arbitrarily
+// jagged/mid-record frame reassembly exactly like the owning decoder.
+
+func sortedSample(rng *rand.Rand, n int) []Pair {
+	pairs := randomPairs(rng, n)
+	SortPairs(pairs)
+	return pairs
+}
+
+func runMeta(pairs []Pair) (records int, raw int64) {
+	for _, p := range pairs {
+		raw += p.Size()
+	}
+	return len(pairs), raw
+}
+
+func TestRunViewAliasesRecvBuffer(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("aaa"), Value: []byte("111")},
+		{Key: []byte("bbb"), Value: []byte("222")},
+	}
+	recv := Marshal(pairs) // stands in for the pooled frame buffer
+	records, raw := runMeta(pairs)
+	v := NewRunView(recv, records, raw, false)
+	if v.Owned() {
+		t.Fatal("view reports Owned")
+	}
+	got, err := v.Pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(got, pairs) {
+		t.Fatal("view decode mismatch before reuse")
+	}
+	// Reusing the buffer scribbles the unretained view: decoded pairs are
+	// views into recv, so they must observe the overwrite. This is the
+	// hazard Retain exists for.
+	for i := range recv {
+		recv[i] = 'Z'
+	}
+	if bytes.Equal(got[0].Key, pairs[0].Key) {
+		t.Fatal("unretained view survived buffer reuse; expected it to alias recv")
+	}
+}
+
+func TestRunViewRetainSurvivesBufferReuse(t *testing.T) {
+	for _, compressed := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(17))
+		pairs := sortedSample(rng, 60)
+		src := NewRun(pairs, compressed)
+		recv := append([]byte(nil), src.Blob()...)
+		records, raw := runMeta(pairs)
+
+		v := NewRunView(recv, records, raw, compressed)
+		v.Retain()
+		if !v.Owned() {
+			t.Fatalf("compressed=%v: Retain did not take ownership", compressed)
+		}
+		// Simulate the next frame landing in the same buffer.
+		for i := range recv {
+			recv[i] ^= 0xFF
+		}
+		got, err := v.Pairs()
+		if err != nil {
+			t.Fatalf("compressed=%v: retained view failed to decode after reuse: %v", compressed, err)
+		}
+		if !pairsEqual(got, pairs) {
+			t.Fatalf("compressed=%v: retained view torn by buffer reuse", compressed)
+		}
+		// Retain is idempotent and a no-op on owning runs.
+		blob := v.Blob()
+		v.Retain()
+		if &v.Blob()[0] != &blob[0] {
+			t.Fatalf("compressed=%v: second Retain copied again", compressed)
+		}
+		own := RunFromBlob(append([]byte(nil), src.Blob()...), records, raw, compressed)
+		if !own.Owned() {
+			t.Fatal("RunFromBlob run reports unowned")
+		}
+	}
+}
+
+// TestRunViewJaggedReassembly rebuilds a frame from 1–3 byte socket
+// segments (the jagged shape the owning stream decoder is tested with),
+// decodes a view straight out of the reassembly buffer, and checks it
+// against the owning decoder — then reuses the buffer for a second frame
+// and checks the retained first view is unaffected while the second
+// decodes correctly.
+func TestRunViewJaggedReassembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	first := sortedSample(rng, 40)
+	second := sortedSample(rng, 40)
+	frameA := Marshal(first)
+	frameB := Marshal(second)
+	if len(frameB) > len(frameA) {
+		frameA, frameB = frameB, frameA
+		first, second = second, first
+	}
+
+	// Reassemble frame A through jagged 1–3 byte reads into the recv buffer.
+	recv := make([]byte, len(frameA))
+	if _, err := io.ReadFull(&jaggedReader{data: frameA}, recv); err != nil {
+		t.Fatal(err)
+	}
+	recA, rawA := runMeta(first)
+	viewA := NewRunView(recv, recA, rawA, false)
+	gotA, err := viewA.Pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(gotA, first) {
+		t.Fatal("jagged-reassembled view disagrees with owning decode")
+	}
+	viewA.Retain()
+
+	// Frame B lands in the same buffer (shorter, so the tail is stale bytes
+	// from frame A — exactly what a pooled buffer holds).
+	if _, err := io.ReadFull(&jaggedReader{data: frameB}, recv[:len(frameB)]); err != nil {
+		t.Fatal(err)
+	}
+	recB, rawB := runMeta(second)
+	viewB := NewRunView(recv[:len(frameB)], recB, rawB, false)
+	gotB, err := viewB.Pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(gotB, second) {
+		t.Fatal("second frame view decode mismatch")
+	}
+	gotA, err = viewA.Pairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(gotA, first) {
+		t.Fatal("retained view torn by buffer reuse")
+	}
+}
+
+// TestRunViewMidRecordSplit feeds a view every truncation point of a frame
+// — including cuts inside a length varint, inside a key, and between key
+// and value — and requires a clean error (never a panic, never fabricated
+// pairs beyond what fully arrived).
+func TestRunViewMidRecordSplit(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("word-0001"), Value: bytes.Repeat([]byte{7}, 300)}, // 2-byte value varint
+		{Key: bytes.Repeat([]byte("k"), 200), Value: []byte("v")},       // 2-byte key varint
+		{Key: []byte("tail"), Value: []byte("end")},
+	}
+	frame := Marshal(pairs)
+	records, raw := runMeta(pairs)
+	for cut := 0; cut < len(frame); cut++ {
+		v := NewRunView(frame[:cut], records, raw, false)
+		got, err := v.Pairs()
+		if err == nil {
+			t.Fatalf("cut at %d/%d: truncated frame decoded without error (%d pairs)",
+				cut, len(frame), len(got))
+		}
+	}
+	// The full frame still decodes.
+	if got, err := NewRunView(frame, records, raw, false).Pairs(); err != nil || !pairsEqual(got, pairs) {
+		t.Fatalf("full frame decode failed: %v", err)
+	}
+}
+
+// TestQuickRunViewMatchesOwningDecode: for random pair sets (compressed
+// and not), a retained view decodes identically to the owning run even
+// after its source buffer is scribbled.
+func TestQuickRunViewMatchesOwningDecode(t *testing.T) {
+	prop := func(seed int64, n uint8, compressed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := sortedSample(rng, int(n))
+		src := NewRun(pairs, compressed)
+		recv := append([]byte(nil), src.Blob()...)
+		records, raw := runMeta(pairs)
+		v := NewRunView(recv, records, raw, compressed)
+		v.Retain()
+		for i := range recv {
+			recv[i] = byte(rng.Intn(256))
+		}
+		got, err := v.Pairs()
+		if err != nil {
+			return false
+		}
+		want, err := src.Pairs()
+		if err != nil {
+			return false
+		}
+		return pairsEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -69,6 +69,10 @@ type chunkState struct {
 	idx     map[string]int // key -> entries index
 	entries []hashEntry
 	out     []kv.Pair
+	// batch is the columnar collector for batch-kernel chunks: the kernel
+	// appends straight into its slab and the partition worker scatters,
+	// sorts and serializes index ranges without ever materializing []Pair.
+	batch kv.Batch
 }
 
 var chunkPool = sync.Pool{
@@ -86,6 +90,7 @@ func (c *chunkState) release() {
 	// capacity for the next chunk (see addKey).
 	c.entries = c.entries[:0]
 	c.out = c.out[:0]
+	c.batch.Reset()
 	chunkPool.Put(c)
 }
 

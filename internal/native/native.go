@@ -45,6 +45,14 @@ type Config struct {
 	// CacheThreshold is the in-memory intermediate cache bound in bytes;
 	// above it, partitions spill to temporary files (0 = never spill).
 	CacheThreshold int64
+	// MergeFanIn is the most cached runs a partition may hand directly to
+	// its reducer; only partitions holding more are compacted in the merge
+	// phase. The reducer's k-way merge visits each record once regardless
+	// of fan-in, so compacting small run counts is pure extra work — a full
+	// serialize/deserialize pass the reduce merge repeats anyway. 0 means
+	// the default (32); 1 restores the historical compact-everything
+	// behavior.
+	MergeFanIn int
 	// SpillDir receives spill files (default os.TempDir()).
 	SpillDir string
 	// Partitioner overrides hash partitioning.
@@ -75,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Partitioner == nil {
 		c.Partitioner = kv.Partition
+	}
+	if c.MergeFanIn <= 0 {
+		c.MergeFanIn = 32
 	}
 	return c
 }
@@ -136,8 +147,11 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 	defer store.cleanup()
 
 	// ---- Map phase: chunk pipeline with bounded in-flight buffers. ----
-	// A chunk's pairs travel with their pooled arena state; the partition
-	// worker releases the state once the pairs are serialized into runs.
+	// A chunk's output travels with its pooled state; the partition worker
+	// releases the state once the output is serialized into runs. Batch
+	// kernels fill the state's columnar batch; per-record kernels fill the
+	// arena-backed pair slice.
+	useBatch := app.MapBatch != nil && !cfg.UseCombiner
 	type chunkOut struct {
 		pairs []kv.Pair
 		state *chunkState
@@ -153,10 +167,20 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 			for block := range chunkCh {
 				end := rec.start(stageMapKernel)
 				recs := app.Parse(block)
-				pairs, state := execChunk(app, cfg, recs)
+				var pairs []kv.Pair
+				var state *chunkState
+				var emitted int
+				if useBatch {
+					state = getChunkState()
+					app.MapBatch(recs, &state.batch)
+					emitted = state.batch.Len()
+				} else {
+					pairs, state = execChunk(app, cfg, recs)
+					emitted = len(pairs)
+				}
 				end()
 				rec.mapRecordsIn.Add(int64(len(recs)))
-				rec.mapPairsOut.Add(int64(len(pairs)))
+				rec.mapPairsOut.Add(int64(emitted))
 				partCh <- chunkOut{pairs: pairs, state: state}
 			}
 		}()
@@ -180,30 +204,58 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 					continue
 				}
 				end := rec.start(stageMapPartition)
-				for i := range buckets {
-					buckets[i] = buckets[i][:0]
-				}
-				for _, pr := range co.pairs {
-					g := cfg.Partitioner(pr.Key, cfg.Partitions)
-					buckets[g] = append(buckets[g], pr)
-				}
-				for g, bucket := range buckets {
-					if len(bucket) == 0 {
-						continue
+				var emitted int
+				if useBatch {
+					// Columnar path: counting-scatter the 12-byte index
+					// entries by partition, sort each range in place, and
+					// serialize it straight into a run — no []Pair
+					// materialization, no sortedness re-verification.
+					b := &co.state.batch
+					emitted = b.Len()
+					bounds := b.PartitionRanges(cfg.Partitioner, cfg.Partitions)
+					for g := 0; g < cfg.Partitions; g++ {
+						lo, hi := bounds[g], bounds[g+1]
+						if lo == hi {
+							continue
+						}
+						b.SortRange(lo, hi)
+						run := b.RunRange(lo, hi, cfg.Compress)
+						rec.partRecords.Add(int64(run.Records))
+						rec.partRuns.Add(1)
+						rec.partRawBytes.Add(run.RawBytes)
+						rec.partStoredBytes.Add(run.StoredBytes())
+						if err := store.add(g, run); err != nil {
+							store.fail(err)
+							break
+						}
 					}
-					kv.SortPairs(bucket)
-					run := kv.NewRun(bucket, cfg.Compress)
-					rec.partRecords.Add(int64(run.Records))
-					rec.partRuns.Add(1)
-					rec.partRawBytes.Add(run.RawBytes)
-					rec.partStoredBytes.Add(run.StoredBytes())
-					if err := store.add(g, run); err != nil {
-						store.fail(err)
-						break
+				} else {
+					emitted = len(co.pairs)
+					for i := range buckets {
+						buckets[i] = buckets[i][:0]
+					}
+					for _, pr := range co.pairs {
+						g := cfg.Partitioner(pr.Key, cfg.Partitions)
+						buckets[g] = append(buckets[g], pr)
+					}
+					for g, bucket := range buckets {
+						if len(bucket) == 0 {
+							continue
+						}
+						kv.SortPairs(bucket)
+						run := kv.NewRun(bucket, cfg.Compress)
+						rec.partRecords.Add(int64(run.Records))
+						rec.partRuns.Add(1)
+						rec.partRawBytes.Add(run.RawBytes)
+						rec.partStoredBytes.Add(run.StoredBytes())
+						if err := store.add(g, run); err != nil {
+							store.fail(err)
+							break
+						}
 					}
 				}
 				end()
-				interPairs.Add(int64(len(co.pairs)))
+				interPairs.Add(int64(emitted))
 				co.state.release()
 			}
 		}()
@@ -274,13 +326,31 @@ func Run(app *core.App, blocks [][]byte, cfg Config) (*Result, error) {
 // collector and returns the chunk's intermediate pairs. The pairs live in
 // the returned pooled state's arena: the caller must release() the state
 // once the pairs are consumed, and not touch them after.
+//
+// When the app has a batch kernel it runs once over the whole chunk and its
+// output replays into the collector: the emit sequence is identical to the
+// per-record path by construction (batch kernels process records in order),
+// so collector and combiner behavior are byte-for-byte unchanged — but the
+// per-record kernel shim's Batch setup cost is paid once per chunk, not
+// once per record.
 func execChunk(app *core.App, cfg Config, recs []kv.Pair) ([]kv.Pair, *chunkState) {
 	st := getChunkState()
-	if cfg.Collector == core.HashTable {
-		emit := st.hashEmit
+	feed := func(emit func(k, v []byte)) {
 		for _, rec := range recs {
 			app.Map(rec, emit)
 		}
+	}
+	if app.MapBatch != nil {
+		app.MapBatch(recs, &st.batch)
+		feed = func(emit func(k, v []byte)) {
+			for i := 0; i < st.batch.Len(); i++ {
+				p := st.batch.Pair(i)
+				emit(p.Key, p.Value)
+			}
+		}
+	}
+	if cfg.Collector == core.HashTable {
+		feed(st.hashEmit)
 		if cfg.UseCombiner {
 			sink := st.poolEmit
 			for i := range st.entries {
@@ -297,10 +367,7 @@ func execChunk(app *core.App, cfg Config, recs []kv.Pair) ([]kv.Pair, *chunkStat
 		}
 		return st.out, st
 	}
-	emit := st.poolEmit
-	for _, rec := range recs {
-		app.Map(rec, emit)
-	}
+	feed(st.poolEmit)
 	return st.out, st
 }
 
@@ -316,9 +383,28 @@ func reducePartition(app *core.App, store *partitionStore, g int) ([]kv.Pair, er
 		return nil, err
 	}
 	merged := kv.Merge(iters...)
-	if app.Reduce == nil {
+	if app.Reduce == nil && app.ReduceBatch == nil {
 		out := kv.Drain(merged)
 		rec.reduceRecordsIn.Add(int64(len(out)))
+		rec.outputPairs.Add(int64(len(out)))
+		return out, nil
+	}
+	if app.ReduceBatch != nil {
+		// Batch path: the kernel appends output into one partition-owned
+		// slab; the returned pairs are views into it (the slab outlives
+		// them via the slice references), so there is no per-pair copy-out.
+		batch := new(kv.Batch)
+		gi := kv.NewGroupIter(merged)
+		for {
+			grp, ok := gi.Next()
+			if !ok {
+				break
+			}
+			rec.reduceRecordsIn.Add(int64(len(grp.Values)))
+			rec.reduceGroupsIn.Add(1)
+			app.ReduceBatch(grp.Key, grp.Values, batch)
+		}
+		out := batch.Pairs(nil)
 		rec.outputPairs.Add(int64(len(out)))
 		return out, nil
 	}

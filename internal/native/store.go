@@ -201,10 +201,16 @@ func (s *partitionStore) spill(g int, runs []*kv.Run) error {
 	return nil
 }
 
-// compactAll merges each partition's cached runs down to one, in parallel.
+// compactAll merges cached runs down to one, in parallel, for every
+// partition holding more than the configured merge fan-in (a store built
+// without defaults compacts anything with at least two runs).
 func (s *partitionStore) compactAll(workers int) error {
 	if workers < 1 {
 		workers = 1
+	}
+	fanIn := s.cfg.MergeFanIn
+	if fanIn < 1 {
+		fanIn = 1
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -219,7 +225,7 @@ func (s *partitionStore) compactAll(workers int) error {
 			sh.mu.Lock()
 			runs := sh.runs
 			sh.mu.Unlock()
-			if len(runs) < 2 {
+			if len(runs) < 2 || len(runs) <= fanIn {
 				return
 			}
 			end := s.rec.start(stageMerge)

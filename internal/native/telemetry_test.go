@@ -20,7 +20,10 @@ func TestTelemetryInstrumentsEveryStage(t *testing.T) {
 		// Low enough that spills trigger, high enough that partitions still
 		// hold several cached runs for compactAll to merge.
 		CacheThreshold: 64 << 10,
-		Telemetry:      tel,
+		// Force compaction regardless of run count: this test asserts every
+		// stage (including merge) reports busy time.
+		MergeFanIn: 1,
+		Telemetry:  tel,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -106,6 +106,16 @@ func MeasureDist(s DistScenario) Result {
 		for _, sp := range o.Telemetry.Spans.Spans() {
 			busy[sp.Stage] += int64((sp.End - sp.Start) * 1e9)
 		}
+		// The net/send split: queue residence vs socket write, published by
+		// the worker ledgers as counters rather than spans.
+		for stage, name := range map[string]string{
+			"net/queue": "dist_net_queue_ns_total",
+			"net/write": "dist_net_write_ns_total",
+		} {
+			if v := o.Telemetry.Metrics.Counter(name).Value(); v > 0 {
+				busy[stage] = v
+			}
+		}
 		if res.StageNs == nil {
 			res.StageNs = make(map[string]int64, len(busy))
 		}

@@ -41,6 +41,19 @@ type GuardOpts struct {
 	// MinAllocs ignores scenarios whose baseline allocation count is below
 	// this floor (0 = the default 1000).
 	MinAllocs int64
+	// AllocOverride tightens (or loosens) the allocs_per_op budget for
+	// individual scenarios by name. Scenarios whose hot path is fully
+	// batch-allocated sit at a few thousand large allocations per op, where
+	// even one stray per-record allocation site multiplies the count — a
+	// tighter gate catches it the day it lands.
+	AllocOverride map[string]float64
+	// ShuffleMaxRatio is the allowed fresh/base shuffle_bytes ratio for
+	// scenarios whose baseline records network shuffle volume (0 = the
+	// default 1.1). Wire volume is a function of the dataset and the frame
+	// coalescing, both deterministic up to flush-timing boundary effects of
+	// a few bytes per frame, so the budget is tight: a fatter wire encoding
+	// or broken coalescing shows up immediately.
+	ShuffleMaxRatio float64
 }
 
 func (o GuardOpts) withDefaults() GuardOpts {
@@ -55,6 +68,9 @@ func (o GuardOpts) withDefaults() GuardOpts {
 	}
 	if o.MinAllocs <= 0 {
 		o.MinAllocs = 1000
+	}
+	if o.ShuffleMaxRatio <= 0 {
+		o.ShuffleMaxRatio = 1.1
 	}
 	return o
 }
@@ -81,10 +97,22 @@ func CompareResults(base, fresh []Result, o GuardOpts) []Regression {
 			continue
 		}
 		if b.AllocsPerOp >= o.MinAllocs {
-			if ratio := float64(f.AllocsPerOp) / float64(b.AllocsPerOp); ratio > o.MaxRatio {
+			budget := o.MaxRatio
+			if over, ok := o.AllocOverride[b.Name]; ok && over > 0 {
+				budget = over
+			}
+			if ratio := float64(f.AllocsPerOp) / float64(b.AllocsPerOp); ratio > budget {
 				regs = append(regs, Regression{
 					Scenario: b.Name, Metric: "allocs_per_op",
 					Base: b.AllocsPerOp, Fresh: f.AllocsPerOp, Ratio: ratio,
+				})
+			}
+		}
+		if b.ShuffleBytes > 0 {
+			if ratio := float64(f.ShuffleBytes) / float64(b.ShuffleBytes); ratio > o.ShuffleMaxRatio {
+				regs = append(regs, Regression{
+					Scenario: b.Name, Metric: "shuffle_bytes",
+					Base: b.ShuffleBytes, Fresh: f.ShuffleBytes, Ratio: ratio,
 				})
 			}
 		}
@@ -96,6 +124,13 @@ func CompareResults(base, fresh []Result, o GuardOpts) []Regression {
 		for _, stage := range stages {
 			bns := b.StageNs[stage]
 			if bns < o.MinStageNs {
+				continue
+			}
+			if stage == "net/queue" {
+				// Queue residence is scheduler contention, not pipeline work:
+				// it collapses when the write pump gets its own core and
+				// balloons on a saturated one. Tracked in the report, never
+				// gated.
 				continue
 			}
 			if ratio := float64(f.StageNs[stage]) / float64(bns); ratio > o.StageMaxRatio {

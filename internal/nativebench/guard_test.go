@@ -91,3 +91,47 @@ func TestGuardCustomRatio(t *testing.T) {
 		t.Fatalf("expected the tighter 5%% budget to flag +10%% allocs, got %v", regs)
 	}
 }
+
+func TestGuardAllocOverride(t *testing.T) {
+	// +20% allocs on wc-hash: inside the default 25% budget, outside a
+	// per-scenario 10% override. terasort keeps the default.
+	fresh := []Result{
+		{Name: "wc-hash", AllocsPerOp: 120000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}},
+		{Name: "terasort", StageNs: map[string]int64{"merge": 10e6}},
+	}
+	opts := GuardOpts{AllocOverride: map[string]float64{"wc-hash": 1.10}}
+	regs := CompareResults(guardBase(), fresh, opts)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" || regs[0].Scenario != "wc-hash" {
+		t.Fatalf("expected the 10%% override to flag +20%% allocs, got %v", regs)
+	}
+}
+
+func TestGuardFlagsShuffleBytes(t *testing.T) {
+	base := []Result{{Name: "dist-wc", ShuffleBytes: 100000, StageNs: map[string]int64{"net/send": 50e6}}}
+	within := []Result{{Name: "dist-wc", ShuffleBytes: 105000, StageNs: map[string]int64{"net/send": 50e6}}}
+	if regs := CompareResults(base, within, GuardOpts{}); len(regs) != 0 {
+		t.Fatalf("+5%% shuffle bytes is inside the 10%% budget, got %v", regs)
+	}
+	fatter := []Result{{Name: "dist-wc", ShuffleBytes: 120000, StageNs: map[string]int64{"net/send": 50e6}}}
+	regs := CompareResults(base, fatter, GuardOpts{})
+	if len(regs) != 1 || regs[0].Metric != "shuffle_bytes" {
+		t.Fatalf("expected +20%% shuffle bytes flagged, got %v", regs)
+	}
+	// A scenario with no baseline shuffle volume (native rows) is never
+	// gated on it.
+	nonDist := []Result{{Name: "wc-hash", AllocsPerOp: 100000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}, ShuffleBytes: 999999}}
+	if regs := CompareResults(guardBase()[:1], nonDist, GuardOpts{}); len(regs) != 0 {
+		t.Fatalf("native row gated on shuffle_bytes: %v", regs)
+	}
+}
+
+func TestGuardIgnoresQueueStage(t *testing.T) {
+	// net/queue is scheduler contention, not pipeline work: a 10x swing must
+	// never gate, while a real stage regression alongside it still does.
+	base := []Result{{Name: "dist-wc", StageNs: map[string]int64{"net/queue": 50e6, "net/send": 50e6}}}
+	fresh := []Result{{Name: "dist-wc", StageNs: map[string]int64{"net/queue": 500e6, "net/send": 110e6}}}
+	regs := CompareResults(base, fresh, GuardOpts{})
+	if len(regs) != 1 || regs[0].Metric != "stage_ns/net/send" {
+		t.Fatalf("expected only net/send flagged, got %v", regs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package nativebench
+
+// RaceEnabled reports whether the race detector is compiled in. Throughput
+// floors are meaningless under its 2-10x slowdown, so perf-asserting tests
+// skip themselves when it is on.
+const RaceEnabled = true

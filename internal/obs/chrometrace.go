@@ -24,6 +24,10 @@ type chromeEvent struct {
 type chromeTrace struct {
 	TraceEvents     []chromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// OtherData is the trace_event format's free-form metadata object;
+	// chrome://tracing shows it under the Metadata button. omitempty keeps
+	// meta-less output byte-identical to what golden tests pin.
+	OtherData map[string]any `json:"otherData,omitempty"`
 }
 
 // WriteChromeTrace exports spans (plus optional instants) as Chrome
@@ -33,6 +37,16 @@ type chromeTrace struct {
 // a given input (events sorted, stable field order), so it can be pinned by
 // golden tests.
 func WriteChromeTrace(w io.Writer, spans []Span, instants ...Instant) error {
+	return WriteChromeTraceWithMeta(w, spans, nil, instants...)
+}
+
+// WriteChromeTraceWithMeta is WriteChromeTrace plus a metadata object
+// carried in the trace's otherData field — run-level facts that are not
+// timeline events, like the shuffle frame-size distribution. A nil or empty
+// meta writes exactly what WriteChromeTrace writes. Values must be
+// JSON-encodable; encoding/json sorts map keys, so output stays
+// deterministic.
+func WriteChromeTraceWithMeta(w io.Writer, spans []Span, meta map[string]any, instants ...Instant) error {
 	// Global track table: a stage gets the same tid on every node, so
 	// cross-node comparison is one vertical scan in the viewer.
 	stageSet := map[string]bool{}
@@ -107,5 +121,49 @@ func WriteChromeTrace(w io.Writer, spans []Span, instants ...Instant) error {
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+	if len(meta) == 0 {
+		meta = nil
+	}
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms", OtherData: meta})
+}
+
+// TraceMeta pulls named metrics out of reg as a trace metadata object for
+// WriteChromeTraceWithMeta. Counters and gauges become their value;
+// histograms become {count, sum, mean, buckets} with buckets keyed by their
+// upper edge. Names with no samples recorded are omitted, so a run that
+// never touched a subsystem carries no metadata for it.
+func TraceMeta(reg *Registry, names ...string) map[string]any {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	meta := map[string]any{}
+	for _, m := range reg.Snapshot() {
+		if !want[m.Name] || len(m.Labels) > 0 {
+			continue
+		}
+		if m.Type != "histogram" {
+			if m.Value != 0 {
+				meta[m.Name] = m.Value
+			}
+			continue
+		}
+		if m.Count == 0 {
+			continue
+		}
+		buckets := map[string]int64{}
+		for _, b := range m.Buckets {
+			buckets["le_"+b.Le] = b.Count
+		}
+		meta[m.Name] = map[string]any{
+			"count":   m.Count,
+			"sum":     m.Sum,
+			"mean":    m.Sum / float64(m.Count),
+			"buckets": buckets,
+		}
+	}
+	if len(meta) == 0 {
+		return nil
+	}
+	return meta
 }

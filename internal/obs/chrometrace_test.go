@@ -83,6 +83,75 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+func TestWriteChromeTraceWithMeta(t *testing.T) {
+	spans := []Span{{Node: 0, Stage: "map/kernel", Start: 0, End: 1}}
+
+	// nil and empty meta must write exactly the meta-less document — golden
+	// tests elsewhere pin WriteChromeTrace bytes.
+	var plain, withNil, withEmpty bytes.Buffer
+	if err := WriteChromeTrace(&plain, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceWithMeta(&withNil, spans, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceWithMeta(&withEmpty, spans, map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), withNil.Bytes()) || !bytes.Equal(plain.Bytes(), withEmpty.Bytes()) {
+		t.Fatal("nil/empty meta changed the trace bytes")
+	}
+
+	reg := NewRegistry()
+	reg.Counter("dist_shuffle_bytes_total").Add(4096)
+	h := reg.Histogram("dist_frame_bytes", []float64{1 << 10, 64 << 10})
+	h.Observe(512)
+	h.Observe(2048)
+	reg.Counter("unrelated_total").Add(7)
+	reg.Histogram("empty_hist", nil) // zero samples: omitted
+	meta := TraceMeta(reg, "dist_shuffle_bytes_total", "dist_frame_bytes", "empty_hist")
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithMeta(&buf, spans, meta); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.OtherData["dist_shuffle_bytes_total"]; got != float64(4096) {
+		t.Fatalf("counter meta = %v", got)
+	}
+	hist, ok := doc.OtherData["dist_frame_bytes"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram meta missing: %v", doc.OtherData)
+	}
+	if hist["count"] != float64(2) || hist["sum"] != float64(2560) {
+		t.Fatalf("histogram meta = %v", hist)
+	}
+	buckets := hist["buckets"].(map[string]any)
+	if buckets["le_1024"] != float64(1) || buckets["le_65536"] != float64(1) || buckets["le_+Inf"] != float64(0) {
+		t.Fatalf("histogram buckets = %v", buckets)
+	}
+	if _, there := doc.OtherData["unrelated_total"]; there {
+		t.Fatal("unrequested metric leaked into meta")
+	}
+	if _, there := doc.OtherData["empty_hist"]; there {
+		t.Fatal("sample-less histogram leaked into meta")
+	}
+
+	// Determinism with meta attached.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTraceWithMeta(&buf2, spans, meta); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("exporter output with meta is not deterministic")
+	}
+}
+
 func TestWriteChromeTraceMicroseconds(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, []Span{{Node: 0, Stage: "s", Start: 2, End: 3}}); err != nil {

@@ -53,6 +53,19 @@ func WriteChromeTrace(w io.Writer, spans []Span, instants ...TraceInstant) error
 	return obs.WriteChromeTrace(w, spans, instants...)
 }
 
+// WriteChromeTraceWithMeta is WriteChromeTrace plus a run-level metadata
+// object (e.g. obs.TraceMeta output) carried in the trace's otherData field;
+// nil meta writes exactly what WriteChromeTrace writes.
+func WriteChromeTraceWithMeta(w io.Writer, spans []Span, meta map[string]any, instants ...TraceInstant) error {
+	return obs.WriteChromeTraceWithMeta(w, spans, meta, instants...)
+}
+
+// TraceMeta pulls named metrics out of reg as a metadata object for
+// WriteChromeTraceWithMeta.
+func TraceMeta(reg *MetricsRegistry, names ...string) map[string]any {
+	return obs.TraceMeta(reg, names...)
+}
+
 // AnalyzePipeline computes per-stage busy/stall time, occupancy, the overlap
 // factor and a critical-path estimate from a run's spans.
 func AnalyzePipeline(spans []Span) *PipelineReport { return obs.Analyze(spans) }
