@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	conformance [-runtime sim,native,dist] [-app WC,TS] [-axis chunk,faults] [-q]
+//	conformance [-runtime sim,native,dist,service] [-app WC,TS] [-axis chunk,faults] [-q]
 //
 // Exits non-zero if any cell fails.
 package main
@@ -36,7 +36,7 @@ func splitList(s string) []string {
 }
 
 func main() {
-	runtimes := flag.String("runtime", "", "comma-separated runtimes (sim,native,hadoop,gpmr,dist; empty = all)")
+	runtimes := flag.String("runtime", "", "comma-separated runtimes (sim,native,hadoop,gpmr,dist,service; empty = all)")
 	apps := flag.String("app", "", "comma-separated applications (WC,TS,KM; empty = all)")
 	axes := flag.String("axis", "", "comma-separated axes (baseline,chunk,workers,partitions,compress,overlap,collector,faults; empty = all)")
 	quiet := flag.Bool("q", false, "suppress per-cell rows; print only the summary matrix")

@@ -10,6 +10,7 @@
 //	         [-partitions P] [-chunk BYTES] [-verify] [-trace-out FILE]
 //	         [-metrics-out FILE]
 //	distnode -join ADDR [-listen ADDR]
+//	distnode -jobsvc ADDR [-fleet N]    (resident multi-tenant job service)
 //
 // A three-node run on one machine:
 //
@@ -28,9 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"glasswing/internal/dist"
+	"glasswing/internal/jobsvc"
 	"glasswing/internal/obs"
 )
 
@@ -49,12 +53,25 @@ func main() {
 		verify     = flag.Bool("verify", false, "verify output against a reference implementation")
 		traceOut   = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
+
+		jobsvcAddr  = flag.String("jobsvc", "", "job-service mode: run the resident multi-tenant coordinator on this HTTP address")
+		fleet       = flag.Int("fleet", 8, "job-service mode: worker-slot budget shared by all jobs")
+		allowFaults = flag.Bool("jobsvc-faults", false, "job-service mode: allow fault-injection request fields")
 	)
 	flag.Parse()
 
 	switch {
 	case *join != "" && *serve != "":
 		log.Fatal("pick one of -serve (coordinator) or -join (worker)")
+	case *jobsvcAddr != "":
+		svc := jobsvc.New(jobsvc.Config{FleetWorkers: *fleet, AllowFaultInjection: *allowFaults})
+		ln, err := net.Listen("tcp", *jobsvcAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("job service listening on http://%s (fleet: %d worker slots)", ln.Addr(), *fleet)
+		err = (&http.Server{Handler: svc.Handler()}).Serve(ln)
+		log.Fatal(err)
 	case *join != "":
 		tel := obs.NewTelemetry()
 		if err := dist.Join(*join, *listen, dist.Tuning{}, tel); err != nil {

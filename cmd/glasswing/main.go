@@ -13,6 +13,7 @@
 //	glasswing -dist N -app wc|ts|km ...       (N-worker TCP cluster in one process)
 //	glasswing -coordinator ADDR -dist N ...   (serve a job to N remote workers)
 //	glasswing -worker ADDR                    (join a remote coordinator)
+//	glasswing -serve ADDR [-fleet N]          (resident multi-tenant job service, HTTP API)
 //
 // Every run processes real generated data; -verify checks the output
 // against an independent reference implementation. The fault flags exercise
@@ -67,6 +68,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
 		report     = flag.Bool("report", false, "print the pipeline stall analysis (busy/stall/occupancy per stage)")
 
+		serveAddr   = flag.String("serve", "", "run the resident multi-tenant job service on this HTTP address (e.g. 127.0.0.1:8844)")
+		fleetSlots  = flag.Int("fleet", 8, "worker-slot budget shared by all jobs in -serve mode")
+		serveFaults = flag.Bool("serve-faults", false, "allow fault-injection request fields in -serve mode (CI and conformance)")
+
 		distWorkers = flag.Int("dist", 0, "run on the distributed runtime with N TCP workers (0 disables)")
 		coordAddr   = flag.String("coordinator", "", "serve the job as a distributed coordinator at this address (workers join with -worker)")
 		workerJoin  = flag.String("worker", "", "join a distributed coordinator at this address as a worker")
@@ -81,6 +86,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *serveAddr != "" {
+		runServe(*serveAddr, *fleetSlots, *serveFaults)
+		return
+	}
 	if *workerJoin != "" {
 		runDistWorker(*workerJoin, *workerAddr)
 		return

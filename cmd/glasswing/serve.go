@@ -1,0 +1,48 @@
+package main
+
+import (
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"glasswing/internal/jobsvc"
+)
+
+// runServe starts the resident multi-tenant job service: a coordinator
+// owning a shared worker fleet, accepting jobs over the HTTP/JSON API
+// until interrupted.
+//
+//	POST   /jobs              submit (tenant, app, base64 input, priority)
+//	GET    /jobs/{id}         poll status
+//	GET    /jobs/{id}/result  fetch output (base64 kv wire format)
+//	GET    /jobs/{id}/trace   per-job Chrome trace
+//	GET    /jobs/{id}/metrics per-job conservation counters
+//	GET    /metrics           service queue/admission/fairness metrics
+func runServe(addr string, fleet int, allowFaults bool) {
+	svc := jobsvc.New(jobsvc.Config{
+		FleetWorkers:        fleet,
+		AllowFaultInjection: allowFaults,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("-serve: %v", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	log.Printf("job service listening on http://%s (fleet: %d worker slots)", ln.Addr(), fleet)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Printf("shutting down: draining running jobs")
+		srv.Close()
+		svc.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("-serve: %v", err)
+	}
+	svc.Close()
+}

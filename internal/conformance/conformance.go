@@ -31,6 +31,7 @@ import (
 
 	"glasswing/internal/apps"
 	"glasswing/internal/core"
+	"glasswing/internal/dist"
 	"glasswing/internal/kv"
 	"glasswing/internal/workload"
 )
@@ -51,6 +52,12 @@ type Job struct {
 	Partitioner func(key []byte, n int) int
 	// Broadcast is the prelude payload in bytes (KM ships its centers).
 	Broadcast int64
+	// Params is the app's registry parameter blob (dist.AppSpec.Params) for
+	// runtimes that resolve kernels by name over a wire API — the job
+	// service axis — instead of taking a constructor closure. Encodes the
+	// same partitioner sample / center spec the closure path uses, so both
+	// paths run identical kernels.
+	Params []byte
 	// Collector is the tuned collector for this app; the collector axis
 	// runs the other one.
 	Collector core.CollectorKind
@@ -86,6 +93,7 @@ func Jobs() []Job {
 			Data:              tsData,
 			RecordSize:        workload.TeraRecordSize,
 			Partitioner:       apps.TeraPartitioner(tsData, 16),
+			Params:            dist.EncodeTSParams(apps.TeraSample(tsData, 16)),
 			Collector:         core.BufferPool,
 			OutputReplication: 1,
 			Verify:            func(out []kv.Pair) error { return apps.VerifyTeraSort(out, tsData) },
@@ -96,6 +104,7 @@ func Jobs() []Job {
 			Data:       kmData,
 			RecordSize: int64(kmSpec.Dim * 4),
 			Broadcast:  kmSpec.CentersBytes(),
+			Params:     dist.EncodeKMParams(kmSpec),
 			Collector:  core.HashTable,
 			Verify:     func(out []kv.Pair) error { return apps.VerifyKMeans(out, kmData, kmSpec) },
 		},

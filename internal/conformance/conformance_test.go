@@ -81,6 +81,16 @@ func TestMatrixDist(t *testing.T) {
 	runRuntimeMatrix(t, "dist", 7)
 }
 
+// TestMatrixService re-runs the dist axis table through the job service's
+// HTTP API: JSON submission, admission, priority queue, scheduler, fleet,
+// then digest + verifier + a wire ledger rebuilt from the serialized
+// per-job registry. Same axes as dist — the service layer must be
+// semantically invisible.
+func TestMatrixService(t *testing.T) {
+	t.Parallel()
+	runRuntimeMatrix(t, "service", 7)
+}
+
 // TestMatrixDistCellCount pins the dist matrix's breadth: the ISSUE's
 // acceptance floor is 20 executed axis cells including the worker-kill one.
 func TestMatrixDistCellCount(t *testing.T) {

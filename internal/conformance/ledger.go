@@ -51,7 +51,14 @@ type Ledger struct {
 // ReadLedger extracts the conservation counters from a registry; names that
 // were never written read as zero.
 func ReadLedger(reg *obs.Registry) Ledger {
-	c := func(name string) int64 { return reg.Counter(name).Value() }
+	return LedgerFromCounters(func(name string) int64 { return reg.Counter(name).Value() })
+}
+
+// LedgerFromCounters rebuilds a Ledger from a counter lookup — the remote
+// twin of ReadLedger, used when a run's registry arrives serialized over an
+// API (the job service's GET /jobs/{id}/metrics) instead of in-process.
+// Names the lookup doesn't know must read as zero.
+func LedgerFromCounters(c func(name string) int64) Ledger {
 	return Ledger{
 		MapRecordsIn:         c("conserv_map_records_in_total"),
 		MapPairsOut:          c("conserv_map_pairs_out_total"),

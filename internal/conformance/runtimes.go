@@ -18,10 +18,11 @@ import (
 )
 
 // RuntimeNames lists the engines the matrix covers. The simulated core, the
-// native pipeline and the distributed TCP runtime are fully instrumented
-// (digest + verifier + ledger); the Hadoop and GPMR baseline models share
-// the same kernels and are held to digest + verifier equality.
-var RuntimeNames = []string{"sim", "native", "hadoop", "gpmr", "dist"}
+// native pipeline, the distributed TCP runtime and the job-service HTTP
+// path are fully instrumented (digest + verifier + ledger); the Hadoop and
+// GPMR baseline models share the same kernels and are held to digest +
+// verifier equality.
+var RuntimeNames = []string{"sim", "native", "hadoop", "gpmr", "dist", "service"}
 
 // Cell is one executed point of the runtime x app x axis matrix.
 type Cell struct {
@@ -87,6 +88,9 @@ func RunMatrix(opt Options, report func(Cell)) []Cell {
 		}
 		if selected(opt.Runtimes, "dist") {
 			runDistApp(j, exp, opt, add)
+		}
+		if selected(opt.Runtimes, "service") {
+			runServiceApp(j, exp, opt, add)
 		}
 	}
 	return cells

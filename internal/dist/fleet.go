@@ -1,0 +1,66 @@
+package dist
+
+import "sync"
+
+// Fleet is a fixed pool of worker slots shared by many concurrent jobs —
+// the resident service's unit of capacity. Each job acquires as many slots
+// as it runs workers, holds them for the life of its loopback cluster, and
+// releases them when the cluster quiesces; the pool never oversubscribes,
+// so however many jobs a coordinator service admits, at most Total workers
+// exist at once.
+//
+// Cluster state itself is job-scoped, not fleet-scoped: every RunLoopback
+// call owns its listener, its kill table, its ledger and its workers, so
+// two jobs running on slots from the same Fleet share nothing but the slot
+// budget (see TestConcurrentJobsIndependentLedgers).
+type Fleet struct {
+	mu    sync.Mutex
+	total int
+	free  int
+}
+
+// NewFleet returns a pool of n worker slots (n < 1 is treated as 1).
+func NewFleet(n int) *Fleet {
+	if n < 1 {
+		n = 1
+	}
+	return &Fleet{total: n, free: n}
+}
+
+// Total returns the pool's capacity.
+func (f *Fleet) Total() int { return f.total }
+
+// Free returns the currently unclaimed slot count.
+func (f *Fleet) Free() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.free
+}
+
+// TryAcquire claims n slots if they are all free right now, without
+// blocking. Callers integrate their own wait/wakeup policy (the job
+// service re-picks its dispatch candidate on every scheduler wakeup, so a
+// blocking acquire here would pin it to a stale choice).
+func (f *Fleet) TryAcquire(n int) bool {
+	if n < 1 {
+		panic("dist: Fleet.TryAcquire of non-positive slot count")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > f.free {
+		return false
+	}
+	f.free -= n
+	return true
+}
+
+// Release returns n slots to the pool. Releasing more than was acquired is
+// an accounting bug and panics.
+func (f *Fleet) Release(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free += n
+	if f.free > f.total {
+		panic("dist: Fleet.Release of slots never acquired")
+	}
+}

@@ -7,6 +7,41 @@ import (
 	"time"
 )
 
+// loopCluster is the job-scoped state of one in-process cluster: the
+// worker registration table the kill hook consults, the per-worker error
+// slots, and the job's ledger. Nothing here is package- or process-global
+// — every RunLoopback call owns a fresh loopCluster, which is what makes
+// concurrent jobs in one process (the resident job service's steady state)
+// unable to cross-contaminate each other's ledgers, kill targets or
+// results.
+type loopCluster struct {
+	led *ledger
+
+	regMu      sync.Mutex
+	registered map[int]*worker
+
+	wg         sync.WaitGroup
+	workerErrs []error
+}
+
+// kill finds the registered worker with this cluster id and murders it.
+// Registration happens at welcome time, strictly before any map task
+// resolves, so a kill (which only fires after KillAfterMapDone
+// resolutions) always finds the worker; the poll is a safety margin, not a
+// synchronization mechanism.
+func (lc *loopCluster) kill(id int) {
+	for i := 0; i < 500; i++ {
+		lc.regMu.Lock()
+		w := lc.registered[id]
+		lc.regMu.Unlock()
+		if w != nil {
+			w.kill()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // RunLoopback runs one distributed job entirely in-process: the coordinator
 // and o.Workers worker nodes are goroutines connected through real
 // 127.0.0.1 TCP sockets, so every shuffle byte crosses the kernel's TCP
@@ -14,6 +49,11 @@ import (
 // detection) is exercised exactly as in a multi-process deployment. All
 // nodes share one conservation ledger, published into o.Telemetry after the
 // whole cluster has quiesced.
+//
+// RunLoopback is safe for concurrent use: every call builds its own
+// cluster (listener, workers, kill table, ledger), so a process may run
+// many jobs at once — give each call its own o.Telemetry and each job's
+// counters and spans stay independent.
 func RunLoopback(o Options) (*Result, error) {
 	if o.Workers <= 0 {
 		return nil, fmt.Errorf("dist: need at least one worker, got %d", o.Workers)
@@ -29,66 +69,48 @@ func RunLoopback(o Options) (*Result, error) {
 	}
 	defer ln.Close()
 
-	led := newLedger(o.Telemetry)
-
-	// Workers register here once the coordinator assigns their id, so the
-	// kill hook can find its victim. Registration happens at welcome time,
-	// strictly before any map task resolves, so a kill (which only fires
-	// after KillAfterMapDone resolutions) always finds the worker; the poll
-	// is a safety margin, not a synchronization mechanism.
-	var regMu sync.Mutex
-	registered := make(map[int]*worker)
-	kill := func(id int) {
-		for i := 0; i < 500; i++ {
-			regMu.Lock()
-			w := registered[id]
-			regMu.Unlock()
-			if w != nil {
-				w.kill()
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
+	lc := &loopCluster{
+		led:        newLedger(o.Telemetry),
+		registered: make(map[int]*worker),
+		workerErrs: make([]error, o.Workers),
 	}
 
-	var wg sync.WaitGroup
-	workerErrs := make([]error, o.Workers)
 	for i := 0; i < o.Workers; i++ {
-		wg.Add(1)
+		lc.wg.Add(1)
 		go func(i int) {
-			defer wg.Done()
+			defer lc.wg.Done()
 			killed, err := runWorker(workerConfig{
 				coordAddr:  ln.Addr().String(),
 				listenAddr: "127.0.0.1:0",
 				tun:        o.Tuning,
-				led:        led,
+				led:        lc.led,
 				resolve:    resolve,
 				mapFault:   o.MapFault,
 				onWelcome: func(w *worker) {
-					regMu.Lock()
-					registered[w.id] = w
-					regMu.Unlock()
+					lc.regMu.Lock()
+					lc.registered[w.id] = w
+					lc.regMu.Unlock()
 				},
 			})
 			if !killed {
-				workerErrs[i] = err
+				lc.workerErrs[i] = err
 			}
 		}(i)
 	}
 
-	res, err := serve(ln, o, kill)
+	res, err := serve(ln, o, lc.kill)
 
 	// Close the listener before waiting: a worker stuck in cluster
 	// formation (possible only if serve already failed) errors out instead
 	// of hanging.
 	ln.Close()
-	wg.Wait()
-	led.publish()
+	lc.wg.Wait()
+	lc.led.publish()
 
 	if err != nil {
 		return nil, err
 	}
-	for i, werr := range workerErrs {
+	for i, werr := range lc.workerErrs {
 		if werr != nil {
 			return nil, fmt.Errorf("dist: worker goroutine %d: %w", i, werr)
 		}

@@ -1,0 +1,167 @@
+package jobsvc
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"glasswing/internal/kv"
+	"glasswing/internal/obs"
+)
+
+// Client is a thin typed wrapper over the HTTP API, used by the
+// conformance service axis, the load tests, and the CLI. It keeps the
+// same error shape as the server: API-level failures come back as
+// *APIError (with the HTTP status filled in), transport failures as
+// ordinary errors.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8844".
+	Base string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decodeInto reads a response: 2xx decodes into v (when non-nil), anything
+// else decodes the structured error body into an *APIError.
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if v == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+	apiErr := &APIError{Status: resp.StatusCode}
+	if err := json.NewDecoder(resp.Body).Decode(apiErr); err != nil {
+		return fmt.Errorf("jobsvc client: status %d with undecodable error body: %w", resp.StatusCode, err)
+	}
+	return apiErr
+}
+
+// Submit posts a job. On admission it returns the queued Status; on
+// rejection the error is an *APIError carrying the status code, reason,
+// and any retry-after hint.
+func (c *Client) Submit(req Request) (Status, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Status{}, fmt.Errorf("jobsvc client: encoding request: %w", err)
+	}
+	resp, err := c.httpClient().Post(c.Base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := decodeInto(resp, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Status fetches one job's current status.
+func (c *Client) Status(id string) (Status, error) {
+	resp, err := c.httpClient().Get(c.Base + "/jobs/" + id)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := decodeInto(resp, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Cancel asks the service to drop a queued job.
+func (c *Client) Cancel(id string) (Status, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/jobs/"+id, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := decodeInto(resp, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// WaitDone polls until the job reaches a terminal state or the deadline
+// passes. It returns the terminal Status; a job that finished failed,
+// canceled or evicted is not an error here — callers inspect State.
+func (c *Client) WaitDone(id string, timeout time.Duration) (Status, error) {
+	deadline := time.Now().Add(timeout)
+	delay := 2 * time.Millisecond
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return Status{}, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled, StateEvicted:
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("jobsvc client: job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(delay)
+		if delay < 50*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// ResultPairs fetches and decodes a finished job's output pairs.
+func (c *Client) ResultPairs(id string) ([]kv.Pair, error) {
+	resp, err := c.httpClient().Get(c.Base + "/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := decodeInto(resp, &res); err != nil {
+		return nil, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(res.OutputB64)
+	if err != nil {
+		return nil, fmt.Errorf("jobsvc client: result payload not base64: %w", err)
+	}
+	pairs, err := kv.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("jobsvc client: result payload not kv wire format: %w", err)
+	}
+	return pairs, nil
+}
+
+// JobCounters fetches a finished job's private metric registry and
+// returns its unlabeled counters by name — enough to rebuild the job's
+// conservation ledger on the client side.
+func (c *Client) JobCounters(id string) (map[string]int64, error) {
+	resp, err := c.httpClient().Get(c.Base + "/jobs/" + id + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Metrics []obs.Metric `json:"metrics"`
+	}
+	if err := decodeInto(resp, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(doc.Metrics))
+	for _, m := range doc.Metrics {
+		if m.Type == "counter" && len(m.Labels) == 0 {
+			out[m.Name] = int64(m.Value)
+		}
+	}
+	return out, nil
+}

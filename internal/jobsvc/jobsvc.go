@@ -1,0 +1,716 @@
+// Package jobsvc is the resident multi-tenant job service: a long-running
+// coordinator that owns a shared internal/dist worker fleet and accepts
+// many concurrent MapReduce jobs over a stdlib HTTP/JSON API. Where every
+// run used to be a one-shot CLI invocation — build a cluster, run one job,
+// exit — the service keeps a fixed budget of worker slots resident and
+// multiplexes them across tenants, jobs and priorities.
+//
+// The admission and scheduling design borrows the structure of geth's
+// transaction pool (priced admission, per-sender caps, demotion under
+// pressure), translated to jobs:
+//
+//   - Bounded priority queue. Submissions enter one of three priority
+//     classes (low/normal/high). The global queue is capped; per-tenant
+//     quotas cap queued jobs, queued input bytes, and running jobs.
+//   - Priced admission under saturation. When the global queue is full, a
+//     new submission is admitted only by evicting a strictly
+//     lower-priority queued job — the victim is the youngest job of the
+//     most-backlogged tenant in the lowest populated class (the txpool's
+//     "underpriced transaction dropped for a better-paying one"). Anything
+//     else is rejected with 429 and a Retry-After hint.
+//   - Fair dispatch. The scheduler serves classes strictly high-to-low;
+//     within a class it round-robins across tenants and runs each tenant's
+//     jobs FIFO, skipping tenants at their running-set quota. A job that
+//     does not fit the free slot budget blocks its class (no lower-priority
+//     bypass), so big jobs cannot starve.
+//
+// Every job runs on a job-scoped internal/dist loopback cluster whose
+// worker count is drawn from the shared slot fleet; results, JobStats,
+// per-job conservation counters and Chrome traces are all served back over
+// the API, and service-level metrics (queue depth, admission decisions,
+// per-tenant wait/service time, dispatch fairness) are published through
+// an internal/obs registry at GET /metrics.
+package jobsvc
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"glasswing/internal/core"
+	"glasswing/internal/dist"
+	"glasswing/internal/obs"
+)
+
+// Priority is a submission's scheduling class.
+type Priority int
+
+// Priority classes, lowest first. The zero value is PriLow so an explicit
+// parse (defaulting to normal) decides, not the zero value.
+const (
+	PriLow Priority = iota
+	PriNormal
+	PriHigh
+	numPriorities
+)
+
+// ParsePriority maps the wire spelling to a class; empty means normal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "low":
+		return PriLow, nil
+	case "", "normal":
+		return PriNormal, nil
+	case "high":
+		return PriHigh, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (low, normal, high)", s)
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriLow:
+		return "low"
+	case PriHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Terminal states are done, failed, canceled and evicted.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+	StateEvicted  State = "evicted"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateEvicted
+}
+
+// Quota bounds one tenant's footprint in the service — the txpool's
+// per-sender caps.
+type Quota struct {
+	// MaxQueued caps the tenant's queued (not yet running) jobs.
+	MaxQueued int
+	// MaxQueuedBytes caps the summed input+params bytes of the tenant's
+	// queued jobs — the byte budget.
+	MaxQueuedBytes int64
+	// MaxRunning caps the tenant's simultaneously running jobs; the
+	// scheduler skips tenants at this cap rather than rejecting.
+	MaxRunning int
+}
+
+func (q Quota) withDefaults() Quota {
+	if q.MaxQueued <= 0 {
+		q.MaxQueued = 16
+	}
+	if q.MaxQueuedBytes <= 0 {
+		q.MaxQueuedBytes = 16 << 20
+	}
+	if q.MaxRunning <= 0 {
+		q.MaxRunning = 4
+	}
+	return q
+}
+
+// Config configures the service.
+type Config struct {
+	// FleetWorkers is the shared worker-slot budget (default 8): the sum
+	// of all running jobs' worker counts never exceeds it.
+	FleetWorkers int
+	// MaxQueue caps queued jobs across all tenants (default 64).
+	MaxQueue int
+	// MaxInputBytes / MaxParamsBytes cap one submission's decoded input
+	// and param blob (defaults 32 MiB / 1 MiB); larger requests are
+	// rejected 413 before admission.
+	MaxInputBytes  int64
+	MaxParamsBytes int64
+	// DefaultQuota applies to tenants absent from Quotas.
+	DefaultQuota Quota
+	// Quotas overrides per tenant.
+	Quotas map[string]Quota
+	// Tuning passes through to every job's dist cluster.
+	Tuning dist.Tuning
+	// RetryAfter is the backoff hint attached to 429 rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// Metrics is the service-level registry (one is created if nil). Job
+	// conservation counters do NOT land here — each job owns a private
+	// registry served at /jobs/{id}/metrics — so concurrent jobs cannot
+	// cross-contaminate ledgers.
+	Metrics *obs.Registry
+	// AllowFaultInjection enables the loopback fault-injection request
+	// fields (kill_worker, map_fault_mod) — conformance and CI use them to
+	// drive the dist fault cells through the service path. Off, such
+	// requests are rejected 400.
+	AllowFaultInjection bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.FleetWorkers <= 0 {
+		c.FleetWorkers = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxInputBytes <= 0 {
+		c.MaxInputBytes = 32 << 20
+	}
+	if c.MaxParamsBytes <= 0 {
+		c.MaxParamsBytes = 1 << 20
+	}
+	c.DefaultQuota = c.DefaultQuota.withDefaults()
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Request is the POST /jobs submission body.
+type Request struct {
+	// Tenant identifies the submitter for quotas and fairness (required).
+	Tenant string `json:"tenant"`
+	// App names a registry application: wc, ts, km (required).
+	App string `json:"app"`
+	// Priority is low, normal (default) or high.
+	Priority string `json:"priority,omitempty"`
+	// InputB64 is the raw job input, base64 (required). RecordSize > 0
+	// splits it on fixed-size records, otherwise on newlines.
+	InputB64   string `json:"input_b64"`
+	RecordSize int    `json:"record_size,omitempty"`
+	// ParamsB64 is the app's registry parameter blob, base64 (TeraSort's
+	// sampled range boundaries, KMeans' center spec).
+	ParamsB64 string `json:"params_b64,omitempty"`
+	// Chunk is the map block size in bytes (0 = default).
+	Chunk int `json:"chunk,omitempty"`
+	// Partitions is the reduce partition count (0 = default 4).
+	Partitions int `json:"partitions,omitempty"`
+	// Workers is the cluster size drawn from the fleet (0 = default 2;
+	// clamped to the fleet size).
+	Workers int `json:"workers,omitempty"`
+	// Collector is "hash" (default) or "pool".
+	Collector   string `json:"collector,omitempty"`
+	UseCombiner bool   `json:"use_combiner,omitempty"`
+	Compress    bool   `json:"compress,omitempty"`
+
+	// Fault injection (Config.AllowFaultInjection only): KillWorker kills
+	// that worker after KillAfterMapDone map resolutions; MapFaultMod > 0
+	// fails the first attempt of every MapFaultMod-th map task.
+	KillWorker       *int `json:"kill_worker,omitempty"`
+	KillAfterMapDone int  `json:"kill_after_map_done,omitempty"`
+	MapFaultMod      int  `json:"map_fault_mod,omitempty"`
+}
+
+// APIError is a structured request failure: an HTTP status, a stable
+// machine-readable reason slug, and a human message. 429s carry the
+// retry-after hint that also becomes the Retry-After header.
+type APIError struct {
+	Status       int    `json:"-"`
+	Reason       string `json:"reason"`
+	Msg          string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("%d %s: %s", e.Status, e.Reason, e.Msg) }
+
+func badRequest(reason, format string, args ...any) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Reason: reason, Msg: fmt.Sprintf(format, args...)}
+}
+
+// JobStats summarizes one completed run — the dist Result minus the
+// output payload.
+type JobStats struct {
+	InputBytes        int64 `json:"input_bytes"`
+	IntermediatePairs int64 `json:"intermediate_pairs"`
+	OutputPairs       int   `json:"output_pairs"`
+	MapRetries        int   `json:"map_retries"`
+	WorkersLost       int   `json:"workers_lost"`
+	MapRecoveries     int   `json:"map_recoveries"`
+	MapMS             int64 `json:"map_ms"`
+	ReduceMS          int64 `json:"reduce_ms"`
+	TotalMS           int64 `json:"total_ms"`
+}
+
+// Status is a job's externally visible state (GET /jobs/{id} and the
+// submit response).
+type Status struct {
+	ID         string `json:"id"`
+	Tenant     string `json:"tenant"`
+	App        string `json:"app"`
+	Priority   string `json:"priority"`
+	State      State  `json:"state"`
+	Workers    int    `json:"workers"`
+	Partitions int    `json:"partitions"`
+	// QueueDepth is the service-wide queued-job count at response time.
+	QueueDepth int `json:"queue_depth"`
+	// WaitMS is time spent queued (still ticking while queued); RunMS is
+	// time running (ticking while running).
+	WaitMS int64     `json:"wait_ms"`
+	RunMS  int64     `json:"run_ms,omitempty"`
+	Stats  *JobStats `json:"stats,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// job is the service's record of one submission.
+type job struct {
+	id     string
+	seq    int64
+	tenant string
+	pri    Priority
+
+	app         string
+	params      []byte
+	input       []byte
+	recordSize  int
+	chunk       int
+	partitions  int
+	workers     int
+	collector   core.CollectorKind
+	useCombiner bool
+	compress    bool
+	cost        int64
+
+	killWorker  int // -1 = none
+	killAfter   int
+	mapFaultMod int
+
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+
+	output []byte // kv.Marshal of the final pairs, partition order
+	stats  *JobStats
+	tel    *obs.Telemetry // job-scoped: conservation counters + spans
+}
+
+// tenantState tracks one tenant's queue and running-set footprint.
+type tenantState struct {
+	name        string
+	queued      [numPriorities][]*job // FIFO per class
+	queuedCount int
+	queuedBytes int64
+	running     int
+}
+
+// Service is the resident coordinator. Create with New, serve its
+// Handler, and Close it to drain.
+type Service struct {
+	cfg   Config
+	reg   *obs.Registry
+	fleet *dist.Fleet
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	jobs        map[string]*job
+	order       []*job // submission order, for listing
+	tenants     map[string]*tenantState
+	tenantOrder []string
+	rr          [numPriorities]int // round-robin cursor per class
+	queuedTotal int
+	runningJobs int
+	nextSeq     int64
+	closed      bool
+
+	schedWG sync.WaitGroup // the scheduler goroutine
+	runWG   sync.WaitGroup // running job goroutines
+
+	// runFn executes one dispatched job; tests stub it to exercise the
+	// scheduler without real clusters. Defaults to (*Service).distRun.
+	runFn func(*job) (*dist.Result, *obs.Telemetry, error)
+	// dispatchHook, when set, observes every dispatch decision under the
+	// service lock (fairness property tests).
+	dispatchHook func(ev DispatchEvent)
+}
+
+// DispatchEvent is one scheduler decision, captured under the service
+// lock for fairness auditing: the chosen job plus, for each tenant, its
+// queued-per-class counts at the moment of dispatch.
+type DispatchEvent struct {
+	JobID    string
+	Tenant   string
+	Priority Priority
+	Workers  int
+	// QueuedAt maps tenant -> per-class queued counts immediately BEFORE
+	// this dispatch removed the chosen job.
+	QueuedAt map[string][numPriorities]int
+	// RunningAt maps tenant -> running count before this dispatch.
+	RunningAt map[string]int
+}
+
+// New builds a Service and starts its scheduler.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		fleet:   dist.NewFleet(cfg.FleetWorkers),
+		jobs:    make(map[string]*job),
+		tenants: make(map[string]*tenantState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.runFn = s.distRun
+	s.gaugeSlots()
+	s.schedWG.Add(1)
+	go s.scheduler()
+	return s
+}
+
+// Close stops admissions, cancels every queued job, waits for running
+// jobs to finish (a dist cluster cannot be preempted mid-job), and stops
+// the scheduler. Job records remain readable afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, t := range s.tenants {
+		for p := range t.queued {
+			for _, j := range t.queued[p] {
+				j.state = StateCanceled
+				j.finished = time.Now()
+				j.errMsg = "service shutting down"
+				j.input = nil
+				s.counter("jobsvc_canceled_total", obs.L("tenant", j.tenant)).Inc()
+			}
+			t.queued[p] = nil
+		}
+		t.queuedCount, t.queuedBytes = 0, 0
+	}
+	s.queuedTotal = 0
+	s.gaugeQueue()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.schedWG.Wait()
+	s.runWG.Wait()
+}
+
+// Metrics returns the service-level registry (queue depth, admission
+// decisions, per-tenant wait/service time, dispatch fairness).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+func (s *Service) counter(name string, labels ...obs.Label) *obs.Counter {
+	return s.reg.Counter(name, labels...)
+}
+
+func (s *Service) gaugeQueue() {
+	s.reg.Gauge("jobsvc_queue_depth").Set(float64(s.queuedTotal))
+	s.reg.Gauge("jobsvc_running_jobs").Set(float64(s.runningJobs))
+}
+
+func (s *Service) gaugeSlots() {
+	s.reg.Gauge("jobsvc_fleet_slots_free").Set(float64(s.fleet.Free()))
+}
+
+func (s *Service) quotaFor(tenant string) Quota {
+	if q, ok := s.cfg.Quotas[tenant]; ok {
+		return q.withDefaults()
+	}
+	return s.cfg.DefaultQuota
+}
+
+// parseRequest validates a submission and builds the job record (no lock,
+// no admission yet).
+func (s *Service) parseRequest(req Request) (*job, *APIError) {
+	if req.Tenant == "" {
+		return nil, badRequest("missing-tenant", "tenant is required")
+	}
+	pri, err := ParsePriority(req.Priority)
+	if err != nil {
+		return nil, badRequest("bad-priority", "%v", err)
+	}
+	params, err := base64.StdEncoding.DecodeString(req.ParamsB64)
+	if err != nil {
+		return nil, badRequest("bad-params-encoding", "params_b64: %v", err)
+	}
+	if int64(len(params)) > s.cfg.MaxParamsBytes {
+		return nil, &APIError{Status: http.StatusRequestEntityTooLarge, Reason: "params-too-large",
+			Msg: fmt.Sprintf("param blob %d bytes exceeds cap %d", len(params), s.cfg.MaxParamsBytes)}
+	}
+	input, err := base64.StdEncoding.DecodeString(req.InputB64)
+	if err != nil {
+		return nil, badRequest("bad-input-encoding", "input_b64: %v", err)
+	}
+	if len(input) == 0 {
+		return nil, badRequest("empty-input", "input_b64 is required and must decode to non-empty input")
+	}
+	if int64(len(input)) > s.cfg.MaxInputBytes {
+		return nil, &APIError{Status: http.StatusRequestEntityTooLarge, Reason: "input-too-large",
+			Msg: fmt.Sprintf("input %d bytes exceeds cap %d", len(input), s.cfg.MaxInputBytes)}
+	}
+	// Resolve the app now: an unknown name or corrupt param blob fails the
+	// submission, not the run.
+	if _, _, err := dist.RegistryResolver(dist.AppSpec{Name: req.App, Params: params}); err != nil {
+		return nil, badRequest("unknown-app", "%v", err)
+	}
+	var collector core.CollectorKind
+	switch req.Collector {
+	case "", "hash":
+		collector = core.HashTable
+	case "pool":
+		collector = core.BufferPool
+	default:
+		return nil, badRequest("bad-collector", "unknown collector %q (hash, pool)", req.Collector)
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	if workers > s.cfg.FleetWorkers {
+		workers = s.cfg.FleetWorkers
+	}
+	if req.RecordSize < 0 || req.Chunk < 0 || req.Partitions < 0 {
+		return nil, badRequest("bad-geometry", "record_size, chunk and partitions must be non-negative")
+	}
+	j := &job{
+		tenant:      req.Tenant,
+		pri:         pri,
+		app:         req.App,
+		params:      params,
+		input:       input,
+		recordSize:  req.RecordSize,
+		chunk:       req.Chunk,
+		partitions:  req.Partitions,
+		workers:     workers,
+		collector:   collector,
+		useCombiner: req.UseCombiner,
+		compress:    req.Compress,
+		cost:        int64(len(input) + len(params)),
+		killWorker:  -1,
+	}
+	if req.KillWorker != nil || req.MapFaultMod != 0 {
+		if !s.cfg.AllowFaultInjection {
+			return nil, badRequest("fault-injection-disabled", "fault-injection fields require AllowFaultInjection")
+		}
+		if req.MapFaultMod < 0 {
+			return nil, badRequest("bad-fault", "map_fault_mod must be non-negative")
+		}
+		j.mapFaultMod = req.MapFaultMod
+		if req.KillWorker != nil {
+			if *req.KillWorker < 0 || *req.KillWorker >= workers {
+				return nil, badRequest("bad-fault", "kill_worker %d outside worker range [0,%d)", *req.KillWorker, workers)
+			}
+			j.killWorker = *req.KillWorker
+			j.killAfter = req.KillAfterMapDone
+		}
+	}
+	return j, nil
+}
+
+// Submit validates, admits and enqueues one job, returning its status or
+// a structured rejection. This is the txpool-style admission gate: tenant
+// quotas first, then global saturation with priced eviction.
+func (s *Service) Submit(req Request) (Status, *APIError) {
+	j, apiErr := s.parseRequest(req)
+	if apiErr != nil {
+		s.counter("jobsvc_rejected_total", obs.L("reason", apiErr.Reason)).Inc()
+		return Status{}, apiErr
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter("jobsvc_submitted_total", obs.L("tenant", j.tenant)).Inc()
+
+	reject := func(reason, format string, args ...any) (Status, *APIError) {
+		s.counter("jobsvc_rejected_total", obs.L("reason", reason)).Inc()
+		return Status{}, &APIError{
+			Status: http.StatusTooManyRequests, Reason: reason,
+			Msg:          fmt.Sprintf(format, args...),
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		}
+	}
+
+	if s.closed {
+		s.counter("jobsvc_rejected_total", obs.L("reason", "shutting-down")).Inc()
+		return Status{}, &APIError{Status: http.StatusServiceUnavailable, Reason: "shutting-down", Msg: "service is shutting down"}
+	}
+
+	q := s.quotaFor(j.tenant)
+	t := s.tenantLocked(j.tenant)
+	if t.queuedCount >= q.MaxQueued {
+		return reject("tenant-queue-quota", "tenant %q has %d jobs queued (cap %d)", j.tenant, t.queuedCount, q.MaxQueued)
+	}
+	if t.queuedBytes+j.cost > q.MaxQueuedBytes {
+		return reject("tenant-byte-budget", "tenant %q queued bytes %d + %d exceed budget %d",
+			j.tenant, t.queuedBytes, j.cost, q.MaxQueuedBytes)
+	}
+	if s.queuedTotal >= s.cfg.MaxQueue {
+		// Saturation: priced admission. Only a strictly lower-priority
+		// victim may be demoted for the newcomer.
+		v := s.evictionVictimLocked()
+		if v == nil || v.pri >= j.pri {
+			return reject("queue-full", "queue full (%d jobs) and no lower-priority job to displace", s.queuedTotal)
+		}
+		s.evictLocked(v)
+	}
+
+	s.nextSeq++
+	j.seq = s.nextSeq
+	j.id = fmt.Sprintf("j-%d", j.seq)
+	j.state = StateQueued
+	j.submitted = time.Now()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	t.queued[j.pri] = append(t.queued[j.pri], j)
+	t.queuedCount++
+	t.queuedBytes += j.cost
+	s.queuedTotal++
+	s.counter("jobsvc_admitted_total", obs.L("tenant", j.tenant)).Inc()
+	s.gaugeQueue()
+	s.cond.Broadcast()
+	return s.statusLocked(j), nil
+}
+
+// tenantLocked returns (creating on first sight) the tenant's state.
+func (s *Service) tenantLocked(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name}
+		s.tenants[name] = t
+		s.tenantOrder = append(s.tenantOrder, name)
+	}
+	return t
+}
+
+// evictionVictimLocked picks the queued job priced admission would drop:
+// lowest populated class; within it, the most-backlogged tenant's
+// youngest job (the txpool demotes the worst-positioned transaction of
+// the most over-quota sender).
+func (s *Service) evictionVictimLocked() *job {
+	for p := PriLow; p < numPriorities; p++ {
+		var victim *job
+		victimBacklog := -1
+		for _, name := range s.tenantOrder {
+			t := s.tenants[name]
+			fifo := t.queued[p]
+			if len(fifo) == 0 {
+				continue
+			}
+			if t.queuedCount > victimBacklog {
+				victim = fifo[len(fifo)-1]
+				victimBacklog = t.queuedCount
+			}
+		}
+		if victim != nil {
+			return victim
+		}
+	}
+	return nil
+}
+
+// evictLocked removes a queued job as demoted-under-pressure.
+func (s *Service) evictLocked(v *job) {
+	s.removeQueuedLocked(v)
+	v.state = StateEvicted
+	v.finished = time.Now()
+	v.errMsg = "evicted under queue pressure by a higher-priority submission"
+	v.input = nil
+	s.counter("jobsvc_evicted_total", obs.L("tenant", v.tenant)).Inc()
+}
+
+// removeQueuedLocked unlinks a queued job from its tenant FIFO and the
+// global accounting. The job must currently be queued.
+func (s *Service) removeQueuedLocked(v *job) {
+	t := s.tenants[v.tenant]
+	fifo := t.queued[v.pri]
+	for i, cand := range fifo {
+		if cand == v {
+			t.queued[v.pri] = append(fifo[:i:i], fifo[i+1:]...)
+			break
+		}
+	}
+	t.queuedCount--
+	t.queuedBytes -= v.cost
+	s.queuedTotal--
+	s.gaugeQueue()
+}
+
+// Cancel cancels a queued job. Running jobs cannot be preempted (a dist
+// cluster runs to completion); terminal jobs are already settled.
+func (s *Service) Cancel(id string) (Status, *APIError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Status{}, &APIError{Status: http.StatusNotFound, Reason: "unknown-job", Msg: fmt.Sprintf("no job %q", id)}
+	}
+	if j.state != StateQueued {
+		return Status{}, &APIError{Status: http.StatusConflict, Reason: "not-queued",
+			Msg: fmt.Sprintf("job %s is %s; only queued jobs can be canceled", id, j.state)}
+	}
+	s.removeQueuedLocked(j)
+	j.state = StateCanceled
+	j.finished = time.Now()
+	j.errMsg = "canceled by client"
+	j.input = nil
+	s.counter("jobsvc_canceled_total", obs.L("tenant", j.tenant)).Inc()
+	s.cond.Broadcast()
+	return s.statusLocked(j), nil
+}
+
+// JobStatus returns one job's status.
+func (s *Service) JobStatus(id string) (Status, *APIError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Status{}, &APIError{Status: http.StatusNotFound, Reason: "unknown-job", Msg: fmt.Sprintf("no job %q", id)}
+	}
+	return s.statusLocked(j), nil
+}
+
+func (s *Service) statusLocked(j *job) Status {
+	st := Status{
+		ID:         j.id,
+		Tenant:     j.tenant,
+		App:        j.app,
+		Priority:   j.pri.String(),
+		State:      j.state,
+		Workers:    j.workers,
+		Partitions: j.partitions,
+		QueueDepth: s.queuedTotal,
+		Stats:      j.stats,
+		Error:      j.errMsg,
+	}
+	switch {
+	case j.state == StateQueued:
+		st.WaitMS = time.Since(j.submitted).Milliseconds()
+	case !j.started.IsZero():
+		st.WaitMS = j.started.Sub(j.submitted).Milliseconds()
+		if j.state == StateRunning {
+			st.RunMS = time.Since(j.started).Milliseconds()
+		} else {
+			st.RunMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	default: // canceled or evicted while queued
+		st.WaitMS = j.finished.Sub(j.submitted).Milliseconds()
+	}
+	return st
+}
+
+// List returns every job's status in submission order.
+func (s *Service) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, s.statusLocked(j))
+	}
+	return out
+}
