@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -64,7 +65,11 @@ func main() {
 	case *join != "" && *serve != "":
 		log.Fatal("pick one of -serve (coordinator) or -join (worker)")
 	case *jobsvcAddr != "":
-		svc := jobsvc.New(jobsvc.Config{FleetWorkers: *fleet, AllowFaultInjection: *allowFaults})
+		svc := jobsvc.New(jobsvc.Config{
+			FleetWorkers:        *fleet,
+			AllowFaultInjection: *allowFaults,
+			Events:              slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		})
 		ln, err := net.Listen("tcp", *jobsvcAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -97,6 +102,13 @@ func main() {
 		fmt.Printf("%s (dist, %d workers): total %v (map %v, reduce %v), %d blocks in, %d intermediate pairs, %d output pairs\n",
 			res.App, res.Workers, res.Total, res.MapElapsed, res.ReduceElapsed,
 			len(blocks), res.IntermediatePairs, res.OutputPairs)
+		fmt.Printf("trace %016x; clock offsets:", res.TraceID)
+		for w := 0; w < res.Workers; w++ {
+			if off, ok := res.ClockOffsets[w]; ok {
+				fmt.Printf(" w%d %+.3fms (rtt %.3fms)", w, off*1e3, res.ClockRTTs[w]*1e3)
+			}
+		}
+		fmt.Println()
 		if *verify {
 			if err := check(res); err != nil {
 				log.Fatalf("output verification FAILED: %v", err)

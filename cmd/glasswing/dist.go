@@ -77,22 +77,21 @@ func runDistJob(c distJobConfig) {
 	writeMetricsFile(c.metricsOut, tel.Metrics)
 }
 
-// printWireReport prints the shuffle wire's frame-size distribution and the
-// net/send queue-vs-write split under -report, after the stage table.
+// printWireReport prints the shuffle wire's frame-size distribution (with
+// interpolated quantiles) and the net/send queue-vs-write split under
+// -report, after the stage table.
 func printWireReport(reg *glasswing.MetricsRegistry) {
-	var frames *glasswing.Metric
+	byName := make(map[string]glasswing.Metric)
 	for _, m := range reg.Snapshot() {
-		if m.Name == "dist_frame_bytes" {
-			mm := m
-			frames = &mm
-			break
-		}
+		byName[m.Name] = m
 	}
-	if frames == nil || frames.Count == 0 {
+	frames, ok := byName["dist_frame_bytes"]
+	if !ok || frames.Count == 0 {
 		return
 	}
-	fmt.Printf("\nshuffle wire: %d frames, %.0f B on the wire (mean %.0f B/frame)\n",
-		frames.Count, frames.Sum, frames.Sum/float64(frames.Count))
+	fmt.Printf("\nshuffle wire: %d frames, %.0f B on the wire (mean %.0f B/frame, p50 %.0f, p95 %.0f, p99 %.0f)\n",
+		frames.Count, frames.Sum, frames.Sum/float64(frames.Count),
+		frames.P50, frames.P95, frames.P99)
 	fmt.Print("frame sizes:")
 	for _, b := range frames.Buckets {
 		if b.Count > 0 {
@@ -105,6 +104,15 @@ func printWireReport(reg *glasswing.MetricsRegistry) {
 	if queue+write > 0 {
 		fmt.Printf("net/send split: %.2fms queued, %.2fms writing\n",
 			float64(queue)/1e6, float64(write)/1e6)
+	}
+	for _, row := range []struct{ name, label string }{
+		{"dist_net_queue_seconds", "queue wait"},
+		{"dist_net_write_seconds", "socket write"},
+	} {
+		if h, ok := byName[row.name]; ok && h.Count > 0 {
+			fmt.Printf("%s per frame: p50 %.3fms, p95 %.3fms, p99 %.3fms (%d frames)\n",
+				row.label, h.P50*1e3, h.P95*1e3, h.P99*1e3, h.Count)
+		}
 	}
 }
 

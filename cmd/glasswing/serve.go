@@ -2,6 +2,7 @@ package main
 
 import (
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -18,13 +19,19 @@ import (
 //	POST   /jobs              submit (tenant, app, base64 input, priority)
 //	GET    /jobs/{id}         poll status
 //	GET    /jobs/{id}/result  fetch output (base64 kv wire format)
-//	GET    /jobs/{id}/trace   per-job Chrome trace
+//	GET    /jobs/{id}/trace   per-job merged cluster Chrome trace
 //	GET    /jobs/{id}/metrics per-job conservation counters
-//	GET    /metrics           service queue/admission/fairness metrics
+//	GET    /metrics           service metrics (JSON; ?format=prom for Prometheus)
+//	GET    /metrics/stream    live SSE metric snapshots
+//
+// The structured event journal (admissions, evictions, dispatches,
+// retries, worker deaths — keyed by tenant/job/trace id) goes to stderr
+// as JSON lines.
 func runServe(addr string, fleet int, allowFaults bool) {
 	svc := jobsvc.New(jobsvc.Config{
 		FleetWorkers:        fleet,
 		AllowFaultInjection: allowFaults,
+		Events:              slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -33,24 +33,31 @@ import (
 type coalescer struct {
 	cc       *conn
 	led      *ledger
+	tr       *tracer
+	traceID  uint64
 	limit    int64
 	compress bool
 
 	mu      sync.Mutex
 	body    enc
 	records int64
+	parent  uint64    // span parent of the batch: first contributing kernel
 	oldest  time.Time // enqueue time of the oldest buffered entry
 	closed  bool
 }
 
-func newCoalescer(cc *conn, led *ledger, limit int64, compress bool) *coalescer {
-	return &coalescer{cc: cc, led: led, limit: limit, compress: compress}
+func newCoalescer(cc *conn, led *ledger, tr *tracer, traceID uint64, limit int64, compress bool) *coalescer {
+	return &coalescer{cc: cc, led: led, tr: tr, traceID: traceID, limit: limit, compress: compress}
 }
 
 // add buffers one run for shipment, flushing when the body crosses the
-// size budget. Adds to a closed coalescer (dying link) are discarded —
-// never counted sent, so no loss entry is owed.
-func (co *coalescer) add(task, attempt, part int, r *kv.Run) {
+// size budget. parent is the map-kernel span that produced the run; the
+// batch's net/send span parents on the first contributor (a frame holds
+// runs from many kernels but a span holds one parent — first-in is the one
+// whose latency the frame's tenure actually extends). Adds to a closed
+// coalescer (dying link) are discarded — never counted sent, so no loss
+// entry is owed.
+func (co *coalescer) add(task, attempt, part int, r *kv.Run, parent uint64) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.closed {
@@ -58,6 +65,7 @@ func (co *coalescer) add(task, attempt, part int, r *kv.Run) {
 	}
 	if len(co.body.buf) == 0 {
 		co.oldest = time.Now()
+		co.parent = parent
 	}
 	appendRunEntry(&co.body, runEntry{
 		Task: task, Attempt: attempt, Partition: part,
@@ -91,10 +99,19 @@ func (co *coalescer) flushLocked() {
 	if co.closed || len(co.body.buf) == 0 {
 		return
 	}
-	payload := encodeRunBatchBody(co.body.buf, co.compress)
+	// Mint the frame's net/send span id here so it can ride inside the
+	// payload: the receiver parents its net/recv staging span on it, which
+	// is the cross-process edge of the trace.
+	var sendSpan uint64
+	if co.tr != nil {
+		sendSpan = co.tr.newID()
+	}
+	payload := encodeRunBatchBody(co.body.buf, co.compress, co.traceID, sendSpan)
 	records := co.records
+	parent := co.parent
 	co.body.buf = co.body.buf[:0] // payload holds its own copy of the body
 	co.records = 0
+	co.parent = 0
 	co.led.netSent(records, int64(len(payload)))
 	co.led.frameBytes(5 + int64(len(payload))) // wire size incl. frame header
 	// send may block on the send window; adds from the executor then block
@@ -103,6 +120,7 @@ func (co *coalescer) flushLocked() {
 	co.cc.send(frame{
 		typ: mRunBatch, payload: payload, bulk: true,
 		records: records, acct: int64(len(payload)),
+		spanID: sendSpan, spanParent: parent,
 	})
 }
 

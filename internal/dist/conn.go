@@ -9,13 +9,15 @@ import (
 
 // frame is one queued outbound message.
 type frame struct {
-	typ     byte
-	payload []byte
-	bulk    bool  // counts against the send window (shuffle data)
-	records int64 // kv records carried, for loss accounting
-	acct    int64 // kv encoded bytes carried, for loss accounting
-	endSpan func() // closes the frame's net/send span (set at enqueue)
-	enq     time.Time // when the frame entered the queue (bulk only)
+	typ        byte
+	payload    []byte
+	bulk       bool      // counts against the send window (shuffle data)
+	records    int64     // kv records carried, for loss accounting
+	acct       int64     // kv encoded bytes carried, for loss accounting
+	spanID     uint64    // pre-minted net/send span id (bulk, traced)
+	spanParent uint64    // parent span of the net/send span
+	endSpan    func()    // closes the frame's net/send span (set at enqueue)
+	enq        time.Time // when the frame entered the queue (bulk only)
 }
 
 // conn wraps one TCP connection with the transport policies every link in
@@ -66,13 +68,18 @@ type conn struct {
 	// here, so the span covers the frame's whole tenure in the transfer
 	// pipeline — queue residence plus the write. That is the interval
 	// during which the data is in flight concurrently with whatever the
-	// executor computes next, i.e. the overlap the trace must show.
-	onBulkWrite func() func()
+	// executor computes next, i.e. the overlap the trace must show. The
+	// frame is passed so the hook can read the pre-minted span id and
+	// parent the coalescer stamped on it.
+	onBulkWrite func(f *frame) func()
 	// onBulkTiming, if set, receives the split of each successfully written
 	// bulk frame's tenure: nanoseconds spent waiting in the queue versus
 	// nanoseconds inside the socket write. The net/send span above is their
 	// sum; the split tells queue congestion apart from a slow wire.
 	onBulkTiming func(queueNs, writeNs int64)
+	// clock, if set by enableClock, receives the timestamp exchange of
+	// every heartbeat reply this side's reader drains.
+	clock *clockEstimator
 
 	done chan struct{}
 }
@@ -117,7 +124,7 @@ func (cc *conn) send(f frame) {
 		cc.queuedBulk += int64(len(f.payload))
 		f.enq = time.Now()
 		if cc.onBulkWrite != nil {
-			f.endSpan = cc.onBulkWrite()
+			f.endSpan = cc.onBulkWrite(&f)
 		}
 	}
 	cc.queue = append(cc.queue, f)
@@ -208,7 +215,49 @@ func (cc *conn) heartbeat(every time.Duration) {
 	}
 }
 
-// recv returns the next non-heartbeat frame. Any error — including a read
+// enableClock arms the NTP-style clock exchange on this link: est receives
+// every reply's timestamps, and a prober goroutine sends a short burst of
+// probes immediately (so even sub-second jobs get samples) and then one per
+// `every`. Only one side of a link probes (the coordinator); the other side
+// just echoes, which recv does unconditionally.
+func (cc *conn) enableClock(est *clockEstimator, every time.Duration) {
+	cc.mu.Lock()
+	cc.clock = est
+	cc.mu.Unlock()
+	go cc.probeClock(every)
+}
+
+func (cc *conn) probeClock(every time.Duration) {
+	probe := func() {
+		cc.send(frame{typ: mHeartbeat, payload: hbMsg{Kind: hbProbe, T1: time.Now().UnixNano()}.encode()})
+	}
+	// An immediate burst: the first samples arrive before bulk traffic can
+	// queue behind the probes and inflate the RTT, and the min-RTT filter
+	// keeps whichever was cleanest.
+	for i := 0; i < 3; i++ {
+		probe()
+		select {
+		case <-cc.done:
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-cc.done:
+			return
+		case <-t.C:
+			probe()
+		}
+	}
+}
+
+// recv returns the next non-heartbeat frame. Heartbeats are consumed here:
+// a clock probe is answered with a reply carrying our receive/send stamps,
+// a reply feeds the link's clock estimator, and a plain (or malformed —
+// it's only a keepalive) payload is skipped. Any error — including a read
 // deadline expiring after HeartbeatTimeout of silence — means the peer is
 // gone as far as this link is concerned.
 func (cc *conn) recv() (byte, []byte, error) {
@@ -221,9 +270,34 @@ func (cc *conn) recv() (byte, []byte, error) {
 			return 0, nil, err
 		}
 		if typ == mHeartbeat {
+			cc.handleHeartbeat(payload)
 			continue
 		}
 		return typ, payload, nil
+	}
+}
+
+func (cc *conn) handleHeartbeat(payload []byte) {
+	if len(payload) == 0 {
+		return // plain keep-alive
+	}
+	now := time.Now().UnixNano()
+	hb, err := decodeHB(payload)
+	if err != nil {
+		return
+	}
+	switch hb.Kind {
+	case hbProbe:
+		cc.send(frame{typ: mHeartbeat, payload: hbMsg{
+			Kind: hbReply, T1: hb.T1, T2: now, T3: time.Now().UnixNano(),
+		}.encode()})
+	case hbReply:
+		cc.mu.Lock()
+		est := cc.clock
+		cc.mu.Unlock()
+		if est != nil {
+			est.sample(hb.T1, hb.T2, hb.T3, now)
+		}
 	}
 }
 

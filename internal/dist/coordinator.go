@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"time"
 
@@ -21,6 +22,14 @@ type Options struct {
 	// Telemetry receives the coordinator-side counters; in loopback mode the
 	// workers share it too (spans, conserv_* ledger).
 	Telemetry *obs.Telemetry
+	// TraceID identifies the job's distributed trace. 0 mints one from the
+	// wall clock; a resident service passes the id it already handed the
+	// client so the job's spans correlate with its journal.
+	TraceID uint64
+	// Journal, if set, receives structured scheduling events (map retries,
+	// worker deaths) — callers attach job/tenant/trace context up front via
+	// slog.With.
+	Journal *slog.Logger
 
 	// NewApp resolves the job's application (loopback-only; multi-process
 	// workers use the registry). The resolver's partitioner return value
@@ -47,7 +56,8 @@ type cworker struct {
 	cc          *conn
 	addr        string // peer-facing listen address
 	alive       bool
-	outstanding int // map tasks dispatched, not yet reported
+	outstanding int             // map tasks dispatched, not yet reported
+	clock       *clockEstimator // NTP-style offset estimate for this worker
 }
 
 // cevent is one frame (or connection loss) from one worker, funneled into
@@ -79,6 +89,14 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	}
 
 	start := time.Now()
+	traceID := o.TraceID
+	if traceID == 0 {
+		traceID = uint64(time.Now().UnixNano())
+	}
+	// The coordinator records its own scheduling spans as node -1 — the
+	// merged trace's "coordinator" process — and its epoch is the timeline
+	// every worker batch is rebased onto.
+	ctr := newTracer(nil, -1)
 
 	// Cluster formation: worker ids are assigned in order of arrival; the
 	// job starts only once every worker's peer listener address is known.
@@ -109,7 +127,11 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 			cc.close()
 			return nil, err
 		}
-		ws[i] = &cworker{cc: cc, addr: h.ListenAddr, alive: true}
+		ws[i] = &cworker{cc: cc, addr: h.ListenAddr, alive: true, clock: &clockEstimator{}}
+		// Only the coordinator probes; the worker side just echoes. The
+		// initial probe burst lands during formation, before shuffle
+		// traffic can queue behind it.
+		cc.enableClock(ws[i].clock, tun.HeartbeatEvery)
 	}
 
 	peers := make([]string, n)
@@ -122,7 +144,7 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	}
 	for i, cw := range ws {
 		cw.cc.send(frame{typ: mWelcome, payload: welcomeMsg{WorkerID: i, Workers: n}.encode()})
-		cw.cc.send(frame{typ: mJobStart, payload: jobStartMsg{Job: o.Job, Peers: peers, Homes: homes}.encode()})
+		cw.cc.send(frame{typ: mJobStart, payload: jobStartMsg{Job: o.Job, TraceID: traceID, Peers: peers, Homes: homes}.encode()})
 	}
 
 	events := make(chan cevent, 4*n)
@@ -161,6 +183,14 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	var mapElapsed time.Duration
 	var reduceStart time.Time
 
+	// Open scheduling spans: sched/assign keyed by (task, attempt),
+	// sched/reduce by partition. A span ends when its done/failed report
+	// lands; dispatches that die with their worker are simply never
+	// recorded (the retry opens a fresh span).
+	assignSpans := make(map[attemptKey]func())
+	reduceSpans := make(map[int]func())
+	var batches []spanBatchMsg
+
 	fail := func(err error) {
 		if jobErr == nil {
 			jobErr = err
@@ -185,8 +215,10 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 				if !ok {
 					break
 				}
+				id, endSpan := ctr.span(stageSchedAssign, 0)
+				assignSpans[attemptKey{t, sched.attempt[t]}] = endSpan
 				cw.cc.send(frame{typ: mMapTask, payload: mapTaskMsg{
-					Task: t, Attempt: sched.attempt[t], Block: o.Blocks[t],
+					Task: t, Attempt: sched.attempt[t], SpanID: id, Block: o.Blocks[t],
 				}.encode()})
 				cw.outstanding++
 			}
@@ -205,7 +237,9 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 		mapElapsed = time.Since(start)
 		reduceStart = time.Now()
 		for p := 0; p < o.Job.Partitions; p++ {
-			ws[homes[p]].cc.send(frame{typ: mReduceTask, payload: reduceTaskMsg{Partition: p}.encode()})
+			id, endSpan := ctr.span(stageSchedReduce, 0)
+			reduceSpans[p] = endSpan
+			ws[homes[p]].cc.send(frame{typ: mReduceTask, payload: reduceTaskMsg{Partition: p, SpanID: id}.encode()})
 			reduceOutstanding++
 		}
 	}
@@ -218,6 +252,9 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 		alive[w] = false
 		liveCount--
 		res.WorkersLost++
+		if o.Journal != nil {
+			o.Journal.Info("worker-dead", "worker", w, "live", liveCount)
+		}
 		if w == o.KillWorker {
 			pendingKill = false
 		}
@@ -273,6 +310,15 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 			}
 			continue
 		}
+		if ev.typ == mSpanBatch {
+			// Span batches arrive while the job winds down — after job-end
+			// has been broadcast and phase is already done — so they are
+			// handled ahead of the drain check below.
+			if m, err := decodeSpanBatch(ev.payload); err == nil {
+				batches = append(batches, m)
+			}
+			continue
+		}
 		if phase == phaseDone {
 			continue // draining
 		}
@@ -284,6 +330,10 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 				continue
 			}
 			ws[ev.w].outstanding--
+			if end := assignSpans[attemptKey{m.Task, m.Attempt}]; end != nil {
+				end()
+				delete(assignSpans, attemptKey{m.Task, m.Attempt})
+			}
 			if sched.done(m.Task, m.Attempt) {
 				interPairs[m.Task] = m.Stats.PairsOut
 				if killArmed && !pendingKill && sched.resolvedCount >= o.KillAfterMapDone {
@@ -304,6 +354,13 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 				continue
 			}
 			ws[ev.w].outstanding--
+			if end := assignSpans[attemptKey{m.Task, m.Attempt}]; end != nil {
+				end()
+				delete(assignSpans, attemptKey{m.Task, m.Attempt})
+			}
+			if o.Journal != nil {
+				o.Journal.Info("map-retry", "task", m.Task, "attempt", m.Attempt, "worker", ev.w, "reason", m.Reason)
+			}
 			if err := sched.fail(m.Task, m.Attempt, ev.w, alive); err != nil {
 				fail(err)
 				continue
@@ -322,6 +379,10 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 			}
 			outputs[m.Partition] = pairs
 			res.OutputPairs += len(pairs)
+			if end := reduceSpans[m.Partition]; end != nil {
+				end()
+				delete(reduceSpans, m.Partition)
+			}
 			reduceOutstanding--
 			if reduceOutstanding == 0 {
 				phase = phaseDone
@@ -355,6 +416,42 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	res.MapElapsed = mapElapsed
 	res.Total = time.Since(start)
 	res.outputs = outputs
+
+	// Merge the cluster's trace: the coordinator's own scheduling spans plus
+	// every worker's span batch, rebased from the worker's epoch onto ours.
+	// The rebase is (worker epoch − coordinator epoch) by the two wall
+	// clocks, minus the estimated offset between those clocks — after which
+	// a worker that booted with its clock an hour ahead still lands its
+	// spans where they causally belong on the coordinator timeline.
+	res.TraceID = traceID
+	res.ClockOffsets = make(map[int]float64)
+	res.ClockRTTs = make(map[int]float64)
+	for i, cw := range ws {
+		if off, rtt, ok := cw.clock.estimate(); ok {
+			res.ClockOffsets[i] = off / 1e9
+			res.ClockRTTs[i] = float64(rtt) / 1e9
+		}
+	}
+	if o.Telemetry != nil && o.Telemetry.Spans != nil {
+		for _, s := range ctr.spans() {
+			o.Telemetry.Spans.Span(s)
+		}
+		coordEpoch := ctr.epoch.UnixNano()
+		for _, b := range batches {
+			var offNs float64
+			if b.Node >= 0 && b.Node < n {
+				if off, _, ok := ws[b.Node].clock.estimate(); ok {
+					offNs = off
+				}
+			}
+			delta := (float64(b.EpochUnixNano-coordEpoch) - offNs) / 1e9
+			for _, s := range b.Spans {
+				s.Start += delta
+				s.End += delta
+				o.Telemetry.Spans.Span(s)
+			}
+		}
+	}
 	return res, nil
 }
 

@@ -152,6 +152,17 @@ type Result struct {
 	WorkersLost   int
 	MapRecoveries int
 
+	// TraceID is the job's distributed trace id (minted by the coordinator
+	// unless Options.TraceID pinned one).
+	TraceID uint64
+	// ClockOffsets and ClockRTTs report, per worker id, the estimated clock
+	// offset (worker clock minus coordinator clock, seconds) and the
+	// round-trip time the minimum-RTT sample was taken at — the offset's
+	// error bound is RTT/2. Workers with no completed probe exchange are
+	// absent.
+	ClockOffsets map[int]float64
+	ClockRTTs    map[int]float64
+
 	outputs [][]kv.Pair // per partition, key-sorted
 }
 
@@ -175,5 +186,10 @@ const (
 	stageNetSend      = "net/send"
 	stageNetRecv      = "net/recv"
 	stageReduce       = "reduce"
+	// Coordinator-side scheduling spans (node -1 in the merged trace): the
+	// tenure of one map attempt / reduce partition from dispatch to its
+	// done report — the root of each task's causal chain.
+	stageSchedAssign = "sched/assign"
+	stageSchedReduce = "sched/reduce"
 )
 

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,10 +64,16 @@ func (l *ledger) frameBytes(n int64) {
 	}
 }
 
-// bulkTiming accumulates one written bulk frame's queue/write split.
+// bulkTiming accumulates one written bulk frame's queue/write split, both
+// as running totals (the counters -report splits net/send by) and as
+// per-frame latency histograms whose estimated quantiles expose the tail.
 func (l *ledger) bulkTiming(queueNs, writeNs int64) {
 	l.netQueueNs.Add(queueNs)
 	l.netWriteNs.Add(writeNs)
+	if l.tel != nil && l.tel.Metrics != nil {
+		l.tel.Metrics.Histogram("dist_net_queue_seconds", obs.DefTimeBuckets).Observe(float64(queueNs) / 1e9)
+		l.tel.Metrics.Histogram("dist_net_write_seconds", obs.DefTimeBuckets).Observe(float64(writeNs) / 1e9)
+	}
 }
 
 func newLedger(tel *obs.Telemetry) *ledger {
@@ -115,19 +122,109 @@ func (l *ledger) nsAcc(stage string) *atomic.Int64 {
 	}
 }
 
-// span starts one unit of stage work on node's track; the returned func
-// ends it, feeding both the busy accumulator and (when telemetry is on)
-// the span buffer.
-func (l *ledger) span(node int, stage string) func() {
+// tracer records one node's trace spans against that node's own wall clock
+// and mints cluster-unique span ids. Workers ship their tracer's buffer to
+// the coordinator in a span-batch at job end; the coordinator rebases every
+// batch onto its own epoch (minus the estimated clock offset) and emits one
+// merged trace. The ledger reference (nil for the coordinator) feeds the
+// per-stage busy accumulators exactly as the old per-ledger spans did.
+type tracer struct {
+	led   *ledger
+	node  int
+	epoch time.Time
+	ctr   atomic.Uint64
+	buf   obs.SpanBuffer
+}
+
+// spanIDBits is how many id bits belong to the per-tracer counter; the bits
+// above carry the node salt (node+2, so the coordinator's node -1 salts as
+// 1 and node 0 as 2 — never 0, which marks "no span").
+const spanIDBits = 48
+
+func newTracer(led *ledger, node int) *tracer {
+	return &tracer{led: led, node: node, epoch: time.Now()}
+}
+
+// newID mints a cluster-unique span id: node salt in the high bits, a
+// per-tracer counter below.
+func (t *tracer) newID() uint64 {
+	return uint64(t.node+2)<<spanIDBits | (t.ctr.Add(1) & (1<<spanIDBits - 1))
+}
+
+// span starts one unit of stage work with a fresh id; the returned func
+// ends and records it. The id is returned up front so it can parent child
+// spans (or cross the wire) before the work completes.
+func (t *tracer) span(stage string, parent uint64) (uint64, func()) {
+	id := t.newID()
+	return id, t.spanWithID(id, stage, parent)
+}
+
+// spanWithID starts stage work under a pre-minted id — the net/send path,
+// where the coalescer mints the id so it can embed it in the frame payload
+// before the connection pump starts the span.
+func (t *tracer) spanWithID(id uint64, stage string, parent uint64) func() {
 	t0 := time.Now()
-	return func() {
-		d := time.Since(t0)
-		l.nsAcc(stage).Add(int64(d))
-		if l.tel != nil && l.tel.Spans != nil {
-			begin := t0.Sub(l.epoch).Seconds()
-			l.tel.Spans.Span(obs.Span{Node: node, Stage: stage, Start: begin, End: begin + d.Seconds()})
-		}
+	return func() { t.recordAt(id, stage, t0, time.Now(), parent) }
+}
+
+// record books a completed interval with a fresh id, returning the id.
+func (t *tracer) record(stage string, start, end time.Time, parent uint64) uint64 {
+	id := t.newID()
+	t.recordAt(id, stage, start, end, parent)
+	return id
+}
+
+func (t *tracer) recordAt(id uint64, stage string, start, end time.Time, parent uint64) {
+	d := end.Sub(start)
+	if t.led != nil {
+		t.led.nsAcc(stage).Add(int64(d))
 	}
+	begin := start.Sub(t.epoch).Seconds()
+	t.buf.Span(obs.Span{
+		Node: t.node, Stage: stage,
+		Start: begin, End: begin + d.Seconds(),
+		ID: id, Parent: parent,
+	})
+}
+
+// spans returns the recorded spans.
+func (t *tracer) spans() []obs.Span { return t.buf.Spans() }
+
+// clockEstimator holds the NTP-style offset estimate for one remote node,
+// fed by heartbeat probe/reply timestamp exchanges. The estimate kept is
+// the one observed at minimum round-trip time — the sample least distorted
+// by queuing — and its error is bounded by rtt/2.
+type clockEstimator struct {
+	mu       sync.Mutex
+	have     bool
+	bestRTT  int64   // nanoseconds
+	offsetNs float64 // remote clock minus local clock at min-RTT
+}
+
+// sample folds in one exchange: t1 local send, t2 remote receive, t3 remote
+// send, t4 local receive (all unix nanoseconds, two different clocks).
+func (ce *clockEstimator) sample(t1, t2, t3, t4 int64) {
+	rtt := (t4 - t1) - (t3 - t2)
+	if rtt < 0 {
+		return // timestamps out of order: a clock stepped mid-exchange
+	}
+	theta := (float64(t2-t1) + float64(t3-t4)) / 2
+	ce.mu.Lock()
+	if !ce.have || rtt < ce.bestRTT {
+		ce.have, ce.bestRTT, ce.offsetNs = true, rtt, theta
+	}
+	ce.mu.Unlock()
+}
+
+// estimate returns the current offset (remote minus local, nanoseconds) and
+// the round-trip time it was measured at. ok is false before any sample.
+func (ce *clockEstimator) estimate() (offsetNs float64, rttNs int64, ok bool) {
+	if ce == nil {
+		return 0, 0, false
+	}
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	return ce.offsetNs, ce.bestRTT, ce.have
 }
 
 // stages snapshots per-stage busy totals (stages that never ran are

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"glasswing/internal/core"
 	"glasswing/internal/kv"
+	"glasswing/internal/obs"
 )
 
 // The wire format is deliberately tiny: every frame is
@@ -44,8 +46,9 @@ const (
 	mReduceFailed               // worker→coord: partition, attempt, reason
 	mWorkerDead                 // coord→worker: dead id, reassigned partition homes
 	mJobEnd                     // coord→worker: job over, shut down
-	mHeartbeat                  // both directions: keep-alive
+	mHeartbeat                  // both directions: keep-alive / clock probe
 	mPeerHello                  // worker→worker on dial: my worker id
+	mSpanBatch                  // worker→coord: this node's trace spans, at job end
 )
 
 func typeName(t byte) string {
@@ -55,7 +58,7 @@ func typeName(t byte) string {
 		mRunBatch: "run-batch", mMark: "mark", mAck: "ack",
 		mReduceTask: "reduce-task", mReduceDone: "reduce-done", mReduceFailed: "reduce-failed",
 		mWorkerDead: "worker-dead", mJobEnd: "job-end", mHeartbeat: "heartbeat",
-		mPeerHello: "peer-hello",
+		mPeerHello: "peer-hello", mSpanBatch: "span-batch",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -211,13 +214,15 @@ func decodeWelcome(p []byte) (welcomeMsg, error) {
 }
 
 type jobStartMsg struct {
-	Job   Job
-	Peers []string // worker id → listen addr
-	Homes []int    // partition → home worker id
+	Job     Job
+	TraceID uint64   // job-wide trace id, minted by the coordinator
+	Peers   []string // worker id → listen addr
+	Homes   []int    // partition → home worker id
 }
 
 func (m jobStartMsg) encode() []byte {
 	var e enc
+	e.u(m.TraceID)
 	e.str(m.Job.App.Name)
 	e.bytes(m.Job.App.Params)
 	e.i(int64(m.Job.Partitions))
@@ -239,6 +244,7 @@ func (m jobStartMsg) encode() []byte {
 func decodeJobStart(p []byte) (jobStartMsg, error) {
 	d := dec{buf: p}
 	var m jobStartMsg
+	m.TraceID = d.u()
 	m.Job.App.Name = d.str()
 	m.Job.App.Params = append([]byte(nil), d.bytes()...)
 	m.Job.Partitions = int(d.i())
@@ -266,20 +272,24 @@ func decodeJobStart(p []byte) (jobStartMsg, error) {
 type mapTaskMsg struct {
 	Task    int
 	Attempt int
-	Block   []byte
+	// SpanID is the coordinator's sched/assign span for this attempt — the
+	// parent of every span the attempt produces on the worker.
+	SpanID uint64
+	Block  []byte
 }
 
 func (m mapTaskMsg) encode() []byte {
 	var e enc
 	e.i(int64(m.Task))
 	e.i(int64(m.Attempt))
+	e.u(m.SpanID)
 	e.bytes(m.Block)
 	return e.buf
 }
 
 func decodeMapTask(p []byte) (mapTaskMsg, error) {
 	d := dec{buf: p}
-	m := mapTaskMsg{Task: int(d.i()), Attempt: int(d.i())}
+	m := mapTaskMsg{Task: int(d.i()), Attempt: int(d.i()), SpanID: d.u()}
 	m.Block = append([]byte(nil), d.bytes()...)
 	return m, d.fin("map-task")
 }
@@ -360,9 +370,13 @@ type runEntry struct {
 // runBatchMsg is the bulk shuffle frame: the runs one sender has buffered
 // for one destination, shipped back to back. The body carries the entries
 // with no count prefix — the coalescer appends entries incrementally and
-// the decoder consumes until the body is exhausted.
+// the decoder consumes until the body is exhausted. TraceID and SendSpan
+// are the trace context the frame propagates: the receiver parents its
+// net/recv staging span on the sender's net/send span.
 type runBatchMsg struct {
-	Compressed bool // body DEFLATEd as one stream on the wire
+	TraceID    uint64
+	SendSpan   uint64 // sender's net/send span id (0 = untraced)
+	Compressed bool   // body DEFLATEd as one stream on the wire
 	Entries    []runEntry
 }
 
@@ -381,16 +395,18 @@ func (m runBatchMsg) encode() []byte {
 	for _, re := range m.Entries {
 		appendRunEntry(&body, re)
 	}
-	return encodeRunBatchBody(body.buf, m.Compressed)
+	return encodeRunBatchBody(body.buf, m.Compressed, m.TraceID, m.SendSpan)
 }
 
 // encodeRunBatchBody wraps an assembled entry body into the frame payload,
-// compressing it when asked.
-func encodeRunBatchBody(body []byte, compress bool) []byte {
+// compressing it when asked and prefixing the frame's trace context.
+func encodeRunBatchBody(body []byte, compress bool, traceID, sendSpan uint64) []byte {
 	if compress {
 		body = kv.Deflate(body)
 	}
 	var e enc
+	e.u(traceID)
+	e.u(sendSpan)
 	e.bool(compress)
 	e.bytes(body)
 	return e.buf
@@ -403,6 +419,8 @@ func encodeRunBatchBody(body []byte, compress bool) []byte {
 func decodeRunBatch(p []byte) (runBatchMsg, error) {
 	d := dec{buf: p}
 	var m runBatchMsg
+	m.TraceID = d.u()
+	m.SendSpan = d.u()
 	m.Compressed = d.bool()
 	body := d.bytes()
 	if err := d.fin("run-batch"); err != nil {
@@ -452,18 +470,22 @@ func decodeMark(p []byte) (markMsg, error) {
 type reduceTaskMsg struct {
 	Partition int
 	Attempt   int
+	// SpanID is the coordinator's sched/reduce span for this partition — the
+	// parent of the worker's reduce span.
+	SpanID uint64
 }
 
 func (m reduceTaskMsg) encode() []byte {
 	var e enc
 	e.i(int64(m.Partition))
 	e.i(int64(m.Attempt))
+	e.u(m.SpanID)
 	return e.buf
 }
 
 func decodeReduceTask(p []byte) (reduceTaskMsg, error) {
 	d := dec{buf: p}
-	m := reduceTaskMsg{Partition: int(d.i()), Attempt: int(d.i())}
+	m := reduceTaskMsg{Partition: int(d.i()), Attempt: int(d.i()), SpanID: d.u()}
 	return m, d.fin("reduce-task")
 }
 
@@ -537,4 +559,88 @@ func decodePeerHello(p []byte) (peerHelloMsg, error) {
 	d := dec{buf: p}
 	m := peerHelloMsg{WorkerID: int(d.i())}
 	return m, d.fin("peer-hello")
+}
+
+// spanBatchMsg ships one node's recorded trace spans to the coordinator at
+// job end. Span times are seconds relative to the node's own tracer epoch;
+// EpochUnixNano anchors that epoch on the node's wall clock so the
+// coordinator can rebase the batch onto its own timeline after subtracting
+// the estimated clock offset. Span nodes are implied by Node (one batch per
+// node), not serialized per span.
+type spanBatchMsg struct {
+	TraceID       uint64
+	Node          int
+	EpochUnixNano int64
+	Spans         []obs.Span
+}
+
+func (m spanBatchMsg) encode() []byte {
+	var e enc
+	e.u(m.TraceID)
+	e.i(int64(m.Node))
+	e.i(m.EpochUnixNano)
+	e.u(uint64(len(m.Spans)))
+	for _, s := range m.Spans {
+		e.str(s.Stage)
+		e.u(math.Float64bits(s.Start))
+		e.u(math.Float64bits(s.End))
+		e.u(s.ID)
+		e.u(s.Parent)
+	}
+	return e.buf
+}
+
+func decodeSpanBatch(p []byte) (spanBatchMsg, error) {
+	d := dec{buf: p}
+	var m spanBatchMsg
+	m.TraceID = d.u()
+	m.Node = int(d.i())
+	m.EpochUnixNano = d.i()
+	n := d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		s := obs.Span{Node: m.Node, Stage: d.str()}
+		s.Start = math.Float64frombits(d.u())
+		s.End = math.Float64frombits(d.u())
+		s.ID = d.u()
+		s.Parent = d.u()
+		if d.err == nil {
+			m.Spans = append(m.Spans, s)
+		}
+	}
+	return m, d.fin("span-batch")
+}
+
+// Heartbeat payload kinds. A plain keep-alive carries no payload (legacy
+// frames from older nodes decode as plain too); probe/reply frames carry
+// the NTP-style timestamp exchange the coordinator uses to estimate each
+// worker's clock offset: the probe echoes the sender's send time t1, the
+// reply adds the receiver's receive time t2 and send time t3, and the
+// prober stamps t4 on arrival.
+const (
+	hbPlain = 0
+	hbProbe = 1
+	hbReply = 2
+)
+
+type hbMsg struct {
+	Kind       uint64
+	T1, T2, T3 int64 // unix nanoseconds; unused fields are zero
+}
+
+func (m hbMsg) encode() []byte {
+	var e enc
+	e.u(m.Kind)
+	e.i(m.T1)
+	e.i(m.T2)
+	e.i(m.T3)
+	return e.buf
+}
+
+func decodeHB(p []byte) (hbMsg, error) {
+	d := dec{buf: p}
+	m := hbMsg{Kind: d.u(), T1: d.i(), T2: d.i(), T3: d.i()}
+	return m, d.fin("heartbeat")
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"glasswing/internal/core"
+	"glasswing/internal/obs"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -68,6 +69,7 @@ func TestMessageRoundTrips(t *testing.T) {
 			func(p []byte) (any, error) { return decodeWelcome(p) },
 			welcomeMsg{WorkerID: 2, Workers: 5}.encode()},
 		{"job-start", jobStartMsg{
+			TraceID: 0xfeedbeefcafe,
 			Job: Job{
 				App:         AppSpec{Name: "wc", Params: []byte{1, 2, 3}},
 				Partitions:  7,
@@ -81,6 +83,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		},
 			func(p []byte) (any, error) { return decodeJobStart(p) },
 			jobStartMsg{
+				TraceID: 0xfeedbeefcafe,
 				Job: Job{
 					App:         AppSpec{Name: "wc", Params: []byte{1, 2, 3}},
 					Partitions:  7,
@@ -92,9 +95,9 @@ func TestMessageRoundTrips(t *testing.T) {
 				Peers: []string{"a:1", "b:2"},
 				Homes: []int{0, 1, 0, 1, 0, 1, 0},
 			}.encode()},
-		{"map-task", mapTaskMsg{Task: 4, Attempt: 2, Block: []byte("block data")},
+		{"map-task", mapTaskMsg{Task: 4, Attempt: 2, SpanID: 1<<48 | 9, Block: []byte("block data")},
 			func(p []byte) (any, error) { return decodeMapTask(p) },
-			mapTaskMsg{Task: 4, Attempt: 2, Block: []byte("block data")}.encode()},
+			mapTaskMsg{Task: 4, Attempt: 2, SpanID: 1<<48 | 9, Block: []byte("block data")}.encode()},
 		{"map-done", mapDoneMsg{Task: 1, Attempt: 1, Stats: attemptStats{
 			RecordsIn: 10, PairsOut: 20, PartRecords: 20, PartRuns: 3, PartRaw: 400, PartStored: 300,
 		}},
@@ -105,12 +108,12 @@ func TestMessageRoundTrips(t *testing.T) {
 		{"task-fail", taskFailMsg{Task: 2, Attempt: 0, Reason: "injected"},
 			func(p []byte) (any, error) { return decodeTaskFail(p) },
 			taskFailMsg{Task: 2, Attempt: 0, Reason: "injected"}.encode()},
-		{"run-batch", runBatchMsg{Entries: []runEntry{
+		{"run-batch", runBatchMsg{TraceID: 42, SendSpan: 2<<48 | 3, Entries: []runEntry{
 			{Task: 3, Attempt: 1, Partition: 2, Records: 9, RawBytes: 123, Blob: []byte{9, 8, 7}},
 			{Task: 3, Attempt: 1, Partition: 5, Records: 1, RawBytes: 11, Blob: []byte{1}},
 		}},
 			func(p []byte) (any, error) { return decodeRunBatch(p) },
-			runBatchMsg{Entries: []runEntry{
+			runBatchMsg{TraceID: 42, SendSpan: 2<<48 | 3, Entries: []runEntry{
 				{Task: 3, Attempt: 1, Partition: 2, Records: 9, RawBytes: 123, Blob: []byte{9, 8, 7}},
 				{Task: 3, Attempt: 1, Partition: 5, Records: 1, RawBytes: 11, Blob: []byte{1}},
 			}}.encode()},
@@ -124,9 +127,9 @@ func TestMessageRoundTrips(t *testing.T) {
 		{"mark", markMsg{Task: 6, Attempt: 2},
 			func(p []byte) (any, error) { return decodeMark(p) },
 			markMsg{Task: 6, Attempt: 2}.encode()},
-		{"reduce-task", reduceTaskMsg{Partition: 3, Attempt: 1},
+		{"reduce-task", reduceTaskMsg{Partition: 3, Attempt: 1, SpanID: 77},
 			func(p []byte) (any, error) { return decodeReduceTask(p) },
-			reduceTaskMsg{Partition: 3, Attempt: 1}.encode()},
+			reduceTaskMsg{Partition: 3, Attempt: 1, SpanID: 77}.encode()},
 		{"reduce-done", reduceDoneMsg{Partition: 1, Attempt: 0, RecordsIn: 55, GroupsIn: 11, Output: []byte("pairs")},
 			func(p []byte) (any, error) { return decodeReduceDone(p) },
 			reduceDoneMsg{Partition: 1, Attempt: 0, RecordsIn: 55, GroupsIn: 11, Output: []byte("pairs")}.encode()},
@@ -136,6 +139,27 @@ func TestMessageRoundTrips(t *testing.T) {
 		{"peer-hello", peerHelloMsg{WorkerID: 4},
 			func(p []byte) (any, error) { return decodePeerHello(p) },
 			peerHelloMsg{WorkerID: 4}.encode()},
+		{"span-batch", spanBatchMsg{
+			TraceID: 0xabc, Node: 2, EpochUnixNano: 1700000000123456789,
+			Spans: []obs.Span{
+				{Node: 2, Stage: "map/kernel", Start: 0.001, End: 0.025, ID: 2<<48 | 1, Parent: 1 << 48},
+				{Node: 2, Stage: "net/send", Start: 0.010, End: 0.030, ID: 2<<48 | 2, Parent: 2<<48 | 1},
+			},
+		},
+			func(p []byte) (any, error) { return decodeSpanBatch(p) },
+			spanBatchMsg{
+				TraceID: 0xabc, Node: 2, EpochUnixNano: 1700000000123456789,
+				Spans: []obs.Span{
+					{Node: 2, Stage: "map/kernel", Start: 0.001, End: 0.025, ID: 2<<48 | 1, Parent: 1 << 48},
+					{Node: 2, Stage: "net/send", Start: 0.010, End: 0.030, ID: 2<<48 | 2, Parent: 2<<48 | 1},
+				},
+			}.encode()},
+		{"heartbeat-probe", hbMsg{Kind: hbProbe, T1: 1234567890},
+			func(p []byte) (any, error) { return decodeHB(p) },
+			hbMsg{Kind: hbProbe, T1: 1234567890}.encode()},
+		{"heartbeat-reply", hbMsg{Kind: hbReply, T1: 10, T2: -20, T3: 30},
+			func(p []byte) (any, error) { return decodeHB(p) },
+			hbMsg{Kind: hbReply, T1: 10, T2: -20, T3: 30}.encode()},
 	}
 	for _, c := range checks {
 		got, err := c.decode(c.enc)
@@ -164,6 +188,8 @@ func TestDecodeCorrupt(t *testing.T) {
 		"reduce-done": func(p []byte) error { _, err := decodeReduceDone(p); return err },
 		"worker-dead": func(p []byte) error { _, err := decodeWorkerDead(p); return err },
 		"peer-hello":  func(p []byte) error { _, err := decodePeerHello(p); return err },
+		"span-batch":  func(p []byte) error { _, err := decodeSpanBatch(p); return err },
+		"heartbeat":   func(p []byte) error { _, err := decodeHB(p); return err },
 	}
 	samples := map[string][]byte{
 		"hello":       helloMsg{ListenAddr: "127.0.0.1:1"}.encode(),
@@ -178,6 +204,9 @@ func TestDecodeCorrupt(t *testing.T) {
 		"reduce-done": reduceDoneMsg{Partition: 1, Output: []byte("oo")}.encode(),
 		"worker-dead": workerDeadMsg{Dead: 0, Homes: []int{1, 1}}.encode(),
 		"peer-hello":  peerHelloMsg{WorkerID: 1}.encode(),
+		"span-batch": spanBatchMsg{TraceID: 1, Node: 0, EpochUnixNano: 99,
+			Spans: []obs.Span{{Stage: "reduce", Start: 1, End: 2, ID: 3}}}.encode(),
+		"heartbeat": hbMsg{Kind: hbReply, T1: 1, T2: 2, T3: 3}.encode(),
 	}
 	for name, dec := range decoders {
 		good := samples[name]

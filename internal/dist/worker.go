@@ -24,6 +24,7 @@ func Join(coordAddr, listenAddr string, tun Tuning, tel *obs.Telemetry) error {
 		tun:        tun,
 		led:        led,
 		resolve:    RegistryResolver,
+		localSpans: true,
 	})
 	led.publish()
 	return err
@@ -49,6 +50,12 @@ type workerConfig struct {
 	// onWelcome is called once the coordinator assigns this worker's id
 	// (loopback uses it to wire the kill hook).
 	onWelcome func(w *worker)
+	// localSpans additionally copies this worker's trace spans into its own
+	// telemetry bundle after the job (multi-process Join, where the local
+	// process wants its own view). Loopback leaves it off: there the
+	// coordinator's merged, clock-aligned trace is the only copy, so spans
+	// are never duplicated into the shared buffer.
+	localSpans bool
 }
 
 // pendingDone tracks the commit barrier of one finished map attempt: the
@@ -64,12 +71,14 @@ type worker struct {
 	cfg workerConfig
 	tun Tuning
 	led *ledger
+	tr  *tracer
 
-	id  int
-	n   int
-	job Job
-	app *core.App
-	prt func(key []byte, n int) int
+	id      int
+	n       int
+	job     Job
+	traceID uint64
+	app     *core.App
+	prt     func(key []byte, n int) int
 
 	coord     *conn
 	peers     []*conn      // index by worker id; nil at own slot
@@ -156,10 +165,23 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 	err = w.coordLoop()
 
 	close(w.stop)
-	w.coord.close()
 	w.mu.Lock()
 	wasKilled := w.killed
 	w.mu.Unlock()
+	if err == nil && !wasKilled {
+		// Ship this node's trace spans before closing the coordinator link.
+		// The FIFO connection guarantees the batch precedes our EOF, so the
+		// coordinator always has it by the time its reader drains. A killed
+		// or failed worker sends nothing — its partial timeline died with it.
+		w.coord.send(frame{typ: mSpanBatch, payload: spanBatchMsg{
+			TraceID:       w.traceID,
+			Node:          w.id,
+			EpochUnixNano: w.tr.epoch.UnixNano(),
+			Spans:         w.tr.spans(),
+		}.encode()})
+		w.coord.flush()
+	}
+	w.coord.close()
 	for _, pc := range w.peers {
 		if pc == nil {
 			continue
@@ -178,6 +200,11 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 	}
 	if ownLed {
 		led.publish()
+	}
+	if cfg.localSpans && led.tel != nil && led.tel.Spans != nil {
+		for _, s := range w.tr.spans() {
+			led.tel.Spans.Span(s)
+		}
 	}
 	if wasKilled {
 		return true, nil
@@ -199,6 +226,7 @@ func (w *worker) join() error {
 		return err
 	}
 	w.id, w.n = wel.WorkerID, wel.Workers
+	w.tr = newTracer(w.led, w.id)
 
 	typ, p, err = w.coord.recv()
 	if err != nil {
@@ -212,6 +240,7 @@ func (w *worker) join() error {
 		return err
 	}
 	w.job = js.Job.withDefaults()
+	w.traceID = js.TraceID
 	w.homes = js.Homes
 	w.alive = make([]bool, w.n)
 	for i := range w.alive {
@@ -238,8 +267,11 @@ func (w *worker) connectPeers(ln net.Listener) error {
 	onDrop := func(records, acct int64) { w.led.netLost(records, acct) }
 	// net/send spans are recorded on the pump goroutine, where the socket
 	// write actually happens — that is the wall-clock interval that
-	// overlaps the executor's map/kernel spans in the trace.
-	onBulkWrite := func() func() { return w.led.span(w.id, stageNetSend) }
+	// overlaps the executor's map/kernel spans in the trace. The span id
+	// was minted by the coalescer (it rides inside the frame payload, so
+	// the receiver can parent on it); the parent is the map kernel that
+	// first contributed to the batch.
+	onBulkWrite := func(f *frame) func() { return w.tr.spanWithID(f.spanID, stageNetSend, f.spanParent) }
 	onBulkTiming := w.led.bulkTiming
 
 	type res struct {
@@ -302,7 +334,7 @@ func (w *worker) connectPeers(ln net.Listener) error {
 	w.coal = make([]*coalescer, w.n)
 	for j, pc := range w.peers {
 		if pc != nil {
-			w.coal[j] = newCoalescer(pc, w.led, w.tun.CoalesceBytes, w.job.Compress)
+			w.coal[j] = newCoalescer(pc, w.led, w.tr, w.traceID, w.tun.CoalesceBytes, w.job.Compress)
 		}
 	}
 	return nil
@@ -476,7 +508,11 @@ func (w *worker) runMap(m mapTaskMsg) {
 	// per-key grouping, so combiner jobs stay on the per-record collector.
 	useBatch := w.app.MapBatch != nil && !w.job.UseCombiner
 
-	end := w.led.span(w.id, stageMapKernel)
+	// The kernel span parents on the coordinator's sched/assign span for
+	// this attempt; everything downstream (partitioning, the shuffle sends)
+	// parents on the kernel, forming the causal chain the merged trace
+	// draws as flow arrows.
+	kernelID, end := w.tr.span(stageMapKernel, m.SpanID)
 	recs := w.app.Parse(m.Block)
 	var batch kv.Batch
 	var pairs []kv.Pair
@@ -497,7 +533,7 @@ func (w *worker) runMap(m mapTaskMsg) {
 	}
 
 	P := w.job.Partitions
-	end = w.led.span(w.id, stageMapPartition)
+	_, end = w.tr.span(stageMapPartition, kernelID)
 	runs := make([]*kv.Run, P)
 	stats := attemptStats{RecordsIn: int64(len(recs))}
 	if useBatch {
@@ -581,7 +617,7 @@ func (w *worker) runMap(m mapTaskMsg) {
 		if r == nil || homes[p] == w.id {
 			continue
 		}
-		w.coal[homes[p]].add(m.Task, m.Attempt, p, r)
+		w.coal[homes[p]].add(m.Task, m.Attempt, p, r, kernelID)
 	}
 	mark := markMsg{Task: m.Task, Attempt: m.Attempt}.encode()
 	for _, j := range livePeers {
@@ -599,7 +635,7 @@ func (w *worker) runMap(m mapTaskMsg) {
 // reduce kernel (or drains merged pairs for reduce-less apps), reporting
 // the partition's output to the coordinator.
 func (w *worker) runReduce(rt reduceTaskMsg) {
-	end := w.led.span(w.id, stageReduce)
+	_, end := w.tr.span(stageReduce, rt.SpanID)
 	w.mu.Lock()
 	runs := append([]*kv.Run(nil), w.store.runsFor(rt.Partition)...)
 	w.mu.Unlock()
@@ -673,12 +709,17 @@ func (w *worker) peerReader(j int, cc *conn) {
 // reuses it, so the views stay valid for the life of the shuffle store. (A
 // pooled receive buffer would need Retain before staging.)
 func (w *worker) onRunBatch(p []byte) {
-	end := w.led.span(w.id, stageNetRecv)
-	defer end()
+	t0 := time.Now()
+	var parent uint64
+	// The staging span parents on the sender's net/send span id carried in
+	// the frame payload — the cross-process edge of the trace (parent stays
+	// 0 when decode fails; the span still books the busy time).
+	defer func() { w.tr.record(stageNetRecv, t0, time.Now(), parent) }()
 	msg, err := decodeRunBatch(p)
 	if err != nil {
 		return
 	}
+	parent = msg.SendSpan
 	var records int64
 	for _, re := range msg.Entries {
 		records += int64(re.Records)

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"glasswing/internal/obs"
 )
@@ -26,9 +27,11 @@ func (s *Service) maxBodyBytes() int64 {
 //	GET    /jobs/{id}         status
 //	DELETE /jobs/{id}         cancel a queued job
 //	GET    /jobs/{id}/result  final pairs (base64 kv wire format)
-//	GET    /jobs/{id}/trace   Chrome trace_event JSON for the job's cluster
+//	GET    /jobs/{id}/trace   merged cluster Chrome trace (coordinator + workers)
 //	GET    /jobs/{id}/metrics the job's private conservation-counter registry
-//	GET    /metrics           service-level registry (queue, admission, fairness)
+//	GET    /metrics           service-level registry (JSON; ?format=prom for
+//	                          Prometheus text exposition)
+//	GET    /metrics/stream    live SSE metric snapshots (?interval_ms=...)
 //
 // Every error is a structured JSON object {"error", "reason", ...}; a
 // panic in any handler is recovered into a structured 500, never a torn
@@ -43,6 +46,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/stream", s.handleMetricsStream)
 	return withRecover(mux)
 }
 
@@ -178,7 +182,11 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	obs.WriteChromeTrace(w, j.tel.Spans.Spans(), j.tel.Spans.Instants()...)
+	// The span buffer holds the merged cluster trace: the coordinator's
+	// scheduling spans plus every worker's batch, clock-aligned to the
+	// coordinator's epoch by the dist runtime before they landed here.
+	meta := map[string]any{"trace_id": traceIDHex(j.traceID), "job": j.id, "tenant": j.tenant}
+	obs.WriteChromeTraceWithMeta(w, j.tel.Spans.Spans(), meta, j.tel.Spans.Instants()...)
 }
 
 func (s *Service) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +200,67 @@ func (s *Service) handleJobMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WriteProm(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	s.reg.WriteJSON(w)
+}
+
+// handleMetricsStream serves live metric snapshots as server-sent events:
+// one `data:` frame per interval, each a complete {"metrics": [...]}
+// snapshot. The stream ends when the client disconnects or the service
+// closes. interval_ms is clamped to [100, 60000]; default 1000.
+func (s *Service) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &APIError{Status: http.StatusNotImplemented, Reason: "no-streaming",
+			Msg: "response writer does not support streaming"})
+		return
+	}
+	interval := time.Second
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, badRequest("bad-interval", "interval_ms: %v", err))
+			return
+		}
+		interval = time.Duration(min(max(ms, 100), 60000)) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func() bool {
+		doc, err := json.Marshal(struct {
+			Metrics []obs.Metric `json:"metrics"`
+		}{Metrics: s.reg.Snapshot()})
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", doc); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !emit() {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			if !emit() {
+				return
+			}
+		}
+	}
 }

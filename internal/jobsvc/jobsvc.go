@@ -35,7 +35,9 @@ package jobsvc
 import (
 	"encoding/base64"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -154,6 +156,15 @@ type Config struct {
 	// drive the dist fault cells through the service path. Off, such
 	// requests are rejected 400.
 	AllowFaultInjection bool
+	// Events, when set, receives the service's structured event journal:
+	// one record per admission, rejection, eviction, dispatch, retry and
+	// worker death, keyed by tenant, job id and trace id. Nil disables
+	// journaling.
+	Events *slog.Logger
+	// RuntimeSampleEvery is the interval of the process runtime gauges
+	// (goroutines, heap in-use, cumulative GC pause) published into
+	// Metrics. 0 = default 1s; negative disables the sampler.
+	RuntimeSampleEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +186,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
+	}
+	if c.RuntimeSampleEvery == 0 {
+		c.RuntimeSampleEvery = time.Second
 	}
 	return c
 }
@@ -262,14 +276,20 @@ type Status struct {
 	RunMS  int64     `json:"run_ms,omitempty"`
 	Stats  *JobStats `json:"stats,omitempty"`
 	Error  string    `json:"error,omitempty"`
+	// TraceID is the job's distributed trace id (16 hex digits), minted at
+	// admission and propagated through every wire message of the job's
+	// cluster; GET /jobs/{id}/trace serves the merged cluster trace it
+	// names.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // job is the service's record of one submission.
 type job struct {
-	id     string
-	seq    int64
-	tenant string
-	pri    Priority
+	id      string
+	seq     int64
+	tenant  string
+	pri     Priority
+	traceID uint64
 
 	app         string
 	params      []byte
@@ -328,6 +348,8 @@ type Service struct {
 
 	schedWG sync.WaitGroup // the scheduler goroutine
 	runWG   sync.WaitGroup // running job goroutines
+	bgWG    sync.WaitGroup // background samplers
+	stopCh  chan struct{}  // closed by Close; stops samplers and streams
 
 	// runFn executes one dispatched job; tests stub it to exercise the
 	// scheduler without real clusters. Defaults to (*Service).distRun.
@@ -361,12 +383,17 @@ func New(cfg Config) *Service {
 		fleet:   dist.NewFleet(cfg.FleetWorkers),
 		jobs:    make(map[string]*job),
 		tenants: make(map[string]*tenantState),
+		stopCh:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runFn = s.distRun
 	s.gaugeSlots()
 	s.schedWG.Add(1)
 	go s.scheduler()
+	if cfg.RuntimeSampleEvery > 0 {
+		s.bgWG.Add(1)
+		go s.runtimeSampler(cfg.RuntimeSampleEvery)
+	}
 	return s
 }
 
@@ -396,9 +423,11 @@ func (s *Service) Close() {
 	s.queuedTotal = 0
 	s.gaugeQueue()
 	s.cond.Broadcast()
+	close(s.stopCh)
 	s.mu.Unlock()
 	s.schedWG.Wait()
 	s.runWG.Wait()
+	s.bgWG.Wait()
 }
 
 // Metrics returns the service-level registry (queue depth, admission
@@ -416,6 +445,68 @@ func (s *Service) gaugeQueue() {
 
 func (s *Service) gaugeSlots() {
 	s.reg.Gauge("jobsvc_fleet_slots_free").Set(float64(s.fleet.Free()))
+}
+
+// event writes one structured record to the journal, if one is configured.
+func (s *Service) event(msg string, args ...any) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Info(msg, args...)
+	}
+}
+
+// journalFor derives a job-scoped journal logger carrying the tenant, job
+// and trace id on every record; nil when journaling is off.
+func (s *Service) journalFor(j *job) *slog.Logger {
+	if s.cfg.Events == nil {
+		return nil
+	}
+	return s.cfg.Events.With("tenant", j.tenant, "job", j.id, "trace", traceIDHex(j.traceID))
+}
+
+func traceIDHex(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// retryAfterLocked derives the 429 backoff hint from observed load: the
+// tenant's median service time scaled by the current queue depth — "the
+// queue ahead of you, at your own jobs' pace" — clamped to
+// [Config.RetryAfter, 30s]. A tenant with no completed jobs yet gets the
+// configured floor verbatim.
+func (s *Service) retryAfterLocked(tenant string) time.Duration {
+	p50 := s.reg.Histogram("jobsvc_service_seconds", obs.DefTimeBuckets, obs.L("tenant", tenant)).Quantile(0.5)
+	if p50 <= 0 {
+		return s.cfg.RetryAfter
+	}
+	d := time.Duration(p50 * float64(s.queuedTotal+1) * float64(time.Second))
+	if d < s.cfg.RetryAfter {
+		d = s.cfg.RetryAfter
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// runtimeSampler publishes process runtime gauges on a ticker until Close.
+func (s *Service) runtimeSampler(every time.Duration) {
+	defer s.bgWG.Done()
+	s.sampleRuntime()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.sampleRuntime()
+		}
+	}
+}
+
+func (s *Service) sampleRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("process_goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("process_heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	s.reg.Gauge("process_gc_pause_ns").Set(float64(ms.PauseTotalNs))
 }
 
 func (s *Service) quotaFor(tenant string) Quota {
@@ -529,10 +620,11 @@ func (s *Service) Submit(req Request) (Status, *APIError) {
 
 	reject := func(reason, format string, args ...any) (Status, *APIError) {
 		s.counter("jobsvc_rejected_total", obs.L("reason", reason)).Inc()
+		s.event("job-rejected", "tenant", j.tenant, "reason", reason)
 		return Status{}, &APIError{
 			Status: http.StatusTooManyRequests, Reason: reason,
 			Msg:          fmt.Sprintf(format, args...),
-			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+			RetryAfterMS: s.retryAfterLocked(j.tenant).Milliseconds(),
 		}
 	}
 
@@ -565,6 +657,10 @@ func (s *Service) Submit(req Request) (Status, *APIError) {
 	j.id = fmt.Sprintf("j-%d", j.seq)
 	j.state = StateQueued
 	j.submitted = time.Now()
+	// Mint the job's distributed trace id at admission so the journal can
+	// correlate queue-side events with the cluster trace; the low seq bits
+	// disambiguate same-nanosecond admissions.
+	j.traceID = uint64(j.submitted.UnixNano())<<8 | uint64(j.seq&0xff)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	t.queued[j.pri] = append(t.queued[j.pri], j)
@@ -572,6 +668,8 @@ func (s *Service) Submit(req Request) (Status, *APIError) {
 	t.queuedBytes += j.cost
 	s.queuedTotal++
 	s.counter("jobsvc_admitted_total", obs.L("tenant", j.tenant)).Inc()
+	s.event("job-admitted", "tenant", j.tenant, "job", j.id, "trace", traceIDHex(j.traceID),
+		"priority", j.pri.String(), "app", j.app, "queue_depth", s.queuedTotal)
 	s.gaugeQueue()
 	s.cond.Broadcast()
 	return s.statusLocked(j), nil
@@ -622,6 +720,8 @@ func (s *Service) evictLocked(v *job) {
 	v.errMsg = "evicted under queue pressure by a higher-priority submission"
 	v.input = nil
 	s.counter("jobsvc_evicted_total", obs.L("tenant", v.tenant)).Inc()
+	s.event("job-evicted", "tenant", v.tenant, "job", v.id, "trace", traceIDHex(v.traceID),
+		"priority", v.pri.String())
 }
 
 // removeQueuedLocked unlinks a queued job from its tenant FIFO and the
@@ -660,6 +760,7 @@ func (s *Service) Cancel(id string) (Status, *APIError) {
 	j.errMsg = "canceled by client"
 	j.input = nil
 	s.counter("jobsvc_canceled_total", obs.L("tenant", j.tenant)).Inc()
+	s.event("job-canceled", "tenant", j.tenant, "job", j.id, "trace", traceIDHex(j.traceID))
 	s.cond.Broadcast()
 	return s.statusLocked(j), nil
 }
@@ -687,6 +788,9 @@ func (s *Service) statusLocked(j *job) Status {
 		QueueDepth: s.queuedTotal,
 		Stats:      j.stats,
 		Error:      j.errMsg,
+	}
+	if j.traceID != 0 {
+		st.TraceID = traceIDHex(j.traceID)
 	}
 	switch {
 	case j.state == StateQueued:

@@ -91,6 +91,8 @@ func (s *Service) dispatchLocked(j *job, rrIdx int) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.counter("jobsvc_dispatch_total", obs.L("tenant", j.tenant), obs.L("priority", j.pri.String())).Inc()
+	s.event("job-dispatched", "tenant", j.tenant, "job", j.id, "trace", traceIDHex(j.traceID),
+		"priority", j.pri.String(), "workers", j.workers, "wait_ms", j.started.Sub(j.submitted).Milliseconds())
 	s.reg.Histogram("jobsvc_queue_wait_seconds", obs.DefTimeBuckets, obs.L("tenant", j.tenant)).
 		Observe(j.started.Sub(j.submitted).Seconds())
 	s.gaugeQueue()
@@ -131,6 +133,8 @@ func (s *Service) runJob(j *job) {
 	t.running--
 	s.runningJobs--
 	s.counter("jobsvc_completed_total", obs.L("tenant", j.tenant), obs.L("state", string(j.state))).Inc()
+	s.event("job-completed", "tenant", j.tenant, "job", j.id, "trace", traceIDHex(j.traceID),
+		"state", string(j.state), "error", j.errMsg, "run_ms", j.finished.Sub(j.started).Milliseconds())
 	s.reg.Histogram("jobsvc_service_seconds", obs.DefTimeBuckets, obs.L("tenant", j.tenant)).
 		Observe(j.finished.Sub(j.started).Seconds())
 	s.gaugeQueue()
@@ -161,6 +165,8 @@ func (s *Service) distRun(j *job) (*dist.Result, *obs.Telemetry, error) {
 		Blocks:     blocks,
 		Telemetry:  tel,
 		KillWorker: -1,
+		TraceID:    j.traceID,
+		Journal:    s.journalFor(j),
 	}
 	if j.mapFaultMod > 0 {
 		mod := j.mapFaultMod

@@ -18,6 +18,8 @@ type chromeEvent struct {
 	Tid  int            `json:"tid"`
 	Cat  string         `json:"cat,omitempty"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"` // flow-event binding id
+	BP   string         `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -82,9 +84,13 @@ func WriteChromeTraceWithMeta(w io.Writer, spans []Span, meta map[string]any, in
 
 	var events []chromeEvent
 	for _, n := range nodes {
+		pname := fmt.Sprintf("node%02d", n)
+		if n < 0 {
+			pname = "coordinator"
+		}
 		events = append(events, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: n,
-			Args: map[string]any{"name": fmt.Sprintf("node%02d", n)},
+			Args: map[string]any{"name": pname},
 		})
 		for _, st := range stages {
 			events = append(events, chromeEvent{
@@ -107,6 +113,38 @@ func WriteChromeTraceWithMeta(w io.Writer, spans []Span, meta map[string]any, in
 			Name: i.Name, Ph: "i", Cat: "event", S: "p",
 			Ts: i.At * usec, Pid: i.Node, Tid: instantTid,
 		})
+	}
+	// Flow arrows: a span whose Parent names another recorded span gets a
+	// flow-start on the parent slice and a flow-end bound ("bp":"e") to its
+	// own slice, drawing the causal arrow across processes in the viewer.
+	// Flow ids are assigned sequentially over the (deterministic) span order
+	// so output stays byte-stable for a given input.
+	byID := make(map[uint64]Span, len(spans))
+	for _, s := range spans {
+		if s.ID != 0 {
+			byID[s.ID] = s
+		}
+	}
+	var flowID uint64
+	for _, s := range spans {
+		parent, ok := byID[s.Parent]
+		if s.Parent == 0 || !ok || s.ID == s.Parent {
+			continue
+		}
+		flowID++
+		childTs := s.Start
+		if childTs < parent.Start {
+			childTs = parent.Start
+		}
+		body = append(body,
+			chromeEvent{
+				Name: "flow", Ph: "s", Cat: "flow", ID: flowID,
+				Ts: parent.Start * usec, Pid: parent.Node, Tid: tid[parent.Stage],
+			},
+			chromeEvent{
+				Name: "flow", Ph: "f", Cat: "flow", ID: flowID, BP: "e",
+				Ts: childTs * usec, Pid: s.Node, Tid: tid[s.Stage],
+			})
 	}
 	sort.SliceStable(body, func(i, j int) bool {
 		if body[i].Ts != body[j].Ts {

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChromeTraceFlowEvents checks the causal-arrow emission: spans whose
+// Parent names another recorded span produce an "s"/"f" flow pair — start
+// anchored on the parent's slice (its pid/tid/ts), finish bound to the
+// child's slice with bp="e" — while orphan parents, self-parents and
+// id-less spans (every sim/native trace) produce none.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	spans := []Span{
+		{Node: -1, Stage: "sched/assign", Start: 0.0, End: 0.5, ID: 100},
+		{Node: 1, Stage: "map/kernel", Start: 0.1, End: 0.4, ID: 200, Parent: 100},
+		{Node: 2, Stage: "net/recv", Start: 0.05, End: 0.3, ID: 300, Parent: 200}, // starts before parent: ts clamps
+		{Node: 2, Stage: "reduce", Start: 0.5, End: 0.9, ID: 400, Parent: 999},    // orphan parent: no arrow
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	type flow struct{ ts, pid, tid float64 }
+	starts := map[float64]flow{}
+	finishes := map[float64]flow{}
+	for _, ev := range events {
+		if ev["cat"] != "flow" {
+			continue
+		}
+		id := ev["id"].(float64)
+		f := flow{ts: ev["ts"].(float64), pid: ev["pid"].(float64), tid: ev["tid"].(float64)}
+		switch ev["ph"] {
+		case "s":
+			starts[id] = f
+		case "f":
+			if ev["bp"] != "e" {
+				t.Errorf("flow finish without bp=e: %v", ev)
+			}
+			finishes[id] = f
+		default:
+			t.Errorf("unexpected flow phase %v", ev["ph"])
+		}
+	}
+	if len(starts) != 2 || len(finishes) != 2 {
+		t.Fatalf("%d starts / %d finishes, want 2/2 (orphan parent must not emit)", len(starts), len(finishes))
+	}
+	// Track ids for the anchor checks.
+	tids := map[string]float64{}
+	for _, ev := range events {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			tids[ev["args"].(map[string]any)["name"].(string)] = ev["tid"].(float64)
+		}
+	}
+	for id, s := range starts {
+		f, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow %v has a start but no finish", id)
+		}
+		if f.ts < s.ts {
+			t.Errorf("flow %v finishes (ts %v) before it starts (ts %v)", id, f.ts, s.ts)
+		}
+	}
+	// The sched/assign -> map/kernel arrow: starts on the coordinator's
+	// slice, finishes on worker 1's kernel track.
+	found := false
+	for id, s := range starts {
+		f := finishes[id]
+		if s.pid == -1 && s.tid == tids["sched/assign"] && f.pid == 1 && f.tid == tids["map/kernel"] {
+			found = true
+		}
+		_ = id
+	}
+	if !found {
+		t.Error("no flow arrow from the coordinator's sched/assign slice to worker 1's map/kernel slice")
+	}
+
+	// Id-less spans emit zero flow events — the golden traces pinned by the
+	// root package stay byte-identical.
+	plain := []Span{{Node: 0, Stage: "map/kernel", Start: 0, End: 1}}
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, plain); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeTrace(t, buf2.Bytes()) {
+		if ev["cat"] == "flow" {
+			t.Fatalf("id-less span produced a flow event: %v", ev)
+		}
+	}
+}

@@ -88,6 +88,43 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket that holds the target rank, assuming samples spread
+// uniformly inside each bucket. The first bucket interpolates from zero; a
+// rank landing in the overflow bucket reports the last finite bound (the
+// estimate is a lower bound there — the histogram carries no upper edge).
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if cum+n < target || n == 0 {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(target-cum)/n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the total of all samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
@@ -225,6 +262,11 @@ type Metric struct {
 	Count   int64             `json:"count,omitempty"`
 	Sum     float64           `json:"sum,omitempty"`
 	Buckets []Bucket          `json:"buckets,omitempty"`
+	// Estimated quantiles, interpolated from the buckets (histograms with
+	// samples only).
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // Snapshot returns every metric's current value, sorted by canonical key so
@@ -258,6 +300,9 @@ func (r *Registry) Snapshot() []Metric {
 			m.Sum = h.Sum()
 			if m.Count > 0 {
 				m.Value = m.Sum / float64(m.Count)
+				m.P50 = h.Quantile(0.50)
+				m.P95 = h.Quantile(0.95)
+				m.P99 = h.Quantile(0.99)
 			}
 			for i := range h.buckets {
 				le := "+Inf"

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per metric name followed by all of that
+// name's samples. Counters and gauges expose their value directly;
+// histograms expose cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`. Output is deterministic: names sorted, samples in canonical
+// label order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	snap := r.Snapshot()
+	byName := make(map[string][]Metric)
+	names := make([]string, 0, len(snap))
+	for _, m := range snap {
+		if _, ok := byName[m.Name]; !ok {
+			names = append(names, m.Name)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		group := byName[name]
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, group[0].Type)
+		for _, m := range group {
+			switch m.Type {
+			case "histogram":
+				var cum int64
+				for _, b := range m.Buckets {
+					cum += b.Count
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n",
+						name, promLabels(m.Labels, "le", b.Le), cum)
+				}
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", name, promLabels(m.Labels), promFloat(m.Sum))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", name, promLabels(m.Labels), m.Count)
+			default:
+				fmt.Fprintf(&sb, "%s%s %s\n", name, promLabels(m.Labels), promFloat(m.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// promLabels renders a label set (plus optional extra key/value pairs, e.g.
+// the histogram `le` edge) as {k1="v1",k2="v2"}, keys sorted, values
+// escaped. An empty set renders as "".
+func promLabels(labels map[string]string, extra ...string) string {
+	n := len(labels) + len(extra)/2
+	if n == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	put := func(k, v string) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(v))
+		sb.WriteByte('"')
+	}
+	for _, k := range keys {
+		put(k, labels[k])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		put(extra[i], extra[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

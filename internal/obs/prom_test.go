@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+
+	// Empty histogram: every quantile is 0.
+	empty := reg.Histogram("empty", []float64{1, 2})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+
+	// One sample in the first bucket interpolates from zero: target rank
+	// 0.5 inside [0, 10) -> 5.
+	first := reg.Histogram("first", []float64{10})
+	first.Observe(5)
+	if got := first.Quantile(0.5); got != 5 {
+		t.Errorf("first-bucket p50 = %v, want 5", got)
+	}
+
+	// Four samples all inside (1, 2]: p50 lands mid-bucket at 1.5, p100 at
+	// the bucket's upper edge.
+	mid := reg.Histogram("mid", []float64{1, 2})
+	for _, v := range []float64{1.2, 1.4, 1.6, 1.8} {
+		mid.Observe(v)
+	}
+	if got := mid.Quantile(0.5); got != 1.5 {
+		t.Errorf("mid-bucket p50 = %v, want 1.5", got)
+	}
+	if got := mid.Quantile(1); got != 2 {
+		t.Errorf("mid-bucket p100 = %v, want 2", got)
+	}
+
+	// A rank landing in the overflow bucket reports the last finite bound,
+	// and out-of-range q clamps instead of panicking.
+	over := reg.Histogram("over", []float64{1, 4})
+	over.Observe(100)
+	if got := over.Quantile(0.99); got != 4 {
+		t.Errorf("overflow p99 = %v, want last bound 4", got)
+	}
+	if got := over.Quantile(-3); got != over.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v", got)
+	}
+	if got := over.Quantile(7); got != over.Quantile(1) {
+		t.Errorf("q>1 not clamped: %v", got)
+	}
+
+	// Snapshot surfaces the quantiles for histograms with samples.
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "mid":
+			if m.P50 != 1.5 {
+				t.Errorf("snapshot mid P50 = %v, want 1.5", m.P50)
+			}
+		case "empty":
+			if m.P50 != 0 || m.P95 != 0 || m.P99 != 0 {
+				t.Errorf("empty snapshot quantiles non-zero: %+v", m)
+			}
+		}
+	}
+}
+
+// TestWriteProm pins the exposition text exactly: # TYPE per name (once,
+// even with several label sets), cumulative buckets ending at +Inf,
+// _sum/_count, label escaping, deterministic name order.
+func TestWriteProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", L("tenant", "acme")).Add(3)
+	reg.Counter("jobs_total", L("tenant", `we"ird\`)).Inc()
+	reg.Gauge("depth").Set(2.5)
+	h := reg.Histogram("latency_seconds", []float64{1, 2}, L("op", "map"))
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE depth gauge
+depth 2.5
+# TYPE jobs_total counter
+jobs_total{tenant="acme"} 3
+jobs_total{tenant="we\"ird\\"} 1
+# TYPE latency_seconds histogram
+latency_seconds_bucket{op="map",le="1"} 1
+latency_seconds_bucket{op="map",le="2"} 2
+latency_seconds_bucket{op="map",le="+Inf"} 3
+latency_seconds_sum{op="map"} 7
+latency_seconds_count{op="map"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("prom exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

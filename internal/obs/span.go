@@ -5,11 +5,18 @@ import "sync"
 // Span is one interval of pipeline activity on one node's stage track.
 // Times are seconds — virtual seconds for the simulated runtime, wall-clock
 // seconds since run start for the native one.
+//
+// ID and Parent carry distributed trace identity: a cluster-unique span id
+// and the id of the span that caused this one (0 = none). The Chrome
+// exporter turns Parent links into cross-process flow arrows. Runtimes that
+// don't propagate context leave both zero and the output is unchanged.
 type Span struct {
-	Node  int     `json:"node"`
-	Stage string  `json:"stage"`
-	Start float64 `json:"start"`
-	End   float64 `json:"end"`
+	Node   int     `json:"node"`
+	Stage  string  `json:"stage"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	ID     uint64  `json:"id,omitempty"`
+	Parent uint64  `json:"parent,omitempty"`
 }
 
 // Instant is an instantaneous event on a node's timeline (a node death, a
@@ -81,6 +88,8 @@ func (b *SpanBuffer) Instants() []Instant {
 // use it, so the two views always agree on row order.
 func TrackOrder(stage string) string {
 	order := map[string]string{
+		"sched/assign":  "00",
+		"sched/reduce":  "01",
 		"map/input":     "a0",
 		"map/stage":     "a1",
 		"map/kernel":    "a2",

@@ -66,6 +66,11 @@ func TraceMeta(reg *MetricsRegistry, names ...string) map[string]any {
 	return obs.TraceMeta(reg, names...)
 }
 
+// WriteMetricsProm writes a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): histograms as cumulative _bucket/_sum/
+// _count series, counters and gauges as single samples.
+func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return reg.WriteProm(w) }
+
 // AnalyzePipeline computes per-stage busy/stall time, occupancy, the overlap
 // factor and a critical-path estimate from a run's spans.
 func AnalyzePipeline(spans []Span) *PipelineReport { return obs.Analyze(spans) }
