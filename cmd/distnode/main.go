@@ -8,9 +8,18 @@
 //
 //	distnode -serve ADDR -workers N [-app wc|ts|km] [-size BYTES]
 //	         [-partitions P] [-chunk BYTES] [-verify] [-trace-out FILE]
-//	         [-metrics-out FILE]
+//	         [-metrics-out FILE] [-journal FILE [-resume]] [-elastic SPEC]
 //	distnode -join ADDR [-listen ADDR]
 //	distnode -jobsvc ADDR [-fleet N]    (resident multi-tenant job service)
+//
+// The cluster is elastic: extra `distnode -join` processes started mid-job
+// are admitted live and given partitions to own, and -elastic schedules
+// membership changes (e.g. "drain:0@4" retires worker 0 after 4 map tasks
+// resolve, handing its partitions off first). With -journal the
+// coordinator checkpoints every state change to an fsynced append-only
+// file; if it crashes (or an -elastic "restart@..." event crashes it on
+// schedule), re-running with the same -serve address plus -resume replays
+// the journal and finishes the job — workers redial in on their own.
 //
 // A three-node run on one machine:
 //
@@ -54,6 +63,11 @@ func main() {
 		verify     = flag.Bool("verify", false, "verify output against a reference implementation")
 		traceOut   = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot as JSON to this file")
+		rejoinGrace = flag.Duration("rejoin-grace", 0, "worker mode: how long to retry re-dialing a crashed coordinator before giving up (0 = exit on coordinator loss)")
+
+		journal    = flag.String("journal", "", "coordinator mode: checkpoint journal path (append-only, fsynced)")
+		resume     = flag.Bool("resume", false, "coordinator mode: resume a crashed job from -journal instead of starting fresh")
+		elastic    = flag.String("elastic", "", "coordinator mode: membership schedule kind[:worker]@threshold[,...] — drain:W, restart; threshold N fires after N map tasks resolve, rN after N reduce outputs accept")
 
 		jobsvcAddr  = flag.String("jobsvc", "", "job-service mode: run the resident multi-tenant coordinator on this HTTP address")
 		fleet       = flag.Int("fleet", 8, "job-service mode: worker-slot budget shared by all jobs")
@@ -79,7 +93,7 @@ func main() {
 		log.Fatal(err)
 	case *join != "":
 		tel := obs.NewTelemetry()
-		if err := dist.Join(*join, *listen, dist.Tuning{}, tel); err != nil {
+		if err := dist.Join(*join, *listen, dist.Tuning{RejoinGrace: *rejoinGrace}, tel); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("worker done")
@@ -89,19 +103,43 @@ func main() {
 			log.Fatal(err)
 		}
 		tel := obs.NewTelemetry()
-		res, err := dist.Serve(*serve, dist.Options{
-			Job:       job,
-			Workers:   *workers,
-			Blocks:    blocks,
-			Telemetry: tel,
-			NewApp:    dist.RegistryResolver,
-		})
+		o := dist.Options{
+			Job:         job,
+			Workers:     *workers,
+			Blocks:      blocks,
+			Telemetry:   tel,
+			NewApp:      dist.RegistryResolver,
+			JournalPath: *journal,
+			Resume:      *resume,
+		}
+		if *resume && *journal == "" {
+			log.Fatal("-resume needs -journal")
+		}
+		if *elastic != "" {
+			o.Elastic, err = dist.ParseElastic(*elastic)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if dist.HasRestart(o.Elastic) && *journal == "" {
+				log.Fatal("-elastic restart events need -journal to resume from")
+			}
+		}
+		res, err := dist.Serve(*serve, o)
 		if err != nil {
+			if dist.CoordinatorRestarted(err) {
+				log.Printf("coordinator crashed on schedule; the job is journaled, not failed")
+				log.Fatalf("resume it: distnode -serve %s -workers %d -app %s -size %d -journal %s -resume",
+					*serve, *workers, *appName, *size, *journal)
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("%s (dist, %d workers): total %v (map %v, reduce %v), %d blocks in, %d intermediate pairs, %d output pairs\n",
 			res.App, res.Workers, res.Total, res.MapElapsed, res.ReduceElapsed,
 			len(blocks), res.IntermediatePairs, res.OutputPairs)
+		if res.WorkersJoined > 0 || res.WorkersDrained > 0 || res.WorkersLost > 0 || res.Resumed {
+			fmt.Printf("elasticity: %d joined, %d drained, %d lost, resumed: %v\n",
+				res.WorkersJoined, res.WorkersDrained, res.WorkersLost, res.Resumed)
+		}
 		fmt.Printf("trace %016x; clock offsets:", res.TraceID)
 		for w := 0; w < res.Workers; w++ {
 			if off, ok := res.ClockOffsets[w]; ok {

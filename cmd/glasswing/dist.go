@@ -20,6 +20,8 @@ type distJobConfig struct {
 	partitions int
 	workers    int
 	serveAddr  string
+	elastic    string
+	journal    string
 	verify     bool
 	traceOut   string
 	metricsOut string
@@ -36,11 +38,21 @@ func runDistJob(c distJobConfig) {
 	}
 	tel := obs.NewTelemetry()
 	o := dist.Options{
-		Job:        job,
-		Workers:    c.workers,
-		Blocks:     blocks,
-		Telemetry:  tel,
-		KillWorker: -1,
+		Job:         job,
+		Workers:     c.workers,
+		Blocks:      blocks,
+		Telemetry:   tel,
+		KillWorker:  -1,
+		JournalPath: c.journal,
+	}
+	if c.elastic != "" {
+		o.Elastic, err = dist.ParseElastic(c.elastic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dist.HasRestart(o.Elastic) && c.journal == "" {
+			log.Fatal("glasswing: -elastic restart events need -journal to resume from")
+		}
 	}
 	var res *dist.Result
 	if c.serveAddr != "" {
@@ -58,6 +70,10 @@ func runDistJob(c distJobConfig) {
 	if res.MapRetries > 0 || res.WorkersLost > 0 {
 		fmt.Printf("fault tolerance: %d map retries, %d worker(s) lost, %d map re-executions\n",
 			res.MapRetries, res.WorkersLost, res.MapRecoveries)
+	}
+	if res.WorkersJoined > 0 || res.WorkersDrained > 0 || res.Resumed {
+		fmt.Printf("elasticity: %d worker(s) joined, %d drained, coordinator resumed: %v\n",
+			res.WorkersJoined, res.WorkersDrained, res.Resumed)
 	}
 	if c.verify {
 		if err := check(res); err != nil {

@@ -73,6 +73,8 @@ func main() {
 		serveFaults = flag.Bool("serve-faults", false, "allow fault-injection request fields in -serve mode (CI and conformance)")
 
 		distWorkers = flag.Int("dist", 0, "run on the distributed runtime with N TCP workers (0 disables)")
+		elastic     = flag.String("elastic", "", "membership schedule for -dist runs: kind[:worker]@threshold[,...] — join, drain:W, kill:W, restart; threshold N fires after N map tasks resolve, rN after N reduce outputs accept")
+		journalPath = flag.String("journal", "", "coordinator checkpoint journal path for -dist runs (restart events resume from it)")
 		coordAddr   = flag.String("coordinator", "", "serve the job as a distributed coordinator at this address (workers join with -worker)")
 		workerJoin  = flag.String("worker", "", "join a distributed coordinator at this address as a worker")
 		workerAddr  = flag.String("worker-listen", "127.0.0.1:0", "shuffle listen address for -worker (use a reachable host:port across machines)")
@@ -101,6 +103,8 @@ func main() {
 			partitions: *parts,
 			workers:    *distWorkers,
 			serveAddr:  *coordAddr,
+			elastic:    *elastic,
+			journal:    *journalPath,
 			verify:     *verify,
 			traceOut:   *traceOut,
 			metricsOut: *metricsOut,

@@ -24,6 +24,7 @@ type Ledger struct {
 	StoreDupDropped  int64 // duplicate task output rejected (sim re-execution)
 	StoreDeadDropped int64 // output addressed to a dead store (sim node death)
 	StoreLost        int64 // records lost with a dying store (sim node death)
+	StoreSettled     int64 // lost records a final accepted reduce had already consumed (dist)
 
 	SpillRecords     int64 // records written to spill files (native)
 	SpillRawBytes    int64 // spill payload volume before framing (native)
@@ -70,6 +71,7 @@ func LedgerFromCounters(c func(name string) int64) Ledger {
 		StoreDupDropped:      c("conserv_store_dup_dropped_records_total"),
 		StoreDeadDropped:     c("conserv_store_dead_dropped_records_total"),
 		StoreLost:            c("conserv_store_lost_records_total"),
+		StoreSettled:         c("conserv_store_settled_records_total"),
 		SpillRecords:         c("conserv_spill_records_total"),
 		SpillRawBytes:        c("conserv_spill_raw_bytes_total"),
 		SpillStoredBytes:     c("conserv_spill_stored_bytes_total"),
@@ -97,6 +99,11 @@ type CheckOpts struct {
 	// is counted again; the store dedups it), so only store-onward
 	// invariants are exact.
 	Faulty bool
+	// Elastic marks runs whose coordinator crashed and resumed mid-job:
+	// attempts in flight at the crash may be legitimately re-executed after
+	// resume (map-side over-count, deduplicated at the store), but no
+	// worker died — unlike Faulty, the wire must stay loss-free.
+	Elastic bool
 	// Combiner marks runs where map output is combined: pair counts and
 	// bytes shrink below the reference's no-combiner volumes.
 	Combiner bool
@@ -127,7 +134,7 @@ func (l Ledger) Check(exp Expected, o CheckOpts) error {
 		}
 	}
 
-	if !o.Faulty {
+	if !o.Faulty && !o.Elastic {
 		// Fault-free, the map side is exact: every input record is mapped
 		// exactly once and every emitted pair is serialized and accepted
 		// exactly once.
@@ -137,6 +144,7 @@ func (l Ledger) Check(exp Expected, o CheckOpts) error {
 		eq("dup-dropped records", l.StoreDupDropped, 0)
 		eq("dead-dropped records", l.StoreDeadDropped, 0)
 		eq("lost records", l.StoreLost, 0)
+		eq("settled records", l.StoreSettled, 0)
 		if !o.Combiner {
 			eq("map pairs out != reference intermediate pairs", l.MapPairsOut, exp.InterPairs)
 			eq("partition raw bytes != reference intermediate bytes", l.PartitionRawBytes, exp.InterBytes)
@@ -146,8 +154,11 @@ func (l Ledger) Check(exp Expected, o CheckOpts) error {
 	// Store-onward invariants hold even under faults: re-executed map
 	// output is deduplicated at the store, losing attempts never commit,
 	// and a winning reduce attempt reads exactly what its partition's
-	// store holds.
-	eq("reduce records in != store accepted - lost", l.ReduceRecordsIn, l.StoreAccepted-l.StoreLost)
+	// store holds. Records a dying store takes down AFTER a final reduce
+	// consumed them are booked both lost and settled, so they cancel out of
+	// the recoverable-loss balance.
+	eq("reduce records in != store accepted - lost + settled",
+		l.ReduceRecordsIn, l.StoreAccepted-l.StoreLost+l.StoreSettled)
 	eq("merge records out != in", l.MergeOut, l.MergeIn)
 	if o.Sim || o.HasReduce {
 		eq("reduce groups != reference distinct keys", l.ReduceGroupsIn, exp.DistinctKeys)

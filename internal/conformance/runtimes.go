@@ -3,6 +3,7 @@ package conformance
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"glasswing"
 	"glasswing/internal/core"
@@ -486,6 +487,10 @@ type distVariant struct {
 	combiner     bool // HashTable + combiner (CombinerOK apps only)
 	mapFault     bool // deterministic injected attempt failures
 	kill         bool // kill a worker mid-map
+	// elastic is a membership schedule in dist.ParseElastic syntax
+	// (join@2, drain:0@2, restart@2, kill:1@r1, ...); restart events get a
+	// throwaway checkpoint journal wired up automatically.
+	elastic string
 }
 
 func distVariants(j Job) []distVariant {
@@ -511,8 +516,41 @@ func distVariants(j Job) []distVariant {
 		// re-assign, resolved tasks re-execute, and the wire + store ledgers
 		// must still balance to the byte.
 		distVariant{axis: "faults", name: "worker-kill", kill: true},
+		// A worker killed after a reduce partition has already been accepted:
+		// the once-fatal carve-out. Surviving partitions re-execute; the
+		// accepted one stands.
+		distVariant{axis: "faults", name: "reduce-kill", elastic: "kill:1@r1"},
+		// Elastic membership: these cells change the cluster mid-job without
+		// any fault, so every ledger invariant stays fully exact — a joiner
+		// takes over partitions and map work, a drained worker hands its
+		// partitions off, and a crashed coordinator resumes from its journal
+		// (restart alone may re-execute in-flight attempts: Elastic, not
+		// Faulty — the wire must stay loss-free).
+		distVariant{axis: "elastic", name: "live-join", elastic: "join@2"},
+		distVariant{axis: "elastic", name: "drain", elastic: "drain:0@2"},
+		distVariant{axis: "elastic", name: "coordinator-restart", elastic: "restart@2"},
 	)
 	return vs
+}
+
+// elasticExpect sums what a parsed elastic schedule must visibly do to the
+// run: joins, drains, kills and whether the coordinator resumed. Conformance
+// asserts the Result (or JobStats) reports exactly these — a cell whose
+// event silently never fired would otherwise pass as a vacuous baseline.
+func elasticExpect(evs []dist.ElasticEvent) (joins, drains, kills int, resumed bool) {
+	for _, ev := range evs {
+		switch ev.Kind {
+		case "join":
+			joins++
+		case "drain":
+			drains++
+		case "kill":
+			kills++
+		case "restart":
+			resumed = true
+		}
+	}
+	return
 }
 
 func runDistApp(j Job, exp Expected, opt Options, add func(Cell)) {
@@ -564,7 +602,32 @@ func runDistApp(j Job, exp Expected, opt Options, add func(Cell)) {
 			o.KillWorker = 1
 			o.KillAfterMapDone = 2
 		}
+		var wantJoins, wantDrains, wantKills int
+		var wantResume bool
+		if v.elastic != "" {
+			evs, err := dist.ParseElastic(v.elastic)
+			if err != nil {
+				cell.Err = err
+				add(cell)
+				continue
+			}
+			o.Elastic = evs
+			wantJoins, wantDrains, wantKills, wantResume = elasticExpect(evs)
+			if dist.HasRestart(evs) {
+				jf, err := os.CreateTemp("", "glasswing-conf-journal-*")
+				if err != nil {
+					cell.Err = err
+					add(cell)
+					continue
+				}
+				jf.Close()
+				o.JournalPath = jf.Name()
+			}
+		}
 		res, err := dist.RunLoopback(o)
+		if o.JournalPath != "" {
+			os.Remove(o.JournalPath)
+		}
 		if err != nil {
 			cell.Err = err
 			add(cell)
@@ -575,11 +638,24 @@ func runDistApp(j Job, exp Expected, opt Options, add func(Cell)) {
 		led := ReadLedger(tel.Metrics)
 		cell.Err = verdict(j, exp, cell.Digest, out, led.Check(exp, CheckOpts{
 			Dist:      true,
-			Faulty:    v.kill,
+			Faulty:    v.kill || wantKills > 0,
+			Elastic:   wantResume,
 			Combiner:  v.combiner,
 			Compress:  v.compress,
 			HasReduce: j.New().Reduce != nil,
 		}))
+		if cell.Err == nil && v.elastic != "" {
+			switch {
+			case res.WorkersJoined != wantJoins:
+				cell.Err = fmt.Errorf("elastic cell joined %d workers, want %d", res.WorkersJoined, wantJoins)
+			case res.WorkersDrained != wantDrains:
+				cell.Err = fmt.Errorf("elastic cell drained %d workers, want %d", res.WorkersDrained, wantDrains)
+			case res.WorkersLost < wantKills:
+				cell.Err = fmt.Errorf("elastic cell lost %d workers, want >= %d", res.WorkersLost, wantKills)
+			case res.Resumed != wantResume:
+				cell.Err = fmt.Errorf("elastic cell resumed=%v, want %v", res.Resumed, wantResume)
+			}
+		}
 		add(cell)
 	}
 }

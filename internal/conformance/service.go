@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"glasswing/internal/core"
+	"glasswing/internal/dist"
 	"glasswing/internal/jobsvc"
 	"glasswing/internal/kv"
 )
@@ -57,8 +58,9 @@ func (e *serviceEnv) stop() {
 }
 
 // runServiceCell pushes one dist variant through the full API round trip
-// and returns the output digest, pairs and remote-rebuilt ledger.
-func runServiceCell(e *serviceEnv, j Job, v distVariant) (string, []kv.Pair, Ledger, error) {
+// and returns the output digest, pairs, remote-rebuilt ledger and the
+// job's reported stats.
+func runServiceCell(e *serviceEnv, j Job, v distVariant) (string, []kv.Pair, Ledger, *jobsvc.JobStats, error) {
 	workers := v.workers
 	if workers == 0 {
 		workers = 3
@@ -102,28 +104,29 @@ func runServiceCell(e *serviceEnv, j Job, v distVariant) (string, []kv.Pair, Led
 		req.KillWorker = &kw
 		req.KillAfterMapDone = 2
 	}
+	req.Elastic = v.elastic // membership schedule rides the API verbatim
 
 	st, err := e.cli.Submit(req)
 	if err != nil {
-		return "", nil, Ledger{}, fmt.Errorf("submit: %w", err)
+		return "", nil, Ledger{}, nil, fmt.Errorf("submit: %w", err)
 	}
 	st, err = e.cli.WaitDone(st.ID, 2*time.Minute)
 	if err != nil {
-		return "", nil, Ledger{}, err
+		return "", nil, Ledger{}, nil, err
 	}
 	if st.State != jobsvc.StateDone {
-		return "", nil, Ledger{}, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+		return "", nil, Ledger{}, nil, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
 	}
 	out, err := e.cli.ResultPairs(st.ID)
 	if err != nil {
-		return "", nil, Ledger{}, fmt.Errorf("result: %w", err)
+		return "", nil, Ledger{}, nil, fmt.Errorf("result: %w", err)
 	}
 	counters, err := e.cli.JobCounters(st.ID)
 	if err != nil {
-		return "", nil, Ledger{}, fmt.Errorf("job metrics: %w", err)
+		return "", nil, Ledger{}, nil, fmt.Errorf("job metrics: %w", err)
 	}
 	led := LedgerFromCounters(func(name string) int64 { return counters[name] })
-	return Digest(out), out, led, nil
+	return Digest(out), out, led, st.Stats, nil
 }
 
 func runServiceApp(j Job, exp Expected, opt Options, add func(Cell)) {
@@ -141,20 +144,46 @@ func runServiceApp(j Job, exp Expected, opt Options, add func(Cell)) {
 			add(cell)
 			continue
 		}
-		dig, out, led, err := runServiceCell(env, j, v)
+		dig, out, led, stats, err := runServiceCell(env, j, v)
 		if err != nil {
 			cell.Err = err
 			add(cell)
 			continue
 		}
+		var wantJoins, wantDrains, wantKills int
+		var wantResume bool
+		if v.elastic != "" {
+			evs, perr := dist.ParseElastic(v.elastic)
+			if perr != nil {
+				cell.Err = perr
+				add(cell)
+				continue
+			}
+			wantJoins, wantDrains, wantKills, wantResume = elasticExpect(evs)
+		}
 		cell.Digest = dig
 		cell.Err = verdict(j, exp, dig, out, led.Check(exp, CheckOpts{
 			Dist:      true,
-			Faulty:    v.kill,
+			Faulty:    v.kill || wantKills > 0,
+			Elastic:   wantResume,
 			Combiner:  v.combiner,
 			Compress:  v.compress,
 			HasReduce: j.New().Reduce != nil,
 		}))
+		if cell.Err == nil && v.elastic != "" {
+			switch {
+			case stats == nil:
+				cell.Err = fmt.Errorf("elastic cell finished without stats")
+			case stats.WorkersJoined != wantJoins:
+				cell.Err = fmt.Errorf("elastic cell joined %d workers, want %d", stats.WorkersJoined, wantJoins)
+			case stats.WorkersDrained != wantDrains:
+				cell.Err = fmt.Errorf("elastic cell drained %d workers, want %d", stats.WorkersDrained, wantDrains)
+			case stats.WorkersLost < wantKills:
+				cell.Err = fmt.Errorf("elastic cell lost %d workers, want >= %d", stats.WorkersLost, wantKills)
+			case stats.Resumed != wantResume:
+				cell.Err = fmt.Errorf("elastic cell resumed=%v, want %v", stats.Resumed, wantResume)
+			}
+		}
 		add(cell)
 	}
 }

@@ -57,7 +57,7 @@ func newCoalescer(cc *conn, led *ledger, tr *tracer, traceID uint64, limit int64
 // whose latency the frame's tenure actually extends). Adds to a closed
 // coalescer (dying link) are discarded — never counted sent, so no loss
 // entry is owed.
-func (co *coalescer) add(task, attempt, part int, r *kv.Run, parent uint64) {
+func (co *coalescer) add(task, attempt, part int, r *kv.Run, parent uint64, epoch int) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.closed {
@@ -69,7 +69,7 @@ func (co *coalescer) add(task, attempt, part int, r *kv.Run, parent uint64) {
 	}
 	appendRunEntry(&co.body, runEntry{
 		Task: task, Attempt: attempt, Partition: part,
-		Records: r.Records, RawBytes: r.RawBytes, Blob: r.Blob(),
+		Records: r.Records, RawBytes: r.RawBytes, Epoch: epoch, Blob: r.Blob(),
 	})
 	co.records += int64(r.Records)
 	if int64(len(co.body.buf)) >= co.limit {

@@ -1,14 +1,38 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
+	"os"
+	"sync"
 	"time"
 
 	"glasswing/internal/kv"
 	"glasswing/internal/obs"
 )
+
+// ElasticEvent schedules one membership change during a job, triggered by
+// scheduler progress: the event fires once AfterMapDone map tasks have
+// resolved (or, when AfterReduceDone > 0, once that many reduce partitions
+// have been accepted). Events fire strictly in declaration order; an event
+// whose threshold is already met fires immediately after its predecessor.
+//
+//   - "join": spawn one new worker into the cluster (loopback-only — a
+//     multi-process cluster admits joiners whenever they dial in).
+//   - "drain": gracefully remove Worker — stop assigning it work, hand its
+//     partitions off to survivors, then release it.
+//   - "kill": murder Worker abruptly (loopback-only), exercising the death
+//     recovery path.
+//   - "restart": crash the coordinator itself. With a journal configured,
+//     the loopback runner restarts it and resumes from the checkpoint.
+type ElasticEvent struct {
+	Kind            string // "join", "drain", "kill" or "restart"
+	Worker          int    // target worker id (drain/kill); ignored otherwise
+	AfterMapDone    int    // fire once this many map tasks have resolved
+	AfterReduceDone int    // when > 0, fire once this many partitions are accepted instead
+}
 
 // Options configures one distributed job from the coordinator's side. The
 // loopback runner shares this type; fields marked loopback-only are ignored
@@ -27,8 +51,8 @@ type Options struct {
 	// client so the job's spans correlate with its journal.
 	TraceID uint64
 	// Journal, if set, receives structured scheduling events (map retries,
-	// worker deaths) — callers attach job/tenant/trace context up front via
-	// slog.With.
+	// worker deaths, membership changes) — callers attach job/tenant/trace
+	// context up front via slog.With.
 	Journal *slog.Logger
 
 	// NewApp resolves the job's application (loopback-only; multi-process
@@ -39,9 +63,22 @@ type Options struct {
 	// shuffle effect (loopback-only).
 	MapFault func(task, attempt int) bool
 	// KillWorker, when >= 0, kills that worker once KillAfterMapDone map
-	// tasks have resolved (loopback-only).
+	// tasks have resolved (loopback-only; folded into Elastic internally).
 	KillWorker       int
 	KillAfterMapDone int
+
+	// Elastic schedules membership churn — joins, drains, kills and
+	// coordinator restarts — against scheduler progress. Joins, kills and
+	// restarts need the loopback runner's hooks; drains work anywhere.
+	Elastic []ElasticEvent
+	// JournalPath enables the checkpoint journal: an append-only, fsynced
+	// record of task resolutions, partition homes, shuffle commit marks and
+	// membership epochs, written write-ahead of every broadcast.
+	JournalPath string
+	// Resume replays JournalPath instead of forming a fresh cluster: the
+	// coordinator validates the journal against this job, collects rejoins
+	// from every journaled-live worker, and picks the job back up.
+	Resume bool
 }
 
 // coordinator phases.
@@ -51,22 +88,75 @@ const (
 	phaseDone
 )
 
+// Coordinator-side worker states. A joiner is admitted as wJoining and
+// promoted to wActive when its join transition completes; a drain target
+// moves wActive → wDraining → wDrained. Only wActive workers are assigned
+// map tasks or own partitions.
+const (
+	wActive = iota
+	wJoining
+	wDraining
+	wDrained
+)
+
 // cworker is the coordinator's view of one worker node.
 type cworker struct {
 	cc          *conn
 	addr        string // peer-facing listen address
 	alive       bool
+	state       int
 	outstanding int             // map tasks dispatched, not yet reported
 	clock       *clockEstimator // NTP-style offset estimate for this worker
 }
 
 // cevent is one frame (or connection loss) from one worker, funneled into
 // the coordinator's single event loop by per-worker reader goroutines.
+// Admission events (a candidate's first frame) carry w == -1 and the
+// candidate's connection.
 type cevent struct {
 	w       int
 	typ     byte
 	payload []byte
 	err     error
+	cc      *conn
+}
+
+// transition is one queued or in-flight membership change. Transitions run
+// one at a time: the cluster quiesces (no outstanding map attempts), the
+// epoch bumps, partition homes rebalance, the rehome broadcast goes out,
+// and the transition completes when every moved partition's new home
+// reports its handoff adopted.
+type transition struct {
+	kind    string // "join" or "drain"
+	target  int
+	claimed bool // holds a pendingMembership claim (event-spawned churn)
+	started bool // quiesce passed: epoch bumped, rehome broadcast
+	epoch   int
+	pending map[int]bool // partitions whose handoff is still outstanding
+}
+
+// loopHooks are the loopback runner's fault and elasticity hooks: kill
+// murders a worker in-process, spawn launches one new live-join worker.
+type loopHooks struct {
+	kill  func(id int)
+	spawn func()
+}
+
+// restartCrash is the error a scheduled coordinator restart fails with;
+// the loopback runner catches it, re-listens, and resumes from the journal.
+// fired is how many elastic events (including the restart itself) had been
+// consumed, so the resumed coordinator picks up after them.
+type restartCrash struct{ fired int }
+
+func (*restartCrash) Error() string { return "dist: coordinator restarted (elastic schedule)" }
+
+// CoordinatorRestarted reports whether a Serve error is a scheduled
+// restart crash: the job is not failed, the journal is complete, and a new
+// coordinator process can resume it with Options.Resume (cmd/distnode's
+// -resume flag) while the workers redial in.
+func CoordinatorRestarted(err error) bool {
+	var rc *restartCrash
+	return errors.As(err, &rc)
 }
 
 // acceptTimeout bounds cluster formation so a worker that never dials
@@ -74,18 +164,29 @@ type cevent struct {
 const acceptTimeout = 60 * time.Second
 
 // serve runs the coordinator side of one job on an already-open listener:
-// form the cluster, drive the map phase through the scheduler, gate reduce
-// on full shuffle commit, and assemble the result. kill (may be nil) is the
-// loopback fault hook that murders a worker in-process.
-func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
+// form the cluster (or resume it from the journal), drive the map phase
+// through the scheduler, apply elastic membership changes, gate reduce on
+// full shuffle commit, and assemble the result. led receives the
+// coordinator-side reduce conservation counters (shared with the workers in
+// loopback mode); hooks are the loopback fault/elasticity callbacks.
+func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, error) {
 	o.Job = o.Job.withDefaults()
 	tun := o.Tuning.withDefaults()
 	n := o.Workers
-	if n <= 0 {
+	if n <= 0 && !o.Resume {
 		return nil, fmt.Errorf("dist: need at least one worker, got %d", n)
 	}
 	if len(o.Blocks) == 0 {
 		return nil, fmt.Errorf("dist: no input blocks")
+	}
+	if led == nil {
+		led = newLedger(o.Telemetry)
+	}
+	elastic := o.Elastic
+	if hooks.kill != nil && o.KillWorker >= 0 && o.KillWorker < n {
+		elastic = append(append([]ElasticEvent(nil), elastic...), ElasticEvent{
+			Kind: "kill", Worker: o.KillWorker, AfterMapDone: o.KillAfterMapDone,
+		})
 	}
 
 	start := time.Now()
@@ -97,59 +198,280 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	// merged trace's "coordinator" process — and its epoch is the timeline
 	// every worker batch is rebased onto.
 	ctr := newTracer(nil, -1)
+	nTasks := len(o.Blocks)
 
-	// Cluster formation: worker ids are assigned in order of arrival; the
-	// job starts only once every worker's peer listener address is known.
-	ws := make([]*cworker, n)
+	res := &Result{App: o.Job.App.Name, Workers: n}
+	for _, b := range o.Blocks {
+		res.InputBytes += int64(len(b))
+	}
+
+	var (
+		ws    []*cworker // index by worker id; grows on join
+		alive []bool
+		homes []int
+		epoch int
+		sched *dsched
+		jn    *journal
+	)
+	interPairs := make([]int64, nTasks) // per task, last winning attempt
+	outputs := make([][]kv.Pair, o.Job.Partitions)
+	donePart := make([]bool, o.Job.Partitions)
+	donePartCount := 0
+	reduceAttempt := make([]int, o.Job.Partitions)
+	// settledResident[p] is how many committed records still live at
+	// partition p's home after its output was accepted. If that home dies,
+	// the records are settled — consumed by a final output, then lost with
+	// the store — not recoverable losses; the death handler books them so
+	// the conservation ledger stays exact. Zeroed once booked: the data
+	// existed on exactly one store, and nothing re-ships to a settled
+	// partition.
+	settledResident := make([]int64, o.Job.Partitions)
+
 	defer func() {
 		for _, cw := range ws {
-			if cw != nil {
+			if cw != nil && cw.cc != nil {
 				cw.cc.close()
 			}
 		}
 	}()
-	for i := 0; i < n; i++ {
-		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
-			d.SetDeadline(time.Now().Add(acceptTimeout))
+	defer func() { jn.close() }()
+
+	if o.Resume {
+		// ----- resume formation: replay the journal, collect rejoins -----
+		if o.JournalPath == "" {
+			return nil, fmt.Errorf(resumeRefused + ": no journal path configured")
 		}
-		c, err := ln.Accept()
+		data, err := os.ReadFile(o.JournalPath)
 		if err != nil {
-			return nil, fmt.Errorf("dist: awaiting worker %d/%d: %w", i+1, n, err)
+			return nil, fmt.Errorf(resumeRefused+": %v", err)
 		}
-		cc := newConn(c, fmt.Sprintf("worker%d", i), tun, nil)
-		typ, p, err := cc.recv()
-		if err != nil || typ != mHello {
-			cc.close()
-			return nil, fmt.Errorf("dist: bad hello from worker %d (%s): %v", i, typeName(typ), err)
-		}
-		h, err := decodeHello(p)
+		rs, err := replayJournal(data)
 		if err != nil {
-			cc.close()
 			return nil, err
 		}
-		ws[i] = &cworker{cc: cc, addr: h.ListenAddr, alive: true, clock: &clockEstimator{}}
-		// Only the coordinator probes; the worker side just echoes. The
-		// initial probe burst lands during formation, before shuffle
-		// traffic can queue behind it.
-		cc.enableClock(ws[i].clock, tun.HeartbeatEvery)
+		if err := rs.validateResume(&o); err != nil {
+			return nil, err
+		}
+		traceID = rs.traceID
+		epoch = rs.epoch
+		homes = append([]int(nil), rs.homes...)
+		alive = append([]bool(nil), rs.alive...)
+		ws = make([]*cworker, len(alive))
+		need := make(map[int]bool)
+		for i, a := range alive {
+			if a {
+				need[i] = true
+			} else {
+				ws[i] = &cworker{alive: false, state: wActive}
+			}
+		}
+		deadline := time.Now().Add(acceptTimeout)
+		for len(need) > 0 {
+			if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+				d.SetDeadline(deadline)
+			}
+			c, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("dist: resume: awaiting %d workers to rejoin: %w", len(need), err)
+			}
+			cc := newConn(c, "rejoin", tun, nil)
+			typ, p, err := cc.recv()
+			if err != nil || typ != mRejoin {
+				cc.close()
+				continue
+			}
+			m, err := decodeRejoin(p)
+			if err != nil {
+				cc.close()
+				continue
+			}
+			switch {
+			case m.Epoch > epoch:
+				cc.close()
+				return nil, fmt.Errorf(resumeRefused+": worker %d is at epoch %d, ahead of the journal's %d",
+					m.WorkerID, m.Epoch, epoch)
+			case m.WorkerID >= 0 && m.WorkerID < len(ws) && need[m.WorkerID]:
+				cw := &cworker{cc: cc, addr: m.ListenAddr, alive: true, state: wActive, clock: &clockEstimator{}}
+				ws[m.WorkerID] = cw
+				cc.enableClock(cw.clock, tun.HeartbeatEvery)
+				delete(need, m.WorkerID)
+			case m.WorkerID >= len(ws):
+				// Admitted after the journal's last membership record (a join
+				// whose transition never started before the crash): adopt it
+				// as a full member owning no partitions — the peer mesh it
+				// built before the crash is intact.
+				for len(ws) < m.WorkerID {
+					ws = append(ws, &cworker{alive: false, state: wActive})
+					alive = append(alive, false)
+				}
+				cw := &cworker{cc: cc, addr: m.ListenAddr, alive: true, state: wActive, clock: &clockEstimator{}}
+				ws = append(ws, cw)
+				alive = append(alive, true)
+				cc.enableClock(cw.clock, tun.HeartbeatEvery)
+			default:
+				// The journal says this worker already left (drained or its
+				// rejoin slot is already filled): let it exit cleanly.
+				cc.send(frame{typ: mDrained})
+				cc.flush()
+				cc.close()
+			}
+		}
+		jn, err = openJournalAppend(o.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		sched = newSchedResume(nTasks, len(ws), o.Job.MaxAttempts, rs.resolved, rs.attempt, alive)
+		for t := 0; t < nTasks; t++ {
+			if rs.resolved[t] {
+				interPairs[t] = rs.stats[t].PairsOut
+			}
+		}
+		for p, out := range rs.outputs {
+			pairs, err := kv.Unmarshal(out)
+			if err != nil {
+				return nil, fmt.Errorf(resumeRefused+": journaled output for partition %d: %v", p, err)
+			}
+			outputs[p] = pairs
+			donePart[p] = true
+			donePartCount++
+			reduceAttempt[p] = rs.reduceAt[p]
+			settledResident[p] = rs.records[p]
+			res.OutputPairs += len(pairs)
+		}
+		res.WorkersJoined = rs.joined
+		res.WorkersDrained = rs.drained
+		res.WorkersLost = rs.lost
+		res.Resumed = true
+		// Re-sync every rejoined worker: the refresh carries the journaled
+		// epoch, homes and liveness, so a worker that missed a crash-window
+		// broadcast applies it now — including any handoff it still owes
+		// (journaling is write-ahead, so the journal is never behind a
+		// broadcast a worker saw).
+		refresh := rehomeMsg{Epoch: epoch, Homes: homes, Alive: alive, Joined: -1, Left: -1}.encode()
+		for _, cw := range ws {
+			if cw != nil && cw.cc != nil && cw.alive {
+				cw.cc.send(frame{typ: mRehome, payload: refresh})
+			}
+		}
+	} else {
+		// ----- fresh formation: worker ids in order of arrival -----
+		ws = make([]*cworker, n)
+		for i := 0; i < n; i++ {
+			if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+				d.SetDeadline(time.Now().Add(acceptTimeout))
+			}
+			c, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("dist: awaiting worker %d/%d: %w", i+1, n, err)
+			}
+			cc := newConn(c, fmt.Sprintf("worker%d", i), tun, nil)
+			typ, p, err := cc.recv()
+			if err != nil || (typ != mJoin && typ != mHello) {
+				cc.close()
+				return nil, fmt.Errorf("dist: bad join from worker %d (%s): %v", i, typeName(typ), err)
+			}
+			h, err := decodeHello(p)
+			if err != nil {
+				cc.close()
+				return nil, err
+			}
+			ws[i] = &cworker{cc: cc, addr: h.ListenAddr, alive: true, state: wActive, clock: &clockEstimator{}}
+			// Only the coordinator probes; the worker side just echoes. The
+			// initial probe burst lands during formation, before shuffle
+			// traffic can queue behind it.
+			ws[i].cc.enableClock(ws[i].clock, tun.HeartbeatEvery)
+		}
+		alive = make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+		homes = make([]int, o.Job.Partitions)
+		for p := range homes {
+			homes[p] = p % n
+		}
+		sched = newSched(nTasks, n, o.Job.MaxAttempts)
+		if o.JournalPath != "" {
+			var err error
+			jn, err = createJournal(o.JournalPath)
+			if err != nil {
+				return nil, err
+			}
+			if err := jn.jobStart(o.Job, traceID, nTasks, blocksDigest(o.Blocks)); err != nil {
+				return nil, err
+			}
+			if err := jn.membership(0, homes, alive, sched.attempt, 0, 0, 0); err != nil {
+				return nil, err
+			}
+		}
+		peers := make([]string, n)
+		for i, cw := range ws {
+			peers[i] = cw.addr
+		}
+		for i, cw := range ws {
+			cw.cc.send(frame{typ: mWelcome, payload: welcomeMsg{WorkerID: i, Workers: n}.encode()})
+			cw.cc.send(frame{typ: mJobStart, payload: jobStartMsg{
+				Job: o.Job, TraceID: traceID, Peers: peers, Homes: homes, Epoch: 0, Live: false,
+			}.encode()})
+		}
 	}
 
-	peers := make([]string, n)
-	for i, cw := range ws {
-		peers[i] = cw.addr
+	// Post-formation acceptor: candidates dialing in after the job started
+	// (live joiners, or stragglers rejoining a resumed coordinator) are
+	// handshaken off-loop and funneled into the event loop as admission
+	// events. The admission gate closes when serve returns — a candidate
+	// admitted into a dead coordinator's queue would otherwise keep its
+	// connection (and the worker behind it) alive forever.
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(time.Time{})
 	}
-	homes := make([]int, o.Job.Partitions)
-	for p := range homes {
-		homes[p] = p % n
-	}
-	for i, cw := range ws {
-		cw.cc.send(frame{typ: mWelcome, payload: welcomeMsg{WorkerID: i, Workers: n}.encode()})
-		cw.cc.send(frame{typ: mJobStart, payload: jobStartMsg{Job: o.Job, TraceID: traceID, Peers: peers, Homes: homes}.encode()})
-	}
+	events := make(chan cevent, 1024)
+	var admitMu sync.Mutex
+	admitOpen := true
+	defer func() {
+		admitMu.Lock()
+		admitOpen = false
+		admitMu.Unlock()
+		// Nothing can enqueue past this point; close whatever made it in.
+		for {
+			select {
+			case ev := <-events:
+				if ev.cc != nil {
+					ev.cc.close()
+				}
+			default:
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				cc := newConn(c, "joiner", tun, nil)
+				typ, p, err := cc.recv()
+				if err != nil {
+					cc.close()
+					return
+				}
+				admitMu.Lock()
+				if admitOpen {
+					events <- cevent{w: -1, typ: typ, payload: p, cc: cc}
+					admitMu.Unlock()
+					return
+				}
+				admitMu.Unlock()
+				cc.close()
+			}(c)
+		}
+	}()
 
-	events := make(chan cevent, 4*n)
-	for i, cw := range ws {
-		go func(i int, cc *conn) {
+	readers := 0
+	startReader := func(i int, cc *conn) {
+		readers++
+		go func() {
 			for {
 				typ, p, err := cc.recv()
 				if err != nil {
@@ -158,30 +480,24 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 				}
 				events <- cevent{w: i, typ: typ, payload: p}
 			}
-		}(i, cw.cc)
+		}()
 	}
-
-	sched := newSched(len(o.Blocks), n, o.Job.MaxAttempts)
-	alive := make([]bool, n)
-	liveCount := n
-	for i := range alive {
-		alive[i] = true
+	for i, cw := range ws {
+		if cw != nil && cw.cc != nil && cw.alive {
+			startReader(i, cw.cc)
+		}
 	}
-
-	res := &Result{App: o.Job.App.Name, Workers: n}
-	for _, b := range o.Blocks {
-		res.InputBytes += int64(len(b))
-	}
-	interPairs := make([]int64, len(o.Blocks)) // per task, last winning attempt
-	outputs := make([][]kv.Pair, o.Job.Partitions)
 
 	phase := phaseMap
 	var jobErr error
-	killArmed := kill != nil && o.KillWorker >= 0 && o.KillWorker < n
-	pendingKill := false
 	reduceOutstanding := 0
 	var mapElapsed time.Duration
 	var reduceStart time.Time
+	pendingKills := make(map[int]bool) // kills fired, death not yet observed
+	pendingMembership := 0             // event-spawned churn not yet completed
+	eventIdx := 0
+	var queuedT []*transition
+	var activeT *transition
 
 	// Open scheduling spans: sched/assign keyed by (task, attempt),
 	// sched/reduce by partition. A span ends when its done/failed report
@@ -191,27 +507,100 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	reduceSpans := make(map[int]func())
 	var batches []spanBatchMsg
 
-	fail := func(err error) {
+	countLive := func() int {
+		c := 0
+		for _, cw := range ws {
+			if cw != nil && cw.alive && cw.state != wDrained {
+				c++
+			}
+		}
+		return c
+	}
+	// schedAlive is the scheduler's view of liveness: only wActive workers
+	// may receive, steal or inherit tasks. Joiners still meshing and drain
+	// targets are excluded so nothing is queued where it cannot run.
+	schedAlive := func() []bool {
+		v := make([]bool, len(ws))
+		for i, cw := range ws {
+			v[i] = cw != nil && cw.alive && cw.state == wActive
+		}
+		return v
+	}
+	activeIDs := func(except int) []int {
+		var ids []int
+		for i, cw := range ws {
+			if i != except && cw != nil && cw.alive && cw.state == wActive {
+				ids = append(ids, i)
+			}
+		}
+		return ids
+	}
+	totalOutstanding := func() int {
+		sum := 0
+		for _, cw := range ws {
+			if cw != nil && cw.alive {
+				sum += cw.outstanding
+			}
+		}
+		return sum
+	}
+	broadcast := func(f frame) {
+		for _, cw := range ws {
+			if cw != nil && cw.alive && cw.cc != nil && cw.state != wDrained {
+				cw.cc.send(f)
+			}
+		}
+	}
+
+	var (
+		fail                func(error)
+		fill                func()
+		maybeReduce         func()
+		finishJob           func()
+		fireEvents          func()
+		startNextTransition func()
+		tryAdvance          func()
+		completeTransition  func()
+		death               func(int)
+	)
+
+	journalMembership := func() {
+		if jn == nil {
+			return
+		}
+		if err := jn.membership(epoch, homes, alive, sched.attempt,
+			res.WorkersJoined, res.WorkersDrained, res.WorkersLost); err != nil {
+			fail(err)
+		}
+	}
+
+	fail = func(err error) {
 		if jobErr == nil {
 			jobErr = err
 		}
 		phase = phaseDone
 		for _, cw := range ws {
-			cw.cc.close() // hard: unblock every reader
+			if cw != nil && cw.cc != nil {
+				cw.cc.close() // hard: unblock every reader
+			}
 		}
 	}
 
-	// fill tops every live worker up to its MapSlots quota.
-	fill := func() {
-		if phase != phaseMap || jobErr != nil {
+	// fill tops every active worker up to its MapSlots quota. Dispatch
+	// pauses while a membership transition is queued or in flight: the
+	// transition needs the cluster quiesced, and new attempts would stage
+	// shuffle output across a partition map about to move.
+	fill = func() {
+		if phase != phaseMap || jobErr != nil || activeT != nil || len(queuedT) > 0 {
 			return
 		}
+		sa := schedAlive()
 		for w, cw := range ws {
-			if !cw.alive {
+			if cw == nil || !cw.alive || cw.state != wActive {
 				continue
 			}
 			for cw.outstanding < tun.MapSlots {
-				t, ok := sched.next(w, alive)
+				t, ok := sched.next(w, sa)
 				if !ok {
 					break
 				}
@@ -225,95 +614,484 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 		}
 	}
 
+	finishJob = func() {
+		if phase == phaseDone {
+			return
+		}
+		phase = phaseDone
+		if !reduceStart.IsZero() {
+			res.ReduceElapsed = time.Since(reduceStart)
+		}
+		broadcast(frame{typ: mJobEnd})
+		// Workers close their end after job-end; readers drain out.
+	}
+
 	// maybeReduce fires the reduce phase once every map task is resolved —
-	// and, crucially, once no kill is pending: a kill that has been
-	// triggered but whose death the coordinator has not yet observed must
-	// not let reduce start against a store that is about to be lost.
-	maybeReduce := func() {
-		if phase != phaseMap || jobErr != nil || pendingKill || sched.resolvedCount != sched.total {
+	// and, crucially, once no kill or membership change is pending: a kill
+	// that has been triggered but whose death the coordinator has not yet
+	// observed must not let reduce start against a store that is about to
+	// be lost, and partitions must not move while reduce reads them.
+	maybeReduce = func() {
+		if phase != phaseMap || jobErr != nil || len(pendingKills) > 0 ||
+			pendingMembership > 0 || activeT != nil || len(queuedT) > 0 ||
+			sched.resolvedCount != sched.total {
 			return
 		}
 		phase = phaseReduce
-		mapElapsed = time.Since(start)
+		if mapElapsed == 0 {
+			mapElapsed = time.Since(start)
+		}
 		reduceStart = time.Now()
 		for p := 0; p < o.Job.Partitions; p++ {
+			if donePart[p] {
+				continue // accepted before a restart or recovery; output is final
+			}
 			id, endSpan := ctr.span(stageSchedReduce, 0)
 			reduceSpans[p] = endSpan
-			ws[homes[p]].cc.send(frame{typ: mReduceTask, payload: reduceTaskMsg{Partition: p, SpanID: id}.encode()})
+			ws[homes[p]].cc.send(frame{typ: mReduceTask, payload: reduceTaskMsg{
+				Partition: p, Attempt: reduceAttempt[p], SpanID: id,
+			}.encode()})
 			reduceOutstanding++
+		}
+		if reduceOutstanding == 0 {
+			finishJob()
 		}
 	}
 
-	death := func(w int) {
-		if !ws[w].alive {
+	// fireEvents consumes elastic events whose progress threshold has been
+	// met, strictly in order.
+	fireEvents = func() {
+		for jobErr == nil && eventIdx < len(elastic) {
+			e := elastic[eventIdx]
+			trigger, threshold := sched.resolvedCount, e.AfterMapDone
+			if e.AfterReduceDone > 0 {
+				trigger, threshold = donePartCount, e.AfterReduceDone
+			}
+			if trigger < threshold {
+				return
+			}
+			// A drain or kill may target a joiner from an earlier event in the
+			// schedule. While that join is still in flight (admission and
+			// meshing are async, claimed by pendingMembership), hold the event
+			// un-consumed — admission and transition completion re-run
+			// fireEvents — instead of silently skipping it.
+			if (e.Kind == "drain" || e.Kind == "kill") && pendingMembership > 0 &&
+				(e.Worker >= len(ws) || ws[e.Worker] == nil || ws[e.Worker].state == wJoining) {
+				return
+			}
+			eventIdx++
+			switch e.Kind {
+			case "join":
+				if hooks.spawn != nil {
+					pendingMembership++
+					go hooks.spawn()
+				}
+			case "drain":
+				if e.Worker >= 0 && e.Worker < len(ws) && ws[e.Worker] != nil &&
+					ws[e.Worker].alive && ws[e.Worker].state == wActive {
+					ws[e.Worker].state = wDraining
+					pendingMembership++
+					queuedT = append(queuedT, &transition{kind: "drain", target: e.Worker, claimed: true})
+					startNextTransition()
+				}
+			case "kill":
+				if hooks.kill != nil && e.Worker >= 0 && e.Worker < len(ws) &&
+					ws[e.Worker] != nil && ws[e.Worker].alive {
+					pendingKills[e.Worker] = true
+					// The kill hook runs off-loop: it closes the victim's
+					// coordinator link, which comes back as this loop's
+					// death event.
+					go hooks.kill(e.Worker)
+				}
+			case "restart":
+				fail(&restartCrash{fired: eventIdx})
+				return
+			}
+		}
+	}
+
+	// startNextTransition promotes the head of the transition queue,
+	// dropping entries invalidated by deaths along the way.
+	startNextTransition = func() {
+		if activeT != nil || jobErr != nil {
 			return
 		}
-		ws[w].alive = false
-		alive[w] = false
-		liveCount--
-		res.WorkersLost++
+		for activeT == nil && len(queuedT) > 0 {
+			t := queuedT[0]
+			queuedT = queuedT[1:]
+			cw := ws[t.target]
+			switch {
+			case cw == nil || !cw.alive:
+				if t.claimed {
+					pendingMembership--
+				}
+			case t.kind == "drain" && len(activeIDs(t.target)) == 0:
+				// Can't drain the last active worker; drop the drain.
+				cw.state = wActive
+				if t.claimed {
+					pendingMembership--
+				}
+			default:
+				activeT = t
+			}
+		}
+		if activeT != nil {
+			tryAdvance()
+		}
+	}
+
+	// tryAdvance starts the active transition once the cluster is quiesced:
+	// no outstanding map attempts means every shipped run has passed its
+	// commit barrier, so the partition map can move without stranding
+	// staged data.
+	tryAdvance = func() {
+		if activeT == nil || activeT.started || jobErr != nil || phase != phaseMap {
+			return
+		}
+		if totalOutstanding() > 0 {
+			return
+		}
+		t := activeT
+		epoch++
+		t.epoch = epoch
+		t.pending = make(map[int]bool)
+		if t.kind == "join" {
+			// Move ⌊P/live⌋ partitions to the joiner, one at a time from the
+			// currently most-loaded owner (lowest id on ties) — deterministic
+			// and balanced.
+			surv := activeIDs(-1)
+			want := len(homes) / (len(surv) + 1)
+			for moved := 0; moved < want; moved++ {
+				load := make(map[int]int)
+				for _, h := range homes {
+					load[h]++
+				}
+				donor, best := -1, 1
+				for _, id := range surv {
+					if load[id] > best {
+						donor, best = id, load[id]
+					}
+				}
+				if donor < 0 {
+					break
+				}
+				for p := range homes {
+					if homes[p] == donor {
+						homes[p] = t.target
+						t.pending[p] = true
+						break
+					}
+				}
+			}
+			res.WorkersJoined++
+		} else {
+			surv := activeIDs(t.target)
+			rr := 0
+			for p := range homes {
+				if homes[p] == t.target {
+					homes[p] = surv[rr%len(surv)]
+					t.pending[p] = true
+					rr++
+				}
+			}
+			sched.drain(t.target, schedAlive())
+			// Tell the target to stop expecting work and flush its coalescers.
+			ws[t.target].cc.send(frame{typ: mDrain})
+		}
+		// Write-ahead: journal the new epoch before any worker hears of it.
+		// A drain journals the target still data-alive — a resume must accept
+		// its rejoin while un-handed-off partitions live only on it — while
+		// the broadcast announces it compute-dead so peers stop counting it
+		// in commit barriers. The second journal record at completion retires
+		// it fully.
+		journalMembership()
+		if jobErr != nil {
+			return
+		}
+		msg := rehomeMsg{Epoch: epoch, Homes: homes, Joined: -1, Left: -1}
+		msg.Alive = append([]bool(nil), alive...)
+		if t.kind == "join" {
+			msg.Joined = t.target
+			msg.JoinedAddr = ws[t.target].addr
+		} else {
+			msg.Left = t.target
+			msg.Alive[t.target] = false
+		}
+		payload := msg.encode()
+		broadcast(frame{typ: mRehome, payload: payload})
+		t.started = true
 		if o.Journal != nil {
-			o.Journal.Info("worker-dead", "worker", w, "live", liveCount)
+			o.Journal.Info("rehome", "kind", t.kind, "target", t.target, "epoch", epoch, "moved", len(t.pending))
 		}
-		if w == o.KillWorker {
-			pendingKill = false
+		if len(t.pending) == 0 {
+			completeTransition()
 		}
-		if liveCount == 0 {
+	}
+
+	completeTransition = func() {
+		t := activeT
+		if t == nil || !t.started || len(t.pending) > 0 {
+			return
+		}
+		activeT = nil
+		if t.claimed {
+			pendingMembership--
+		}
+		if t.kind == "join" {
+			ws[t.target].state = wActive
+			// Rescue tasks stranded on dead workers' queues now that a fresh
+			// active worker exists (possible only if every prior active died
+			// while the joiner was meshing).
+			sa := schedAlive()
+			for i, cw := range ws {
+				if (cw == nil || !cw.alive) && i < len(sched.queues) && len(sched.queues[i]) > 0 {
+					sched.drain(i, sa)
+				}
+			}
+		} else {
+			epoch++
+			alive[t.target] = false
+			cw := ws[t.target]
+			cw.alive = false
+			cw.state = wDrained
+			res.WorkersDrained++
+			journalMembership()
+			if jobErr != nil {
+				return
+			}
+			cw.cc.send(frame{typ: mDrained})
+		}
+		if o.Journal != nil {
+			o.Journal.Info("membership-complete", "kind", t.kind, "target", t.target, "epoch", epoch)
+		}
+		fireEvents() // a drain/kill deferred on this join's completion can fire now
+		startNextTransition()
+		fill()
+		maybeReduce()
+	}
+
+	death = func(w int) {
+		cw := ws[w]
+		if cw == nil || !cw.alive {
+			return
+		}
+		cw.alive = false
+		alive[w] = false
+		cw.outstanding = 0
+		wasJoining := cw.state == wJoining
+		res.WorkersLost++
+		delete(pendingKills, w)
+		if o.Journal != nil {
+			o.Journal.Info("worker-dead", "worker", w, "live", countLive())
+		}
+		// Release any membership claims the dead worker holds.
+		released := false
+		keep := queuedT[:0]
+		for _, t := range queuedT {
+			if t.target == w {
+				if t.claimed {
+					pendingMembership--
+				}
+				released = true
+				continue
+			}
+			keep = append(keep, t)
+		}
+		queuedT = keep
+		if activeT != nil {
+			t := activeT
+			switch {
+			case !t.started && t.target == w:
+				if t.claimed {
+					pendingMembership--
+				}
+				released = true
+				activeT = nil
+			case !t.started:
+				// Bystander death while the transition awaits quiesce: keep
+				// it; quiesce re-checks after redistribution.
+			default:
+				// Started: the handoff plan is invalidated — the dead worker
+				// may be its source, target or destination. Abort: death
+				// re-execution supersedes whatever moved, and the store's
+				// epoch fence drops stale handoff remnants. A join target
+				// survives as a full (empty-handed) member; a drain target
+				// survives in limbo — compute-dead to its peers, data-alive,
+				// owning nothing — and idles until job end.
+				if t.kind == "join" && t.target != w {
+					ws[t.target].state = wActive
+				}
+				if t.claimed {
+					pendingMembership--
+				}
+				if t.target == w {
+					released = true
+				}
+				activeT = nil
+			}
+		}
+		// A joiner that died between spawn and its mJoinReady holds the
+		// spawn-time claim with no transition to release it.
+		if wasJoining && !released && hooks.spawn != nil {
+			pendingMembership--
+		}
+		if countLive() == 0 {
 			fail(fmt.Errorf("dist: all workers dead"))
 			return
 		}
-		if phase == phaseReduce {
-			// Reduce-phase deaths would need output re-execution plus store
-			// reconstruction from *completed* map output that also died with
-			// the worker — the full job restarts the sim core models. The
-			// dist runtime anchors recovery in the map phase, like the sim
-			// core's NodeFailures, and treats this as fatal.
-			fail(fmt.Errorf("dist: worker %d died during reduce", w))
+		surv := activeIDs(-1)
+		if len(surv) == 0 {
+			fail(fmt.Errorf("dist: no active workers left"))
 			return
 		}
-		// Re-home the dead worker's partitions across survivors,
-		// deterministically: ascending partitions, cycling ascending live ids.
-		rr := 0
-		var live []int
-		for i, a := range alive {
-			if a {
-				live = append(live, i)
+		// Accepted outputs whose home just died take their resident records
+		// with them: the dying store books them lost, so book them settled
+		// here or the ledger reads them as recoverable losses. Zeroing makes
+		// a second death of the partition's (empty-handed) next home book 0.
+		for p, h := range homes {
+			if h == w && donePart[p] {
+				led.storeSettled.Add(settledResident[p])
+				settledResident[p] = 0
 			}
 		}
+		if donePartCount == o.Job.Partitions {
+			// Every partition's output was already accepted — final by
+			// definition — so the death recovers nothing. Finish instead of
+			// re-executing the world.
+			finishJob()
+			return
+		}
+		if phase == phaseReduce {
+			// Reduce-phase death is no longer fatal: cancel the reduce wave,
+			// fall back to the map phase, and let death redistribution
+			// re-execute what died with the worker's store. Partitions whose
+			// output was already accepted keep it — first acceptance is
+			// final — and late reports from the cancelled wave are still
+			// accepted if their partition's data was complete.
+			phase = phaseMap
+			reduceOutstanding = 0
+			for p, end := range reduceSpans {
+				end()
+				delete(reduceSpans, p)
+			}
+			for p := 0; p < o.Job.Partitions; p++ {
+				if !donePart[p] {
+					reduceAttempt[p]++
+				}
+			}
+		}
+		// Re-home the dead worker's partitions across active survivors,
+		// deterministically: ascending partitions, cycling ascending ids.
+		rr := 0
 		for p := range homes {
 			if homes[p] == w {
-				homes[p] = live[rr%len(live)]
+				homes[p] = surv[rr%len(surv)]
 				rr++
 			}
 		}
-		sched.death(w, alive)
-		dead := workerDeadMsg{Dead: w, Homes: homes}.encode()
-		for _, cw := range ws {
-			if cw.alive {
-				cw.cc.send(frame{typ: mWorkerDead, payload: dead})
-			}
+		epoch++
+		sched.death(w, schedAlive())
+		journalMembership()
+		if jobErr != nil {
+			return
 		}
+		broadcast(frame{typ: mWorkerDead, payload: workerDeadMsg{
+			Dead: w, Homes: homes, Epoch: epoch,
+			Settled: append([]bool(nil), donePart...),
+		}.encode()})
 		fill()
+		tryAdvance()
+		maybeReduce()
 	}
 
 	fill()
+	fireEvents()
+	maybeReduce() // a resumed job may already have every task and partition done
 
-	readers := n
 	for readers > 0 {
 		ev := <-events
+		if ev.w < 0 {
+			// Admission: a candidate's first frame, handshaken off-loop.
+			cc := ev.cc
+			if jobErr != nil || phase == phaseDone {
+				cc.close()
+				continue
+			}
+			switch ev.typ {
+			case mJoin, mHello:
+				// Joiners are admitted in either phase: a mid-reduce joiner
+				// meshes, idles (its transition waits for a map phase that may
+				// never come back) and exits at job end — refusing it would
+				// strand its spawn claim.
+				h, err := decodeHello(ev.payload)
+				if err != nil {
+					cc.close()
+					continue
+				}
+				id := len(ws)
+				cw := &cworker{cc: cc, addr: h.ListenAddr, alive: true, state: wJoining, clock: &clockEstimator{}}
+				ws = append(ws, cw)
+				alive = append(alive, true)
+				sched.join(id)
+				cc.enableClock(cw.clock, tun.HeartbeatEvery)
+				ps := make([]string, len(ws))
+				for i, w2 := range ws {
+					if w2 != nil && w2.alive && w2.cc != nil {
+						ps[i] = w2.addr
+					}
+				}
+				cc.send(frame{typ: mWelcome, payload: welcomeMsg{WorkerID: id, Workers: len(ws)}.encode()})
+				cc.send(frame{typ: mJobStart, payload: jobStartMsg{
+					Job: o.Job, TraceID: traceID, Peers: ps, Homes: homes, Epoch: epoch, Live: true,
+				}.encode()})
+				startReader(id, cc)
+				if o.Journal != nil {
+					o.Journal.Info("worker-join", "worker", id, "addr", h.ListenAddr)
+				}
+				fireEvents() // a deferred drain/kill of this joiner can fire now
+			case mRejoin:
+				// A pre-crash joiner whose admission post-dates the journal's
+				// last membership record, rejoining late (after resume
+				// formation already closed). Adopt it like the formation path.
+				m, err := decodeRejoin(ev.payload)
+				if err != nil || m.WorkerID < len(ws) || m.Epoch > epoch {
+					cc.close()
+					continue
+				}
+				for len(ws) < m.WorkerID {
+					ws = append(ws, &cworker{alive: false, state: wActive})
+					alive = append(alive, false)
+					sched.join(len(ws) - 1)
+				}
+				cw := &cworker{cc: cc, addr: m.ListenAddr, alive: true, state: wActive, clock: &clockEstimator{}}
+				ws = append(ws, cw)
+				alive = append(alive, true)
+				sched.join(m.WorkerID)
+				cc.enableClock(cw.clock, tun.HeartbeatEvery)
+				cc.send(frame{typ: mRehome, payload: rehomeMsg{
+					Epoch: epoch, Homes: homes, Alive: alive, Joined: -1, Left: -1,
+				}.encode()})
+				startReader(m.WorkerID, cc)
+				fill()
+			default:
+				cc.close()
+			}
+			continue
+		}
 		if ev.err != nil {
 			readers--
 			if phase != phaseDone {
 				death(ev.w)
-			} else if ws[ev.w].alive {
+			} else if ws[ev.w] != nil && ws[ev.w].alive {
 				ws[ev.w].alive = false
+				alive[ev.w] = false
 			}
 			continue
 		}
 		if ev.typ == mSpanBatch {
-			// Span batches arrive while the job winds down — after job-end
-			// has been broadcast and phase is already done — so they are
-			// handled ahead of the drain check below.
+			// Span batches arrive as workers wind down — drained workers
+			// mid-job, everyone else after job-end — so they are handled
+			// ahead of the drain check below.
 			if m, err := decodeSpanBatch(ev.payload); err == nil {
 				batches = append(batches, m)
 			}
@@ -329,23 +1107,27 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 				fail(err)
 				continue
 			}
-			ws[ev.w].outstanding--
+			// Clamp rather than decrement blindly: a resumed coordinator can
+			// receive reports for attempts dispatched before the crash.
+			if ws[ev.w].outstanding > 0 {
+				ws[ev.w].outstanding--
+			}
 			if end := assignSpans[attemptKey{m.Task, m.Attempt}]; end != nil {
 				end()
 				delete(assignSpans, attemptKey{m.Task, m.Attempt})
 			}
 			if sched.done(m.Task, m.Attempt) {
 				interPairs[m.Task] = m.Stats.PairsOut
-				if killArmed && !pendingKill && sched.resolvedCount >= o.KillAfterMapDone {
-					killArmed = false
-					pendingKill = true
-					// The kill hook runs off-loop: it closes the victim's
-					// coordinator link, which comes back as this loop's
-					// death event.
-					go kill(o.KillWorker)
+				if jn != nil {
+					if err := jn.mapDone(m.Task, m.Attempt, m.Stats); err != nil {
+						fail(err)
+						continue
+					}
 				}
+				fireEvents()
 			}
 			fill()
+			tryAdvance()
 			maybeReduce()
 		case mMapFailed:
 			m, err := decodeTaskFail(ev.payload)
@@ -353,7 +1135,9 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 				fail(err)
 				continue
 			}
-			ws[ev.w].outstanding--
+			if ws[ev.w].outstanding > 0 {
+				ws[ev.w].outstanding--
+			}
 			if end := assignSpans[attemptKey{m.Task, m.Attempt}]; end != nil {
 				end()
 				delete(assignSpans, attemptKey{m.Task, m.Attempt})
@@ -361,38 +1145,77 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 			if o.Journal != nil {
 				o.Journal.Info("map-retry", "task", m.Task, "attempt", m.Attempt, "worker", ev.w, "reason", m.Reason)
 			}
-			if err := sched.fail(m.Task, m.Attempt, ev.w, alive); err != nil {
+			if err := sched.fail(m.Task, m.Attempt, ev.w, schedAlive()); err != nil {
 				fail(err)
 				continue
 			}
 			fill()
+			tryAdvance()
+		case mJoinReady:
+			// The joiner's peer mesh is connected; it can own partitions now.
+			cw := ws[ev.w]
+			if cw != nil && cw.alive && cw.state == wJoining {
+				queuedT = append(queuedT, &transition{kind: "join", target: ev.w, claimed: hooks.spawn != nil})
+				startNextTransition()
+			}
+		case mHandoffDone:
+			m, err := decodeHandoffDone(ev.payload)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			if activeT != nil && activeT.started && m.Epoch == activeT.epoch {
+				delete(activeT.pending, m.Partition)
+				completeTransition()
+			}
 		case mReduceDone:
 			m, err := decodeReduceDone(ev.payload)
 			if err != nil {
 				fail(err)
 				continue
 			}
-			pairs, err := kv.Unmarshal(m.Output)
-			if err != nil {
-				fail(fmt.Errorf("dist: partition %d output: %w", m.Partition, err))
+			if m.Partition < 0 || m.Partition >= o.Job.Partitions {
+				fail(fmt.Errorf("dist: reduce-done for unknown partition %d", m.Partition))
 				continue
 			}
-			outputs[m.Partition] = pairs
-			res.OutputPairs += len(pairs)
+			if phase == phaseReduce && m.Attempt == reduceAttempt[m.Partition] {
+				reduceOutstanding--
+			}
+			if !donePart[m.Partition] {
+				pairs, err := kv.Unmarshal(m.Output)
+				if err != nil {
+					fail(fmt.Errorf("dist: partition %d output: %w", m.Partition, err))
+					continue
+				}
+				if jn != nil {
+					if err := jn.reduceDone(m.Partition, m.Attempt, m.RecordsIn, m.GroupsIn, m.Output); err != nil {
+						fail(err)
+						continue
+					}
+				}
+				donePart[m.Partition] = true
+				donePartCount++
+				settledResident[m.Partition] = m.RecordsIn
+				outputs[m.Partition] = pairs
+				res.OutputPairs += len(pairs)
+				// Reduce-side conservation books at first acceptance, here on
+				// the coordinator: recoveries and restarts can run a
+				// partition's kernel more than once, but only one report may
+				// count or the ledger double-books.
+				led.reduceRecordsIn.Add(m.RecordsIn)
+				led.reduceGroupsIn.Add(m.GroupsIn)
+				led.outputPairs.Add(int64(len(pairs)))
+				fireEvents()
+			}
 			if end := reduceSpans[m.Partition]; end != nil {
 				end()
 				delete(reduceSpans, m.Partition)
 			}
-			reduceOutstanding--
-			if reduceOutstanding == 0 {
-				phase = phaseDone
-				res.ReduceElapsed = time.Since(reduceStart)
-				for _, cw := range ws {
-					if cw.alive {
-						cw.cc.send(frame{typ: mJobEnd})
-					}
-				}
-				// Workers close their end after job-end; readers drain out.
+			// A fired kill whose death has not yet been observed blocks
+			// completion: the scheduled churn must land (and be recovered
+			// from) before the job may declare itself done.
+			if phase == phaseReduce && reduceOutstanding == 0 && len(pendingKills) == 0 {
+				finishJob()
 			}
 		case mReduceFailed:
 			m, err := decodeTaskFail(ev.payload)
@@ -427,6 +1250,9 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 	res.ClockOffsets = make(map[int]float64)
 	res.ClockRTTs = make(map[int]float64)
 	for i, cw := range ws {
+		if cw == nil || cw.clock == nil {
+			continue
+		}
 		if off, rtt, ok := cw.clock.estimate(); ok {
 			res.ClockOffsets[i] = off / 1e9
 			res.ClockRTTs[i] = float64(rtt) / 1e9
@@ -439,7 +1265,7 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 		coordEpoch := ctr.epoch.UnixNano()
 		for _, b := range batches {
 			var offNs float64
-			if b.Node >= 0 && b.Node < n {
+			if b.Node >= 0 && b.Node < len(ws) && ws[b.Node] != nil && ws[b.Node].clock != nil {
 				if off, _, ok := ws[b.Node].clock.estimate(); ok {
 					offNs = off
 				}
@@ -456,13 +1282,17 @@ func serve(ln net.Listener, o Options, kill func(id int)) (*Result, error) {
 }
 
 // Serve runs a coordinator for one job at addr, waiting for o.Workers
-// multi-process workers (cmd/distnode) to join. Loopback-only Options
-// fields are ignored.
+// multi-process workers (cmd/distnode) to join — or, with o.Resume set,
+// for the journaled membership to rejoin. Loopback-only Options fields are
+// ignored.
 func Serve(addr string, o Options) (*Result, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
 	}
 	defer ln.Close()
-	return serve(ln, o, nil)
+	led := newLedger(o.Telemetry)
+	res, err := serve(ln, o, led, loopHooks{})
+	led.publish()
+	return res, err
 }

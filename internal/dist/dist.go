@@ -108,6 +108,11 @@ type Tuning struct {
 	// CoalesceDelay bounds how long a buffered run waits for more
 	// passengers before its frame ships anyway (0 = default 2ms).
 	CoalesceDelay time.Duration
+	// RejoinGrace is how long a worker that loses its coordinator link
+	// keeps redialing before declaring the job lost (0 = don't redial).
+	// With a grace window, a coordinator that restarts and resumes from
+	// its journal picks its workers back up instead of stranding them.
+	RejoinGrace time.Duration
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -151,6 +156,14 @@ type Result struct {
 	MapRetries    int
 	WorkersLost   int
 	MapRecoveries int
+
+	// WorkersJoined counts workers admitted after job start,
+	// WorkersDrained graceful departures whose partitions were handed off,
+	// and Resumed reports whether this result came from a coordinator that
+	// restarted and picked the job back up from its checkpoint journal.
+	WorkersJoined  int
+	WorkersDrained int
+	Resumed        bool
 
 	// TraceID is the job's distributed trace id (minted by the coordinator
 	// unless Options.TraceID pinned one).

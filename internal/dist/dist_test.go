@@ -388,7 +388,7 @@ func TestServeJoin(t *testing.T) {
 			Job:     Job{App: AppSpec{Name: "wc"}, Partitions: 4, Collector: core.HashTable},
 			Workers: 2,
 			Blocks:  SplitBlocks(data, 16<<10, 0),
-		}, nil)
+		}, nil, loopHooks{})
 		ch <- served{res, err}
 	}()
 	errs := make(chan error, 2)

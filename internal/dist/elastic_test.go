@@ -1,0 +1,261 @@
+package dist
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"glasswing/internal/apps"
+	"glasswing/internal/core"
+	"glasswing/internal/kv"
+	"glasswing/internal/obs"
+)
+
+// elasticWC builds a WC job with enough tasks that elastic events scheduled
+// against map progress have work left to reshape.
+func elasticWC(workers int, tel *obs.Telemetry) (Options, map[string]uint64) {
+	data, want := apps.WCData(29, 96<<10, 1200)
+	return Options{
+		Job:        Job{App: AppSpec{Name: "WC"}, Partitions: 6, Collector: core.HashTable},
+		Workers:    workers,
+		Blocks:     SplitBlocks(data, 8<<10, 0), // ~12 tasks
+		Telemetry:  tel,
+		NewApp:     testResolver(apps.WordCount, nil),
+		KillWorker: -1,
+	}, want
+}
+
+func wcDigest(t *testing.T, res *Result) string {
+	t.Helper()
+	out := res.Output()
+	kv.SortPairs(out)
+	return fmt.Sprintf("%x", kv.Marshal(out))
+}
+
+// checkWire asserts the wire ledger balances exactly: sent == recv + lost.
+func checkWire(t *testing.T, reg *obs.Registry, wantLoss bool) {
+	t.Helper()
+	sent, recv, lost, bsent, brecv, blost := netCounters(reg)
+	if sent != recv+lost || bsent != brecv+blost {
+		t.Fatalf("wire ledger imbalance: sent %d/%dB, recv %d/%dB, lost %d/%dB",
+			sent, bsent, recv, brecv, lost, blost)
+	}
+	if !wantLoss && (lost != 0 || blost != 0) {
+		t.Fatalf("unexpected loss: %d records, %d bytes", lost, blost)
+	}
+}
+
+// checkHandoff asserts handed-off shuffle data balances: every record a
+// drained worker shipped was adopted by the partition's new home.
+func checkHandoff(t *testing.T, reg *obs.Registry) {
+	t.Helper()
+	out := reg.Counter("conserv_store_handoff_out_records_total").Value()
+	in := reg.Counter("conserv_store_handoff_in_records_total").Value()
+	if out != in {
+		t.Fatalf("handoff leak: %d records out, %d adopted", out, in)
+	}
+}
+
+func TestElasticJoin(t *testing.T) {
+	// Reference digest from a static run.
+	oRef, want := elasticWC(2, nil)
+	ref, err := RunLoopback(oRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDig := wcDigest(t, ref)
+
+	tel := obs.NewTelemetry()
+	o, _ := elasticWC(2, tel)
+	o.Elastic = []ElasticEvent{{Kind: "join", AfterMapDone: 2}}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersJoined != 1 {
+		t.Fatalf("WorkersJoined = %d, want 1", res.WorkersJoined)
+	}
+	if dig := wcDigest(t, res); dig != refDig {
+		t.Fatal("join run output diverged from static run")
+	}
+	checkWire(t, tel.Metrics, false)
+	checkHandoff(t, tel.Metrics)
+}
+
+func TestElasticDrain(t *testing.T) {
+	oRef, want := elasticWC(3, nil)
+	ref, err := RunLoopback(oRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDig := wcDigest(t, ref)
+
+	tel := obs.NewTelemetry()
+	o, _ := elasticWC(3, tel)
+	o.Elastic = []ElasticEvent{{Kind: "drain", Worker: 0, AfterMapDone: 3}}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersDrained != 1 {
+		t.Fatalf("WorkersDrained = %d, want 1", res.WorkersDrained)
+	}
+	if res.WorkersLost != 0 {
+		t.Fatalf("graceful drain counted as loss: WorkersLost = %d", res.WorkersLost)
+	}
+	if dig := wcDigest(t, res); dig != refDig {
+		t.Fatal("drain run output diverged from static run")
+	}
+	// A graceful drain must lose nothing: staged shuffle flushes before the
+	// handoff, and handed-off records are adopted exactly.
+	checkWire(t, tel.Metrics, false)
+	checkHandoff(t, tel.Metrics)
+}
+
+func TestReduceKillRecovers(t *testing.T) {
+	// A worker killed during the reduce phase used to fail the job; now the
+	// coordinator cancels the wave, re-executes what died, and finishes.
+	oRef, want := elasticWC(3, nil)
+	ref, err := RunLoopback(oRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDig := wcDigest(t, ref)
+
+	tel := obs.NewTelemetry()
+	o, _ := elasticWC(3, tel)
+	o.Elastic = []ElasticEvent{{Kind: "kill", Worker: 1, AfterReduceDone: 1}}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersLost != 1 {
+		t.Fatalf("WorkersLost = %d, want 1", res.WorkersLost)
+	}
+	if dig := wcDigest(t, res); dig != refDig {
+		t.Fatal("reduce-kill run output diverged from static run")
+	}
+	checkWire(t, tel.Metrics, true)
+}
+
+func TestCoordinatorRestartResume(t *testing.T) {
+	oRef, want := elasticWC(3, nil)
+	ref, err := RunLoopback(oRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDig := wcDigest(t, ref)
+
+	tel := obs.NewTelemetry()
+	o, _ := elasticWC(3, tel)
+	o.JournalPath = filepath.Join(t.TempDir(), "coord.journal")
+	o.Elastic = []ElasticEvent{{Kind: "restart", AfterMapDone: 4}}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("restarted run did not report Resumed")
+	}
+	if dig := wcDigest(t, res); dig != refDig {
+		t.Fatal("resumed run output diverged from static run")
+	}
+	checkWire(t, tel.Metrics, false)
+}
+
+func TestRestartDuringReduce(t *testing.T) {
+	oRef, want := elasticWC(3, nil)
+	ref, err := RunLoopback(oRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDig := wcDigest(t, ref)
+
+	tel := obs.NewTelemetry()
+	o, _ := elasticWC(3, tel)
+	o.JournalPath = filepath.Join(t.TempDir(), "coord.journal")
+	o.Elastic = []ElasticEvent{{Kind: "restart", AfterReduceDone: 2}}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("restarted run did not report Resumed")
+	}
+	// Partitions accepted before the crash keep their journaled output; the
+	// rest re-reduce. Either way the digest is the static run's.
+	if dig := wcDigest(t, res); dig != refDig {
+		t.Fatal("mid-reduce resume output diverged from static run")
+	}
+}
+
+func TestElasticChaosCombined(t *testing.T) {
+	// The full gauntlet on one job: grow 3→5, kill one, drain two, restart
+	// the coordinator, and still produce the static run's bytes with an
+	// exactly balanced ledger.
+	oRef, want := elasticWC(3, nil)
+	ref, err := RunLoopback(oRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDig := wcDigest(t, ref)
+
+	tel := obs.NewTelemetry()
+	o, _ := elasticWC(3, tel)
+	o.JournalPath = filepath.Join(t.TempDir(), "coord.journal")
+	o.Elastic = []ElasticEvent{
+		{Kind: "join", AfterMapDone: 2},
+		{Kind: "join", AfterMapDone: 3},
+		{Kind: "kill", Worker: 1, AfterMapDone: 6},
+		{Kind: "drain", Worker: 0, AfterMapDone: 8},
+		{Kind: "restart", AfterReduceDone: 1},
+	}
+	res, err := RunLoopback(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.VerifyCounts(res.Output(), want); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersJoined != 2 || res.WorkersLost != 1 || res.WorkersDrained != 1 || !res.Resumed {
+		t.Fatalf("churn accounting: joined=%d lost=%d drained=%d resumed=%v",
+			res.WorkersJoined, res.WorkersLost, res.WorkersDrained, res.Resumed)
+	}
+	if dig := wcDigest(t, res); dig != refDig {
+		t.Fatal("chaos run output diverged from static run")
+	}
+	checkWire(t, tel.Metrics, true)
+}
+
+func TestResumeRefusedOnSpecMismatch(t *testing.T) {
+	// Run a job to completion with a journal, then try to resume it as a
+	// different job: the coordinator must refuse, not diverge.
+	o, _ := elasticWC(2, nil)
+	o.JournalPath = filepath.Join(t.TempDir(), "coord.journal")
+	if _, err := RunLoopback(o); err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := elasticWC(2, nil)
+	o2.JournalPath = o.JournalPath
+	o2.Resume = true
+	o2.Job.Partitions = 9 // spec mismatch
+	_, err := RunLoopback(o2)
+	if err == nil {
+		t.Fatal("resume with mismatched job spec succeeded")
+	}
+}

@@ -28,7 +28,28 @@ func NewFleet(n int) *Fleet {
 }
 
 // Total returns the pool's capacity.
-func (f *Fleet) Total() int { return f.total }
+func (f *Fleet) Total() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Resize changes the pool's capacity in place — the service's elastic
+// scaling hook (n < 1 is treated as 1). Growing makes the new slots
+// acquirable immediately. Shrinking retires free slots first; when the new
+// total is below what is currently in use, Free goes negative and no
+// acquisition succeeds until running jobs release the deficit — nothing
+// running is ever preempted. Returns the new total.
+func (f *Fleet) Resize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free += n - f.total
+	f.total = n
+	return f.total
+}
 
 // Free returns the currently unclaimed slot count.
 func (f *Fleet) Free() int {

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusSeeds builds the journal images the fuzz corpus starts from: a
+// healthy journal plus the damage classes replay must refuse — truncation,
+// bit flips, duplicated records, regressed epochs. The same set is checked
+// in under testdata/fuzz/FuzzJournalReplay so CI's fuzz-smoke always covers
+// them even with -fuzztime 0 (seed-only mode).
+func corpusSeeds(t testing.TB) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, build func(j *journal)) []byte {
+		path := filepath.Join(dir, name)
+		j, err := createJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		build(j)
+		j.close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	job := Job{App: AppSpec{Name: "wc"}, Partitions: 3, Collector: 1, MaxAttempts: 4}
+	digest := blocksDigest([][]byte{[]byte("block zero"), []byte("block one")})
+	healthy := write("healthy", func(j *journal) {
+		j.jobStart(job, 42, 2, digest)
+		j.membership(0, []int{0, 1, 0}, []bool{true, true}, []int{0, 0}, 0, 0, 0)
+		j.mapDone(0, 0, attemptStats{RecordsIn: 10, PairsOut: 20})
+		j.mapDone(1, 0, attemptStats{RecordsIn: 5, PairsOut: 9})
+		j.reduceDone(1, 0, 12, 7, nil)
+	})
+	churn := write("churn", func(j *journal) {
+		j.jobStart(job, 42, 2, digest)
+		j.membership(0, []int{0, 1, 0}, []bool{true, true}, []int{0, 0}, 0, 0, 0)
+		j.mapDone(0, 0, attemptStats{PairsOut: 20})
+		// A death bumps attempts: task 0's resolution is superseded.
+		j.membership(1, []int{0, 0, 0}, []bool{true, false}, []int{1, 1}, 0, 0, 1)
+		j.mapDone(0, 1, attemptStats{PairsOut: 20})
+		j.mapDone(1, 1, attemptStats{PairsOut: 9})
+	})
+
+	seeds := map[string][]byte{
+		"healthy": healthy,
+		"churn":   churn,
+		"empty":   nil,
+	}
+	// Truncations at several depths: mid-record, mid-CRC, clean prefix.
+	for _, cut := range []int{1, len(healthy) / 3, len(healthy) - 2, len(healthy) - 15} {
+		if cut > 0 && cut < len(healthy) {
+			seeds[fmt.Sprintf("trunc-%d", cut)] = healthy[:cut]
+		}
+	}
+	// Garble one byte in the middle (CRC must catch it).
+	garbled := append([]byte(nil), healthy...)
+	garbled[len(garbled)/2] ^= 0x40
+	seeds["garbled"] = garbled
+	// Duplicate the tail record wholesale.
+	dup := write("dup", func(j *journal) {
+		j.jobStart(job, 42, 2, digest)
+		j.membership(0, []int{0, 1, 0}, []bool{true, true}, []int{0, 0}, 0, 0, 0)
+		j.mapDone(0, 0, attemptStats{})
+		j.mapDone(0, 0, attemptStats{}) // duplicate resolution
+	})
+	seeds["dup-resolution"] = dup
+	regressed := write("regressed", func(j *journal) {
+		j.jobStart(job, 42, 2, digest)
+		j.membership(5, []int{0, 1, 0}, []bool{true, true}, []int{0, 0}, 0, 0, 0)
+		j.membership(3, []int{0, 1, 0}, []bool{true, true}, []int{0, 0}, 0, 0, 0) // epoch went backwards
+	})
+	seeds["epoch-regressed"] = regressed
+	seeds["no-membership"] = write("nomem", func(j *journal) {
+		j.jobStart(job, 42, 2, digest)
+	})
+	return seeds
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus. Guarded by an
+// env var so normal runs never touch testdata; run with
+//
+//	GLASSWING_WRITE_CORPUS=1 go test ./internal/dist -run TestWriteFuzzCorpus
+//
+// after changing the journal format, and commit the result.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("GLASSWING_WRITE_CORPUS") == "" {
+		t.Skip("set GLASSWING_WRITE_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpusSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzJournalReplay asserts the resume gate's core promise: an arbitrary
+// journal image either replays to a coherent, deterministic state or is
+// cleanly refused with a "resume refused" error — never a panic, never a
+// divergent resume.
+func FuzzJournalReplay(f *testing.F) {
+	for _, data := range corpusSeeds(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := replayJournal(data)
+		rs2, err2 := replayJournal(data)
+		// Determinism: the same image must replay identically every time —
+		// a coordinator that resumes twice from one journal may not diverge.
+		if (err == nil) != (err2 == nil) || (err != nil && err.Error() != err2.Error()) {
+			t.Fatalf("non-deterministic replay: %v vs %v", err, err2)
+		}
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), resumeRefused) {
+				t.Fatalf("refusal without the resume-refused prefix: %v", err)
+			}
+			return
+		}
+		if !reflect.DeepEqual(rs, rs2) {
+			t.Fatal("non-deterministic replay state")
+		}
+		// Coherence of an accepted state.
+		if rs.epoch < 0 {
+			t.Fatalf("accepted negative epoch %d", rs.epoch)
+		}
+		if len(rs.homes) != rs.job.Partitions || len(rs.alive) == 0 {
+			t.Fatalf("accepted malformed membership: %d homes, %d alive", len(rs.homes), len(rs.alive))
+		}
+		for p, h := range rs.homes {
+			if h < 0 || h >= len(rs.alive) || !rs.alive[h] {
+				t.Fatalf("partition %d homed on non-live worker %d", p, h)
+			}
+		}
+		if len(rs.resolved) != rs.nTasks || len(rs.attempt) != rs.nTasks {
+			t.Fatalf("task arrays sized %d/%d for %d tasks", len(rs.resolved), len(rs.attempt), rs.nTasks)
+		}
+		for t2, a := range rs.attempt {
+			if a < 0 {
+				t.Fatalf("task %d accepted at negative attempt %d", t2, a)
+			}
+		}
+		for p := range rs.outputs {
+			if p < 0 || p >= rs.job.Partitions {
+				t.Fatalf("output for out-of-range partition %d", p)
+			}
+			if _, ok := rs.reduceAt[p]; !ok {
+				t.Fatalf("output for partition %d with no attempt record", p)
+			}
+		}
+	})
+}

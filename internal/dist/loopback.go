@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -8,9 +9,9 @@ import (
 )
 
 // loopCluster is the job-scoped state of one in-process cluster: the
-// worker registration table the kill hook consults, the per-worker error
-// slots, and the job's ledger. Nothing here is package- or process-global
-// — every RunLoopback call owns a fresh loopCluster, which is what makes
+// worker registration table the kill hook consults, the worker error list,
+// and the job's ledger. Nothing here is package- or process-global —
+// every RunLoopback call owns a fresh loopCluster, which is what makes
 // concurrent jobs in one process (the resident job service's steady state)
 // unable to cross-contaminate each other's ledgers, kill targets or
 // results.
@@ -21,13 +22,20 @@ type loopCluster struct {
 	registered map[int]*worker
 
 	wg         sync.WaitGroup
+	errMu      sync.Mutex
 	workerErrs []error
+}
+
+func (lc *loopCluster) fail(err error) {
+	lc.errMu.Lock()
+	lc.workerErrs = append(lc.workerErrs, err)
+	lc.errMu.Unlock()
 }
 
 // kill finds the registered worker with this cluster id and murders it.
 // Registration happens at welcome time, strictly before any map task
-// resolves, so a kill (which only fires after KillAfterMapDone
-// resolutions) always finds the worker; the poll is a safety margin, not a
+// resolves, so a kill (which only fires after AfterMapDone resolutions)
+// always finds the worker; the poll is a safety margin, not a
 // synchronization mechanism.
 func (lc *loopCluster) kill(id int) {
 	for i := 0; i < 500; i++ {
@@ -42,6 +50,22 @@ func (lc *loopCluster) kill(id int) {
 	}
 }
 
+// retryListen re-binds addr, retrying while the dying coordinator's socket
+// lingers in the kernel — the restart path needs the exact address back
+// because every surviving worker is redialing it.
+func retryListen(addr string) (net.Listener, error) {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("dist: restart re-listen %s: %w", addr, lastErr)
+}
+
 // RunLoopback runs one distributed job entirely in-process: the coordinator
 // and o.Workers worker nodes are goroutines connected through real
 // 127.0.0.1 TCP sockets, so every shuffle byte crosses the kernel's TCP
@@ -49,6 +73,12 @@ func (lc *loopCluster) kill(id int) {
 // detection) is exercised exactly as in a multi-process deployment. All
 // nodes share one conservation ledger, published into o.Telemetry after the
 // whole cluster has quiesced.
+//
+// Elasticity is fully wired: o.Elastic join events spawn fresh worker
+// goroutines mid-job, drains hand partitions off and release their worker,
+// kills exercise death recovery, and restart events crash the coordinator —
+// which RunLoopback then relaunches on the same address, resuming from
+// o.JournalPath while the surviving workers redial in.
 //
 // RunLoopback is safe for concurrent use: every call builds its own
 // cluster (listener, workers, kill table, ledger), so a process may run
@@ -63,26 +93,50 @@ func RunLoopback(o Options) (*Result, error) {
 		resolve = RegistryResolver
 	}
 
+	// Fold the legacy single-kill knob into the elastic schedule so the
+	// coordinator has one churn pipeline.
+	if o.KillWorker >= 0 && o.KillWorker < o.Workers {
+		o.Elastic = append(append([]ElasticEvent(nil), o.Elastic...), ElasticEvent{
+			Kind: "kill", Worker: o.KillWorker, AfterMapDone: o.KillAfterMapDone,
+		})
+		o.KillWorker = -1
+	}
+	hasRestart := false
+	for _, e := range o.Elastic {
+		if e.Kind == "restart" {
+			hasRestart = true
+		}
+	}
+	if hasRestart && o.JournalPath == "" {
+		return nil, fmt.Errorf("dist: restart events require Options.JournalPath")
+	}
+	// Workers must outlive a coordinator restart: give them a redial grace
+	// window unless the caller tuned one explicitly.
+	wtun := o.Tuning
+	if wtun.RejoinGrace == 0 && (hasRestart || o.JournalPath != "") {
+		wtun.RejoinGrace = 15 * time.Second
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("dist: loopback listen: %w", err)
 	}
 	defer ln.Close()
+	addr := ln.Addr().String()
 
 	lc := &loopCluster{
 		led:        newLedger(o.Telemetry),
 		registered: make(map[int]*worker),
-		workerErrs: make([]error, o.Workers),
 	}
 
-	for i := 0; i < o.Workers; i++ {
+	spawn := func() {
 		lc.wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer lc.wg.Done()
 			killed, err := runWorker(workerConfig{
-				coordAddr:  ln.Addr().String(),
+				coordAddr:  addr,
 				listenAddr: "127.0.0.1:0",
-				tun:        o.Tuning,
+				tun:        wtun,
 				led:        lc.led,
 				resolve:    resolve,
 				mapFault:   o.MapFault,
@@ -92,13 +146,41 @@ func RunLoopback(o Options) (*Result, error) {
 					lc.regMu.Unlock()
 				},
 			})
-			if !killed {
-				lc.workerErrs[i] = err
+			if !killed && err != nil {
+				lc.fail(err)
 			}
-		}(i)
+		}()
 	}
+	for i := 0; i < o.Workers; i++ {
+		spawn()
+	}
+	hooks := loopHooks{kill: lc.kill, spawn: spawn}
 
-	res, err := serve(ln, o, lc.kill)
+	// The restart loop: a scheduled coordinator crash surfaces as
+	// restartCrash; re-listen on the same address and resume from the
+	// journal with the already-fired elastic events sliced off.
+	so := o
+	var res *Result
+	for {
+		res, err = serve(ln, so, lc.led, hooks)
+		var rc *restartCrash
+		if err != nil && errors.As(err, &rc) {
+			ln.Close()
+			if rc.fired <= len(so.Elastic) {
+				so.Elastic = so.Elastic[rc.fired:]
+			} else {
+				so.Elastic = nil
+			}
+			so.Resume = true
+			so.KillWorker = -1
+			ln, err = retryListen(addr)
+			if err != nil {
+				break
+			}
+			continue
+		}
+		break
+	}
 
 	// Close the listener before waiting: a worker stuck in cluster
 	// formation (possible only if serve already failed) errors out instead
@@ -110,9 +192,11 @@ func RunLoopback(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, werr := range lc.workerErrs {
+	lc.errMu.Lock()
+	defer lc.errMu.Unlock()
+	for _, werr := range lc.workerErrs {
 		if werr != nil {
-			return nil, fmt.Errorf("dist: worker goroutine %d: %w", i, werr)
+			return nil, fmt.Errorf("dist: worker goroutine: %w", werr)
 		}
 	}
 	return res, nil

@@ -110,6 +110,71 @@ func (s *dsched) anyLive(alive []bool) int {
 	return 0
 }
 
+// join grows the scheduler to admit a new worker id. The joiner starts with
+// an empty queue and picks up work by stealing; nothing is re-executed —
+// committed shuffle data moves to it via partition handoff, not re-delivery.
+func (s *dsched) join(wkr int) {
+	for len(s.queues) <= wkr {
+		s.queues = append(s.queues, nil)
+	}
+}
+
+// drain moves a gracefully-leaving worker's queued tasks to survivors,
+// round-robin. Unlike death, nothing resolved or in-flight is touched: the
+// drain is only initiated once the worker has no outstanding attempts, and
+// its committed shuffle data is handed off rather than lost, so no attempt
+// supersession is needed.
+func (s *dsched) drain(wkr int, alive []bool) {
+	orphans := s.queues[wkr]
+	s.queues[wkr] = nil
+	live := []int{}
+	for w, a := range alive {
+		if a && w != wkr {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	for i, t := range orphans {
+		s.queues[live[i%len(live)]] = append(s.queues[live[i%len(live)]], t)
+	}
+}
+
+// newSchedResume rebuilds a scheduler from journaled state: resolved tasks
+// stay resolved at their journaled attempt, and every unresolved task is
+// dealt round-robin across the live workers under its journaled attempt.
+func newSchedResume(nTasks, nWorkers, maxAttempts int, resolved []bool, attempt []int, alive []bool) *dsched {
+	s := &dsched{
+		queues:      make([][]int, nWorkers),
+		attempt:     make([]int, nTasks),
+		failures:    make([]int, nTasks),
+		resolved:    make([]bool, nTasks),
+		total:       nTasks,
+		maxAttempts: maxAttempts,
+	}
+	copy(s.attempt, attempt)
+	live := []int{}
+	for w, a := range alive {
+		if a {
+			live = append(live, w)
+		}
+	}
+	rr := 0
+	for t := 0; t < nTasks; t++ {
+		if resolved[t] {
+			s.resolved[t] = true
+			s.resolvedCount++
+			continue
+		}
+		if len(live) > 0 {
+			s.queues[live[rr%len(live)]] = append(s.queues[live[rr%len(live)]], t)
+			rr++
+		}
+	}
+	return s
+}
+
 // death redistributes after wkr dies (alive must already exclude it):
 // its queued tasks move to survivors, and every resolved or in-flight task
 // is re-queued under a fresh attempt, because its shuffle output was

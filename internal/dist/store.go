@@ -5,6 +5,26 @@ import "glasswing/internal/kv"
 // attemptKey identifies one execution of one map task.
 type attemptKey struct{ task, attempt int }
 
+// committedRun is one run the store has accepted, tagged with the task that
+// produced it so a re-homed partition can be handed to its new owner with
+// enough identity for destination-side dedup.
+type committedRun struct {
+	task int
+	run  *kv.Run
+}
+
+// stagedRun is one uncommitted arrival plus the membership epoch the sender
+// routed under. Commit rejects runs staged under an epoch older than the
+// store's: after a partition is re-homed away and back (drain A→B, later
+// B→A), a late delivery addressed under the old epoch must not commit on
+// top of the handed-off copy — the per-(task, partition) `have` set was
+// cleared when the partition left, so the epoch is the only thing standing
+// between that stale run and a double commit.
+type stagedRun struct {
+	run   *kv.Run
+	epoch int
+}
+
 // shuffleStore is a worker's intermediate-data cache: runs pushed to this
 // node because it is home to their partition, the paper's destination-side
 // partition cache (§III-B). Runs arrive staged per (task, attempt) and
@@ -13,76 +33,155 @@ type attemptKey struct{ task, attempt int }
 // marker, so a commit is always complete for the partitions this node
 // was home to when the sender partitioned.
 //
-// Deduplication is per (task, partition), not per task: after a worker
-// death re-homes partitions, a re-executed attempt must be able to add the
-// newly-inherited partitions of a task whose other partitions this node
-// already holds. Map output is deterministic per task, so accepting
-// partition p from one attempt and partition q from another composes
-// correctly; duplicate partitions are dropped and accounted.
+// Deduplication is per (task, partition, epoch): per (task, partition)
+// rather than per task because after a worker death re-homes partitions, a
+// re-executed attempt must be able to add the newly-inherited partitions of
+// a task whose other partitions this node already holds (map output is
+// deterministic per task, so accepting partition p from one attempt and
+// partition q from another composes correctly); and epoch-fenced because a
+// membership transition that moves a partition away clears this node's
+// `have` entries for it, which would otherwise let a stale pre-transition
+// delivery commit alongside the handed-off copy at the partition's next
+// home. Duplicates and stale-epoch runs are dropped and accounted.
 //
 // Not self-locking: callers hold the owning worker's mutex.
 type shuffleStore struct {
-	partitions map[int][]*kv.Run            // committed runs per home partition
-	have       map[int]map[int]bool         // task → partitions committed here
-	staged     map[attemptKey]map[int]*kv.Run // uncommitted arrivals
+	epoch      int
+	partitions map[int][]committedRun            // committed runs per home partition
+	have       map[int]map[int]bool              // task → partitions committed here
+	staged     map[attemptKey]map[int]stagedRun  // uncommitted shuffle arrivals
+	handoff    map[int]map[int][]stagedHandoff   // partition → epoch → staged handoff runs
+}
+
+// stagedHandoff is one handed-off committed run awaiting its handoff mark.
+type stagedHandoff struct {
+	task int
+	run  *kv.Run
 }
 
 func newShuffleStore() *shuffleStore {
 	return &shuffleStore{
-		partitions: make(map[int][]*kv.Run),
+		partitions: make(map[int][]committedRun),
 		have:       make(map[int]map[int]bool),
-		staged:     make(map[attemptKey]map[int]*kv.Run),
+		staged:     make(map[attemptKey]map[int]stagedRun),
+		handoff:    make(map[int]map[int][]stagedHandoff),
+	}
+}
+
+// setEpoch advances the store's membership epoch; staged runs from older
+// epochs become duplicates at commit time. Epochs never move backwards.
+func (s *shuffleStore) setEpoch(e int) {
+	if e > s.epoch {
+		s.epoch = e
 	}
 }
 
 // stage records one partition's run for an in-flight attempt.
-func (s *shuffleStore) stage(task, attempt, part int, run *kv.Run) {
+func (s *shuffleStore) stage(task, attempt, part int, run *kv.Run, epoch int) {
 	k := attemptKey{task, attempt}
 	m := s.staged[k]
 	if m == nil {
-		m = make(map[int]*kv.Run)
+		m = make(map[int]stagedRun)
 		s.staged[k] = m
 	}
-	m[part] = run
+	m[part] = stagedRun{run: run, epoch: epoch}
 }
 
 // commit publishes an attempt's staged runs, partition by partition:
-// partitions this node has not seen for the task are accepted, the rest
-// are duplicates from re-execution and dropped. Returns record counts for
-// the conservation ledger.
+// partitions this node has not seen for the task are accepted; the rest —
+// re-execution duplicates and runs staged under a pre-transition epoch —
+// are dropped. Returns record counts for the conservation ledger.
 func (s *shuffleStore) commit(task, attempt int) (accepted, dupped int64) {
 	k := attemptKey{task, attempt}
 	m := s.staged[k]
 	delete(s.staged, k)
-	for part, run := range m {
-		if s.have[task][part] {
-			dupped += int64(run.Records)
+	for part, sr := range m {
+		if sr.epoch < s.epoch || s.have[task][part] {
+			dupped += int64(sr.run.Records)
 			continue
 		}
 		if s.have[task] == nil {
 			s.have[task] = make(map[int]bool)
 		}
 		s.have[task][part] = true
-		s.partitions[part] = append(s.partitions[part], run)
-		accepted += int64(run.Records)
+		s.partitions[part] = append(s.partitions[part], committedRun{task: task, run: sr.run})
+		accepted += int64(sr.run.Records)
 	}
 	return accepted, dupped
 }
 
 // runsFor hands a partition's committed runs to reduce.
-func (s *shuffleStore) runsFor(part int) []*kv.Run { return s.partitions[part] }
+func (s *shuffleStore) runsFor(part int) []*kv.Run {
+	crs := s.partitions[part]
+	if len(crs) == 0 {
+		return nil
+	}
+	runs := make([]*kv.Run, len(crs))
+	for i, cr := range crs {
+		runs[i] = cr.run
+	}
+	return runs
+}
+
+// takePartition removes a partition this node is handing to a new home,
+// clearing its dedup entries, and returns the committed runs (with task
+// identity) plus their record count for the handoff-out ledger.
+func (s *shuffleStore) takePartition(part int) (runs []committedRun, records int64) {
+	runs = s.partitions[part]
+	delete(s.partitions, part)
+	for _, cr := range runs {
+		records += int64(cr.run.Records)
+		delete(s.have[cr.task], part)
+	}
+	return runs, records
+}
+
+// stageHandoff records one handed-off run for a re-homed partition; it
+// commits when the handoff mark for that partition and epoch arrives.
+func (s *shuffleStore) stageHandoff(part, epoch, task int, run *kv.Run) {
+	m := s.handoff[part]
+	if m == nil {
+		m = make(map[int][]stagedHandoff)
+		s.handoff[part] = m
+	}
+	m[epoch] = append(m[epoch], stagedHandoff{task: task, run: run})
+}
+
+// adoptHandoff commits a partition's staged handoff runs at their new home.
+// Runs staged under an epoch older than the store's (a transition was
+// overtaken by a death) and (task, partition) pairs already present are
+// dropped as duplicates. Returns record counts for the ledger.
+func (s *shuffleStore) adoptHandoff(part, epoch int) (adopted, dupped int64) {
+	m := s.handoff[part]
+	entries := m[epoch]
+	delete(s.handoff, part)
+	for _, sh := range entries {
+		if epoch < s.epoch || s.have[sh.task][part] {
+			dupped += int64(sh.run.Records)
+			continue
+		}
+		if s.have[sh.task] == nil {
+			s.have[sh.task] = make(map[int]bool)
+		}
+		s.have[sh.task][part] = true
+		s.partitions[part] = append(s.partitions[part], committedRun{task: sh.task, run: sh.run})
+		adopted += int64(sh.run.Records)
+	}
+	return adopted, dupped
+}
 
 // lostAll empties the store, returning the committed record count — the
 // data that dies with this worker.
 func (s *shuffleStore) lostAll() int64 {
 	var lost int64
-	for _, runs := range s.partitions {
-		for _, r := range runs {
-			lost += int64(r.Records)
+	for _, crs := range s.partitions {
+		for _, cr := range crs {
+			lost += int64(cr.run.Records)
 		}
 	}
-	s.partitions = make(map[int][]*kv.Run)
+	s.partitions = make(map[int][]committedRun)
 	s.have = make(map[int]map[int]bool)
-	s.staged = make(map[attemptKey]map[int]*kv.Run)
+	s.staged = make(map[attemptKey]map[int]stagedRun)
+	s.handoff = make(map[int]map[int][]stagedHandoff)
 	return lost
 }

@@ -28,6 +28,9 @@ type ledger struct {
 	storeAccepted   atomic.Int64
 	storeDupDropped atomic.Int64
 	storeLost       atomic.Int64
+	storeSettled    atomic.Int64 // records a final accepted reduce consumed before their store died
+	handoffOut      atomic.Int64 // committed records shipped off a re-homed partition
+	handoffIn       atomic.Int64 // committed records adopted at a partition's new home
 
 	reduceRecordsIn atomic.Int64
 	reduceGroupsIn  atomic.Int64
@@ -264,6 +267,9 @@ func (l *ledger) publish() {
 	reg.Counter("conserv_store_accepted_records_total").Add(l.storeAccepted.Load())
 	reg.Counter("conserv_store_dup_dropped_records_total").Add(l.storeDupDropped.Load())
 	reg.Counter("conserv_store_lost_records_total").Add(l.storeLost.Load())
+	reg.Counter("conserv_store_settled_records_total").Add(l.storeSettled.Load())
+	reg.Counter("conserv_store_handoff_out_records_total").Add(l.handoffOut.Load())
+	reg.Counter("conserv_store_handoff_in_records_total").Add(l.handoffIn.Load())
 	reg.Counter("conserv_reduce_records_in_total").Add(l.reduceRecordsIn.Load())
 	reg.Counter("conserv_reduce_groups_in_total").Add(l.reduceGroupsIn.Load())
 	reg.Counter("conserv_output_pairs_total").Add(l.outputPairs.Load())

@@ -32,7 +32,7 @@ const maxFrame = 1 << 28
 // Message types. Control frames are small and never window-limited;
 // mRunBatch is the only bulk type.
 const (
-	mHello      byte = iota + 1 // worker→coord: listen addr
+	mHello      byte = iota + 1 // worker→coord: listen addr (legacy alias of mJoin)
 	mWelcome                    // coord→worker: assigned worker id, cluster size
 	mJobStart                   // coord→worker: job spec, peer addrs, partition homes
 	mMapTask                    // coord→worker: task, attempt, input block
@@ -49,6 +49,15 @@ const (
 	mHeartbeat                  // both directions: keep-alive / clock probe
 	mPeerHello                  // worker→worker on dial: my worker id
 	mSpanBatch                  // worker→coord: this node's trace spans, at job end
+	mJoin                       // worker→coord: join request (formation or live), listen addr
+	mJoinReady                  // worker→coord: live joiner's peer mesh is connected
+	mRejoin                     // worker→coord: re-attach to a resumed coordinator
+	mRehome                     // coord→worker: new membership epoch + partition homes
+	mDrain                      // coord→worker: stop expecting work, prepare to hand off
+	mDrained                    // coord→worker: handoff complete, exit cleanly
+	mHandoff                    // worker→worker: committed runs of one re-homed partition (bulk)
+	mHandoffMark                // worker→worker: one partition's handoff is complete
+	mHandoffDone                // worker→coord: destination committed a handed-off partition
 )
 
 func typeName(t byte) string {
@@ -59,6 +68,9 @@ func typeName(t byte) string {
 		mReduceTask: "reduce-task", mReduceDone: "reduce-done", mReduceFailed: "reduce-failed",
 		mWorkerDead: "worker-dead", mJobEnd: "job-end", mHeartbeat: "heartbeat",
 		mPeerHello: "peer-hello", mSpanBatch: "span-batch",
+		mJoin: "join", mJoinReady: "join-ready", mRejoin: "rejoin",
+		mRehome: "rehome", mDrain: "drain", mDrained: "drained",
+		mHandoff: "handoff", mHandoffMark: "handoff-mark", mHandoffDone: "handoff-done",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -216,8 +228,10 @@ func decodeWelcome(p []byte) (welcomeMsg, error) {
 type jobStartMsg struct {
 	Job     Job
 	TraceID uint64   // job-wide trace id, minted by the coordinator
-	Peers   []string // worker id → listen addr
+	Peers   []string // worker id → listen addr ("" = departed/dead, don't dial)
 	Homes   []int    // partition → home worker id
+	Epoch   int      // membership epoch the homes belong to
+	Live    bool     // true when this worker is joining a job already underway
 }
 
 func (m jobStartMsg) encode() []byte {
@@ -238,6 +252,8 @@ func (m jobStartMsg) encode() []byte {
 	for _, h := range m.Homes {
 		e.i(int64(h))
 	}
+	e.i(int64(m.Epoch))
+	e.bool(m.Live)
 	return e.buf
 }
 
@@ -266,6 +282,8 @@ func decodeJobStart(p []byte) (jobStartMsg, error) {
 	for i := uint64(0); i < nh && d.err == nil; i++ {
 		m.Homes = append(m.Homes, int(d.i()))
 	}
+	m.Epoch = int(d.i())
+	m.Live = d.bool()
 	return m, d.fin("job-start")
 }
 
@@ -364,6 +382,7 @@ type runEntry struct {
 	Partition int
 	Records   int
 	RawBytes  int64
+	Epoch     int // membership epoch the sender routed under
 	Blob      []byte
 }
 
@@ -387,6 +406,7 @@ func appendRunEntry(e *enc, re runEntry) {
 	e.i(int64(re.Partition))
 	e.i(int64(re.Records))
 	e.i(re.RawBytes)
+	e.i(int64(re.Epoch))
 	e.bytes(re.Blob)
 }
 
@@ -436,7 +456,7 @@ func decodeRunBatch(p []byte) (runBatchMsg, error) {
 	for len(bd.buf) > 0 && bd.err == nil {
 		re := runEntry{
 			Task: int(bd.i()), Attempt: int(bd.i()), Partition: int(bd.i()),
-			Records: int(bd.i()), RawBytes: bd.i(),
+			Records: int(bd.i()), RawBytes: bd.i(), Epoch: int(bd.i()),
 		}
 		re.Blob = bd.bytes()
 		if bd.err == nil {
@@ -518,8 +538,10 @@ func decodeReduceDone(p []byte) (reduceDoneMsg, error) {
 }
 
 type workerDeadMsg struct {
-	Dead  int
-	Homes []int // full partition → home map after reassignment
+	Dead    int
+	Homes   []int  // full partition → home map after reassignment
+	Epoch   int    // membership epoch after the death
+	Settled []bool // partitions whose accepted output settled: never re-ship them
 }
 
 func (m workerDeadMsg) encode() []byte {
@@ -528,6 +550,11 @@ func (m workerDeadMsg) encode() []byte {
 	e.u(uint64(len(m.Homes)))
 	for _, h := range m.Homes {
 		e.i(int64(h))
+	}
+	e.i(int64(m.Epoch))
+	e.u(uint64(len(m.Settled)))
+	for _, s := range m.Settled {
+		e.bool(s)
 	}
 	return e.buf
 }
@@ -541,6 +568,14 @@ func decodeWorkerDead(p []byte) (workerDeadMsg, error) {
 	}
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		m.Homes = append(m.Homes, int(d.i()))
+	}
+	m.Epoch = int(d.i())
+	n = d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Settled = append(m.Settled, d.bool())
 	}
 	return m, d.fin("worker-dead")
 }
@@ -643,4 +678,186 @@ func decodeHB(p []byte) (hbMsg, error) {
 	d := dec{buf: p}
 	m := hbMsg{Kind: d.u(), T1: d.i(), T2: d.i(), T3: d.i()}
 	return m, d.fin("heartbeat")
+}
+
+// --- elastic membership payloads ---
+
+// rejoinMsg re-attaches a surviving worker to a coordinator that restarted
+// and resumed from its journal. Epoch is the worker's last-seen membership
+// epoch; the coordinator refuses the resume if any worker is ahead of the
+// journal (a torn membership transition it cannot reconstruct).
+type rejoinMsg struct {
+	WorkerID   int
+	ListenAddr string
+	Epoch      int
+}
+
+func (m rejoinMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.WorkerID))
+	e.str(m.ListenAddr)
+	e.i(int64(m.Epoch))
+	return e.buf
+}
+
+func decodeRejoin(p []byte) (rejoinMsg, error) {
+	d := dec{buf: p}
+	m := rejoinMsg{WorkerID: int(d.i()), ListenAddr: d.str(), Epoch: int(d.i())}
+	return m, d.fin("rejoin")
+}
+
+// rehomeMsg announces a membership transition: a new epoch with the full
+// partition→home map after a join or drain (Joined/Left are -1 when the
+// transition has no joiner/leaver — a resumed coordinator broadcasts such a
+// refresh to re-sync homes without moving anything). Workers owning a
+// partition whose home changed away from them hand its committed runs to
+// the new home.
+type rehomeMsg struct {
+	Epoch      int
+	Homes      []int
+	Alive      []bool // cluster-wide liveness as the coordinator sees it
+	Joined     int    // worker id that joined, -1 = none
+	JoinedAddr string // joiner's peer listen addr
+	Left       int    // worker id being drained, -1 = none
+}
+
+func (m rehomeMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Epoch))
+	e.u(uint64(len(m.Homes)))
+	for _, h := range m.Homes {
+		e.i(int64(h))
+	}
+	e.u(uint64(len(m.Alive)))
+	for _, a := range m.Alive {
+		b := uint64(0)
+		if a {
+			b = 1
+		}
+		e.u(b)
+	}
+	e.i(int64(m.Joined))
+	e.str(m.JoinedAddr)
+	e.i(int64(m.Left))
+	return e.buf
+}
+
+func decodeRehome(p []byte) (rehomeMsg, error) {
+	d := dec{buf: p}
+	m := rehomeMsg{Epoch: int(d.i())}
+	n := d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Homes = append(m.Homes, int(d.i()))
+	}
+	n = d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Alive = append(m.Alive, d.u() != 0)
+	}
+	m.Joined = int(d.i())
+	m.JoinedAddr = d.str()
+	m.Left = int(d.i())
+	return m, d.fin("rehome")
+}
+
+// handoffEntry is one committed run travelling to a partition's new home.
+// Unlike runEntry there is no attempt: these runs already won their commit
+// race at the old home; the destination re-keys them by (task, partition)
+// under the transition's epoch.
+type handoffEntry struct {
+	Task     int
+	Records  int
+	RawBytes int64
+	Blob     []byte
+}
+
+// handoffBatchMsg is the bulk frame carrying part of one re-homed
+// partition's committed runs. Entries are consumed until the body is
+// exhausted, mirroring runBatchMsg.
+type handoffBatchMsg struct {
+	Epoch     int
+	Partition int
+	Entries   []handoffEntry
+}
+
+func (m handoffBatchMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Epoch))
+	e.i(int64(m.Partition))
+	for _, he := range m.Entries {
+		e.i(int64(he.Task))
+		e.i(int64(he.Records))
+		e.i(he.RawBytes)
+		e.bytes(he.Blob)
+	}
+	return e.buf
+}
+
+func decodeHandoffBatch(p []byte) (handoffBatchMsg, error) {
+	d := dec{buf: p}
+	m := handoffBatchMsg{Epoch: int(d.i()), Partition: int(d.i())}
+	for len(d.buf) > 0 && d.err == nil {
+		he := handoffEntry{Task: int(d.i()), Records: int(d.i()), RawBytes: d.i()}
+		he.Blob = d.bytes()
+		if d.err == nil {
+			m.Entries = append(m.Entries, he)
+		}
+	}
+	if d.err != nil {
+		return m, fmt.Errorf("dist: decoding handoff entries: %w", d.err)
+	}
+	return m, nil
+}
+
+// handoffMarkMsg closes one partition's handoff: everything staged for it
+// under this epoch is complete and the destination should adopt it.
+type handoffMarkMsg struct {
+	Epoch     int
+	Partition int
+	Runs      int
+	Records   int64
+}
+
+func (m handoffMarkMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Epoch))
+	e.i(int64(m.Partition))
+	e.i(int64(m.Runs))
+	e.i(m.Records)
+	return e.buf
+}
+
+func decodeHandoffMark(p []byte) (handoffMarkMsg, error) {
+	d := dec{buf: p}
+	m := handoffMarkMsg{
+		Epoch: int(d.i()), Partition: int(d.i()),
+		Runs: int(d.i()), Records: d.i(),
+	}
+	return m, d.fin("handoff-mark")
+}
+
+// handoffDoneMsg tells the coordinator one re-homed partition has been
+// adopted by its new home; the transition completes when every moved
+// partition reports.
+type handoffDoneMsg struct {
+	Epoch     int
+	Partition int
+}
+
+func (m handoffDoneMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.Epoch))
+	e.i(int64(m.Partition))
+	return e.buf
+}
+
+func decodeHandoffDone(p []byte) (handoffDoneMsg, error) {
+	d := dec{buf: p}
+	m := handoffDoneMsg{Epoch: int(d.i()), Partition: int(d.i())}
+	return m, d.fin("handoff-done")
 }

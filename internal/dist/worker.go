@@ -66,6 +66,10 @@ type pendingDone struct {
 	stats attemptStats
 }
 
+// peerMeshTimeout bounds how long a worker waits for the peer mesh to form
+// (or for a handoff destination to become dialable) before giving up.
+const peerMeshTimeout = 60 * time.Second
+
 // worker is one node of the distributed runtime.
 type worker struct {
 	cfg workerConfig
@@ -74,27 +78,37 @@ type worker struct {
 	tr  *tracer
 
 	id      int
-	n       int
 	job     Job
 	traceID uint64
 	app     *core.App
 	prt     func(key []byte, n int) int
+	live    bool   // joined a job already underway
+	lnAddr  string // our peer-facing listen address
 
-	coord     *conn
-	peers     []*conn      // index by worker id; nil at own slot
-	coal      []*coalescer // per-peer outbound run coalescers, parallel to peers
-	peerAddrs []string
+	// conn callbacks shared by dialed and accepted peer links.
+	onDrop       func(records, acct int64)
+	onBulkWrite  func(f *frame) func()
+	onBulkTiming func(queueNs, writeNs int64)
 
 	execCh chan execItem
 	stop   chan struct{}
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	store   *shuffleStore
-	homes   []int
-	alive   []bool
-	killed  bool
-	ackWait map[attemptKey]*pendingDone
+	mu        sync.Mutex
+	n         int          // cluster width; grows as workers join
+	coord     *conn        // replaced by the rejoin path after a coordinator restart
+	peers     []*conn      // index by worker id; nil at own slot or unconnected
+	coal      []*coalescer // per-peer outbound run coalescers, parallel to peers
+	peerAddrs []string     // "" = departed or never announced
+	store     *shuffleStore
+	epoch     int
+	homes     []int
+	alive     []bool
+	settled   []bool // partitions with a settled final output: stage nothing for them
+	killed    bool
+	draining  bool
+	drained   bool
+	ackWait   map[attemptKey]*pendingDone
 }
 
 type execItem struct {
@@ -122,21 +136,31 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 		store:   newShuffleStore(),
 		ackWait: make(map[attemptKey]*pendingDone),
 	}
+	w.onDrop = func(records, acct int64) { w.led.netLost(records, acct) }
+	// net/send spans are recorded on the pump goroutine, where the socket
+	// write actually happens — that is the wall-clock interval that
+	// overlaps the executor's map/kernel spans in the trace. The span id
+	// was minted by the coalescer (it rides inside the frame payload, so
+	// the receiver can parent on it); the parent is the map kernel that
+	// first contributed to the batch.
+	w.onBulkWrite = func(f *frame) func() { return w.tr.spanWithID(f.spanID, stageNetSend, f.spanParent) }
+	w.onBulkTiming = led.bulkTiming
 
 	ln, err := net.Listen("tcp", cfg.listenAddr)
 	if err != nil {
 		return false, fmt.Errorf("dist: worker listen: %w", err)
 	}
 	defer ln.Close()
+	w.lnAddr = ln.Addr().String()
 
 	c, err := net.Dial("tcp", cfg.coordAddr)
 	if err != nil {
 		return false, fmt.Errorf("dist: dialing coordinator: %w", err)
 	}
 	w.coord = newConn(c, "coord", tun, nil)
-	defer w.coord.close()
+	defer func() { w.coordConn().close() }()
 
-	w.coord.send(frame{typ: mHello, payload: helloMsg{ListenAddr: ln.Addr().String()}.encode()})
+	w.coord.send(frame{typ: mJoin, payload: helloMsg{ListenAddr: w.lnAddr}.encode()})
 
 	if err := w.join(); err != nil {
 		return false, err
@@ -144,45 +168,42 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 	if cfg.onWelcome != nil {
 		cfg.onWelcome(w)
 	}
-	if err := w.connectPeers(ln); err != nil {
+	if err := w.setupPeers(ln); err != nil {
 		return false, err
 	}
-
-	for j, pc := range w.peers {
-		if pc == nil {
-			continue
-		}
-		w.wg.Add(1)
-		go w.peerReader(j, pc)
+	if w.live {
+		// Mesh is up: tell the coordinator we are ready to own partitions.
+		w.coord.send(frame{typ: mJoinReady})
 	}
+
 	w.wg.Add(1)
 	go w.executor()
-	if w.n > 1 {
-		w.wg.Add(1)
-		go w.coalesceFlusher()
-	}
+	w.wg.Add(1)
+	go w.coalesceFlusher()
 
 	err = w.coordLoop()
 
 	close(w.stop)
 	w.mu.Lock()
 	wasKilled := w.killed
+	cc := w.coord
+	peers := append([]*conn(nil), w.peers...)
 	w.mu.Unlock()
 	if err == nil && !wasKilled {
 		// Ship this node's trace spans before closing the coordinator link.
 		// The FIFO connection guarantees the batch precedes our EOF, so the
 		// coordinator always has it by the time its reader drains. A killed
 		// or failed worker sends nothing — its partial timeline died with it.
-		w.coord.send(frame{typ: mSpanBatch, payload: spanBatchMsg{
+		cc.send(frame{typ: mSpanBatch, payload: spanBatchMsg{
 			TraceID:       w.traceID,
 			Node:          w.id,
 			EpochUnixNano: w.tr.epoch.UnixNano(),
 			Spans:         w.tr.spans(),
 		}.encode()})
-		w.coord.flush()
+		cc.flush()
 	}
-	w.coord.close()
-	for _, pc := range w.peers {
+	cc.close()
+	for _, pc := range peers {
 		if pc == nil {
 			continue
 		}
@@ -192,8 +213,12 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 			pc.shutdown()
 		}
 	}
+	ln.Close() // unblock the peer acceptor
 	w.wg.Wait()
-	for _, pc := range w.peers {
+	w.mu.Lock()
+	peers = append(peers[:0], w.peers...)
+	w.mu.Unlock()
+	for _, pc := range peers {
 		if pc != nil {
 			pc.close()
 		}
@@ -210,6 +235,19 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 		return true, nil
 	}
 	return false, err
+}
+
+// coordConn snapshots the current coordinator link (the rejoin path swaps
+// it after a coordinator restart).
+func (w *worker) coordConn() *conn {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.coord
+}
+
+// coordSend sends one frame on whatever coordinator link is current.
+func (w *worker) coordSend(f frame) {
+	w.coordConn().send(f)
 }
 
 // join completes the hello/welcome/job-start handshake.
@@ -242,9 +280,12 @@ func (w *worker) join() error {
 	w.job = js.Job.withDefaults()
 	w.traceID = js.TraceID
 	w.homes = js.Homes
+	w.epoch = js.Epoch
+	w.live = js.Live
+	w.store.setEpoch(js.Epoch)
 	w.alive = make([]bool, w.n)
 	for i := range w.alive {
-		w.alive[i] = true
+		w.alive[i] = i == w.id || (i < len(js.Peers) && js.Peers[i] != "")
 	}
 	w.peerAddrs = js.Peers
 
@@ -259,85 +300,153 @@ func (w *worker) join() error {
 	return nil
 }
 
-// connectPeers establishes the worker mesh: this worker dials every peer
-// with a lower id and accepts a connection from every peer with a higher
-// one, identifying dialers by their peer-hello frame.
-func (w *worker) connectPeers(ln net.Listener) error {
+// setupPeers establishes the worker mesh: this worker dials every live peer
+// with a lower id and accepts connections from peers with higher ids
+// through a persistent acceptor, which also admits workers that join the
+// cluster later. A live joiner is the highest id, so it dials everyone.
+func (w *worker) setupPeers(ln net.Listener) error {
+	w.mu.Lock()
 	w.peers = make([]*conn, w.n)
-	onDrop := func(records, acct int64) { w.led.netLost(records, acct) }
-	// net/send spans are recorded on the pump goroutine, where the socket
-	// write actually happens — that is the wall-clock interval that
-	// overlaps the executor's map/kernel spans in the trace. The span id
-	// was minted by the coalescer (it rides inside the frame payload, so
-	// the receiver can parent on it); the parent is the map kernel that
-	// first contributed to the batch.
-	onBulkWrite := func(f *frame) func() { return w.tr.spanWithID(f.spanID, stageNetSend, f.spanParent) }
-	onBulkTiming := w.led.bulkTiming
+	w.coal = make([]*coalescer, w.n)
+	want := 0
+	for i := 0; i < w.n; i++ {
+		if i != w.id && w.alive[i] {
+			want++
+		}
+	}
+	w.mu.Unlock()
 
-	type res struct {
-		id  int
-		cc  *conn
-		err error
-	}
-	ch := make(chan res, w.n)
+	w.wg.Add(1)
+	go w.peerAcceptor(ln)
+
 	for j := 0; j < w.id; j++ {
-		go func(j int) {
-			c, err := net.Dial("tcp", w.peerAddrs[j])
-			if err != nil {
-				ch <- res{err: fmt.Errorf("dist: dialing peer %d: %w", j, err)}
-				return
+		w.mu.Lock()
+		addr := ""
+		if j < len(w.peerAddrs) {
+			addr = w.peerAddrs[j]
+		}
+		w.mu.Unlock()
+		if addr == "" {
+			continue // departed before we arrived
+		}
+		var c net.Conn
+		var err error
+		for try := 0; try < 50; try++ {
+			c, err = net.Dial("tcp", addr)
+			if err == nil {
+				break
 			}
-			cc := newConn(c, fmt.Sprintf("peer%d", j), w.tun, onDrop)
-			cc.onBulkWrite = onBulkWrite
-			cc.onBulkTiming = onBulkTiming
-			cc.send(frame{typ: mPeerHello, payload: peerHelloMsg{WorkerID: w.id}.encode()})
-			ch <- res{id: j, cc: cc}
-		}(j)
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			// The peer's listener is gone: it died (or was killed) while we
+			// were meshing. Skip it — the coordinator's death broadcast will
+			// mark it dead and prune any barrier that still counts it, and
+			// death re-execution recovers whatever its store held.
+			want--
+			continue
+		}
+		cc := newConn(c, fmt.Sprintf("peer%d", j), w.tun, w.onDrop)
+		cc.onBulkWrite = w.onBulkWrite
+		cc.onBulkTiming = w.onBulkTiming
+		cc.send(frame{typ: mPeerHello, payload: peerHelloMsg{WorkerID: w.id}.encode()})
+		if !w.registerPeer(j, cc) {
+			cc.close()
+			return fmt.Errorf("dist: duplicate peer %d", j)
+		}
 	}
-	accepts := w.n - 1 - w.id
-	go func() {
-		for i := 0; i < accepts; i++ {
-			c, err := ln.Accept()
-			if err != nil {
-				ch <- res{err: fmt.Errorf("dist: accepting peer: %w", err)}
-				return
+
+	// Wait for the higher-id live peers to dial in.
+	deadline := time.Now().Add(peerMeshTimeout)
+	for {
+		w.mu.Lock()
+		got := 0
+		for j, pc := range w.peers {
+			if j != w.id && pc != nil {
+				got++
 			}
-			cc := newConn(c, "peer?", w.tun, onDrop)
-			cc.onBulkWrite = onBulkWrite
-			cc.onBulkTiming = onBulkTiming
+		}
+		w.mu.Unlock()
+		if got >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: peer mesh incomplete: %d/%d connected", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// peerAcceptor admits peer connections for the life of the job — the
+// formation mesh's higher-id dialers first, later any worker that joins the
+// cluster mid-job. It exits when the listener closes.
+func (w *worker) peerAcceptor(ln net.Listener) {
+	defer w.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		w.wg.Add(1)
+		go func(c net.Conn) {
+			defer w.wg.Done()
+			cc := newConn(c, "peer?", w.tun, w.onDrop)
+			cc.onBulkWrite = w.onBulkWrite
+			cc.onBulkTiming = w.onBulkTiming
 			typ, p, err := cc.recv()
 			if err != nil || typ != mPeerHello {
 				cc.close()
-				ch <- res{err: fmt.Errorf("dist: bad peer hello (%s): %v", typeName(typ), err)}
 				return
 			}
 			ph, err := decodePeerHello(p)
-			if err != nil {
+			if err != nil || !w.registerPeer(ph.WorkerID, cc) {
 				cc.close()
-				ch <- res{err: err}
-				return
 			}
-			ch <- res{id: ph.WorkerID, cc: cc}
-		}
-	}()
-	for i := 0; i < w.n-1; i++ {
-		r := <-ch
-		if r.err != nil {
-			return r.err
-		}
-		if r.id < 0 || r.id >= w.n || r.id == w.id || w.peers[r.id] != nil {
-			r.cc.close()
-			return fmt.Errorf("dist: peer id %d invalid or duplicate", r.id)
-		}
-		w.peers[r.id] = r.cc
+		}(c)
 	}
-	w.coal = make([]*coalescer, w.n)
-	for j, pc := range w.peers {
-		if pc != nil {
-			w.coal[j] = newCoalescer(pc, w.led, w.tr, w.traceID, w.tun.CoalesceBytes, w.job.Compress)
-		}
+}
+
+// registerPeer installs one peer link (growing the mesh arrays for a
+// joiner), creates its coalescer, and starts its reader. Returns false on
+// invalid or duplicate ids.
+func (w *worker) registerPeer(id int, cc *conn) bool {
+	w.mu.Lock()
+	if id < 0 || id == w.id {
+		w.mu.Unlock()
+		return false
 	}
-	return nil
+	w.growLocked(id + 1)
+	if w.peers[id] != nil {
+		w.mu.Unlock()
+		return false
+	}
+	w.peers[id] = cc
+	w.coal[id] = newCoalescer(cc, w.led, w.tr, w.traceID, w.tun.CoalesceBytes, w.job.Compress)
+	w.alive[id] = true
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go w.peerReader(id, cc)
+	return true
+}
+
+// growLocked widens the per-worker arrays to hold n slots. Caller holds w.mu.
+func (w *worker) growLocked(n int) {
+	if n <= w.n {
+		return
+	}
+	peers := make([]*conn, n)
+	copy(peers, w.peers)
+	w.peers = peers
+	coal := make([]*coalescer, n)
+	copy(coal, w.coal)
+	w.coal = coal
+	alive := make([]bool, n)
+	copy(alive, w.alive)
+	w.alive = alive
+	addrs := make([]string, n)
+	copy(addrs, w.peerAddrs)
+	w.peerAddrs = addrs
+	w.n = n
 }
 
 // coalesceFlusher is the coalescers' time trigger: a buffered run batch
@@ -352,7 +461,10 @@ func (w *worker) coalesceFlusher() {
 		case <-w.stop:
 			return
 		case <-t.C:
-			for _, co := range w.coal {
+			w.mu.Lock()
+			coal := append([]*coalescer(nil), w.coal...)
+			w.mu.Unlock()
+			for _, co := range coal {
 				if co != nil {
 					co.flushIfStale(w.tun.CoalesceDelay)
 				}
@@ -361,20 +473,33 @@ func (w *worker) coalesceFlusher() {
 	}
 }
 
-// coordLoop dispatches coordinator frames until job end, death of the
-// coordinator, or our own (expected) kill.
+// coordLoop dispatches coordinator frames until job end, drain completion,
+// death of the coordinator, or our own (expected) kill. With RejoinGrace
+// set, a lost coordinator link triggers redial-and-rejoin — the path a
+// restarted, journal-resumed coordinator picks its workers back up by.
 func (w *worker) coordLoop() error {
+	var rejoinUntil time.Time
 	for {
-		typ, p, err := w.coord.recv()
+		cc := w.coordConn()
+		typ, p, err := cc.recv()
 		if err != nil {
 			w.mu.Lock()
-			killed := w.killed
+			killed, drained := w.killed, w.drained
 			w.mu.Unlock()
-			if killed {
+			if killed || drained {
 				return nil
+			}
+			if w.tun.RejoinGrace > 0 {
+				if rejoinUntil.IsZero() {
+					rejoinUntil = time.Now().Add(w.tun.RejoinGrace)
+				}
+				if w.redialCoord(rejoinUntil) {
+					continue
+				}
 			}
 			return fmt.Errorf("dist: lost coordinator: %w", err)
 		}
+		rejoinUntil = time.Time{}
 		switch typ {
 		case mMapTask:
 			m, err := decodeMapTask(p)
@@ -394,12 +519,66 @@ func (w *worker) coordLoop() error {
 				return err
 			}
 			w.handleDeath(m)
+		case mRehome:
+			m, err := decodeRehome(p)
+			if err != nil {
+				return err
+			}
+			w.handleRehome(m)
+		case mDrain:
+			w.mu.Lock()
+			w.draining = true
+			coal := append([]*coalescer(nil), w.coal...)
+			w.mu.Unlock()
+			for _, co := range coal {
+				if co != nil {
+					co.flush()
+				}
+			}
+		case mDrained:
+			w.mu.Lock()
+			w.drained = true
+			w.mu.Unlock()
+			return nil
 		case mJobEnd:
 			return nil
 		default:
 			return fmt.Errorf("dist: unexpected %s from coordinator", typeName(typ))
 		}
 	}
+}
+
+// redialCoord tries to re-attach to a restarted coordinator until the
+// deadline: dial, announce ourselves with a rejoin, and swap the link in.
+// The resumed coordinator's first frame (a rehome refresh, or a drained
+// notice if the journal says we already left) flows through coordLoop's
+// normal dispatch.
+func (w *worker) redialCoord(deadline time.Time) bool {
+	for time.Now().Before(deadline) {
+		w.mu.Lock()
+		killed := w.killed
+		epoch := w.epoch
+		w.mu.Unlock()
+		if killed {
+			return false
+		}
+		c, err := net.Dial("tcp", w.cfg.coordAddr)
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		cc := newConn(c, "coord", w.tun, nil)
+		cc.send(frame{typ: mRejoin, payload: rejoinMsg{
+			WorkerID: w.id, ListenAddr: w.lnAddr, Epoch: epoch,
+		}.encode()})
+		w.mu.Lock()
+		old := w.coord
+		w.coord = cc
+		w.mu.Unlock()
+		old.close()
+		return true
+	}
+	return false
 }
 
 // executor runs map and reduce tasks serially; shuffle sends are
@@ -526,7 +705,7 @@ func (w *worker) runMap(m mapTaskMsg) {
 	if w.cfg.mapFault != nil && w.cfg.mapFault(m.Task, m.Attempt) {
 		// Fail before partitioning: like the sim core, a failed attempt has
 		// produced nothing durable and nothing has touched the wire.
-		w.coord.send(frame{typ: mMapFailed, payload: taskFailMsg{
+		w.coordSend(frame{typ: mMapFailed, payload: taskFailMsg{
 			Task: m.Task, Attempt: m.Attempt, Reason: "injected fault",
 		}.encode()})
 		return
@@ -574,24 +753,30 @@ func (w *worker) runMap(m mapTaskMsg) {
 	end()
 
 	// Register the ack barrier and commit our own partitions under one
-	// lock, against a consistent homes/alive snapshot: a death processed
-	// before this point is excluded from the barrier, one processed after
-	// will prune it.
+	// lock, against a consistent homes/alive/epoch snapshot: a death or
+	// membership transition processed before this point is reflected in the
+	// snapshot; one processed after will prune the barrier (death) or fence
+	// the staged runs out at commit time (epoch).
 	w.mu.Lock()
 	if w.killed {
 		w.mu.Unlock()
 		return
 	}
+	epoch := w.epoch
 	homes := append([]int(nil), w.homes...)
+	settled := append([]bool(nil), w.settled...)
+	isSettled := func(p int) bool { return p < len(settled) && settled[p] }
 	var livePeers []int
 	for j := 0; j < w.n; j++ {
 		if j != w.id && w.alive[j] {
 			livePeers = append(livePeers, j)
 		}
 	}
+	coal := append([]*coalescer(nil), w.coal...)
+	peers := append([]*conn(nil), w.peers...)
 	for p, r := range runs {
-		if r != nil && homes[p] == w.id {
-			w.store.stage(m.Task, m.Attempt, p, r)
+		if r != nil && homes[p] == w.id && !isSettled(p) {
+			w.store.stage(m.Task, m.Attempt, p, r, epoch)
 		}
 	}
 	acc, dup := w.store.commit(m.Task, m.Attempt)
@@ -614,26 +799,35 @@ func (w *worker) runMap(m mapTaskMsg) {
 	// out, so on the FIFO connection every run still precedes its marker.
 	for p := 0; p < P; p++ {
 		r := runs[p]
-		if r == nil || homes[p] == w.id {
+		if r == nil || homes[p] == w.id || isSettled(p) {
 			continue
 		}
-		w.coal[homes[p]].add(m.Task, m.Attempt, p, r, kernelID)
+		if co := coal[homes[p]]; co != nil {
+			co.add(m.Task, m.Attempt, p, r, kernelID, epoch)
+		}
 	}
 	mark := markMsg{Task: m.Task, Attempt: m.Attempt}.encode()
 	for _, j := range livePeers {
-		w.coal[j].flush()
-		w.peers[j].send(frame{typ: mMark, payload: mark})
+		if coal[j] != nil {
+			coal[j].flush()
+		}
+		if peers[j] != nil {
+			peers[j].send(frame{typ: mMark, payload: mark})
+		}
 	}
 	if pd == nil {
 		// Single-node cluster (or every peer dead): no barrier to wait on.
 		w.led.flushAttempt(stats)
-		w.coord.send(frame{typ: mMapDone, payload: mapDoneMsg{Task: m.Task, Attempt: m.Attempt, Stats: stats}.encode()})
+		w.coordSend(frame{typ: mMapDone, payload: mapDoneMsg{Task: m.Task, Attempt: m.Attempt, Stats: stats}.encode()})
 	}
 }
 
 // runReduce merges one home partition's committed runs and applies the
 // reduce kernel (or drains merged pairs for reduce-less apps), reporting
-// the partition's output to the coordinator.
+// the partition's output to the coordinator. The reduce-side conservation
+// counters are booked by the coordinator at acceptance, not here: under
+// kills and coordinator restarts a partition can be recomputed, and only
+// the first accepted report may count.
 func (w *worker) runReduce(rt reduceTaskMsg) {
 	_, end := w.tr.span(stageReduce, rt.SpanID)
 	w.mu.Lock()
@@ -668,12 +862,9 @@ func (w *worker) runReduce(rt reduceTaskMsg) {
 	} else {
 		out = kv.Drain(merged)
 	}
-	w.led.reduceRecordsIn.Add(recordsIn)
-	w.led.reduceGroupsIn.Add(groups)
-	w.led.outputPairs.Add(int64(len(out)))
 	end()
 
-	w.coord.send(frame{typ: mReduceDone, payload: reduceDoneMsg{
+	w.coordSend(frame{typ: mReduceDone, payload: reduceDoneMsg{
 		Partition: rt.Partition, Attempt: rt.Attempt,
 		RecordsIn: recordsIn, GroupsIn: groups, Output: kv.Marshal(out),
 	}.encode()})
@@ -695,6 +886,10 @@ func (w *worker) peerReader(j int, cc *conn) {
 			w.onMark(cc, p)
 		case mAck:
 			w.onAck(j, p)
+		case mHandoff:
+			w.onHandoffBatch(p)
+		case mHandoffMark:
+			w.onHandoffMark(p)
 		}
 	}
 }
@@ -733,7 +928,7 @@ func (w *worker) onRunBatch(p []byte) {
 	w.led.netRecv(records, int64(len(p)))
 	for _, re := range msg.Entries {
 		run := kv.NewRunView(re.Blob, re.Records, re.RawBytes, false)
-		w.store.stage(re.Task, re.Attempt, re.Partition, run)
+		w.store.stage(re.Task, re.Attempt, re.Partition, run, re.Epoch)
 	}
 }
 
@@ -757,6 +952,53 @@ func (w *worker) onMark(cc *conn, p []byte) {
 	cc.send(frame{typ: mAck, payload: p})
 }
 
+// onHandoffBatch stages part of a re-homed partition arriving from its old
+// home. A killed destination drains the frame as net-lost, like any bulk
+// frame.
+func (w *worker) onHandoffBatch(p []byte) {
+	msg, err := decodeHandoffBatch(p)
+	if err != nil {
+		return
+	}
+	var records int64
+	for _, he := range msg.Entries {
+		records += int64(he.Records)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		w.led.netLost(records, int64(len(p)))
+		return
+	}
+	w.led.netRecv(records, int64(len(p)))
+	for _, he := range msg.Entries {
+		run := kv.NewRunView(he.Blob, he.Records, he.RawBytes, false)
+		w.store.stageHandoff(msg.Partition, msg.Epoch, he.Task, run)
+	}
+}
+
+// onHandoffMark adopts one partition's completed handoff and reports it to
+// the coordinator, which is counting adopted partitions to complete the
+// membership transition.
+func (w *worker) onHandoffMark(p []byte) {
+	msg, err := decodeHandoffMark(p)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	adopted, dup := w.store.adoptHandoff(msg.Partition, msg.Epoch)
+	w.led.handoffIn.Add(adopted)
+	w.led.storeDupDropped.Add(dup)
+	w.mu.Unlock()
+	w.coordSend(frame{typ: mHandoffDone, payload: handoffDoneMsg{
+		Epoch: msg.Epoch, Partition: msg.Partition,
+	}.encode()})
+}
+
 // onAck releases one peer from an attempt's commit barrier; the last ack
 // flushes the attempt's stats and reports map-done.
 func (w *worker) onAck(j int, p []byte) {
@@ -777,14 +1019,164 @@ func (w *worker) onAck(j int, p []byte) {
 	w.mu.Unlock()
 	if done != nil {
 		w.led.flushAttempt(done.stats)
-		w.coord.send(frame{typ: mMapDone, payload: mapDoneMsg{Task: k.task, Attempt: k.attempt, Stats: done.stats}.encode()})
+		w.coordSend(frame{typ: mMapDone, payload: mapDoneMsg{Task: k.task, Attempt: k.attempt, Stats: done.stats}.encode()})
 	}
 }
 
+// handleRehome applies a membership transition: adopt the new epoch, homes
+// and liveness map, then hand any partition that moved away from this node
+// to its new home. Newly-dead peers (a death the coordinator journaled but
+// could not broadcast before restarting) are sealed like a death notice;
+// the drained worker named in Left is not sealed — its link must stay open
+// to carry the handoff it is about to send.
+func (w *worker) handleRehome(m rehomeMsg) {
+	type flushed struct {
+		k  attemptKey
+		pd *pendingDone
+	}
+	var done []flushed
+	type move struct{ part, dest int }
+	var moves []move
+	var sealIDs []int
+	w.mu.Lock()
+	if m.Epoch < w.epoch || len(m.Homes) != len(w.homes) {
+		w.mu.Unlock()
+		return
+	}
+	if m.Joined >= 0 {
+		w.growLocked(m.Joined + 1)
+		if m.JoinedAddr != "" {
+			w.peerAddrs[m.Joined] = m.JoinedAddr
+		}
+	}
+	for i := 0; i < w.n && i < len(m.Alive); i++ {
+		if i == w.id {
+			continue
+		}
+		if m.Alive[i] && !w.alive[i] && w.peers[i] != nil {
+			w.alive[i] = true
+		}
+		if !m.Alive[i] && w.alive[i] {
+			w.alive[i] = false
+			if i != m.Left {
+				sealIDs = append(sealIDs, i)
+			}
+			for k, pd := range w.ackWait {
+				if pd.acks[i] {
+					delete(pd.acks, i)
+					if len(pd.acks) == 0 {
+						delete(w.ackWait, k)
+						done = append(done, flushed{k, pd})
+					}
+				}
+			}
+		}
+	}
+	if m.Joined >= 0 && m.Joined != w.id {
+		w.alive[m.Joined] = true
+	}
+	prev := w.homes
+	w.homes = append([]int(nil), m.Homes...)
+	w.epoch = m.Epoch
+	w.store.setEpoch(m.Epoch)
+	for p := range m.Homes {
+		if prev[p] == w.id && m.Homes[p] != w.id {
+			moves = append(moves, move{p, m.Homes[p]})
+		}
+	}
+	w.mu.Unlock()
+	for _, i := range sealIDs {
+		w.mu.Lock()
+		pc, co := w.peers[i], w.coal[i]
+		w.mu.Unlock()
+		if pc != nil {
+			pc.seal()
+		}
+		if co != nil {
+			co.close()
+		}
+	}
+	for _, d := range done {
+		w.led.flushAttempt(d.pd.stats)
+		w.coordSend(frame{typ: mMapDone, payload: mapDoneMsg{Task: d.k.task, Attempt: d.k.attempt, Stats: d.pd.stats}.encode()})
+	}
+	if len(moves) == 0 {
+		return
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for _, mv := range moves {
+			w.sendHandoff(mv.part, mv.dest, m.Epoch)
+		}
+	}()
+}
+
+// sendHandoff ships one re-homed partition's committed runs to its new
+// home: bulk handoff frames sized like coalesced batches, then the handoff
+// mark that tells the destination to adopt. The destination may be a joiner
+// whose link is still being established, so wait for it briefly.
+func (w *worker) sendHandoff(part, dest, epoch int) {
+	var pc *conn
+	deadline := time.Now().Add(peerMeshTimeout)
+	for {
+		w.mu.Lock()
+		if dest < w.n {
+			pc = w.peers[dest]
+		}
+		killed := w.killed
+		w.mu.Unlock()
+		if pc != nil || killed || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if pc == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	runs, records := w.store.takePartition(part)
+	w.led.handoffOut.Add(records)
+	w.mu.Unlock()
+
+	msg := handoffBatchMsg{Epoch: epoch, Partition: part}
+	var bodyBytes int64
+	var recs int64
+	flush := func() {
+		payload := msg.encode()
+		w.led.netSent(recs, int64(len(payload)))
+		w.led.frameBytes(5 + int64(len(payload)))
+		pc.send(frame{typ: mHandoff, payload: payload, bulk: true, records: recs, acct: int64(len(payload))})
+		msg.Entries, bodyBytes, recs = nil, 0, 0
+	}
+	for _, cr := range runs {
+		blob := cr.run.Blob()
+		msg.Entries = append(msg.Entries, handoffEntry{
+			Task: cr.task, Records: cr.run.Records, RawBytes: cr.run.RawBytes, Blob: blob,
+		})
+		bodyBytes += int64(len(blob))
+		recs += int64(cr.run.Records)
+		if bodyBytes >= w.tun.CoalesceBytes {
+			flush()
+		}
+	}
+	if len(msg.Entries) > 0 {
+		flush()
+	}
+	pc.send(frame{typ: mHandoffMark, payload: handoffMarkMsg{
+		Epoch: epoch, Partition: part, Runs: len(runs), Records: records,
+	}.encode()})
+}
+
 // handleDeath applies a coordinator death notice: mark the peer dead,
-// adopt the re-homed partition map, release the dead peer from every
-// commit barrier, and seal our link to it (queued frames are accounted
-// lost; already-delivered bytes will still be drained by the dying peer).
+// adopt the re-homed partition map and epoch, release the dead peer from
+// every commit barrier, and seal our link to it (queued frames are
+// accounted lost; already-delivered bytes will still be drained by the
+// dying peer).
 func (w *worker) handleDeath(m workerDeadMsg) {
 	type flushed struct {
 		k  attemptKey
@@ -798,6 +1190,17 @@ func (w *worker) handleDeath(m workerDeadMsg) {
 	if len(m.Homes) == len(w.homes) {
 		w.homes = m.Homes
 	}
+	if len(m.Settled) == len(w.homes) {
+		// Partitions whose accepted output settled must never be re-staged:
+		// death re-execution recovers the live partitions, and a settled
+		// partition's fresh (empty-handed) home would book re-shipped runs
+		// as newly accepted records nothing will ever read.
+		w.settled = m.Settled
+	}
+	if m.Epoch > w.epoch {
+		w.epoch = m.Epoch
+		w.store.setEpoch(m.Epoch)
+	}
 	for k, pd := range w.ackWait {
 		if pd.acks[m.Dead] {
 			delete(pd.acks, m.Dead)
@@ -807,16 +1210,23 @@ func (w *worker) handleDeath(m workerDeadMsg) {
 			}
 		}
 	}
+	var pc *conn
+	var co *coalescer
+	if m.Dead >= 0 && m.Dead < len(w.peers) {
+		pc, co = w.peers[m.Dead], w.coal[m.Dead]
+	}
 	w.mu.Unlock()
-	if m.Dead >= 0 && m.Dead < len(w.peers) && w.peers[m.Dead] != nil {
-		w.peers[m.Dead].seal()
+	if pc != nil {
+		pc.seal()
+	}
+	if co != nil {
 		// Runs buffered for the dead peer were never counted sent; discard
 		// them so a later flush cannot ship data nobody will commit.
-		w.coal[m.Dead].close()
+		co.close()
 	}
 	for _, d := range done {
 		w.led.flushAttempt(d.pd.stats)
-		w.coord.send(frame{typ: mMapDone, payload: mapDoneMsg{Task: d.k.task, Attempt: d.k.attempt, Stats: d.pd.stats}.encode()})
+		w.coordSend(frame{typ: mMapDone, payload: mapDoneMsg{Task: d.k.task, Attempt: d.k.attempt, Stats: d.pd.stats}.encode()})
 	}
 }
 
@@ -835,18 +1245,21 @@ func (w *worker) kill() {
 	lost := w.store.lostAll()
 	w.led.storeLost.Add(lost)
 	w.ackWait = make(map[attemptKey]*pendingDone)
+	peers := append([]*conn(nil), w.peers...)
+	coal := append([]*coalescer(nil), w.coal...)
+	cc := w.coord
 	w.mu.Unlock()
-	for _, pc := range w.peers {
+	for _, pc := range peers {
 		if pc != nil {
 			pc.seal()
 		}
 	}
 	// Seal before closing coalescers: a flush blocked on a full send window
 	// holds its coalescer's lock until the sealed conn releases it.
-	for _, co := range w.coal {
+	for _, co := range coal {
 		if co != nil {
 			co.close()
 		}
 	}
-	w.coord.close()
+	cc.close()
 }

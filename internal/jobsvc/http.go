@@ -47,7 +47,39 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/metrics", s.handleJobMetrics)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics/stream", s.handleMetricsStream)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("POST /fleet", s.handleFleetResize)
 	return withRecover(mux)
+}
+
+// FleetStatus is the GET/POST /fleet payload: the shared worker-slot
+// pool's capacity and free count. Free can read negative right after a
+// shrink below current usage — the deficit drains as running jobs finish.
+type FleetStatus struct {
+	Total int `json:"total"`
+	Free  int `json:"free"`
+}
+
+func (s *Service) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, FleetStatus{Total: s.fleet.Total(), Free: s.fleet.Free()})
+}
+
+// handleFleetResize is the elastic scaling hook: POST /fleet {"workers": n}
+// grows or shrinks the shared slot pool in place. Shrinking never preempts
+// a running job; it only gates new dispatches until usage fits.
+func (s *Service) handleFleetResize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Workers int `json:"workers"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&req); err != nil {
+		writeError(w, badRequest("malformed-json", "decoding request: %v", err))
+		return
+	}
+	if req.Workers < 1 {
+		writeError(w, badRequest("bad-fleet-size", "workers must be >= 1, got %d", req.Workers))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ResizeFleet(req.Workers))
 }
 
 // withRecover converts handler panics into structured 500s so a malformed

@@ -226,6 +226,13 @@ type Request struct {
 	KillWorker       *int `json:"kill_worker,omitempty"`
 	KillAfterMapDone int  `json:"kill_after_map_done,omitempty"`
 	MapFaultMod      int  `json:"map_fault_mod,omitempty"`
+
+	// Elastic (Config.AllowFaultInjection only) schedules membership churn
+	// against the job's cluster in dist.ParseElastic syntax — e.g.
+	// "join@2,drain:0@4,kill:1@6,restart@r1". Restart events run against a
+	// throwaway checkpoint journal the service manages; the job resumes and
+	// reports Resumed in its stats.
+	Elastic string `json:"elastic,omitempty"`
 }
 
 // APIError is a structured request failure: an HTTP status, a stable
@@ -253,6 +260,9 @@ type JobStats struct {
 	MapRetries        int   `json:"map_retries"`
 	WorkersLost       int   `json:"workers_lost"`
 	MapRecoveries     int   `json:"map_recoveries"`
+	WorkersJoined     int   `json:"workers_joined,omitempty"`
+	WorkersDrained    int   `json:"workers_drained,omitempty"`
+	Resumed           bool  `json:"resumed,omitempty"`
 	MapMS             int64 `json:"map_ms"`
 	ReduceMS          int64 `json:"reduce_ms"`
 	TotalMS           int64 `json:"total_ms"`
@@ -306,6 +316,7 @@ type job struct {
 	killWorker  int // -1 = none
 	killAfter   int
 	mapFaultMod int
+	elastic     []dist.ElasticEvent
 
 	state     State
 	submitted time.Time
@@ -433,6 +444,22 @@ func (s *Service) Close() {
 // Metrics returns the service-level registry (queue depth, admission
 // decisions, per-tenant wait/service time, dispatch fairness).
 func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// ResizeFleet changes the shared worker-slot pool's capacity while the
+// service runs — the horizontal scaling hook behind POST /fleet. Growth
+// wakes the scheduler (a queued job may now fit); shrinking below current
+// usage never preempts, it just gates new dispatches until running jobs
+// release the deficit.
+func (s *Service) ResizeFleet(n int) FleetStatus {
+	total := s.fleet.Resize(n)
+	s.mu.Lock()
+	s.gaugeSlots()
+	s.event("fleet-resized", "workers", total, "free", s.fleet.Free())
+	s.counter("jobsvc_fleet_resize_total").Inc()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return FleetStatus{Total: total, Free: s.fleet.Free()}
+}
 
 func (s *Service) counter(name string, labels ...obs.Label) *obs.Counter {
 	return s.reg.Counter(name, labels...)
@@ -563,8 +590,10 @@ func (s *Service) parseRequest(req Request) (*job, *APIError) {
 	if workers <= 0 {
 		workers = 2
 	}
-	if workers > s.cfg.FleetWorkers {
-		workers = s.cfg.FleetWorkers
+	// Clamp to the live fleet capacity, not the boot-time config — the
+	// fleet can be resized while the service runs (POST /fleet).
+	if t := s.fleet.Total(); workers > t {
+		workers = t
 	}
 	if req.RecordSize < 0 || req.Chunk < 0 || req.Partitions < 0 {
 		return nil, badRequest("bad-geometry", "record_size, chunk and partitions must be non-negative")
@@ -585,7 +614,7 @@ func (s *Service) parseRequest(req Request) (*job, *APIError) {
 		cost:        int64(len(input) + len(params)),
 		killWorker:  -1,
 	}
-	if req.KillWorker != nil || req.MapFaultMod != 0 {
+	if req.KillWorker != nil || req.MapFaultMod != 0 || req.Elastic != "" {
 		if !s.cfg.AllowFaultInjection {
 			return nil, badRequest("fault-injection-disabled", "fault-injection fields require AllowFaultInjection")
 		}
@@ -599,6 +628,24 @@ func (s *Service) parseRequest(req Request) (*job, *APIError) {
 			}
 			j.killWorker = *req.KillWorker
 			j.killAfter = req.KillAfterMapDone
+		}
+		if req.Elastic != "" {
+			evs, err := dist.ParseElastic(req.Elastic)
+			if err != nil {
+				return nil, badRequest("bad-elastic", "%v", err)
+			}
+			// Drain/kill targets must name a worker that can exist: the
+			// initial cluster plus every join the schedule itself adds.
+			maxID := workers
+			for _, ev := range evs {
+				if ev.Kind == "join" {
+					maxID++
+				}
+				if (ev.Kind == "drain" || ev.Kind == "kill") && ev.Worker >= maxID {
+					return nil, badRequest("bad-elastic", "%s target %d outside worker range [0,%d)", ev.Kind, ev.Worker, maxID)
+				}
+			}
+			j.elastic = evs
 		}
 	}
 	return j, nil

@@ -2,6 +2,7 @@ package jobsvc
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"glasswing/internal/dist"
@@ -29,6 +30,12 @@ func (s *Service) scheduler() {
 			// its running cap.
 			s.cond.Wait()
 			continue
+		}
+		// A fleet shrink after admission can leave a queued job wanting more
+		// workers than the pool will ever hold again; clamp at dispatch so
+		// it runs smaller instead of blocking its class forever.
+		if t := s.fleet.Total(); j.workers > t {
+			j.workers = t
 		}
 		if !s.fleet.TryAcquire(j.workers) {
 			// The class leader does not fit the free slot budget. Wait for
@@ -124,6 +131,9 @@ func (s *Service) runJob(j *job) {
 			MapRetries:        res.MapRetries,
 			WorkersLost:       res.WorkersLost,
 			MapRecoveries:     res.MapRecoveries,
+			WorkersJoined:     res.WorkersJoined,
+			WorkersDrained:    res.WorkersDrained,
+			Resumed:           res.Resumed,
 			MapMS:             res.MapElapsed.Milliseconds(),
 			ReduceMS:          res.ReduceElapsed.Milliseconds(),
 			TotalMS:           res.Total.Milliseconds(),
@@ -175,6 +185,20 @@ func (s *Service) distRun(j *job) (*dist.Result, *obs.Telemetry, error) {
 	if j.killWorker >= 0 {
 		o.KillWorker = j.killWorker
 		o.KillAfterMapDone = j.killAfter
+	}
+	if len(j.elastic) > 0 {
+		o.Elastic = j.elastic
+		if dist.HasRestart(j.elastic) {
+			// Restart events resume from a checkpoint journal; the service
+			// owns a throwaway one for the job's lifetime.
+			jf, err := os.CreateTemp("", "jobsvc-journal-*")
+			if err != nil {
+				return nil, tel, fmt.Errorf("jobsvc: journal temp file: %w", err)
+			}
+			jf.Close()
+			defer os.Remove(jf.Name())
+			o.JournalPath = jf.Name()
+		}
 	}
 	res, err := dist.RunLoopback(o)
 	return res, tel, err
