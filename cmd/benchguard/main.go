@@ -4,7 +4,9 @@
 // allocs_per_op regresses past its budget (default 25%; 10% for the
 // batch-allocated wc-hash/wc-pool scenarios), a per-stage busy time past
 // its wider one (default 50% — stage wall time is noisy even on serialized
-// probes; see nativebench.GuardOpts), or a dist row's shuffle_bytes past
+// probes; wider still for the dist rows, whose spans are concurrent wall
+// time on a live cluster; see nativebench.GuardOpts), or a dist row's
+// shuffle_bytes past
 // 10% — wire volume is deterministic, so a fatter encoding or broken frame
 // coalescing fails immediately. Raw wall time is reported but never gated —
 // shared CI hardware is too noisy for a hard ns/op threshold.
@@ -85,6 +87,20 @@ func main() {
 		AllocOverride: map[string]float64{
 			"wc-hash": 1.10,
 			"wc-pool": 1.10,
+		},
+		// The dist rows run a real loopback cluster: their stage spans are
+		// concurrent wall time across worker goroutines and TCP pumps, not
+		// the serialized min-of-5 probes the default 1.5x budget was tuned
+		// for, and swing ~2x run to run on shared hosts. The out-of-core
+		// row adds spill-file disk I/O on top. The wider budgets still trip
+		// on the regressions worth blocking — lost pipeline overlap or
+		// accidentally quadratic work land as large multiples — while the
+		// tight shuffle_bytes / spill_bytes / locality gates above keep the
+		// deterministic dist metrics on a short leash.
+		StageOverride: map[string]float64{
+			"dist-wc-3w":  2.0,
+			"dist-ts-3w":  2.0,
+			"dist-wc-ooc": 2.5,
 		},
 	})
 	if len(regs) == 0 {

@@ -38,7 +38,7 @@ func splitList(s string) []string {
 func main() {
 	runtimes := flag.String("runtime", "", "comma-separated runtimes (sim,native,hadoop,gpmr,dist,service; empty = all)")
 	apps := flag.String("app", "", "comma-separated applications (WC,TS,KM; empty = all)")
-	axes := flag.String("axis", "", "comma-separated axes (baseline,chunk,workers,partitions,compress,overlap,collector,faults; empty = all)")
+	axes := flag.String("axis", "", "comma-separated axes (baseline,chunk,workers,partitions,compress,overlap,collector,faults,elastic,locality; empty = all)")
 	quiet := flag.Bool("q", false, "suppress per-cell rows; print only the summary matrix")
 	flag.Parse()
 

@@ -1,0 +1,112 @@
+// Command datagen writes deterministic benchmark inputs to disk — the
+// multi-gigabyte WC and TeraSort datasets the out-of-core and locality
+// experiments ingest into the block store. Generation is streamed in fixed
+// chunks with per-chunk seeds derived from the base seed, so any size is
+// reproducible byte for byte without ever holding the whole file in memory:
+//
+//	go run ./cmd/datagen -app wc -size 2g -seed 7 -out wc.txt
+//	go run ./cmd/datagen -app ts -size 1g -seed 7 -out ts.dat
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"glasswing/internal/workload"
+)
+
+// genChunk is the generation granularity: large enough that the Zipf tables
+// warm up per chunk, small enough to bound resident memory.
+const genChunk = 8 << 20
+
+// parseSize accepts plain bytes or k/m/g suffixes (binary units).
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	ls := strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(ls, "g"):
+		mult, ls = 1<<30, ls[:len(ls)-1]
+	case strings.HasSuffix(ls, "m"):
+		mult, ls = 1<<20, ls[:len(ls)-1]
+	case strings.HasSuffix(ls, "k"):
+		mult, ls = 1<<10, ls[:len(ls)-1]
+	}
+	n, err := strconv.ParseInt(ls, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	out := flag.String("out", "", "output file (required)")
+	app := flag.String("app", "wc", "dataset shape: wc (wiki text) or ts (TeraSort records)")
+	size := flag.String("size", "64m", "approximate output size (accepts k/m/g suffixes)")
+	seed := flag.Int64("seed", 1, "base seed; per-chunk seeds derive from it")
+	vocab := flag.Int("vocab", 0, "wc only: distinct-word vocabulary (0 = size/400, the demo ratio)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	total, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	var written int64
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "datagen: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	for chunk := int64(0); written < total; chunk++ {
+		want := total - written
+		if want > genChunk {
+			want = genChunk
+		}
+		// Each chunk gets its own derived seed, so chunk k of an N-byte file
+		// equals chunk k of any larger file with the same base seed.
+		cseed := *seed*1_000_003 + chunk
+		var data []byte
+		switch *app {
+		case "wc":
+			v := *vocab
+			if v <= 0 {
+				v = int(total / 400)
+			}
+			data = workload.WikiText(cseed, int(want), v)
+		case "ts":
+			// Round up to whole records; the final chunk may overshoot the
+			// requested size by at most one record.
+			n := (int(want) + workload.TeraRecordSize - 1) / workload.TeraRecordSize
+			data = workload.TeraGen(cseed, n)
+		default:
+			fmt.Fprintf(os.Stderr, "datagen: unknown -app %q (wc, ts)\n", *app)
+			os.Exit(2)
+		}
+		if _, err := w.Write(data); err != nil {
+			fail(err)
+		}
+		written += int64(len(data))
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d bytes of %s to %s (seed %d)\n", written, *app, *out, *seed)
+}

@@ -69,6 +69,13 @@ func main() {
 		resume     = flag.Bool("resume", false, "coordinator mode: resume a crashed job from -journal instead of starting fresh")
 		elastic    = flag.String("elastic", "", "coordinator mode: membership schedule kind[:worker]@threshold[,...] — drain:W, restart; threshold N fires after N map tasks resolve, rN after N reduce outputs accept")
 
+		input       = flag.String("input", "", "coordinator mode: read the input from this file instead of generating it (-app wc or ts)")
+		noCombiner  = flag.Bool("no-combiner", false, "coordinator mode: disable the map-side combiner")
+		bstore      = flag.String("blockstore", "", "coordinator mode: ingest input into worker block stores — 'local' (locality-preferred scheduling) or 'remote' (forced-remote baseline); empty ships blocks inside task assignments")
+		replication = flag.Int("replication", 0, "coordinator mode: block replicas per block (0 = 3, capped at cluster width)")
+		spillThresh = flag.Int64("spill-threshold", 0, "worker mode: spill committed shuffle partitions to disk past this many resident bytes (0 = never)")
+		storeDir    = flag.String("store-dir", "", "worker mode: scratch directory for block replicas and spill files (default: OS temp)")
+
 		jobsvcAddr  = flag.String("jobsvc", "", "job-service mode: run the resident multi-tenant coordinator on this HTTP address")
 		fleet       = flag.Int("fleet", 8, "job-service mode: worker-slot budget shared by all jobs")
 		allowFaults = flag.Bool("jobsvc-faults", false, "job-service mode: allow fault-injection request fields")
@@ -93,12 +100,34 @@ func main() {
 		log.Fatal(err)
 	case *join != "":
 		tel := obs.NewTelemetry()
-		if err := dist.Join(*join, *listen, dist.Tuning{RejoinGrace: *rejoinGrace}, tel); err != nil {
+		tun := dist.Tuning{RejoinGrace: *rejoinGrace, SpillThreshold: *spillThresh, WorkDir: *storeDir}
+		if err := dist.Join(*join, *listen, tun, tel); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("worker done")
+		// A worker's slice of the ledger — including its locality and spill
+		// counters — lives in its own telemetry; snapshot it on request.
+		writeTrace(*traceOut, tel)
+		writeMetrics(*metricsOut, tel)
 	case *serve != "":
-		job, blocks, check, err := dist.DemoJob(*appName, *size, *partitions, *chunk)
+		var (
+			job    dist.Job
+			blocks [][]byte
+			check  func(*dist.Result) error
+			err    error
+		)
+		if *input != "" {
+			data, rerr := os.ReadFile(*input)
+			if rerr != nil {
+				log.Fatal(rerr)
+			}
+			job, blocks, check, err = dist.FileJob(*appName, data, *partitions, *chunk, !*noCombiner)
+		} else {
+			job, blocks, check, err = dist.DemoJob(*appName, *size, *partitions, *chunk)
+			if *noCombiner {
+				job.UseCombiner = false
+			}
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,6 +140,8 @@ func main() {
 			NewApp:      dist.RegistryResolver,
 			JournalPath: *journal,
 			Resume:      *resume,
+			Blockstore:  *bstore,
+			Replication: *replication,
 		}
 		if *resume && *journal == "" {
 			log.Fatal("-resume needs -journal")

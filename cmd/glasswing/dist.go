@@ -15,21 +15,42 @@ import (
 // real TCP; serveAddr set makes this process the coordinator and waits for
 // remote -worker / distnode processes to join.
 type distJobConfig struct {
-	app        string
-	size       int
-	partitions int
-	workers    int
-	serveAddr  string
-	elastic    string
-	journal    string
-	verify     bool
-	traceOut   string
-	metricsOut string
-	report     bool
+	app            string
+	size           int
+	partitions     int
+	workers        int
+	serveAddr      string
+	elastic        string
+	journal        string
+	verify         bool
+	traceOut       string
+	metricsOut     string
+	report         bool
+	input          string
+	combiner       bool
+	blockstore     string
+	replication    int
+	spillThreshold int64
+	storeDir       string
 }
 
 func runDistJob(c distJobConfig) {
-	job, blocks, check, err := dist.DemoJob(c.app, c.size, c.partitions, 0)
+	var (
+		job    dist.Job
+		blocks [][]byte
+		check  func(*dist.Result) error
+		err    error
+	)
+	if c.input != "" {
+		data, rerr := os.ReadFile(c.input)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		job, blocks, check, err = dist.FileJob(c.app, data, c.partitions, 0, c.combiner)
+	} else {
+		job, blocks, check, err = dist.DemoJob(c.app, c.size, c.partitions, 0)
+		job.UseCombiner = job.UseCombiner && c.combiner
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +65,11 @@ func runDistJob(c distJobConfig) {
 		Telemetry:   tel,
 		KillWorker:  -1,
 		JournalPath: c.journal,
+		Blockstore:  c.blockstore,
+		Replication: c.replication,
 	}
+	o.Tuning.SpillThreshold = c.spillThreshold
+	o.Tuning.WorkDir = c.storeDir
 	if c.elastic != "" {
 		o.Elastic, err = dist.ParseElastic(c.elastic)
 		if err != nil {
@@ -74,6 +99,14 @@ func runDistJob(c distJobConfig) {
 	if res.WorkersJoined > 0 || res.WorkersDrained > 0 || res.Resumed {
 		fmt.Printf("elasticity: %d worker(s) joined, %d drained, coordinator resumed: %v\n",
 			res.WorkersJoined, res.WorkersDrained, res.Resumed)
+	}
+	if read := res.ReadLocalBytes + res.ReadRemoteBytes; read > 0 {
+		fmt.Printf("block store: %d B read locally, %d B remote (%.0f%% local)\n",
+			res.ReadLocalBytes, res.ReadRemoteBytes, 100*float64(res.ReadLocalBytes)/float64(read))
+	}
+	if res.SpillRecords > 0 {
+		fmt.Printf("out-of-core: %d records spilled to disk (%d B on disk)\n",
+			res.SpillRecords, res.SpillBytes)
 	}
 	if c.verify {
 		if err := check(res); err != nil {
@@ -129,6 +162,19 @@ func printWireReport(reg *glasswing.MetricsRegistry) {
 			fmt.Printf("%s per frame: p50 %.3fms, p95 %.3fms, p99 %.3fms (%d frames)\n",
 				row.label, h.P50*1e3, h.P95*1e3, h.P99*1e3, h.Count)
 		}
+	}
+	local := reg.Counter("dist_read_local_bytes_total").Value()
+	remote := reg.Counter("dist_read_remote_bytes_total").Value()
+	if local+remote > 0 {
+		fmt.Printf("block reads: %d B local, %d B remote (%.0f%% local), %d B ingested\n",
+			local, remote, 100*float64(local)/float64(local+remote),
+			reg.Counter("dist_block_ingest_bytes_total").Value())
+	}
+	if spilled := reg.Counter("conserv_spill_records_total").Value(); spilled > 0 {
+		fmt.Printf("spills: %d records in %d run files, %d B raw -> %d B stored\n",
+			spilled, reg.Counter("conserv_spill_files_total").Value(),
+			reg.Counter("conserv_spill_raw_bytes_total").Value(),
+			reg.Counter("conserv_spill_stored_bytes_total").Value())
 	}
 }
 

@@ -78,6 +78,11 @@ func main() {
 		coordAddr   = flag.String("coordinator", "", "serve the job as a distributed coordinator at this address (workers join with -worker)")
 		workerJoin  = flag.String("worker", "", "join a distributed coordinator at this address as a worker")
 		workerAddr  = flag.String("worker-listen", "127.0.0.1:0", "shuffle listen address for -worker (use a reachable host:port across machines)")
+		distInput   = flag.String("input", "", "-dist runs: read the input from this file (wc or ts) instead of generating it")
+		bstore      = flag.String("blockstore", "", "-dist runs: ingest input into worker block stores — 'local' (locality-preferred) or 'remote' (forced-remote baseline)")
+		replication = flag.Int("replication", 0, "-dist runs: block replicas per block (0 = 3, capped at cluster width)")
+		spillThresh = flag.Int64("spill-threshold", 0, "-dist runs: workers spill committed shuffle partitions to disk past this many resident bytes (0 = never)")
+		storeDir    = flag.String("store-dir", "", "-dist runs: worker scratch directory for block replicas and spill files (default: OS temp)")
 
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		mapFault    = flag.Float64("map-fault", 0, "probability a map attempt fails (0 disables)")
@@ -98,17 +103,23 @@ func main() {
 	}
 	if *distWorkers > 0 || *coordAddr != "" {
 		runDistJob(distJobConfig{
-			app:        *appName,
-			size:       *size,
-			partitions: *parts,
-			workers:    *distWorkers,
-			serveAddr:  *coordAddr,
-			elastic:    *elastic,
-			journal:    *journalPath,
-			verify:     *verify,
-			traceOut:   *traceOut,
-			metricsOut: *metricsOut,
-			report:     *report,
+			app:            *appName,
+			size:           *size,
+			partitions:     *parts,
+			workers:        *distWorkers,
+			serveAddr:      *coordAddr,
+			elastic:        *elastic,
+			journal:        *journalPath,
+			verify:         *verify,
+			traceOut:       *traceOut,
+			metricsOut:     *metricsOut,
+			report:         *report,
+			input:          *distInput,
+			combiner:       *combine,
+			blockstore:     *bstore,
+			replication:    *replication,
+			spillThreshold: *spillThresh,
+			storeDir:       *storeDir,
 		})
 		return
 	}

@@ -52,6 +52,14 @@ func WordCount() *core.App {
 // counts.
 func WCData(seed int64, size, vocab int) ([]byte, map[string]uint64) {
 	data := workload.WikiText(seed, size, vocab)
+	return data, WCRef(data)
+}
+
+// WCRef computes the reference word counts for arbitrary text, using the
+// same tokenization as the WC kernel (words separated by spaces, tabs and
+// newlines). Verifiers use it when the input doesn't come from WCData —
+// generated files, externally ingested datasets.
+func WCRef(data []byte) map[string]uint64 {
 	want := make(map[string]uint64)
 	start := -1
 	for i := 0; i <= len(data); i++ {
@@ -66,7 +74,7 @@ func WCData(seed int64, size, vocab int) ([]byte, map[string]uint64) {
 			start = -1
 		}
 	}
-	return data, want
+	return want
 }
 
 // VerifyCounts checks engine output pairs against reference counts.

@@ -1,0 +1,123 @@
+package blockstore
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPutOpenRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spans multiple read chunks so the readahead path is exercised.
+	data := make([]byte, ReadChunk*2+12345)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := s.Put(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(3) || s.Has(4) {
+		t.Fatalf("Has: got (%v,%v), want (true,false)", s.Has(3), s.Has(4))
+	}
+	if n, ok := s.Size(3); !ok || n != int64(len(data)) {
+		t.Fatalf("Size(3) = (%d,%v), want (%d,true)", n, ok, len(data))
+	}
+	r, err := s.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("streamed read: %d bytes, want %d (content mismatch: %v)",
+			len(got), len(data), !bytes.Equal(got, data))
+	}
+	got2, err := s.ReadAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("ReadAll mismatch")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(9); err == nil {
+		t.Fatal("Open(9) on empty store: want error")
+	}
+	if _, err := s.ReadAll(9); err == nil {
+		t.Fatal("ReadAll(9) on empty store: want error")
+	}
+}
+
+func TestReopenIndexesExistingBlocks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(7, []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	// A stray temp file must not be indexed as a block.
+	if err := os.WriteFile(filepath.Join(dir, "put-junk"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Blocks(); len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Fatalf("reopened Blocks() = %v, want [0 7]", got)
+	}
+	b, err := s2.ReadAll(7)
+	if err != nil || string(b) != "beta" {
+		t.Fatalf("ReadAll(7) = %q, %v", b, err)
+	}
+	if err := s2.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Has(7) {
+		t.Fatal("Remove(7) left the block indexed")
+	}
+	if err := s2.Remove(7); err != nil {
+		t.Fatal("Remove must be idempotent")
+	}
+}
+
+func TestPlace(t *testing.T) {
+	holders := Place(5, 3, 2)
+	want := [][]int{{0, 1}, {1, 2}, {2, 0}, {0, 1}, {1, 2}}
+	for b, hs := range holders {
+		if len(hs) != len(want[b]) {
+			t.Fatalf("block %d: %v, want %v", b, hs, want[b])
+		}
+		for j := range hs {
+			if hs[j] != want[b][j] {
+				t.Fatalf("block %d: %v, want %v", b, hs, want[b])
+			}
+		}
+	}
+	// Replication is clamped to the cluster size.
+	if hs := Place(1, 2, 5)[0]; len(hs) != 2 {
+		t.Fatalf("clamped replication: %v, want 2 holders", hs)
+	}
+	if hs := Place(1, 4, 0)[0]; len(hs) != 1 {
+		t.Fatalf("zero replication: %v, want 1 holder", hs)
+	}
+}

@@ -47,6 +47,13 @@ type Ledger struct {
 	NetBytesRecv   int64 // encoded run bytes decoded at live destinations
 	NetRecordsLost int64 // records dropped with dead connections/workers
 	NetBytesLost   int64 // encoded run bytes dropped with dead connections/workers
+
+	// Block-store read accounting (dist runtime with Options.Blockstore):
+	// every input byte a map task consumes is read either off the mapper's
+	// own replica or over the peer mesh / coordinator fallback — local +
+	// remote must equal the job's input volume exactly.
+	ReadLocalBytes  int64 // block bytes served from the mapper's own store
+	ReadRemoteBytes int64 // block bytes fetched from peers or the coordinator
 }
 
 // ReadLedger extracts the conservation counters from a registry; names that
@@ -86,6 +93,8 @@ func LedgerFromCounters(c func(name string) int64) Ledger {
 		NetBytesRecv:         c("conserv_net_bytes_recv_total"),
 		NetRecordsLost:       c("conserv_net_records_lost_total"),
 		NetBytesLost:         c("conserv_net_bytes_lost_total"),
+		ReadLocalBytes:       c("dist_read_local_bytes_total"),
+		ReadRemoteBytes:      c("dist_read_remote_bytes_total"),
 	}
 }
 
@@ -121,6 +130,15 @@ type CheckOpts struct {
 	// conservation invariants (net sent == recv + lost) and asserting that
 	// a multi-worker run actually moved shuffle data over connections.
 	Dist bool
+	// Blockstore ("local" or "remote") marks dist runs whose input was
+	// ingested into worker block stores: the read ledger must conserve
+	// (local + remote == InputBytes), locality-preferred scheduling must
+	// serve at least half the input locally, and forced-remote must serve
+	// none of it locally.
+	Blockstore string
+	// InputBytes is the job's total input volume, the right-hand side of
+	// the block-read conservation equation (Blockstore runs only).
+	InputBytes int64
 }
 
 // Check verifies the conservation invariants of one run against the
@@ -193,6 +211,20 @@ func (l Ledger) Check(exp Expected, o CheckOpts) error {
 	} else {
 		// Non-dist runtimes never touch the wire counters.
 		eq("net records sent on a non-dist run", l.NetRecordsSent, 0)
+	}
+
+	if o.Blockstore != "" && !o.Faulty {
+		eq("block reads local + remote != input bytes",
+			l.ReadLocalBytes+l.ReadRemoteBytes, o.InputBytes)
+		switch o.Blockstore {
+		case "local":
+			if 2*l.ReadLocalBytes < o.InputBytes {
+				errs = append(errs, fmt.Errorf("locality-preferred run read only %d of %d input bytes locally",
+					l.ReadLocalBytes, o.InputBytes))
+			}
+		case "remote":
+			eq("local reads on a forced-remote run", l.ReadLocalBytes, 0)
+		}
 	}
 
 	if o.WantSpill && l.SpillRecords == 0 {

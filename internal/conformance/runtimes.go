@@ -491,6 +491,13 @@ type distVariant struct {
 	// (join@2, drain:0@2, restart@2, kill:1@r1, ...); restart events get a
 	// throwaway checkpoint journal wired up automatically.
 	elastic string
+	// blockstore ingests the input into worker block stores ("local" or
+	// "remote") with replication 2 over 3 workers, so placement genuinely
+	// decides which reads are local; spill additionally caps resident
+	// shuffle memory far below the intermediate volume, forcing the
+	// out-of-core reduce path.
+	blockstore string
+	spill      bool
 }
 
 func distVariants(j Job) []distVariant {
@@ -509,6 +516,14 @@ func distVariants(j Job) []distVariant {
 		vs = append(vs, distVariant{axis: "collector", name: "combiner", combiner: true})
 	}
 	vs = append(vs,
+		// Block-store cells: the same job with its input ingested into the
+		// cluster's disks. Locality-preferred placement must read at least
+		// half the input off mappers' own replicas, the forced-remote
+		// baseline must read none of it locally, and the out-of-core cell
+		// must actually spill — all byte-identical to the baseline digest.
+		distVariant{axis: "locality", name: "local-preferred", blockstore: "local"},
+		distVariant{axis: "locality", name: "forced-remote", blockstore: "remote"},
+		distVariant{axis: "locality", name: "out-of-core", blockstore: "local", spill: true},
 		// Injected attempt failures die before partitioning, so nothing
 		// touches the wire and the retry cell stays fully exact (not Faulty).
 		distVariant{axis: "faults", name: "map-retry", mapFault: true},
@@ -595,6 +610,21 @@ func runDistApp(j Job, exp Expected, opt Options, add func(Cell)) {
 			},
 			KillWorker: -1,
 		}
+		if v.blockstore != "" {
+			o.Blockstore = v.blockstore
+			o.Replication = 2
+		}
+		if v.spill {
+			dir, err := os.MkdirTemp("", "glasswing-conf-spill-*")
+			if err != nil {
+				cell.Err = err
+				add(cell)
+				continue
+			}
+			defer os.RemoveAll(dir)
+			o.Tuning.SpillThreshold = 2 << 10
+			o.Tuning.WorkDir = dir
+		}
 		if v.mapFault {
 			o.MapFault = func(task, attempt int) bool { return attempt == 0 && task%3 == 0 }
 		}
@@ -637,12 +667,15 @@ func runDistApp(j Job, exp Expected, opt Options, add func(Cell)) {
 		cell.Digest = Digest(out)
 		led := ReadLedger(tel.Metrics)
 		cell.Err = verdict(j, exp, cell.Digest, out, led.Check(exp, CheckOpts{
-			Dist:      true,
-			Faulty:    v.kill || wantKills > 0,
-			Elastic:   wantResume,
-			Combiner:  v.combiner,
-			Compress:  v.compress,
-			HasReduce: j.New().Reduce != nil,
+			Dist:       true,
+			Faulty:     v.kill || wantKills > 0,
+			Elastic:    wantResume,
+			Combiner:   v.combiner,
+			Compress:   v.compress,
+			HasReduce:  j.New().Reduce != nil,
+			Blockstore: v.blockstore,
+			InputBytes: res.InputBytes,
+			WantSpill:  v.spill,
 		}))
 		if cell.Err == nil && v.elastic != "" {
 			switch {

@@ -1,0 +1,235 @@
+package dfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"glasswing/internal/blockstore"
+	"glasswing/internal/hw"
+	"glasswing/internal/sim"
+)
+
+// RealFS is the on-disk counterpart of the simulated DFS: the same FS
+// contract (named files, fixed-size replicated blocks, locality queries),
+// but every block lives in a real per-node blockstore.Store under one root
+// directory, and every read and write is actual file I/O. Engines written
+// against FS run unchanged; the sim.Proc and timing models are simply not
+// consulted — wall time on a real disk needs no simulation.
+//
+// The layout mirrors what the distributed runtime's workers keep on their
+// scratch disks (node-<id>/<block>.blk), so the same knobs — block size,
+// replication factor, locality-aware placement — mean the same thing in
+// simulated and real runs. That correspondence is what lets the conformance
+// suite compare the two substrates block for block.
+type RealFS struct {
+	Cluster     *hw.Cluster
+	BlockSize   int64
+	Replication int
+
+	stores []*blockstore.Store
+	mu     sync.Mutex
+	files  map[string]*File
+	ids    map[string][]int // file name -> blockstore id per block
+	nextID int
+
+	// ReadsLocal / ReadsRemote count ReadBlock calls served from the
+	// reader's own store vs. another node's, for locality reporting.
+	ReadsLocal  atomic.Int64
+	ReadsRemote atomic.Int64
+}
+
+// NewReal creates a real on-disk file system rooted at dir, with one block
+// store per cluster node (dir/node-<id>). The directory is created if
+// missing; existing block files are adopted, matching blockstore.Open.
+func NewReal(cluster *hw.Cluster, dir string, blockSize int64, replication int) (*RealFS, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: block size must be positive")
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(cluster.Nodes) {
+		replication = len(cluster.Nodes)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: real root: %w", err)
+	}
+	r := &RealFS{
+		Cluster:     cluster,
+		BlockSize:   blockSize,
+		Replication: replication,
+		files:       make(map[string]*File),
+		ids:         make(map[string][]int),
+	}
+	for _, n := range cluster.Nodes {
+		s, err := blockstore.Open(filepath.Join(dir, fmt.Sprintf("node-%d", n.ID)))
+		if err != nil {
+			return nil, err
+		}
+		r.stores = append(r.stores, s)
+	}
+	return r, nil
+}
+
+// Name implements FS.
+func (r *RealFS) Name() string { return "realFS" }
+
+// Open implements FS.
+func (r *RealFS) Open(name string) (*File, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.files[name]
+	if !ok {
+		return nil, fmt.Errorf("realfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether a file is stored.
+func (r *RealFS) Exists(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.files[name]
+	return ok
+}
+
+func (r *RealFS) split(data []byte) [][]byte {
+	var chunks [][]byte
+	for off := int64(0); off < int64(len(data)); off += r.BlockSize {
+		end := off + r.BlockSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunks = append(chunks, data[off:end])
+	}
+	if len(chunks) == 0 {
+		chunks = [][]byte{nil}
+	}
+	return chunks
+}
+
+// nodeIndex maps a node to its store slot.
+func (r *RealFS) nodeIndex(n *hw.Node) int {
+	for i, c := range r.Cluster.Nodes {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// store writes pre-split blocks under name: block i's replicas land on the
+// writer (when given, HDFS's writer-first policy) or node i%N, then the
+// following nodes in ring order — the same wheel blockstore.Place deals, so
+// simulated and real placements agree. Caller holds r.mu.
+func (r *RealFS) store(writer *hw.Node, name string, blocks [][]byte, repl int) (*File, error) {
+	if repl <= 0 {
+		repl = r.Replication
+	}
+	nNodes := len(r.Cluster.Nodes)
+	if repl > nNodes {
+		repl = nNodes
+	}
+	f := &File{FileName: name}
+	var ids []int
+	for i, c := range blocks {
+		f.Size += int64(len(c))
+		first := i % nNodes
+		if writer != nil {
+			first = r.nodeIndex(writer)
+		}
+		id := r.nextID
+		r.nextID++
+		b := &Block{Index: i}
+		for j := 0; j < repl; j++ {
+			slot := (first + j) % nNodes
+			if err := r.stores[slot].Put(id, c); err != nil {
+				return nil, err
+			}
+			b.Locations = append(b.Locations, r.Cluster.Nodes[slot])
+		}
+		f.Blocks = append(f.Blocks, b)
+		ids = append(ids, id)
+	}
+	r.files[name] = f
+	r.ids[name] = ids
+	return f, nil
+}
+
+// Write implements FS: real replicated writes, no virtual time charged.
+func (r *RealFS) Write(_ *sim.Proc, writer *hw.Node, name string, data []byte, replication int) (*File, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store(writer, name, r.split(data), replication)
+}
+
+// Preload stores a file; on the real backend preloading IS writing — there
+// is no virtual clock to spare. Implements Preloader.
+func (r *RealFS) Preload(name string, data []byte, replication int) *File {
+	f, err := r.Write(nil, nil, name, data, replication)
+	if err != nil {
+		panic(fmt.Sprintf("dfs: real preload %q: %v", name, err))
+	}
+	return f
+}
+
+// PreloadBlocks stores a file from pre-split blocks. Implements Preloader.
+func (r *RealFS) PreloadBlocks(name string, blocks [][]byte, replication int) *File {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(blocks) == 0 {
+		blocks = [][]byte{nil}
+	}
+	f, err := r.store(nil, name, blocks, replication)
+	if err != nil {
+		panic(fmt.Sprintf("dfs: real preload %q: %v", name, err))
+	}
+	return f
+}
+
+// LocalTo implements FS: true when the reader's own store holds the block.
+func (r *RealFS) LocalTo(f *File, idx int, n *hw.Node) bool {
+	i := r.nodeIndex(n)
+	if i < 0 || idx < 0 || idx >= len(f.Blocks) {
+		return false
+	}
+	r.mu.Lock()
+	ids, ok := r.ids[f.FileName]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return r.stores[i].Has(ids[idx])
+}
+
+// ReadBlock implements FS: served from the reader's own store when a replica
+// is local, otherwise streamed out of the first holder's store. Both paths
+// are real disk reads; the locality counters record which one ran.
+func (r *RealFS) ReadBlock(_ *sim.Proc, reader *hw.Node, f *File, idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(f.Blocks) {
+		return nil, fmt.Errorf("realfs: block %d out of range for %q (%d blocks)", idx, f.FileName, len(f.Blocks))
+	}
+	r.mu.Lock()
+	ids, ok := r.ids[f.FileName]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("realfs: %q has no stored blocks", f.FileName)
+	}
+	id := ids[idx]
+	if i := r.nodeIndex(reader); i >= 0 && r.stores[i].Has(id) {
+		r.ReadsLocal.Add(1)
+		return r.stores[i].ReadAll(id)
+	}
+	for _, loc := range f.Blocks[idx].Locations {
+		if i := r.nodeIndex(loc); i >= 0 && r.stores[i].Has(id) {
+			r.ReadsRemote.Add(1)
+			return r.stores[i].ReadAll(id)
+		}
+	}
+	return nil, fmt.Errorf("realfs: block %d of %q lost on all replicas", idx, f.FileName)
+}
+
+var _ Preloader = (*RealFS)(nil)

@@ -1,0 +1,110 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRealFSRoundTrip(t *testing.T) {
+	_, c := testCluster(4)
+	r, err := NewReal(c, t.TempDir(), 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("payload "), 320) // 2560 bytes -> 3 blocks
+	f := r.Preload("in", data, 0)
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	got, err := r.Open("in")
+	if err != nil || got != f {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := r.Open("missing"); err == nil {
+		t.Fatal("Open of missing file should error")
+	}
+
+	var back []byte
+	for i := range f.Blocks {
+		b, err := r.ReadBlock(nil, c.Nodes[0], f, i)
+		if err != nil {
+			t.Fatalf("ReadBlock(%d): %v", i, err)
+		}
+		back = append(back, b...)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("read-back bytes diverge from written bytes")
+	}
+}
+
+func TestRealFSLocality(t *testing.T) {
+	_, c := testCluster(4)
+	r, err := NewReal(c, t.TempDir(), 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 400) // 4 blocks, one first-replica per node
+	f := r.Preload("in", data, 0)
+
+	// Block i's replicas sit on nodes i and i+1 (mod 4): node 0 holds
+	// blocks 0 and 3 — local — but not block 2.
+	if !r.LocalTo(f, 0, c.Nodes[0]) || !r.LocalTo(f, 3, c.Nodes[0]) {
+		t.Fatal("expected blocks 0 and 3 local to node 0")
+	}
+	if r.LocalTo(f, 2, c.Nodes[0]) {
+		t.Fatal("block 2 should not be local to node 0")
+	}
+
+	if _, err := r.ReadBlock(nil, c.Nodes[0], f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBlock(nil, c.Nodes[0], f, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l, rm := r.ReadsLocal.Load(), r.ReadsRemote.Load(); l != 1 || rm != 1 {
+		t.Fatalf("locality counters local=%d remote=%d, want 1/1", l, rm)
+	}
+}
+
+func TestRealFSWriterFirstPlacement(t *testing.T) {
+	_, c := testCluster(3)
+	r, err := NewReal(c, t.TempDir(), 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Write(nil, c.Nodes[2], "out", []byte("result"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Blocks[0].Locations[0] != c.Nodes[2] {
+		t.Fatal("first replica must land on the writer")
+	}
+	if !r.LocalTo(f, 0, c.Nodes[2]) {
+		t.Fatal("writer should hold its own block")
+	}
+}
+
+func TestRealFSSurvivesReplicaLoss(t *testing.T) {
+	_, c := testCluster(3)
+	dir := t.TempDir()
+	r, err := NewReal(c, dir, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.Preload("in", []byte("hello"), 0)
+	// Lose the first replica (node 0's store); the read must fall through
+	// to the surviving holder.
+	if err := r.stores[0].Remove(r.ids["in"][0]); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ReadBlock(nil, c.Nodes[0], f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte("hello")) {
+		t.Fatal("fallback read returned wrong bytes")
+	}
+	if r.ReadsRemote.Load() != 1 {
+		t.Fatal("fallback read should count remote")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"glasswing/internal/blockstore"
 	"glasswing/internal/kv"
 	"glasswing/internal/obs"
 )
@@ -71,6 +72,19 @@ type Options struct {
 	// coordinator restarts — against scheduler progress. Joins, kills and
 	// restarts need the loopback runner's hooks; drains work anywhere.
 	Elastic []ElasticEvent
+	// Blockstore selects how map input reaches workers. "" ships each block
+	// embedded in its map-task frame (the classic path). "local" ingests
+	// every block into Replication worker disks up front and schedules each
+	// task on a replica holder — the Fig 3(d) move-compute-to-data mode;
+	// non-holders (steals, retries) stream the block from a holder. "remote"
+	// ingests identically but pins every task away from its replicas, the
+	// locality-off baseline the conformance suite diffs against.
+	Blockstore string
+	// Replication is block-store replica count (0 = default 3, clamped to
+	// the cluster width; "remote" further clamps to width-1 so a non-holder
+	// always exists).
+	Replication int
+
 	// JournalPath enables the checkpoint journal: an append-only, fsynced
 	// record of task resolutions, partition homes, shuffle commit marks and
 	// membership epochs, written write-ahead of every broadcast.
@@ -179,6 +193,9 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 	if len(o.Blocks) == 0 {
 		return nil, fmt.Errorf("dist: no input blocks")
 	}
+	if o.Blockstore != "" && o.Blockstore != "local" && o.Blockstore != "remote" {
+		return nil, fmt.Errorf("dist: unknown blockstore mode %q", o.Blockstore)
+	}
 	if led == nil {
 		led = newLedger(o.Telemetry)
 	}
@@ -213,6 +230,27 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 		sched *dsched
 		jn    *journal
 	)
+	// Block-store namespace: holders[t] is the replica set of block t,
+	// computed once at formation width and journaled so a resumed coordinator
+	// reconstructs the same placement the workers' disks actually hold.
+	var holders [][]int
+	bsRepl := o.Replication
+	if bsRepl <= 0 {
+		bsRepl = 3
+	}
+	placeBlocks := func(width int) {
+		if o.Blockstore == "" || width <= 0 {
+			return
+		}
+		if o.Blockstore == "remote" && bsRepl >= width && width > 1 {
+			// Forced-remote needs a non-holder to run every task on.
+			bsRepl = width - 1
+		}
+		if bsRepl > width {
+			bsRepl = width
+		}
+		holders = blockstore.Place(nTasks, width, bsRepl)
+	}
 	interPairs := make([]int64, nTasks) // per task, last winning attempt
 	outputs := make([][]kv.Pair, o.Job.Partitions)
 	donePart := make([]bool, o.Job.Partitions)
@@ -251,6 +289,14 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 		}
 		if err := rs.validateResume(&o); err != nil {
 			return nil, err
+		}
+		if rs.bsMode != "" {
+			// Rebuild the namespace exactly as formed: the journaled width and
+			// replication reproduce the placement the workers' disks hold, so
+			// resume never re-ingests — rejoining workers still have their
+			// replicas, and dead holders fall out at dispatch time.
+			bsRepl = rs.bsRepl
+			placeBlocks(rs.bsWidth)
 		}
 		traceID = rs.traceID
 		epoch = rs.epoch
@@ -389,7 +435,22 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 		for p := range homes {
 			homes[p] = p % n
 		}
-		sched = newSched(nTasks, n, o.Job.MaxAttempts)
+		placeBlocks(n)
+		var prefer []int
+		if holders != nil {
+			prefer = make([]int, nTasks)
+			for t := range prefer {
+				if o.Blockstore == "remote" {
+					// First worker past the replica window: never a holder.
+					prefer[t] = (t + len(holders[t])) % n
+				} else {
+					// holders[t][0] is t%n, so the locality-preferring deal
+					// keeps the classic deal's balance exactly.
+					prefer[t] = holders[t][0]
+				}
+			}
+		}
+		sched = newSchedAffinity(nTasks, n, o.Job.MaxAttempts, prefer)
 		if o.JournalPath != "" {
 			var err error
 			jn, err = createJournal(o.JournalPath)
@@ -398,6 +459,11 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 			}
 			if err := jn.jobStart(o.Job, traceID, nTasks, blocksDigest(o.Blocks)); err != nil {
 				return nil, err
+			}
+			if o.Blockstore != "" {
+				if err := jn.namespace(o.Blockstore, bsRepl, n); err != nil {
+					return nil, err
+				}
 			}
 			if err := jn.membership(0, homes, alive, sched.attempt, 0, 0, 0); err != nil {
 				return nil, err
@@ -412,6 +478,18 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 			cw.cc.send(frame{typ: mJobStart, payload: jobStartMsg{
 				Job: o.Job, TraceID: traceID, Peers: peers, Homes: homes, Epoch: 0, Live: false,
 			}.encode()})
+		}
+		// Ingest the namespace: push every block to each of its replica
+		// holders, after job-start so the worker's handshake stays two
+		// frames, before any map task thanks to FIFO links. Puts ride the
+		// bulk send window, so a slow disk backpressures the push instead of
+		// ballooning the queue; replica bytes are booked by the receiving
+		// worker as dist_block_ingest_bytes_total, never as shuffle traffic.
+		for t, hs := range holders {
+			payload := blockPutMsg{ID: t, Data: o.Blocks[t]}.encode()
+			for _, h := range hs {
+				ws[h].cc.send(frame{typ: mBlockPut, payload: payload, bulk: true, acct: int64(len(payload))})
+			}
 		}
 	}
 
@@ -606,9 +684,28 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 				}
 				id, endSpan := ctr.span(stageSchedAssign, 0)
 				assignSpans[attemptKey{t, sched.attempt[t]}] = endSpan
-				cw.cc.send(frame{typ: mMapTask, payload: mapTaskMsg{
-					Task: t, Attempt: sched.attempt[t], SpanID: id, Block: o.Blocks[t],
-				}.encode()})
+				msg := mapTaskMsg{Task: t, Attempt: sched.attempt[t], SpanID: id}
+				if holders == nil {
+					msg.Block = o.Blocks[t]
+				} else {
+					// Block-store dispatch: a reference plus the replica set
+					// still alive to serve it. AllowLocal=false is the
+					// forced-remote baseline — even a holder must stream.
+					msg.Ref = true
+					msg.BlockSize = int64(len(o.Blocks[t]))
+					msg.AllowLocal = o.Blockstore != "remote"
+					for _, h := range holders[t] {
+						if h < len(ws) && ws[h] != nil && ws[h].alive && ws[h].state != wDrained {
+							msg.Holders = append(msg.Holders, h)
+						}
+					}
+					if len(msg.Holders) == 0 {
+						// Every replica is gone: embed the bytes — availability
+						// beats locality, and the read books as remote.
+						msg.Block = o.Blocks[t]
+					}
+				}
+				cw.cc.send(frame{typ: mMapTask, payload: msg.encode()})
 				cw.outstanding++
 			}
 		}
@@ -1145,7 +1242,7 @@ func serve(ln net.Listener, o Options, led *ledger, hooks loopHooks) (*Result, e
 			if o.Journal != nil {
 				o.Journal.Info("map-retry", "task", m.Task, "attempt", m.Attempt, "worker", ev.w, "reason", m.Reason)
 			}
-			if err := sched.fail(m.Task, m.Attempt, ev.w, schedAlive()); err != nil {
+			if err := sched.fail(m.Task, m.Attempt, ev.w, schedAlive(), m.Reason); err != nil {
 				fail(err)
 				continue
 			}

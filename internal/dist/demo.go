@@ -46,3 +46,31 @@ func DemoJob(name string, size, partitions, chunk int) (Job, [][]byte, func(*Res
 		return Job{}, nil, nil, fmt.Errorf("dist: no demo job %q (wc, ts, km)", name)
 	}
 }
+
+// FileJob builds a job over caller-supplied input bytes — a file produced
+// by cmd/datagen or ingested from elsewhere — instead of generating the
+// dataset in place. The returned verifier recomputes the reference answer
+// from the same bytes, so correctness checking works on arbitrary inputs,
+// not just the fixed-seed demo datasets. useCombiner toggles the map-side
+// combiner (out-of-core runs turn it off to maximize shuffle volume).
+func FileJob(name string, data []byte, partitions, chunk int, useCombiner bool) (Job, [][]byte, func(*Result) error, error) {
+	job := Job{App: AppSpec{Name: name}, Partitions: partitions}
+	switch name {
+	case "wc":
+		want := apps.WCRef(data)
+		job.Collector = core.HashTable
+		job.UseCombiner = useCombiner
+		verify := func(r *Result) error { return apps.VerifyCounts(r.Output(), want) }
+		return job, SplitBlocks(data, chunk, 0), verify, nil
+	case "ts":
+		if len(data)%workload.TeraRecordSize != 0 {
+			return Job{}, nil, nil, fmt.Errorf("dist: ts input is %d bytes, not a multiple of the %d-byte record", len(data), workload.TeraRecordSize)
+		}
+		job.App.Params = EncodeTSParams(apps.TeraSample(data, 16))
+		job.Collector = core.BufferPool
+		verify := func(r *Result) error { return apps.VerifyTeraSort(r.Output(), data) }
+		return job, SplitBlocks(data, chunk, workload.TeraRecordSize), verify, nil
+	default:
+		return Job{}, nil, nil, fmt.Errorf("dist: no file job %q (wc, ts)", name)
+	}
+}

@@ -113,6 +113,18 @@ type Tuning struct {
 	// With a grace window, a coordinator that restarts and resumes from
 	// its journal picks its workers back up instead of stranding them.
 	RejoinGrace time.Duration
+	// SpillThreshold caps a worker's resident intermediate shuffle data:
+	// once committed runs exceed this many encoded bytes, whole partitions
+	// are evicted to sorted on-disk run files and the reduce path k-way
+	// merges them back streamingly — the out-of-core mode that lets a
+	// dataset far larger than RAM complete (0 = never spill, the
+	// everything-resident behavior every earlier test pins).
+	SpillThreshold int64
+	// WorkDir is where a worker puts its block-store replicas and spill
+	// files ("" = the OS temp dir). Each worker creates (and removes) a
+	// unique subdirectory, so loopback workers sharing one WorkDir don't
+	// collide.
+	WorkDir string
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -165,6 +177,14 @@ type Result struct {
 	WorkersDrained int
 	Resumed        bool
 
+	// Block-store locality and out-of-core spill totals (loopback runs
+	// read them off the shared ledger; multi-process workers report theirs
+	// in their own metrics snapshots).
+	ReadLocalBytes  int64
+	ReadRemoteBytes int64
+	SpillRecords    int64
+	SpillBytes      int64
+
 	// TraceID is the job's distributed trace id (minted by the coordinator
 	// unless Options.TraceID pinned one).
 	TraceID uint64
@@ -195,9 +215,11 @@ func (r *Result) Output() []kv.Pair {
 // runtime adds.
 const (
 	stageMapKernel    = "map/kernel"
+	stageMapInput     = "map/input"
 	stageMapPartition = "map/partition"
 	stageNetSend      = "net/send"
 	stageNetRecv      = "net/recv"
+	stageSpill        = "spill"
 	stageReduce       = "reduce"
 	// Coordinator-side scheduling spans (node -1 in the merged trace): the
 	// tenure of one map attempt / reduce partition from dispatch to its

@@ -489,13 +489,13 @@ func TestSchedFailExhaustion(t *testing.T) {
 	if _, ok := s.next(0, alive); !ok {
 		t.Fatal("no task")
 	}
-	if err := s.fail(0, 0, 0, alive); err != nil {
+	if err := s.fail(0, 0, 0, alive, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.next(0, alive); !ok {
 		t.Fatal("retry not queued")
 	}
-	if err := s.fail(0, 1, 0, alive); err == nil {
+	if err := s.fail(0, 1, 0, alive, ""); err == nil {
 		t.Fatal("want exhaustion error on second failure")
 	}
 }

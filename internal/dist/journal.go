@@ -30,6 +30,7 @@ const (
 	jrMembership byte = 2 // epoch, homes, alive set, per-task attempts, churn totals
 	jrMapDone    byte = 3 // one task resolved: attempt + winning attempt's stats
 	jrReduceDone byte = 4 // one partition's output accepted: attempt + marshaled pairs
+	jrNamespace  byte = 5 // block-store namespace: mode, replication, formation width
 )
 
 // errResumeRefused prefixes every replay failure.
@@ -111,6 +112,19 @@ func (j *journal) jobStart(job Job, traceID uint64, nTasks int, digest [32]byte)
 	return j.append(e.buf)
 }
 
+// namespace journals the block-store placement inputs. Placement is a pure
+// function of (tasks, width, replication), so the record carries the inputs
+// rather than the full block→holders map; a resumed coordinator recomputes
+// the identical namespace the workers' disks hold.
+func (j *journal) namespace(mode string, repl, width int) error {
+	var e enc
+	e.buf = append(e.buf, jrNamespace)
+	e.str(mode)
+	e.i(int64(repl))
+	e.i(int64(width))
+	return j.append(e.buf)
+}
+
 func (j *journal) membership(epoch int, homes []int, alive []bool, attempt []int, joined, drained, lost int) error {
 	var e enc
 	e.buf = append(e.buf, jrMembership)
@@ -172,6 +186,10 @@ type resumeState struct {
 	joined  int
 	drained int
 	lost    int
+
+	bsMode  string // block-store mode ("" = off)
+	bsRepl  int
+	bsWidth int // cluster width the placement was computed at
 
 	resolved []bool
 	stats    map[int]attemptStats
@@ -323,6 +341,19 @@ func replayJournal(data []byte) (*resumeState, error) {
 			rs.attempt[task] = attempt
 			rs.stats[task] = st
 			resolvedAt[task] = attempt
+		case jrNamespace:
+			mode := d.str()
+			repl, width := int(d.i()), int(d.i())
+			if err := d.fin("journal namespace"); err != nil {
+				return refuse("%v", err)
+			}
+			if (mode != "local" && mode != "remote") || repl <= 0 || width <= 0 || repl > width {
+				return refuse("implausible namespace record")
+			}
+			if rs.bsMode != "" {
+				return refuse("duplicate namespace record")
+			}
+			rs.bsMode, rs.bsRepl, rs.bsWidth = mode, repl, width
 		case jrReduceDone:
 			part, attempt := int(d.i()), int(d.i())
 			recs, _ := d.i(), d.i() // groupsIn is informational; records feed settlement
@@ -375,6 +406,8 @@ func (rs *resumeState) validateResume(o *Options) error {
 		return refuse("journaled %d input blocks, options carry %d", rs.nTasks, len(o.Blocks))
 	case rs.digest != blocksDigest(o.Blocks):
 		return refuse("input blocks differ from the journaled job")
+	case rs.bsMode != o.Blockstore:
+		return refuse("journaled blockstore mode %q, options say %q", rs.bsMode, o.Blockstore)
 	}
 	return nil
 }

@@ -199,5 +199,12 @@ func RunLoopback(o Options) (*Result, error) {
 			return nil, fmt.Errorf("dist: worker goroutine: %w", werr)
 		}
 	}
+	// Loopback shares one ledger across the cluster, so the job's locality
+	// and spill totals are readable directly (multi-process workers report
+	// theirs in their own metrics snapshots instead).
+	res.ReadLocalBytes = lc.led.readLocalBytes.Load()
+	res.ReadRemoteBytes = lc.led.readRemoteBytes.Load()
+	res.SpillRecords = lc.led.spillRecords.Load()
+	res.SpillBytes = lc.led.spillStoredBytes.Load()
 	return res, nil
 }

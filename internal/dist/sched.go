@@ -31,6 +31,17 @@ type dsched struct {
 }
 
 func newSched(nTasks, nWorkers, maxAttempts int) *dsched {
+	return newSchedAffinity(nTasks, nWorkers, maxAttempts, nil)
+}
+
+// newSchedAffinity is newSched with locality-aware placement: prefer[t]
+// names the worker whose queue task t is dealt to — the block store passes
+// a replica holder here, so the initial deal is a local disk read for every
+// task (Fig 3(d)'s "move compute to data"). A nil prefer, or an entry out
+// of range, falls back to the classic t%n deal. Work stealing is untouched:
+// a stolen task simply becomes a remote streaming read, which is exactly
+// the graceful degradation the locality counters exist to measure.
+func newSchedAffinity(nTasks, nWorkers, maxAttempts int, prefer []int) *dsched {
 	s := &dsched{
 		queues:      make([][]int, nWorkers),
 		attempt:     make([]int, nTasks),
@@ -41,6 +52,9 @@ func newSched(nTasks, nWorkers, maxAttempts int) *dsched {
 	}
 	for t := 0; t < nTasks; t++ {
 		w := t % nWorkers
+		if t < len(prefer) && prefer[t] >= 0 && prefer[t] < nWorkers {
+			w = prefer[t]
+		}
 		s.queues[w] = append(s.queues[w], t)
 	}
 	return s
@@ -83,12 +97,15 @@ func (s *dsched) done(task, attempt int) bool {
 // fail requeues a failed current attempt on the same worker (survivors
 // inherit via death redistribution if it later dies); exhausting
 // maxAttempts fails the job.
-func (s *dsched) fail(task, attempt, wkr int, alive []bool) error {
+func (s *dsched) fail(task, attempt, wkr int, alive []bool, reason string) error {
 	if attempt != s.attempt[task] || s.resolved[task] {
 		return nil // stale attempt; its successor is already queued
 	}
 	s.failures[task]++
 	if s.failures[task] >= s.maxAttempts {
+		if reason != "" {
+			return fmt.Errorf("dist: task %d failed %d attempts (last: %s)", task, s.failures[task], reason)
+		}
 		return fmt.Errorf("dist: task %d failed %d attempts", task, s.failures[task])
 	}
 	s.attempt[task]++

@@ -105,7 +105,7 @@ func (c *schedChaos) step() {
 		i := c.rng.Intn(len(c.inflight))
 		a := c.inflight[i]
 		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
-		if err := c.s.fail(a.task, a.attempt, a.wkr, c.alive); err != nil {
+		if err := c.s.fail(a.task, a.attempt, a.wkr, c.alive, ""); err != nil {
 			c.t.Fatalf("seed %d: %v", c.seed, err)
 		}
 	case op < 84: // deliver a ghost report: done or fail from a dead attempt
@@ -129,7 +129,7 @@ func (c *schedChaos) step() {
 			c.t.Fatalf("seed %d: stale attempt (%d,%d) accepted over current %d",
 				c.seed, g.task, g.attempt, c.s.attempt[g.task])
 		}
-		c.s.fail(g.task, g.attempt, g.wkr, c.alive) // stale fail: must be a no-op
+		c.s.fail(g.task, g.attempt, g.wkr, c.alive, "") // stale fail: must be a no-op
 	case op < 90: // kill a random live worker (never the last)
 		live := c.liveWorkers()
 		if len(live) < 2 {

@@ -1,16 +1,58 @@
 package dist
 
-import "glasswing/internal/kv"
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"glasswing/internal/kv"
+)
 
 // attemptKey identifies one execution of one map task.
 type attemptKey struct{ task, attempt int }
 
 // committedRun is one run the store has accepted, tagged with the task that
 // produced it so a re-homed partition can be handed to its new owner with
-// enough identity for destination-side dedup.
+// enough identity for destination-side dedup. A run is either resident
+// (run != nil) or spilled to a sorted on-disk stream file (file != "") —
+// the out-of-core path; records/rawBytes are kept here so accounting never
+// needs the evicted blob back.
 type committedRun struct {
-	task int
-	run  *kv.Run
+	task     int
+	run      *kv.Run
+	file     string
+	records  int
+	rawBytes int64
+	stored   int64 // encoded bytes: blob size resident, stream size spilled
+}
+
+// load returns the run, reading a spilled one back off disk (handoff is
+// the one consumer that needs a whole run materialized again).
+func (cr *committedRun) load() (*kv.Run, error) {
+	if cr.run != nil {
+		return cr.run, nil
+	}
+	f, err := os.Open(cr.file)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reloading spilled run: %w", err)
+	}
+	defer f.Close()
+	r := kv.NewReader(bufio.NewReaderSize(f, 64<<10))
+	pairs := make([]kv.Pair, 0, cr.records)
+	for {
+		p, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: reloading spilled run: %w", err)
+		}
+		pairs = append(pairs, p)
+	}
+	return kv.NewRun(pairs, false), nil
 }
 
 // stagedRun is one uncommitted arrival plus the membership epoch the sender
@@ -51,6 +93,19 @@ type shuffleStore struct {
 	have       map[int]map[int]bool              // task → partitions committed here
 	staged     map[attemptKey]map[int]stagedRun  // uncommitted shuffle arrivals
 	handoff    map[int]map[int][]stagedHandoff   // partition → epoch → staged handoff runs
+
+	// Out-of-core spill state: once resident committed bytes exceed
+	// spillLimit (> 0), the biggest partition's runs are evicted to sorted
+	// on-disk stream files; the reduce path k-way merges resident and
+	// spilled runs together. The dir provider creates the worker's scratch
+	// directory lazily so jobs that never spill never touch the disk.
+	spillLimit   int64
+	spillDir     func() (string, error)
+	spillLed     *ledger
+	spillTr      *tracer
+	spillSeq     int
+	resident     int64
+	residentPart map[int]int64
 }
 
 // stagedHandoff is one handed-off committed run awaiting its handoff mark.
@@ -61,11 +116,22 @@ type stagedHandoff struct {
 
 func newShuffleStore() *shuffleStore {
 	return &shuffleStore{
-		partitions: make(map[int][]committedRun),
-		have:       make(map[int]map[int]bool),
-		staged:     make(map[attemptKey]map[int]stagedRun),
-		handoff:    make(map[int]map[int][]stagedHandoff),
+		partitions:   make(map[int][]committedRun),
+		have:         make(map[int]map[int]bool),
+		staged:       make(map[attemptKey]map[int]stagedRun),
+		handoff:      make(map[int]map[int][]stagedHandoff),
+		residentPart: make(map[int]int64),
 	}
+}
+
+// enableSpill arms the out-of-core path: resident committed runs beyond
+// limit bytes are evicted to stream files under dir(). led and tr (both
+// optional) receive the conserv_spill_* accounting and spill spans.
+func (s *shuffleStore) enableSpill(limit int64, dir func() (string, error), led *ledger, tr *tracer) {
+	s.spillLimit = limit
+	s.spillDir = dir
+	s.spillLed = led
+	s.spillTr = tr
 }
 
 // setEpoch advances the store's membership epoch; staged runs from older
@@ -104,23 +170,168 @@ func (s *shuffleStore) commit(task, attempt int) (accepted, dupped int64) {
 			s.have[task] = make(map[int]bool)
 		}
 		s.have[task][part] = true
-		s.partitions[part] = append(s.partitions[part], committedRun{task: task, run: sr.run})
+		s.addCommitted(part, committedRun{
+			task: task, run: sr.run,
+			records: sr.run.Records, rawBytes: sr.run.RawBytes, stored: sr.run.StoredBytes(),
+		})
 		accepted += int64(sr.run.Records)
 	}
+	s.maybeSpill()
 	return accepted, dupped
 }
 
-// runsFor hands a partition's committed runs to reduce.
-func (s *shuffleStore) runsFor(part int) []*kv.Run {
+// addCommitted appends one committed run and books its resident bytes.
+func (s *shuffleStore) addCommitted(part int, cr committedRun) {
+	s.partitions[part] = append(s.partitions[part], cr)
+	if cr.run != nil {
+		s.resident += cr.stored
+		s.residentPart[part] += cr.stored
+	}
+}
+
+// maybeSpill evicts whole partitions — largest resident first — until the
+// store is back under its limit. A disk failure disarms spilling rather
+// than failing the job: the data is still resident and correct, just no
+// longer bounded.
+func (s *shuffleStore) maybeSpill() {
+	for s.spillLimit > 0 && s.resident > s.spillLimit {
+		best, bestBytes := -1, int64(0)
+		for p, b := range s.residentPart {
+			if b > bestBytes {
+				best, bestBytes = p, b
+			}
+		}
+		if best < 0 || !s.spillPartition(best) {
+			return
+		}
+	}
+}
+
+// spillPartition evicts every resident run of one partition to sorted
+// on-disk stream files. Reports whether any bytes moved.
+func (s *shuffleStore) spillPartition(part int) bool {
+	dir, err := s.spillDir()
+	if err != nil {
+		s.spillLimit = 0
+		return false
+	}
 	crs := s.partitions[part]
-	if len(crs) == 0 {
+	moved := false
+	for i := range crs {
+		cr := &crs[i]
+		if cr.run == nil {
+			continue
+		}
+		t0 := time.Now()
+		path := filepath.Join(dir, fmt.Sprintf("spill-%06d.run", s.spillSeq))
+		s.spillSeq++
+		stored, err := writeRunFile(path, cr.run)
+		if err != nil {
+			s.spillLimit = 0
+			return moved
+		}
+		s.resident -= cr.stored
+		s.residentPart[part] -= cr.stored
+		if s.spillLed != nil {
+			s.spillLed.spillRecords.Add(int64(cr.records))
+			s.spillLed.spillRawBytes.Add(cr.rawBytes)
+			s.spillLed.spillStoredBytes.Add(stored)
+			s.spillLed.spillFiles.Add(1)
+		}
+		if s.spillTr != nil {
+			s.spillTr.record(stageSpill, t0, time.Now(), 0)
+		}
+		cr.run, cr.file, cr.stored = nil, path, stored
+		moved = true
+	}
+	if s.residentPart[part] <= 0 {
+		delete(s.residentPart, part)
+	}
+	return moved
+}
+
+// writeRunFile streams one sorted run into the kv stream format (the same
+// spill framing the native runtime uses), returning the encoded size.
+func writeRunFile(path string, run *kv.Run) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := kv.NewWriter(f)
+	it := run.Iter()
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(p); err != nil {
+			f.Close()
+			os.Remove(path)
+			return 0, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return 0, err
+	}
+	return w.Bytes(), nil
+}
+
+// spillFileIter streams a spilled run back for the reduce merge, surfacing
+// stream errors through the Iterator's exhaustion plus the err method.
+type spillFileIter struct {
+	f  *os.File
+	it *kv.StreamIter
+}
+
+func (si *spillFileIter) Next() (kv.Pair, bool) { return si.it.Next() }
+
+// partitionIters returns one sorted iterator per committed run of part —
+// resident runs iterate in memory, spilled runs stream off disk — plus the
+// partition's record total. close releases the open spill files; err (from
+// any iterator's underlying stream) must be checked after the merge drains.
+func (s *shuffleStore) partitionIters(part int) (iters []kv.Iterator, records int64, close func(), errf func() error) {
+	crs := s.partitions[part]
+	var files []*spillFileIter
+	var openErr error
+	for i := range crs {
+		cr := &crs[i]
+		records += int64(cr.records)
+		if cr.run != nil {
+			iters = append(iters, cr.run.Iter())
+			continue
+		}
+		f, err := os.Open(cr.file)
+		if err != nil {
+			openErr = fmt.Errorf("dist: opening spilled run: %w", err)
+			continue
+		}
+		si := &spillFileIter{f: f, it: kv.NewStreamIter(kv.NewReader(bufio.NewReaderSize(f, 64<<10)))}
+		files = append(files, si)
+		iters = append(iters, si)
+	}
+	close = func() {
+		for _, si := range files {
+			si.f.Close()
+		}
+	}
+	errf = func() error {
+		if openErr != nil {
+			return openErr
+		}
+		for _, si := range files {
+			if err := si.it.Err(); err != nil {
+				return fmt.Errorf("dist: streaming spilled run: %w", err)
+			}
+		}
 		return nil
 	}
-	runs := make([]*kv.Run, len(crs))
-	for i, cr := range crs {
-		runs[i] = cr.run
-	}
-	return runs
+	return iters, records, close, errf
 }
 
 // takePartition removes a partition this node is handing to a new home,
@@ -129,8 +340,10 @@ func (s *shuffleStore) runsFor(part int) []*kv.Run {
 func (s *shuffleStore) takePartition(part int) (runs []committedRun, records int64) {
 	runs = s.partitions[part]
 	delete(s.partitions, part)
+	s.resident -= s.residentPart[part]
+	delete(s.residentPart, part)
 	for _, cr := range runs {
-		records += int64(cr.run.Records)
+		records += int64(cr.records)
 		delete(s.have[cr.task], part)
 	}
 	return runs, records
@@ -164,9 +377,13 @@ func (s *shuffleStore) adoptHandoff(part, epoch int) (adopted, dupped int64) {
 			s.have[sh.task] = make(map[int]bool)
 		}
 		s.have[sh.task][part] = true
-		s.partitions[part] = append(s.partitions[part], committedRun{task: sh.task, run: sh.run})
+		s.addCommitted(part, committedRun{
+			task: sh.task, run: sh.run,
+			records: sh.run.Records, rawBytes: sh.run.RawBytes, stored: sh.run.StoredBytes(),
+		})
 		adopted += int64(sh.run.Records)
 	}
+	s.maybeSpill()
 	return adopted, dupped
 }
 
@@ -176,12 +393,17 @@ func (s *shuffleStore) lostAll() int64 {
 	var lost int64
 	for _, crs := range s.partitions {
 		for _, cr := range crs {
-			lost += int64(cr.run.Records)
+			lost += int64(cr.records)
+			if cr.file != "" {
+				os.Remove(cr.file)
+			}
 		}
 	}
 	s.partitions = make(map[int][]committedRun)
 	s.have = make(map[int]map[int]bool)
 	s.staged = make(map[attemptKey]map[int]stagedRun)
 	s.handoff = make(map[int]map[int][]stagedHandoff)
+	s.resident = 0
+	s.residentPart = make(map[int]int64)
 	return lost
 }

@@ -47,8 +47,10 @@ func TestStoreEpochFenceAfterHandoff(t *testing.T) {
 	if acc != 0 || dup != 3 {
 		t.Fatalf("stale commit: accepted %d dupped %d, want 0/3", acc, dup)
 	}
-	if got := len(s.runsFor(part)); got != 1 {
-		t.Fatalf("partition holds %d runs, want exactly the adopted one", got)
+	iters, records, closeIters, _ := s.partitionIters(part)
+	closeIters()
+	if got := len(iters); got != 1 || records != 3 {
+		t.Fatalf("partition holds %d runs / %d records, want exactly the adopted one (1/3)", got, records)
 	}
 }
 
@@ -62,7 +64,9 @@ func TestStoreHandoffEpochFence(t *testing.T) {
 	if adopted, dupped := s.adoptHandoff(4, 1); adopted != 0 || dupped != 5 {
 		t.Fatalf("stale handoff: adopted %d dupped %d, want 0/5", adopted, dupped)
 	}
-	if s.runsFor(4) != nil {
+	iters, _, closeIters, _ := s.partitionIters(4)
+	closeIters()
+	if iters != nil {
 		t.Fatal("stale handoff runs became visible to reduce")
 	}
 }

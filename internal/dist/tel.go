@@ -43,10 +43,31 @@ type ledger struct {
 	netRecordsLost atomic.Int64
 	netBytesLost   atomic.Int64
 
+	// Block-store locality: bytes of map input read from the mapper's own
+	// store versus streamed from a remote holder (or shipped embedded by
+	// the coordinator as a last resort). Their sum is the input volume, so
+	// local/(local+remote) is the Fig 3(d) locality hit ratio.
+	readLocalBytes  atomic.Int64
+	readRemoteBytes atomic.Int64
+	// blockIngestBytes counts block replica bytes pushed to this node's
+	// store at ingest (replication included), kept apart from the shuffle
+	// wire counters so the conservation ledger stays about records.
+	blockIngestBytes atomic.Int64
+
+	// Out-of-core reduce: committed shuffle runs evicted to disk when a
+	// node's resident intermediate data exceeds Tuning.SpillThreshold.
+	// Same conserv_spill_* vocabulary as the native runtime's spill path.
+	spillRecords     atomic.Int64
+	spillRawBytes    atomic.Int64
+	spillStoredBytes atomic.Int64
+	spillFiles       atomic.Int64
+
 	mapKernelNs    atomic.Int64
+	mapInputNs     atomic.Int64
 	mapPartitionNs atomic.Int64
 	netSendNs      atomic.Int64
 	netRecvNs      atomic.Int64
+	spillNs        atomic.Int64
 	reduceNs       atomic.Int64
 
 	// net/send split: queue residence vs socket write, summed per bulk
@@ -114,12 +135,16 @@ func (l *ledger) nsAcc(stage string) *atomic.Int64 {
 	switch stage {
 	case stageMapKernel:
 		return &l.mapKernelNs
+	case stageMapInput:
+		return &l.mapInputNs
 	case stageMapPartition:
 		return &l.mapPartitionNs
 	case stageNetSend:
 		return &l.netSendNs
 	case stageNetRecv:
 		return &l.netRecvNs
+	case stageSpill:
+		return &l.spillNs
 	default:
 		return &l.reduceNs
 	}
@@ -174,6 +199,23 @@ func (t *tracer) spanWithID(id uint64, stage string, parent uint64) func() {
 func (t *tracer) record(stage string, start, end time.Time, parent uint64) uint64 {
 	id := t.newID()
 	t.recordAt(id, stage, start, end, parent)
+	return id
+}
+
+// recordTagged is record with span tags attached — the per-split locality
+// verdict on map/input spans, for one.
+func (t *tracer) recordTagged(stage string, start, end time.Time, parent uint64, tags map[string]string) uint64 {
+	id := t.newID()
+	d := end.Sub(start)
+	if t.led != nil {
+		t.led.nsAcc(stage).Add(int64(d))
+	}
+	begin := start.Sub(t.epoch).Seconds()
+	t.buf.Span(obs.Span{
+		Node: t.node, Stage: stage,
+		Start: begin, End: begin + d.Seconds(),
+		ID: id, Parent: parent, Tags: tags,
+	})
 	return id
 }
 
@@ -239,9 +281,11 @@ func (l *ledger) stages() map[string]time.Duration {
 		ns   *atomic.Int64
 	}{
 		{stageMapKernel, &l.mapKernelNs},
+		{stageMapInput, &l.mapInputNs},
 		{stageMapPartition, &l.mapPartitionNs},
 		{stageNetSend, &l.netSendNs},
 		{stageNetRecv, &l.netRecvNs},
+		{stageSpill, &l.spillNs},
 		{stageReduce, &l.reduceNs},
 	} {
 		if v := s.ns.Load(); v > 0 {
@@ -282,4 +326,23 @@ func (l *ledger) publish() {
 	reg.Counter("dist_shuffle_bytes_total").Add(l.netBytesSent.Load())
 	reg.Counter("dist_net_queue_ns_total").Add(l.netQueueNs.Load())
 	reg.Counter("dist_net_write_ns_total").Add(l.netWriteNs.Load())
+	// Block-store and spill counters only appear on runs that used those
+	// subsystems, so metric snapshots of every pre-existing run shape stay
+	// byte-identical.
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"dist_read_local_bytes_total", l.readLocalBytes.Load()},
+		{"dist_read_remote_bytes_total", l.readRemoteBytes.Load()},
+		{"dist_block_ingest_bytes_total", l.blockIngestBytes.Load()},
+		{"conserv_spill_records_total", l.spillRecords.Load()},
+		{"conserv_spill_raw_bytes_total", l.spillRawBytes.Load()},
+		{"conserv_spill_stored_bytes_total", l.spillStoredBytes.Load()},
+		{"conserv_spill_files_total", l.spillFiles.Load()},
+	} {
+		if c.v != 0 {
+			reg.Counter(c.name).Add(c.v)
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"glasswing/internal/core"
 	"glasswing/internal/kv"
@@ -58,6 +59,9 @@ const (
 	mHandoff                    // worker→worker: committed runs of one re-homed partition (bulk)
 	mHandoffMark                // worker→worker: one partition's handoff is complete
 	mHandoffDone                // worker→coord: destination committed a handed-off partition
+	mBlockPut                   // coord→worker: ingest one input-block replica into the worker's store (bulk)
+	mBlockFetch                 // worker→worker: request a streamed read of one stored block
+	mBlockChunk                 // worker→worker: one chunk of a fetched block
 )
 
 func typeName(t byte) string {
@@ -71,6 +75,7 @@ func typeName(t byte) string {
 		mJoin: "join", mJoinReady: "join-ready", mRejoin: "rejoin",
 		mRehome: "rehome", mDrain: "drain", mDrained: "drained",
 		mHandoff: "handoff", mHandoffMark: "handoff-mark", mHandoffDone: "handoff-done",
+		mBlockPut: "block-put", mBlockFetch: "block-fetch", mBlockChunk: "block-chunk",
 	}
 	if int(t) < len(names) && names[t] != "" {
 		return names[t]
@@ -294,6 +299,17 @@ type mapTaskMsg struct {
 	// parent of every span the attempt produces on the worker.
 	SpanID uint64
 	Block  []byte
+	// Block-store reference fields. With Ref set the task's input is block
+	// <Task> of the distributed store: Block is empty and the worker reads
+	// it locally or streams it from one of Holders (live replica holders,
+	// coordinator's view at dispatch). A Ref task may still carry embedded
+	// Block bytes — the coordinator's fallback when no holder survives —
+	// which the worker accounts as a remote read. AllowLocal false forces a
+	// remote fetch even on a holder (the conformance forced-remote axis).
+	Ref        bool
+	BlockSize  int64
+	Holders    []int
+	AllowLocal bool
 }
 
 func (m mapTaskMsg) encode() []byte {
@@ -302,6 +318,13 @@ func (m mapTaskMsg) encode() []byte {
 	e.i(int64(m.Attempt))
 	e.u(m.SpanID)
 	e.bytes(m.Block)
+	e.bool(m.Ref)
+	e.i(m.BlockSize)
+	e.u(uint64(len(m.Holders)))
+	for _, h := range m.Holders {
+		e.i(int64(h))
+	}
+	e.bool(m.AllowLocal)
 	return e.buf
 }
 
@@ -309,6 +332,16 @@ func decodeMapTask(p []byte) (mapTaskMsg, error) {
 	d := dec{buf: p}
 	m := mapTaskMsg{Task: int(d.i()), Attempt: int(d.i()), SpanID: d.u()}
 	m.Block = append([]byte(nil), d.bytes()...)
+	m.Ref = d.bool()
+	m.BlockSize = d.i()
+	n := d.u()
+	if n > uint64(len(p)) {
+		d.err = errCorrupt
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Holders = append(m.Holders, int(d.i()))
+	}
+	m.AllowLocal = d.bool()
 	return m, d.fin("map-task")
 }
 
@@ -621,6 +654,16 @@ func (m spanBatchMsg) encode() []byte {
 		e.u(math.Float64bits(s.End))
 		e.u(s.ID)
 		e.u(s.Parent)
+		e.u(uint64(len(s.Tags)))
+		keys := make([]string, 0, len(s.Tags))
+		for k := range s.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic wire bytes for map-ordered tags
+		for _, k := range keys {
+			e.str(k)
+			e.str(s.Tags[k])
+		}
 	}
 	return e.buf
 }
@@ -641,6 +684,20 @@ func decodeSpanBatch(p []byte) (spanBatchMsg, error) {
 		s.End = math.Float64frombits(d.u())
 		s.ID = d.u()
 		s.Parent = d.u()
+		nt := d.u()
+		if nt > uint64(len(p)) {
+			d.err = errCorrupt
+		}
+		for j := uint64(0); j < nt && d.err == nil; j++ {
+			k := d.str()
+			v := d.str()
+			if d.err == nil {
+				if s.Tags == nil {
+					s.Tags = make(map[string]string, nt)
+				}
+				s.Tags[k] = v
+			}
+		}
 		if d.err == nil {
 			m.Spans = append(m.Spans, s)
 		}
@@ -860,4 +917,78 @@ func decodeHandoffDone(p []byte) (handoffDoneMsg, error) {
 	d := dec{buf: p}
 	m := handoffDoneMsg{Epoch: int(d.i()), Partition: int(d.i())}
 	return m, d.fin("handoff-done")
+}
+
+// --- block-store payloads ---
+
+// blockPutMsg ingests one input-block replica into a worker's on-disk
+// store. The coordinator pushes these on each holder's control connection
+// right after JobStart — FIFO framing guarantees every replica is durable
+// on its holder before the first MapTask that might reference it arrives.
+type blockPutMsg struct {
+	ID   int
+	Data []byte
+}
+
+func (m blockPutMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.ID))
+	e.bytes(m.Data)
+	return e.buf
+}
+
+func decodeBlockPut(p []byte) (blockPutMsg, error) {
+	d := dec{buf: p}
+	m := blockPutMsg{ID: int(d.i())}
+	m.Data = d.bytes() // aliases the payload; the store writes it straight to disk
+	return m, d.fin("block-put")
+}
+
+// blockFetchMsg asks a peer holding block ID to stream it back. Nonce
+// correlates the reply chunks with the waiting fetch on the requester.
+type blockFetchMsg struct {
+	ID    int
+	Nonce uint64
+}
+
+func (m blockFetchMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.ID))
+	e.u(m.Nonce)
+	return e.buf
+}
+
+func decodeBlockFetch(p []byte) (blockFetchMsg, error) {
+	d := dec{buf: p}
+	m := blockFetchMsg{ID: int(d.i()), Nonce: d.u()}
+	return m, d.fin("block-fetch")
+}
+
+// blockChunkMsg is one chunk of a streamed block read (blockstore.ReadChunk
+// granularity — the serving side never materializes the whole block). Last
+// marks the final chunk; OK false aborts the fetch (block not held, or the
+// holder's disk failed mid-stream).
+type blockChunkMsg struct {
+	ID    int
+	Nonce uint64
+	OK    bool
+	Last  bool
+	Data  []byte
+}
+
+func (m blockChunkMsg) encode() []byte {
+	var e enc
+	e.i(int64(m.ID))
+	e.u(m.Nonce)
+	e.bool(m.OK)
+	e.bool(m.Last)
+	e.bytes(m.Data)
+	return e.buf
+}
+
+func decodeBlockChunk(p []byte) (blockChunkMsg, error) {
+	d := dec{buf: p}
+	m := blockChunkMsg{ID: int(d.i()), Nonce: d.u(), OK: d.bool(), Last: d.bool()}
+	m.Data = append([]byte(nil), d.bytes()...)
+	return m, d.fin("block-chunk")
 }

@@ -3,9 +3,11 @@ package dist
 import (
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
+	"glasswing/internal/blockstore"
 	"glasswing/internal/core"
 	"glasswing/internal/kv"
 	"glasswing/internal/obs"
@@ -109,6 +111,19 @@ type worker struct {
 	draining  bool
 	drained   bool
 	ackWait   map[attemptKey]*pendingDone
+
+	// Scratch-disk state (block-store replicas + spill files). wdMu and bsMu
+	// are leaf locks — never taken while holding them; fetchMu guards the
+	// in-flight remote block reads (blockio.go).
+	wdMu    sync.Mutex
+	workdir string
+	wdErr   error
+	bsMu    sync.Mutex
+	bstore  *blockstore.Store
+
+	fetchMu  sync.Mutex
+	fetchCtr uint64
+	fetches  map[uint64]*blockFetchWait
 }
 
 type execItem struct {
@@ -135,6 +150,7 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 		stop:    make(chan struct{}),
 		store:   newShuffleStore(),
 		ackWait: make(map[attemptKey]*pendingDone),
+		fetches: make(map[uint64]*blockFetchWait),
 	}
 	w.onDrop = func(records, acct int64) { w.led.netLost(records, acct) }
 	// net/send spans are recorded on the pump goroutine, where the socket
@@ -153,7 +169,14 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 	defer ln.Close()
 	w.lnAddr = ln.Addr().String()
 
+	// The rejoin grace also covers the FIRST dial: a coordinator ingesting a
+	// large input file opens its listener only after the read, so a worker
+	// launched alongside it would otherwise die on connection-refused.
 	c, err := net.Dial("tcp", cfg.coordAddr)
+	for deadline := time.Now().Add(tun.RejoinGrace); err != nil && time.Now().Before(deadline); {
+		time.Sleep(200 * time.Millisecond)
+		c, err = net.Dial("tcp", cfg.coordAddr)
+	}
 	if err != nil {
 		return false, fmt.Errorf("dist: dialing coordinator: %w", err)
 	}
@@ -164,6 +187,11 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 
 	if err := w.join(); err != nil {
 		return false, err
+	}
+	if tun.SpillThreshold > 0 {
+		// Armed only now: the tracer the spill spans book into is minted
+		// during join, and nothing commits to the store before job start.
+		w.store.enableSpill(tun.SpillThreshold, w.workDir, led, w.tr)
 	}
 	if cfg.onWelcome != nil {
 		cfg.onWelcome(w)
@@ -222,6 +250,12 @@ func runWorker(cfg workerConfig) (killed bool, err error) {
 		if pc != nil {
 			pc.close()
 		}
+	}
+	if w.workdir != "" {
+		// Every goroutine has joined: nothing still reads replicas or spill
+		// files. Block replicas are job-scoped (the coordinator re-ingests on
+		// resume), so the scratch dir goes with the worker.
+		os.RemoveAll(w.workdir)
 	}
 	if ownLed {
 		led.publish()
@@ -501,6 +535,12 @@ func (w *worker) coordLoop() error {
 		}
 		rejoinUntil = time.Time{}
 		switch typ {
+		case mBlockPut:
+			// Ingest precedes every map task on the FIFO link, so a Ref task
+			// never races its own replica.
+			if err := w.onBlockPut(p); err != nil {
+				return err
+			}
 		case mMapTask:
 			m, err := decodeMapTask(p)
 			if err != nil {
@@ -687,12 +727,31 @@ func (w *worker) runMap(m mapTaskMsg) {
 	// per-key grouping, so combiner jobs stay on the per-record collector.
 	useBatch := w.app.MapBatch != nil && !w.job.UseCombiner
 
+	// Resolve the task's input first: embedded bytes for classic jobs, the
+	// block store (own disk, or streamed from a holder) for Ref tasks. The
+	// acquisition gets its own map/input span tagged with where the bytes
+	// came from — the per-split locality evidence in the merged trace.
+	t0 := time.Now()
+	block, locality, err := w.acquireBlock(m)
+	if err != nil {
+		w.coordSend(frame{typ: mMapFailed, payload: taskFailMsg{
+			Task: m.Task, Attempt: m.Attempt, Reason: err.Error(),
+		}.encode()})
+		return
+	}
+	if locality != "" {
+		w.tr.recordTagged(stageMapInput, t0, time.Now(), m.SpanID, map[string]string{
+			"locality": locality,
+			"block":    fmt.Sprintf("%d", m.Task),
+		})
+	}
+
 	// The kernel span parents on the coordinator's sched/assign span for
 	// this attempt; everything downstream (partitioning, the shuffle sends)
 	// parents on the kernel, forming the causal chain the merged trace
 	// draws as flow arrows.
 	kernelID, end := w.tr.span(stageMapKernel, m.SpanID)
-	recs := w.app.Parse(m.Block)
+	recs := w.app.Parse(block)
 	var batch kv.Batch
 	var pairs []kv.Pair
 	if useBatch {
@@ -830,16 +889,14 @@ func (w *worker) runMap(m mapTaskMsg) {
 // the first accepted report may count.
 func (w *worker) runReduce(rt reduceTaskMsg) {
 	_, end := w.tr.span(stageReduce, rt.SpanID)
+	// Iterators are built under the lock (the committed-run list must not
+	// grow mid-snapshot) but drained outside it: resident runs are immutable
+	// once committed, and a concurrent spill of this partition only drops the
+	// store's reference — the blob an iterator already holds stays valid.
 	w.mu.Lock()
-	runs := append([]*kv.Run(nil), w.store.runsFor(rt.Partition)...)
+	iters, recordsIn, closeSpills, spillErr := w.store.partitionIters(rt.Partition)
 	w.mu.Unlock()
-
-	var recordsIn int64
-	iters := make([]kv.Iterator, len(runs))
-	for i, r := range runs {
-		recordsIn += int64(r.Records)
-		iters[i] = r.Iter()
-	}
+	defer closeSpills()
 	merged := kv.Merge(iters...)
 	var out []kv.Pair
 	var groups int64
@@ -864,6 +921,15 @@ func (w *worker) runReduce(rt reduceTaskMsg) {
 	}
 	end()
 
+	if err := spillErr(); err != nil {
+		// A spilled run failed to stream back: this partition's merge is
+		// incomplete, so fail the attempt instead of reporting short output.
+		w.coordSend(frame{typ: mReduceFailed, payload: taskFailMsg{
+			Task: rt.Partition, Attempt: rt.Attempt, Reason: err.Error(),
+		}.encode()})
+		return
+	}
+
 	w.coordSend(frame{typ: mReduceDone, payload: reduceDoneMsg{
 		Partition: rt.Partition, Attempt: rt.Attempt,
 		RecordsIn: recordsIn, GroupsIn: groups, Output: kv.Marshal(out),
@@ -877,6 +943,9 @@ func (w *worker) peerReader(j int, cc *conn) {
 		typ, p, err := cc.recv()
 		if err != nil {
 			cc.close()
+			// Fetches waiting on this peer's chunks fail over now rather
+			// than waiting out their timeout.
+			w.failFetches(j)
 			return
 		}
 		switch typ {
@@ -890,6 +959,10 @@ func (w *worker) peerReader(j int, cc *conn) {
 			w.onHandoffBatch(p)
 		case mHandoffMark:
 			w.onHandoffMark(p)
+		case mBlockFetch:
+			w.onBlockFetch(cc, p)
+		case mBlockChunk:
+			w.onBlockChunk(p)
 		}
 	}
 }
@@ -1154,14 +1227,26 @@ func (w *worker) sendHandoff(part, dest, epoch int) {
 		msg.Entries, bodyBytes, recs = nil, 0, 0
 	}
 	for _, cr := range runs {
-		blob := cr.run.Blob()
+		run, err := cr.load() // spilled runs rematerialize for the wire
+		if err != nil {
+			// The spill file is unreadable: its records are lost to the
+			// handoff, exactly like a disk dying under a classic worker.
+			// Re-book them as lost so the handoff ledger still balances.
+			w.led.handoffOut.Add(-int64(cr.records))
+			w.led.storeLost.Add(int64(cr.records))
+			continue
+		}
+		blob := run.Blob()
 		msg.Entries = append(msg.Entries, handoffEntry{
-			Task: cr.task, Records: cr.run.Records, RawBytes: cr.run.RawBytes, Blob: blob,
+			Task: cr.task, Records: run.Records, RawBytes: run.RawBytes, Blob: blob,
 		})
 		bodyBytes += int64(len(blob))
-		recs += int64(cr.run.Records)
+		recs += int64(run.Records)
 		if bodyBytes >= w.tun.CoalesceBytes {
 			flush()
+		}
+		if cr.file != "" {
+			os.Remove(cr.file) // the partition left this node; scratch goes too
 		}
 	}
 	if len(msg.Entries) > 0 {

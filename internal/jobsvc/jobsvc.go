@@ -220,6 +220,17 @@ type Request struct {
 	UseCombiner bool   `json:"use_combiner,omitempty"`
 	Compress    bool   `json:"compress,omitempty"`
 
+	// Blockstore ingests the input into the cluster's worker block stores
+	// before the map phase: "local" schedules splits onto replica holders
+	// (locality-preferred), "remote" forces every read over the peer mesh.
+	// Empty ships blocks inside task assignments. Replication is replicas
+	// per block (0 = 3, capped at the cluster width); SpillThreshold makes
+	// workers spill committed shuffle partitions to disk past that many
+	// resident bytes.
+	Blockstore     string `json:"blockstore,omitempty"`
+	Replication    int    `json:"replication,omitempty"`
+	SpillThreshold int64  `json:"spill_threshold,omitempty"`
+
 	// Fault injection (Config.AllowFaultInjection only): KillWorker kills
 	// that worker after KillAfterMapDone map resolutions; MapFaultMod > 0
 	// fails the first attempt of every MapFaultMod-th map task.
@@ -263,6 +274,9 @@ type JobStats struct {
 	WorkersJoined     int   `json:"workers_joined,omitempty"`
 	WorkersDrained    int   `json:"workers_drained,omitempty"`
 	Resumed           bool  `json:"resumed,omitempty"`
+	ReadLocalBytes    int64 `json:"read_local_bytes,omitempty"`
+	ReadRemoteBytes   int64 `json:"read_remote_bytes,omitempty"`
+	SpillRecords      int64 `json:"spill_records,omitempty"`
 	MapMS             int64 `json:"map_ms"`
 	ReduceMS          int64 `json:"reduce_ms"`
 	TotalMS           int64 `json:"total_ms"`
@@ -311,6 +325,9 @@ type job struct {
 	collector   core.CollectorKind
 	useCombiner bool
 	compress    bool
+	blockstore  string
+	replication int
+	spillThresh int64
 	cost        int64
 
 	killWorker  int // -1 = none
@@ -598,6 +615,14 @@ func (s *Service) parseRequest(req Request) (*job, *APIError) {
 	if req.RecordSize < 0 || req.Chunk < 0 || req.Partitions < 0 {
 		return nil, badRequest("bad-geometry", "record_size, chunk and partitions must be non-negative")
 	}
+	switch req.Blockstore {
+	case "", "local", "remote":
+	default:
+		return nil, badRequest("bad-blockstore", "unknown blockstore mode %q (local, remote)", req.Blockstore)
+	}
+	if req.Replication < 0 || req.SpillThreshold < 0 {
+		return nil, badRequest("bad-blockstore", "replication and spill_threshold must be non-negative")
+	}
 	j := &job{
 		tenant:      req.Tenant,
 		pri:         pri,
@@ -611,6 +636,9 @@ func (s *Service) parseRequest(req Request) (*job, *APIError) {
 		collector:   collector,
 		useCombiner: req.UseCombiner,
 		compress:    req.Compress,
+		blockstore:  req.Blockstore,
+		replication: req.Replication,
+		spillThresh: req.SpillThreshold,
 		cost:        int64(len(input) + len(params)),
 		killWorker:  -1,
 	}

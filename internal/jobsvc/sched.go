@@ -134,6 +134,9 @@ func (s *Service) runJob(j *job) {
 			WorkersJoined:     res.WorkersJoined,
 			WorkersDrained:    res.WorkersDrained,
 			Resumed:           res.Resumed,
+			ReadLocalBytes:    res.ReadLocalBytes,
+			ReadRemoteBytes:   res.ReadRemoteBytes,
+			SpillRecords:      res.SpillRecords,
 			MapMS:             res.MapElapsed.Milliseconds(),
 			ReduceMS:          res.ReduceElapsed.Milliseconds(),
 			TotalMS:           res.Total.Milliseconds(),
@@ -170,13 +173,18 @@ func (s *Service) distRun(j *job) (*dist.Result, *obs.Telemetry, error) {
 			UseCombiner: j.useCombiner,
 			Compress:    j.compress,
 		},
-		Workers:    j.workers,
-		Tuning:     s.cfg.Tuning,
-		Blocks:     blocks,
-		Telemetry:  tel,
-		KillWorker: -1,
-		TraceID:    j.traceID,
-		Journal:    s.journalFor(j),
+		Workers:     j.workers,
+		Tuning:      s.cfg.Tuning,
+		Blocks:      blocks,
+		Telemetry:   tel,
+		KillWorker:  -1,
+		TraceID:     j.traceID,
+		Journal:     s.journalFor(j),
+		Blockstore:  j.blockstore,
+		Replication: j.replication,
+	}
+	if j.spillThresh > 0 {
+		o.Tuning.SpillThreshold = j.spillThresh
 	}
 	if j.mapFaultMod > 0 {
 		mod := j.mapFaultMod

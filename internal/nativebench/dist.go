@@ -40,6 +40,24 @@ func DistScenarios() []DistScenario {
 				return distDemo("ts", 1<<20, 8, 16<<10)
 			},
 		},
+		{
+			// Out-of-core variant: the input is ingested into worker block
+			// stores (locality-preferred placement, replication 2), the
+			// combiner is off so the full pair volume crosses the shuffle,
+			// and a spill threshold far below that volume forces committed
+			// partitions through the disk spill / merge-readback path. The
+			// tracked row pins bytes spilled and the locality hit ratio
+			// alongside wall clock.
+			Name: "dist-wc-ooc",
+			Build: func() dist.Options {
+				o := distDemo("wc", 1<<20, 8, 16<<10)
+				o.Job.UseCombiner = false
+				o.Blockstore = "local"
+				o.Replication = 2
+				o.Tuning.SpillThreshold = 64 << 10
+				return o
+			},
+		},
 	}
 }
 
@@ -125,6 +143,10 @@ func MeasureDist(s DistScenario) Result {
 			}
 		}
 		res.ShuffleBytes = o.Telemetry.Metrics.Counter("dist_shuffle_bytes_total").Value()
+		res.ReadLocalBytes = o.Telemetry.Metrics.Counter("dist_read_local_bytes_total").Value()
+		res.ReadRemoteBytes = o.Telemetry.Metrics.Counter("dist_read_remote_bytes_total").Value()
+		res.SpillFiles = int(o.Telemetry.Metrics.Counter("conserv_spill_files_total").Value())
+		res.SpillBytes = o.Telemetry.Metrics.Counter("conserv_spill_stored_bytes_total").Value()
 	}
 	return res
 }

@@ -47,6 +47,14 @@ type GuardOpts struct {
 	// even one stray per-record allocation site multiplies the count — a
 	// tighter gate catches it the day it lands.
 	AllocOverride map[string]float64
+	// StageOverride widens (or tightens) the stage budget for individual
+	// scenarios by name. The default budget assumes the native serialized
+	// min-of-5 probes; dist scenarios can't serialize — their spans cover
+	// concurrent wall time on a live loopback cluster (and disk I/O for
+	// the out-of-core row), which swings ~2x run to run. A wider budget
+	// there still catches the regressions worth blocking (lost overlap,
+	// accidentally quadratic work), which show up as large multiples.
+	StageOverride map[string]float64
 	// ShuffleMaxRatio is the allowed fresh/base shuffle_bytes ratio for
 	// scenarios whose baseline records network shuffle volume (0 = the
 	// default 1.1). Wire volume is a function of the dataset and the frame
@@ -54,6 +62,18 @@ type GuardOpts struct {
 	// a few bytes per frame, so the budget is tight: a fatter wire encoding
 	// or broken coalescing shows up immediately.
 	ShuffleMaxRatio float64
+	// MinLocalRatio is the locality-hit floor for scenarios whose baseline
+	// records block-store reads (0 = the default 0.5): a fresh run reading
+	// less than this fraction of its input locally means the affinity deal
+	// or the placement wheel broke, which wall clock alone won't catch on
+	// a loopback host where "remote" is just another socket.
+	MinLocalRatio float64
+	// SpillMaxRatio is the allowed fresh/base spill_bytes ratio for
+	// scenarios whose baseline spills (0 = the default 1.25). The spilled
+	// volume is a function of the dataset and the eviction policy; a fresh
+	// run spilling nothing at all is also flagged — the out-of-core path
+	// silently stopped engaging.
+	SpillMaxRatio float64
 }
 
 func (o GuardOpts) withDefaults() GuardOpts {
@@ -71,6 +91,12 @@ func (o GuardOpts) withDefaults() GuardOpts {
 	}
 	if o.ShuffleMaxRatio <= 0 {
 		o.ShuffleMaxRatio = 1.1
+	}
+	if o.MinLocalRatio <= 0 {
+		o.MinLocalRatio = 0.5
+	}
+	if o.SpillMaxRatio <= 0 {
+		o.SpillMaxRatio = 1.25
 	}
 	return o
 }
@@ -116,6 +142,33 @@ func CompareResults(base, fresh []Result, o GuardOpts) []Regression {
 				})
 			}
 		}
+		if b.ReadLocalBytes+b.ReadRemoteBytes > 0 {
+			// The hit-ratio floor compares the fresh run against the absolute
+			// MinLocalRatio, not the baseline's ratio: locality legitimately
+			// jitters with work stealing, but falling below half means the
+			// placement machinery is off.
+			read := f.ReadLocalBytes + f.ReadRemoteBytes
+			if read == 0 || float64(f.ReadLocalBytes)/float64(read) < o.MinLocalRatio {
+				regs = append(regs, Regression{
+					Scenario: b.Name, Metric: "read_local_bytes",
+					Base: b.ReadLocalBytes, Fresh: f.ReadLocalBytes,
+					Ratio: float64(f.ReadLocalBytes) / float64(max(b.ReadLocalBytes, 1)),
+				})
+			}
+		}
+		if b.SpillBytes > 0 {
+			ratio := float64(f.SpillBytes) / float64(b.SpillBytes)
+			if f.SpillBytes == 0 || ratio > o.SpillMaxRatio {
+				regs = append(regs, Regression{
+					Scenario: b.Name, Metric: "spill_bytes",
+					Base: b.SpillBytes, Fresh: f.SpillBytes, Ratio: ratio,
+				})
+			}
+		}
+		stageBudget := o.StageMaxRatio
+		if over, ok := o.StageOverride[b.Name]; ok && over > 0 {
+			stageBudget = over
+		}
 		stages := make([]string, 0, len(b.StageNs))
 		for stage := range b.StageNs {
 			stages = append(stages, stage)
@@ -133,7 +186,7 @@ func CompareResults(base, fresh []Result, o GuardOpts) []Regression {
 				// gated.
 				continue
 			}
-			if ratio := float64(f.StageNs[stage]) / float64(bns); ratio > o.StageMaxRatio {
+			if ratio := float64(f.StageNs[stage]) / float64(bns); ratio > stageBudget {
 				regs = append(regs, Regression{
 					Scenario: b.Name, Metric: "stage_ns/" + stage,
 					Base: bns, Fresh: f.StageNs[stage], Ratio: ratio,

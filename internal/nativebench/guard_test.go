@@ -125,6 +125,64 @@ func TestGuardFlagsShuffleBytes(t *testing.T) {
 	}
 }
 
+func TestGuardFlagsLocalityAndSpill(t *testing.T) {
+	base := []Result{{Name: "dist-wc-ooc", ReadLocalBytes: 80000, ReadRemoteBytes: 20000, SpillBytes: 50000}}
+	within := []Result{{Name: "dist-wc-ooc", ReadLocalBytes: 60000, ReadRemoteBytes: 40000, SpillBytes: 55000}}
+	if regs := CompareResults(base, within, GuardOpts{}); len(regs) != 0 {
+		t.Fatalf("60%% local and +10%% spill are inside budget, got %v", regs)
+	}
+	// Locality collapse below the 50% floor is flagged even though the run
+	// still completed.
+	cold := []Result{{Name: "dist-wc-ooc", ReadLocalBytes: 30000, ReadRemoteBytes: 70000, SpillBytes: 50000}}
+	regs := CompareResults(base, cold, GuardOpts{})
+	if len(regs) != 1 || regs[0].Metric != "read_local_bytes" {
+		t.Fatalf("expected locality floor violation flagged, got %v", regs)
+	}
+	// Spilling nothing means the out-of-core path stopped engaging; spilling
+	// far more means eviction went wild. Both gate.
+	for _, spill := range []int64{0, 100000} {
+		fresh := []Result{{Name: "dist-wc-ooc", ReadLocalBytes: 80000, ReadRemoteBytes: 20000, SpillBytes: spill}}
+		regs := CompareResults(base, fresh, GuardOpts{})
+		if len(regs) != 1 || regs[0].Metric != "spill_bytes" {
+			t.Fatalf("spill %d: expected spill_bytes flagged, got %v", spill, regs)
+		}
+	}
+	// Rows without baseline block-store reads (plain dist, native) are never
+	// gated on locality.
+	plain := []Result{{Name: "wc-hash", AllocsPerOp: 100000, StageNs: map[string]int64{"map/kernel": 100e6, "merge": 50e6}, ReadLocalBytes: 0, ReadRemoteBytes: 999}}
+	if regs := CompareResults(guardBase()[:1], plain, GuardOpts{}); len(regs) != 0 {
+		t.Fatalf("non-blockstore row gated on locality: %v", regs)
+	}
+}
+
+func TestGuardStageOverride(t *testing.T) {
+	// A per-scenario stage override widens the budget for that scenario
+	// alone: a 2x swing passes the overridden dist row but still gates an
+	// identical swing elsewhere, and blowing through even the wide budget
+	// gates the overridden row too.
+	base := []Result{
+		{Name: "dist-wc-3w", StageNs: map[string]int64{"net/send": 100e6}},
+		{Name: "dist-wc", StageNs: map[string]int64{"net/send": 100e6}},
+	}
+	fresh := []Result{
+		{Name: "dist-wc-3w", StageNs: map[string]int64{"net/send": 190e6}},
+		{Name: "dist-wc", StageNs: map[string]int64{"net/send": 190e6}},
+	}
+	opts := GuardOpts{StageOverride: map[string]float64{"dist-wc-3w": 2.0}}
+	regs := CompareResults(base, fresh, opts)
+	if len(regs) != 1 || regs[0].Scenario != "dist-wc" || regs[0].Metric != "stage_ns/net/send" {
+		t.Fatalf("expected only the non-overridden row flagged, got %v", regs)
+	}
+	blown := []Result{
+		{Name: "dist-wc-3w", StageNs: map[string]int64{"net/send": 250e6}},
+		{Name: "dist-wc", StageNs: map[string]int64{"net/send": 100e6}},
+	}
+	regs = CompareResults(base, blown, opts)
+	if len(regs) != 1 || regs[0].Scenario != "dist-wc-3w" {
+		t.Fatalf("expected overridden row flagged past its wide budget, got %v", regs)
+	}
+}
+
 func TestGuardIgnoresQueueStage(t *testing.T) {
 	// net/queue is scheduler contention, not pipeline work: a 10x swing must
 	// never gate, while a real stage regression alongside it still does.

@@ -153,6 +153,11 @@ type Result struct {
 	// ShuffleBytes is the network shuffle volume of one instrumented run
 	// (dist scenarios only): bytes of kv runs enqueued to remote peers.
 	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+	// ReadLocalBytes / ReadRemoteBytes split one instrumented run's input
+	// reads by locality (dist block-store scenarios only): the hit ratio
+	// local/(local+remote) is a guarded metric.
+	ReadLocalBytes  int64 `json:"read_local_bytes,omitempty"`
+	ReadRemoteBytes int64 `json:"read_remote_bytes,omitempty"`
 }
 
 // Measure benchmarks one scenario via testing.Benchmark and folds the

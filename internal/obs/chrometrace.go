@@ -102,11 +102,21 @@ func WriteChromeTraceWithMeta(w io.Writer, spans []Span, meta map[string]any, in
 	const usec = 1e6
 	body := make([]chromeEvent, 0, len(spans)+len(instants))
 	for _, s := range spans {
-		body = append(body, chromeEvent{
+		ev := chromeEvent{
 			Name: s.Stage, Ph: "X", Cat: "pipeline",
 			Ts: s.Start * usec, Dur: (s.End - s.Start) * usec,
 			Pid: s.Node, Tid: tid[s.Stage],
-		})
+		}
+		// Tagged spans (e.g. a block read's locality verdict) surface as
+		// slice args; untagged spans emit exactly what they always did, so
+		// golden traces stay byte-identical.
+		if len(s.Tags) > 0 {
+			ev.Args = make(map[string]any, len(s.Tags))
+			for k, v := range s.Tags {
+				ev.Args[k] = v
+			}
+		}
+		body = append(body, ev)
 	}
 	for _, i := range instants {
 		body = append(body, chromeEvent{

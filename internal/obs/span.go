@@ -17,6 +17,11 @@ type Span struct {
 	End    float64 `json:"end"`
 	ID     uint64  `json:"id,omitempty"`
 	Parent uint64  `json:"parent,omitempty"`
+	// Tags annotate the span with small key/value facts (e.g. the block
+	// read's locality verdict). Nil for the common case; exporters only
+	// emit them when present, so untagged output is byte-identical to
+	// what it was before tags existed.
+	Tags map[string]string `json:"tags,omitempty"`
 }
 
 // Instant is an instantaneous event on a node's timeline (a node death, a
